@@ -1,0 +1,123 @@
+// Command hoyan-master hosts the distributed framework's substrates (MQ,
+// object store, task DB) on TCP listeners and optionally drives one
+// distributed route+traffic simulation over a generated WAN — a
+// self-contained way to exercise the multi-process deployment with
+// hoyan-worker processes on the same or other machines.
+//
+// Usage:
+//
+//	hoyan-master -serve                        # just host the substrates
+//	hoyan-master -run -scale 2 -subtasks 40    # host and drive a simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"hoyan/internal/core"
+	"hoyan/internal/dsim"
+	"hoyan/internal/gen"
+	"hoyan/internal/mq"
+	"hoyan/internal/objstore"
+	"hoyan/internal/taskdb"
+)
+
+func main() {
+	mqAddr := flag.String("mq", "127.0.0.1:7101", "message queue listen address")
+	storeAddr := flag.String("store", "127.0.0.1:7102", "object store listen address")
+	tasksAddr := flag.String("tasks", "127.0.0.1:7103", "task DB listen address")
+	runSim := flag.Bool("run", false, "drive a distributed simulation after serving")
+	scale := flag.Int("scale", 2, "gen.WAN scale for -run")
+	subtasks := flag.Int("subtasks", 40, "route subtasks for -run")
+	timeout := flag.Duration("timeout", 10*time.Minute, "simulation timeout for -run")
+	flag.Parse()
+
+	lq := listen(*mqAddr)
+	ls := listen(*storeAddr)
+	lt := listen(*tasksAddr)
+	mq.Serve(lq, mq.NewMemory())
+	objstore.Serve(ls, objstore.NewMemory())
+	taskdb.Serve(lt, taskdb.NewMemory())
+	fmt.Printf("substrates: mq=%s store=%s tasks=%s\n", lq.Addr(), ls.Addr(), lt.Addr())
+
+	if !*runSim {
+		fmt.Println("serving; start hoyan-worker processes and press Ctrl-C to stop")
+		wait()
+		return
+	}
+
+	queue, err := mq.Dial(lq.Addr().String())
+	if err != nil {
+		fatal(err)
+	}
+	store, err := objstore.Dial(ls.Addr().String())
+	if err != nil {
+		fatal(err)
+	}
+	tasks, err := taskdb.Dial(lt.Addr().String())
+	if err != nil {
+		fatal(err)
+	}
+	master := dsim.NewMaster(dsim.Services{Queue: queue, Store: store, Tasks: tasks})
+	master.Timeout = *timeout
+
+	g := gen.Generate(gen.WAN(*scale))
+	fmt.Printf("generated WAN: %d devices, %d input routes, %d flows\n",
+		len(g.Net.Devices), len(g.Inputs), len(g.Flows))
+	snapKey, err := master.UploadSnapshot("cli-task", g.Net)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	task, err := master.StartRouteSimulation("cli-task", snapKey, g.Inputs, *subtasks, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("enqueued %d route subtasks; waiting for workers...\n", task.Subtasks)
+	if err := master.Wait("cli-task", "route", task.Subtasks); err != nil {
+		fatal(err)
+	}
+	rib, err := master.CollectRouteResults(task)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("route simulation done in %s: %d RIB rows\n",
+		time.Since(start).Round(time.Millisecond), rib.Len())
+
+	tt, err := master.StartTrafficSimulation("cli-task", task, g.Flows, *subtasks, dsim.StrategyOrdered, core.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	if err := master.Wait("cli-task", "traffic", tt.Subtasks); err != nil {
+		fatal(err)
+	}
+	sum, err := master.CollectTrafficResults(tt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("traffic simulation done: %d flow paths, %d loaded links\n",
+		len(sum.Paths), len(sum.Load))
+}
+
+func listen(addr string) net.Listener {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	return l
+}
+
+func wait() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hoyan-master:", err)
+	os.Exit(1)
+}

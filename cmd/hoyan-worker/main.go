@@ -1,0 +1,56 @@
+// Command hoyan-worker is a standalone working server of the distributed
+// simulation framework: it dials the MQ, object store, and task DB over TCP
+// and consumes subtasks until interrupted (Figure 3's "working servers").
+//
+// Usage:
+//
+//	hoyan-worker -name w1 -mq HOST:PORT -store HOST:PORT -tasks HOST:PORT
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"hoyan/internal/dsim"
+	"hoyan/internal/mq"
+	"hoyan/internal/objstore"
+	"hoyan/internal/taskdb"
+)
+
+func main() {
+	name := flag.String("name", "worker", "worker name (shown in the task DB)")
+	mqAddr := flag.String("mq", "127.0.0.1:7101", "message queue address")
+	storeAddr := flag.String("store", "127.0.0.1:7102", "object store address")
+	tasksAddr := flag.String("tasks", "127.0.0.1:7103", "task DB address")
+	flag.Parse()
+
+	queue, err := mq.Dial(*mqAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer queue.Close()
+	store, err := objstore.Dial(*storeAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer store.Close()
+	tasks, err := taskdb.Dial(*tasksAddr)
+	if err != nil {
+		fatal(err)
+	}
+	defer tasks.Close()
+
+	w := dsim.NewWorker(*name, dsim.Services{Queue: queue, Store: store, Tasks: tasks})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	fmt.Printf("worker %s consuming from %s\n", *name, *mqAddr)
+	w.Run(ctx)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hoyan-worker:", err)
+	os.Exit(1)
+}

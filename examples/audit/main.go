@@ -1,0 +1,84 @@
+// Daily configuration auditing and fault-tolerance checking (§6.2).
+//
+// Each day Hoyan simulates the live configurations and executes auditing
+// tasks — high-level invariants the network must hold — plus k-failure
+// checks that the designed redundancy actually exists.
+//
+//	go run ./examples/audit
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+
+	"hoyan/internal/core"
+	"hoyan/internal/gen"
+	"hoyan/internal/intent"
+	"hoyan/internal/kfail"
+	"hoyan/internal/pipeline"
+)
+
+func main() {
+	out := gen.Generate(gen.WAN(1))
+	sys := pipeline.New(out.Net, out.Inputs, out.Flows, core.Options{})
+
+	// ---- auditing tasks over the live (base) state ----
+	audits := []intent.Intent{
+		// Every region's aggregate prefix must be present on every RR.
+		intent.RouteIntent{Spec: "forall device in {rr-0-0, rr-1-0, rr-2-0}: prefix = 10.0.0.0/16 and routeType = BEST => POST |> count() >= 1"},
+		// No-export-tagged routes must never appear on ISP routers.
+		intent.RouteIntent{Spec: "forall device in {isp-0-0, isp-1-0, isp-2-0}: POST||(communities has 65000:999) |> count() = 0"},
+		// No link runs hot in the steady state.
+		intent.LoadIntent{MaxUtilization: 0.9},
+	}
+	reports, ok := sys.Audit(audits)
+	fmt.Println("daily configuration audit:")
+	for _, rep := range reports {
+		status := "PASS"
+		if !rep.Satisfied {
+			status = "FAIL"
+		}
+		fmt.Printf("  [%s] %s\n", status, rep.Intent)
+		for _, v := range rep.Violations {
+			fmt.Println("       ", v)
+		}
+	}
+	if !ok {
+		log.Fatal("audit failed")
+	}
+
+	// ---- k-failure checking ----
+	// Region 0's first DC prefix must survive any single uplink failure of
+	// its gateway (the gateway is dual-homed by design).
+	var elems []kfail.Element
+	for _, l := range out.Net.Topo.LinksOf("dc-0-0") {
+		elems = append(elems, kfail.Element{Link: l.ID()})
+	}
+	reach := intent.ReachIntent{
+		Prefix:  netip.MustParsePrefix("10.0.0.0/24"),
+		Devices: []string{"rr-1-0"},
+		Want:    true,
+	}
+	res, err := kfail.Check(out.Net, out.Inputs, nil, []intent.Intent{reach}, kfail.Options{K: 1, Elements: elems})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nk=1 failure check over %d scenarios: ", res.Scenarios)
+	if res.OK() {
+		fmt.Println("PASS (single uplink failures tolerated)")
+	} else {
+		fmt.Println("FAIL")
+		for _, v := range res.Violations {
+			fmt.Printf("  fails under %v\n", v.Failed)
+		}
+	}
+
+	// k=2 exposes the designed limit: losing both uplinks cuts the DC off.
+	res2, err := kfail.Check(out.Net, out.Inputs, nil, []intent.Intent{reach}, kfail.Options{K: 2, Elements: elems})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k=2 failure check over %d scenarios: %d violations (expected: the double-failure cut)\n",
+		res2.Scenarios, len(res2.Violations))
+}

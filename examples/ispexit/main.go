@@ -1,0 +1,48 @@
+// Changing ISP exits — the paper's Figure 10(b) case study.
+//
+// The operator moves two IPv6 prefixes from ISP1 (via border D) to ISP2
+// (via border C) by raising their local preference on C — but declares the
+// IPv6 prefixes with the IPv4 "ip prefix-list" command. On this vendor an
+// IPv4 filter applied to IPv6 routes permits every IPv6 prefix, so ALL IPv6
+// traffic moves to C and overloads the C-ISP2 link. Hoyan verifies the
+// intended move but flags both the unintended churn (via the "others remain
+// unchanged" intent) and the overload.
+//
+//	go run ./examples/ispexit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hoyan/internal/core"
+	"hoyan/internal/pipeline"
+	"hoyan/internal/scenario"
+)
+
+func main() {
+	sc := scenario.Fig10b()
+	fmt.Println(sc.Description)
+	fmt.Println()
+
+	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, core.Options{})
+	out, err := sys.Verify(sc.Plan, sc.Intents)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, rep := range out.Reports {
+		status := "SATISFIED"
+		if !rep.Satisfied {
+			status = "VIOLATED"
+		}
+		fmt.Printf("[%s] %s\n", status, rep.Intent)
+		for _, v := range rep.Violations {
+			fmt.Println("   ", v)
+		}
+	}
+	if out.OK {
+		log.Fatal("unexpected: the risky plan verified clean")
+	}
+	fmt.Println("\nHoyan rejected the plan: the ip-prefix/ipv6-prefix confusion was caught pre-deployment.")
+	fmt.Println("(Fix: declare the filter with the ipv6 prefix-list command — see TestFig10bFixedPlanPasses.)")
+}

@@ -1,0 +1,56 @@
+// Traffic shift to the new WAN — the paper's Figure 10(a) case study.
+//
+// The operators plan to shift traffic for 1.0.0.0/24 from the old WAN
+// (router A) to the new WAN (router B) by deleting the deny-all node from
+// the pre-installed ingress policies on M1 and M2. M1's policy, however, is
+// missing the permit node — a latent misconfiguration with no effect before
+// the change. Hoyan detects all three consequences the paper describes:
+// M1 never installs route R, the traffic detours M1-A-M2-B, and the thin
+// A-M2 link overloads.
+//
+//	go run ./examples/trafficshift
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hoyan/internal/core"
+	"hoyan/internal/pipeline"
+	"hoyan/internal/scenario"
+)
+
+func main() {
+	sc := scenario.Fig10a()
+	fmt.Println(sc.Description)
+	fmt.Println()
+
+	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, core.Options{})
+	out, err := sys.Verify(sc.Plan, sc.Intents)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, rep := range out.Reports {
+		status := "SATISFIED"
+		if !rep.Satisfied {
+			status = "VIOLATED"
+		}
+		fmt.Printf("[%s] %s\n", status, rep.Intent)
+		for _, v := range rep.Violations {
+			fmt.Println("   ", v)
+		}
+	}
+
+	fmt.Println("\nsimulated forwarding after the change:")
+	for _, fp := range out.UpdateSnap.Paths {
+		fmt.Printf("  flow %s -> %s\n", fp.Flow, strings.Join(fp.Path.Devices(), "-"))
+	}
+
+	if out.OK {
+		log.Fatal("unexpected: the risky plan verified clean")
+	}
+	fmt.Println("\nHoyan rejected the plan: the latent misconfiguration on M1 was caught pre-deployment.")
+	fmt.Println("(Fix: add the missing permit node on M1 — see TestFig10aFixedPlanPasses.)")
+}

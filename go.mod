@@ -1,0 +1,3 @@
+module hoyan
+
+go 1.22

@@ -1,0 +1,173 @@
+package bgp
+
+import (
+	"net/netip"
+	"sort"
+
+	"hoyan/internal/netmodel"
+)
+
+// updateAggregates re-evaluates every aggregate of the table that covers the
+// just-decided prefix. When an aggregate activates, deactivates, or changes
+// its AS path, the aggregate's own prefix is marked dirty by returning a
+// synthetic self-message.
+func (s *sim) updateAggregates(k tableKey, p netip.Prefix) []msg {
+	d := s.net.Devices[k.dev]
+	if d == nil || len(d.Aggregates) == 0 {
+		return nil
+	}
+	var out []msg
+	for _, a := range d.Aggregates {
+		if a.VRF != k.vrf {
+			continue
+		}
+		if a.Prefix == p || a.Prefix.Bits() >= p.Bits() || !a.Prefix.Contains(p.Addr()) {
+			continue
+		}
+		changed := s.refreshAggregate(k, a)
+		if changed {
+			// Rerun the decision for the aggregate prefix via an internal
+			// "message" carrying no routes: delivery just marks it dirty
+			// (the local candidate set was already updated in place).
+			out = append(out, msg{to: k.dev, vrf: k.vrf, from: "agg:refresh", prefix: a.Prefix})
+			// Suppression state may have flipped: force re-advertisement of
+			// every covered prefix (summary-only withdraws specifics).
+			if a.SummaryOnly {
+				if rib := s.ribs[k]; rib != nil {
+					for _, cp := range rib.Prefixes() {
+						if cp != a.Prefix && cp.Bits() > a.Prefix.Bits() && a.Prefix.Contains(cp.Addr()) {
+							delete(s.lastAdv[k], cp)
+							out = append(out, msg{to: k.dev, vrf: k.vrf, from: "agg:refresh", prefix: cp})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// refreshAggregate recomputes one aggregate's activation and contributor AS
+// information. It reports whether the local candidate for the aggregate
+// changed.
+func (s *sim) refreshAggregate(k tableKey, a aggregateOf) bool {
+	rib := s.ribs[k]
+	contributors := s.contributors(rib, a.Prefix)
+	active := len(contributors) > 0
+
+	if s.aggOn[k] == nil {
+		s.aggOn[k] = make(map[netip.Prefix]bool)
+	}
+	wasOn := s.aggOn[k][a.Prefix]
+
+	d := s.net.Devices[k.dev]
+	prof := s.profileOf(k.dev)
+	m := s.localsOf(k)
+
+	// Remove any existing aggregate candidate.
+	var kept []cand
+	var old *cand
+	for _, c := range m[a.Prefix] {
+		if c.route.Protocol == netmodel.ProtoAggregate {
+			cc := c
+			old = &cc
+			continue
+		}
+		kept = append(kept, c)
+	}
+
+	if !active {
+		s.aggOn[k][a.Prefix] = false
+		if len(kept) == 0 {
+			delete(m, a.Prefix)
+		} else {
+			m[a.Prefix] = kept
+		}
+		return wasOn || old != nil
+	}
+
+	// Build the aggregate's AS path from contributors.
+	var asPath netmodel.ASPath
+	if a.ASSet {
+		set := map[netmodel.ASN]bool{}
+		for _, r := range contributors {
+			for _, asn := range r.ASPath.Seq {
+				set[asn] = true
+			}
+			for _, asn := range r.ASPath.Set {
+				set[asn] = true
+			}
+		}
+		for asn := range set {
+			asPath.Set = append(asPath.Set, asn)
+		}
+		sort.Slice(asPath.Set, func(i, j int) bool { return asPath.Set[i] < asPath.Set[j] })
+	} else if prof.AggregateKeepsCommonASPrefix {
+		// VSB: without as-set, some vendors keep the contributors' common
+		// leading AS sequence; others emit an empty path.
+		asPath.Seq = commonASPrefix(contributors)
+	}
+
+	newCand := cand{local: true, route: netmodel.Route{
+		Device: k.dev, VRF: k.vrf, Prefix: a.Prefix,
+		Protocol: netmodel.ProtoAggregate, NextHop: d.Loopback,
+		LocalPref: 100, Origin: netmodel.OriginIGP, ASPath: asPath,
+		Source: k.dev, Peer: "aggregate",
+	}}
+	m[a.Prefix] = append(kept, newCand)
+	s.aggOn[k][a.Prefix] = true
+	if old == nil || !old.route.ASPath.Equal(asPath) {
+		return true
+	}
+	return !wasOn
+}
+
+// aggregateOf aliases config.Aggregate to avoid the import in this file's
+// signature churn.
+type aggregateOf = struct {
+	VRF         string
+	Prefix      netip.Prefix
+	ASSet       bool
+	SummaryOnly bool
+}
+
+// contributors returns the best routes strictly more specific than the
+// aggregate prefix.
+func (s *sim) contributors(rib *netmodel.RIB, agg netip.Prefix) []netmodel.Route {
+	if rib == nil {
+		return nil
+	}
+	var out []netmodel.Route
+	for _, p := range rib.Prefixes() {
+		if p == agg || p.Bits() <= agg.Bits() || !agg.Contains(p.Addr()) {
+			continue
+		}
+		for _, r := range rib.Best(p) {
+			if r.Protocol != netmodel.ProtoAggregate {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// commonASPrefix computes the longest common leading AS sequence of the
+// contributors' paths.
+func commonASPrefix(rs []netmodel.Route) []netmodel.ASN {
+	if len(rs) == 0 {
+		return nil
+	}
+	common := append([]netmodel.ASN(nil), rs[0].ASPath.Seq...)
+	for _, r := range rs[1:] {
+		seq := r.ASPath.Seq
+		n := 0
+		for n < len(common) && n < len(seq) && common[n] == seq[n] {
+			n++
+		}
+		common = common[:n]
+		if len(common) == 0 {
+			break
+		}
+	}
+	return common
+}

@@ -1,0 +1,449 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"hoyan/internal/config"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/policy"
+)
+
+// decideAndAdvertise reruns the decision process for every dirty
+// (table, prefix), updates the RIBs, maintains aggregates and VRF leaks, and
+// returns the advertisements for the next round.
+func (s *sim) decideAndAdvertise(dirty map[tableKey]map[netip.Prefix]bool) []msg {
+	var out []msg
+
+	// Deterministic iteration order.
+	keys := make([]tableKey, 0, len(dirty))
+	for k := range dirty {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dev != keys[j].dev {
+			return keys[i].dev < keys[j].dev
+		}
+		return keys[i].vrf < keys[j].vrf
+	})
+
+	for _, k := range keys {
+		prefixes := make([]netip.Prefix, 0, len(dirty[k]))
+		for p := range dirty[k] {
+			prefixes = append(prefixes, p)
+		}
+		sort.Slice(prefixes, func(i, j int) bool {
+			return netmodel.LastAddr(prefixes[i]).Compare(netmodel.LastAddr(prefixes[j])) < 0
+		})
+		for _, p := range prefixes {
+			best, sorted := s.decide(k, p)
+			sig := advSignature(sorted)
+			if s.lastAdv[k] == nil {
+				s.lastAdv[k] = make(map[netip.Prefix]string)
+			}
+			if s.lastAdv[k][p] == sig {
+				continue // steady state for this prefix
+			}
+			s.lastAdv[k][p] = sig
+			out = append(out, s.advertise(k, p, best, sorted)...)
+			out = append(out, s.leak(k, p, best)...)
+			out = append(out, s.updateAggregates(k, p)...)
+		}
+	}
+	return out
+}
+
+// decide runs best-path selection for one (table, prefix) and installs the
+// result into the RIB. It returns the best (possibly ECMP) candidates and
+// the full resolved candidate list in preference order (for add-path).
+func (s *sim) decide(k tableKey, p netip.Prefix) (best, sorted []cand) {
+	var cands []cand
+	for _, c := range s.locals[k][p] {
+		cands = append(cands, c)
+	}
+	fromKeys := make([]string, 0)
+	for from := range s.adjIn[k][p] {
+		fromKeys = append(fromKeys, from)
+	}
+	sort.Strings(fromKeys)
+	for _, from := range fromKeys {
+		cands = append(cands, s.adjIn[k][p][from]...)
+	}
+
+	// Resolve next hops and compute IGP costs.
+	resolved := cands[:0]
+	var unresolved []cand
+	for _, c := range cands {
+		c = s.resolve(k.dev, c)
+		if c.resolved {
+			resolved = append(resolved, c)
+		} else {
+			unresolved = append(unresolved, c)
+		}
+	}
+	cands = resolved
+
+	d := s.net.Devices[k.dev]
+	sort.SliceStable(cands, func(i, j int) bool { return s.better(cands[i], cands[j]) })
+
+	// Mark best + ECMP. Non-BGP protocols win on Preference alone: the
+	// comparator sorts by preference first, so the top candidate's protocol
+	// group takes the table.
+	rib := s.ribs[k]
+	if rib == nil {
+		rib = netmodel.NewRIB(k.dev, k.vrf)
+		s.ribs[k] = rib
+	}
+	maxPaths := 1
+	if d != nil && d.MaxPaths > 1 {
+		maxPaths = d.MaxPaths
+	}
+	var rows []netmodel.Route
+	for i := range cands {
+		c := cands[i]
+		r := c.route
+		r.IGPCost = c.igpCost
+		r.ViaSR = c.viaSR
+		if i == 0 {
+			r.RouteType = netmodel.RouteBest
+			best = append(best, c)
+		} else if len(best) < maxPaths && s.equalCost(cands[0], c) && distinctNextHop(best, c) {
+			r.RouteType = netmodel.RouteBest
+			best = append(best, c)
+		} else {
+			r.RouteType = netmodel.RouteCandidate
+		}
+		rows = append(rows, r)
+	}
+	// Unresolved candidates stay visible as candidates for diagnosis.
+	for _, c := range unresolved {
+		r := c.route
+		r.RouteType = netmodel.RouteCandidate
+		rows = append(rows, r)
+	}
+	rib.Replace(p, rows)
+	return best, cands
+}
+
+// resolve fills in next-hop reachability, IGP cost, and SR tunnel state.
+func (s *sim) resolve(dev string, c cand) cand {
+	c.resolved = false
+	r := c.route
+	if c.local {
+		// Locally originated candidates resolve trivially, except statics
+		// whose next hop must be reachable.
+		if r.Protocol == netmodel.ProtoStatic {
+			if !s.nextHopUsable(dev, r.NextHop) {
+				return c
+			}
+		}
+		c.resolved, c.igpCost = true, 0
+		return c
+	}
+	if !r.NextHop.IsValid() {
+		return c
+	}
+	owner := s.net.Topo.AddrOwner(r.NextHop)
+	if owner == dev {
+		c.resolved, c.igpCost = true, 0
+		return c
+	}
+	prof := s.profileOf(dev)
+	if owner == "" {
+		// Unknown owner: usable only when on a directly connected subnet
+		// (e.g. an un-modelled external peer address).
+		if s.onDirectSubnet(dev, r.NextHop) {
+			c.resolved, c.igpCost = true, 0
+		}
+		return c
+	}
+	cost, ok := s.igp.Cost(dev, owner)
+	if !ok {
+		if l := s.net.Topo.FindLink(dev, owner); l != nil {
+			cost, ok = l.DirCost(dev, s.opts.UseTEMetric), true
+		}
+	}
+	if !ok {
+		return c
+	}
+	// SR tunnel: if the device configures an SR policy whose endpoint is the
+	// next hop (or the owner's loopback), traffic rides the tunnel. The VSB
+	// decides whether the IGP cost is zeroed (Figure 9 root cause).
+	if d := s.net.Devices[dev]; d != nil {
+		for _, sp := range d.SRPolicies {
+			epOwner := s.net.Topo.AddrOwner(sp.Endpoint)
+			if sp.Endpoint == r.NextHop || (epOwner != "" && epOwner == owner) {
+				c.viaSR = true
+				break
+			}
+		}
+	}
+	if c.viaSR && prof.SRTunnelIGPCostZero {
+		cost = 0
+	}
+	c.resolved, c.igpCost = true, cost
+	return c
+}
+
+func (s *sim) onDirectSubnet(dev string, nh netip.Addr) bool {
+	d := s.net.Devices[dev]
+	if d == nil {
+		return false
+	}
+	for _, i := range d.Interfaces {
+		if i.Addr.IsValid() && i.Addr.Masked().Contains(nh) {
+			return true
+		}
+	}
+	for _, l := range s.net.Topo.LinksOf(dev) {
+		if !l.Up {
+			continue
+		}
+		if l.A == dev && l.ANet.IsValid() && l.ANet.Contains(nh) {
+			return true
+		}
+		if l.B == dev && l.BNet.IsValid() && l.BNet.Contains(nh) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sim) nextHopUsable(dev string, nh netip.Addr) bool {
+	if !nh.IsValid() {
+		return false
+	}
+	owner := s.net.Topo.AddrOwner(nh)
+	if owner == dev {
+		return true
+	}
+	if owner != "" {
+		if s.igp.Reachable(dev, owner) || s.net.Topo.FindLink(dev, owner) != nil {
+			return true
+		}
+		return false
+	}
+	return s.onDirectSubnet(dev, nh)
+}
+
+// better is the BGP decision comparator (true when a is preferred over b).
+// Non-BGP protocols compete on administrative preference first.
+func (s *sim) better(a, b cand) bool {
+	ra, rb := a.route, b.route
+	// Administrative preference (lower wins) separates protocols.
+	if ra.Preference != rb.Preference {
+		return ra.Preference < rb.Preference
+	}
+	if ra.Protocol != netmodel.ProtoBGP || rb.Protocol != netmodel.ProtoBGP {
+		// Same preference, non-BGP: deterministic order.
+		return netmodel.CompareRoutes(ra, rb) < 0
+	}
+	if ra.Weight != rb.Weight {
+		return ra.Weight > rb.Weight
+	}
+	if ra.LocalPref != rb.LocalPref {
+		return ra.LocalPref > rb.LocalPref
+	}
+	if la, lb := ra.ASPath.Len(), rb.ASPath.Len(); la != lb {
+		return la < lb
+	}
+	if ra.Origin != rb.Origin {
+		return ra.Origin < rb.Origin
+	}
+	if ra.MED != rb.MED {
+		return ra.MED < rb.MED
+	}
+	if a.ebgp != b.ebgp {
+		return a.ebgp
+	}
+	if a.igpCost != b.igpCost {
+		return a.igpCost < b.igpCost
+	}
+	// Router-ID tiebreak: the advertising device's router ID, then
+	// deterministic route order.
+	ia, ib := s.peerRouterID(ra.Peer), s.peerRouterID(rb.Peer)
+	if ia != ib {
+		return ia.Less(ib)
+	}
+	return netmodel.CompareRoutes(ra, rb) < 0
+}
+
+// equalCost reports whether b ties with a through the IGP-cost step
+// (multipath eligibility).
+func (s *sim) equalCost(a, b cand) bool {
+	ra, rb := a.route, b.route
+	return ra.Preference == rb.Preference &&
+		ra.Protocol == rb.Protocol &&
+		ra.Weight == rb.Weight &&
+		ra.LocalPref == rb.LocalPref &&
+		ra.ASPath.Len() == rb.ASPath.Len() &&
+		ra.Origin == rb.Origin &&
+		ra.MED == rb.MED &&
+		a.ebgp == b.ebgp &&
+		a.igpCost == b.igpCost
+}
+
+func distinctNextHop(best []cand, c cand) bool {
+	for _, b := range best {
+		if b.route.NextHop == c.route.NextHop {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *sim) peerRouterID(peer string) netip.Addr {
+	if d := s.net.Devices[peer]; d != nil && d.RouterID.IsValid() {
+		return d.RouterID
+	}
+	return netip.Addr{}
+}
+
+// advSignature fingerprints a best-route set so unchanged results are not
+// re-advertised (this is what drives the fixpoint to termination).
+func advSignature(best []cand) string {
+	if len(best) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, c := range best {
+		r := c.route
+		fmt.Fprintf(&b, "%s|%s|%s|%d|%d|%d|%s|%s|%v|%d;",
+			r.Prefix, r.NextHop, r.Communities, r.LocalPref, r.MED, r.Weight,
+			r.ASPath, r.Origin, c.ebgp, c.igpCost)
+	}
+	return b.String()
+}
+
+// advertise builds the outgoing messages for one table/prefix after its best
+// set changed. Sessions with add-path draw from the full sorted candidate
+// list; plain sessions advertise only the best route.
+func (s *sim) advertise(k tableKey, p netip.Prefix, best, sorted []cand) []msg {
+	d := s.net.Devices[k.dev]
+	if d == nil {
+		return nil
+	}
+	prof := s.profileOf(k.dev)
+	// VSB: policy-isolated devices keep learning but stop advertising.
+	if d.Isolated && prof.IsolationViaPolicy {
+		return nil
+	}
+	env := s.envOf(d)
+	isRR := false
+	for _, sess := range s.sessions[k.dev] {
+		if sess.nb.RRClient {
+			isRR = true
+			break
+		}
+	}
+
+	var out []msg
+	for _, sess := range s.sessions[k.dev] {
+		if sess.vrf != k.vrf {
+			continue
+		}
+		pol, ok := s.exportPolicy(d, sess.nb, sess.remote, prof)
+		if !ok {
+			continue
+		}
+		limit := 1
+		pool := best[:min(1, len(best))]
+		if sess.nb.AddPaths > 1 {
+			limit = sess.nb.AddPaths
+			pool = sorted
+		}
+		var adv []netmodel.Route
+		for _, c := range pool {
+			if len(adv) >= limit {
+				break
+			}
+			// Only BGP routes (including aggregates, which are originated
+			// into BGP) are advertised; direct/static/IS-IS routes stay
+			// local unless redistributed.
+			if c.route.Protocol != netmodel.ProtoBGP && c.route.Protocol != netmodel.ProtoAggregate {
+				continue
+			}
+			if !s.shouldPropagate(d, sess, c, isRR) {
+				continue
+			}
+			r := c.route
+			// Suppress more-specifics covered by a summary-only aggregate.
+			if s.suppressedByAggregate(d, k.vrf, r.Prefix) {
+				continue
+			}
+			// VSB: /32 direct host routes may not be advertised to peers.
+			if c.direct32 && !prof.SendDirect32ToPeer {
+				continue
+			}
+			if pol != nil {
+				var disp policy.Disposition
+				r, disp = env.Apply(pol, r, sess.remoteAddr, d.ASN)
+				if disp == policy.Reject {
+					continue
+				}
+			}
+			if sess.ebgp {
+				r.ASPath = r.ASPath.Prepend(d.ASN)
+				r.NextHop = sess.localAddr
+				r.LocalPref = 0 // not carried over eBGP
+			} else if sess.nb.NextHopSelf && d.Loopback.IsValid() {
+				r.NextHop = d.Loopback
+			}
+			r.Weight = 0
+			r.Preference = 0
+			r.IGPCost = 0
+			r.ViaSR = false
+			r.RouteType = netmodel.RouteCandidate
+			adv = append(adv, r)
+		}
+		out = append(out, msg{
+			to: sess.remote, vrf: sess.vrf, from: k.dev,
+			prefix: p, routes: adv, ebgp: sess.ebgp, fromAddr: sess.localAddr,
+		})
+	}
+	return out
+}
+
+// shouldPropagate implements BGP propagation rules including route
+// reflection.
+func (s *sim) shouldPropagate(d *config.Device, sess *session, c cand, isRR bool) bool {
+	// Split horizon: never back to the device we learned it from.
+	if c.route.Peer == sess.remote {
+		return false
+	}
+	if sess.ebgp {
+		return true
+	}
+	// To an iBGP peer:
+	if c.local || c.ebgp {
+		return true // locally originated or eBGP-learned: advertise
+	}
+	// iBGP-learned: only a route reflector forwards, per RR rules.
+	if !isRR {
+		return false
+	}
+	learnedFromClient := false
+	for _, other := range s.sessions[sess.local] {
+		if other.remote == c.route.Peer && other.nb.RRClient {
+			learnedFromClient = true
+			break
+		}
+	}
+	if learnedFromClient {
+		return true // reflect to all
+	}
+	return sess.nb.RRClient // from non-client: reflect only to clients
+}
+
+func (s *sim) suppressedByAggregate(d *config.Device, vrf string, p netip.Prefix) bool {
+	for _, a := range d.Aggregates {
+		if a.VRF == vrf && a.SummaryOnly && a.Prefix.Bits() < p.Bits() && a.Prefix.Contains(p.Addr()) {
+			if s.aggOn[tableKey{d.Name, vrf}][a.Prefix] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,111 @@
+// Package bgp simulates BGP route propagation over the parsed network model:
+// the fixpoint message-passing algorithm of §3.1, with best-path selection,
+// route reflection, add-path, aggregation, redistribution, VRF route
+// leaking, and every vendor-specific behaviour of Table 5 that touches BGP.
+package bgp
+
+import (
+	"net/netip"
+	"sort"
+
+	"hoyan/internal/config"
+	"hoyan/internal/isis"
+)
+
+// session is one established BGP session as seen from the local side.
+type session struct {
+	local      string
+	remote     string
+	vrf        string
+	ebgp       bool
+	localAddr  netip.Addr // our address on the session (next hop for eBGP adverts)
+	remoteAddr netip.Addr // configured neighbor address
+	nb         *config.Neighbor
+}
+
+// buildSessions derives the set of up sessions from neighbor configuration,
+// topology, and IGP reachability. A session is up when:
+//   - the neighbor address belongs to a known, up device,
+//   - both sides configure each other (address + matching AS numbers),
+//   - eBGP endpoints share an up link; iBGP endpoints are IGP-reachable,
+//   - neither side is isolated on a session-shutdown vendor.
+func buildSessions(net *config.Network, igp *isis.Result, isoSessionDown func(dev string) bool) map[string][]*session {
+	out := make(map[string][]*session)
+	for _, name := range net.DeviceNames() {
+		d := net.Devices[name]
+		node := net.Topo.Node(name)
+		if node == nil || !node.Up {
+			continue
+		}
+		if d.Isolated && isoSessionDown(name) {
+			continue
+		}
+		for _, nb := range d.Neighbors {
+			remoteName := net.Topo.AddrOwner(nb.Addr)
+			if remoteName == "" || remoteName == name {
+				continue
+			}
+			rd := net.Devices[remoteName]
+			rn := net.Topo.Node(remoteName)
+			if rd == nil || rn == nil || !rn.Up {
+				continue
+			}
+			if rd.Isolated && isoSessionDown(remoteName) {
+				continue
+			}
+			if nb.RemoteAS != rd.ASN {
+				continue // misconfigured remote-as: session never establishes
+			}
+			// The remote must configure us back on a matching session.
+			back := remoteNeighborFor(net, rd, d)
+			if back == nil || back.RemoteAS != d.ASN {
+				continue
+			}
+			ebgp := d.ASN != rd.ASN
+			if ebgp {
+				if net.Topo.FindLink(name, remoteName) == nil {
+					continue // eBGP requires a direct up link
+				}
+			} else if !igp.Reachable(name, remoteName) {
+				continue // iBGP rides on the IGP
+			}
+			out[name] = append(out[name], &session{
+				local:      name,
+				remote:     remoteName,
+				vrf:        nb.VRF,
+				ebgp:       ebgp,
+				localAddr:  localSessionAddr(net, d, rd, back),
+				remoteAddr: nb.Addr,
+				nb:         nb,
+			})
+		}
+		sort.Slice(out[name], func(i, j int) bool {
+			a, b := out[name][i], out[name][j]
+			if a.remote != b.remote {
+				return a.remote < b.remote
+			}
+			return a.vrf < b.vrf
+		})
+	}
+	return out
+}
+
+// remoteNeighborFor finds, on remote device rd, the neighbor entry whose
+// address belongs to local device d.
+func remoteNeighborFor(net *config.Network, rd, d *config.Device) *config.Neighbor {
+	for _, nb := range rd.Neighbors {
+		if net.Topo.AddrOwner(nb.Addr) == d.Name {
+			return nb
+		}
+	}
+	return nil
+}
+
+// localSessionAddr is the address the remote uses to reach us: the remote's
+// configured neighbor address pointing at d, i.e. our interface or loopback.
+func localSessionAddr(net *config.Network, d, rd *config.Device, back *config.Neighbor) netip.Addr {
+	if back != nil && back.Addr.IsValid() {
+		return back.Addr
+	}
+	return d.Loopback
+}

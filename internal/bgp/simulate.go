@@ -1,0 +1,544 @@
+package bgp
+
+import (
+	"net/netip"
+	"sort"
+	"strings"
+
+	"hoyan/internal/config"
+	"hoyan/internal/isis"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/policy"
+	"hoyan/internal/vsb"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Profiles supplies the vendor-specific behaviours per vendor. Defaults
+	// to vsb.Defaults(). The accuracy-diagnosis framework passes mutated
+	// profiles here to model a flawed Hoyan implementation.
+	Profiles vsb.Profiles
+
+	// MaxRounds bounds the fixpoint iteration (the production WAN converges
+	// within 20 rounds; §3.1).
+	MaxRounds int
+
+	// FlawedASPathRegex injects the §5.3 AS-path regex implementation bug.
+	FlawedASPathRegex bool
+
+	// UseTEMetric is recorded for provenance; the IGP result passed to
+	// Simulate must already reflect it.
+	UseTEMetric bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Profiles == nil {
+		o.Profiles = vsb.Defaults()
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 64
+	}
+	return o
+}
+
+// Result is the outcome of a BGP simulation: the RIBs of every (device, vrf)
+// table, plus convergence metadata.
+type Result struct {
+	ribs      map[tableKey]*netmodel.RIB
+	Rounds    int
+	Converged bool
+	// Messages counts total route advertisements processed (workload metric).
+	Messages int
+}
+
+type tableKey struct {
+	dev string
+	vrf string
+}
+
+// RIB returns the routing table of (device, vrf), or an empty RIB.
+func (r *Result) RIB(device, vrf string) *netmodel.RIB {
+	if t, ok := r.ribs[tableKey{device, vrf}]; ok {
+		return t
+	}
+	return netmodel.NewRIB(device, vrf)
+}
+
+// Tables returns all (device, vrf) pairs with a non-empty RIB, sorted.
+func (r *Result) Tables() []struct{ Device, VRF string } {
+	keys := make([]tableKey, 0, len(r.ribs))
+	for k := range r.ribs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dev != keys[j].dev {
+			return keys[i].dev < keys[j].dev
+		}
+		return keys[i].vrf < keys[j].vrf
+	})
+	out := make([]struct{ Device, VRF string }, len(keys))
+	for i, k := range keys {
+		out[i] = struct{ Device, VRF string }{k.dev, k.vrf}
+	}
+	return out
+}
+
+// GlobalRIB flattens every table into the paper's global RIB abstraction.
+func (r *Result) GlobalRIB() *netmodel.GlobalRIB {
+	var rows []netmodel.Route
+	for _, t := range r.ribs {
+		rows = append(rows, t.All()...)
+	}
+	return netmodel.NewGlobalRIB(rows)
+}
+
+// cand is one candidate route in a device table's adj-RIB-in.
+type cand struct {
+	route    netmodel.Route // Device/VRF = local table; Peer = source
+	ebgp     bool           // learned over eBGP (or injected input)
+	local    bool           // locally originated (network/redistribute/aggregate/static)
+	direct32 bool           // /32 host route from direct redistribution
+	igpCost  uint32         // filled during decision
+	viaSR    bool
+	resolved bool
+}
+
+// msg is one advertisement (or withdrawal, when routes is empty) delivered
+// to a device table.
+type msg struct {
+	to       string
+	vrf      string
+	from     string // sending device, or "leak:<vrf>" for intra-device leaks
+	prefix   netip.Prefix
+	routes   []netmodel.Route
+	ebgp     bool
+	fromAddr netip.Addr
+}
+
+type sim struct {
+	net  *config.Network
+	igp  *isis.Result
+	opts Options
+
+	sessions map[string][]*session
+	// sessionsTo indexes sessions by (local, vrf) for advertisement.
+	adjIn  map[tableKey]map[netip.Prefix]map[string][]cand
+	locals map[tableKey]map[netip.Prefix][]cand
+	ribs   map[tableKey]*netmodel.RIB
+
+	// lastAdv is the signature of the last advertisement per (table, prefix),
+	// used to suppress redundant re-advertisements and reach the fixpoint.
+	lastAdv map[tableKey]map[netip.Prefix]string
+
+	// aggOn tracks whether each aggregate is currently active.
+	aggOn map[tableKey]map[netip.Prefix]bool
+
+	messages int
+}
+
+// Simulate runs the BGP fixpoint over the network with the given IGP result
+// and input routes, returning per-table RIBs.
+func Simulate(net *config.Network, igp *isis.Result, inputs []netmodel.Route, opts Options) *Result {
+	opts = opts.withDefaults()
+	s := &sim{
+		net:     net,
+		igp:     igp,
+		opts:    opts,
+		adjIn:   make(map[tableKey]map[netip.Prefix]map[string][]cand),
+		locals:  make(map[tableKey]map[netip.Prefix][]cand),
+		ribs:    make(map[tableKey]*netmodel.RIB),
+		lastAdv: make(map[tableKey]map[netip.Prefix]string),
+		aggOn:   make(map[tableKey]map[netip.Prefix]bool),
+	}
+	s.sessions = buildSessions(net, igp, func(dev string) bool {
+		return !s.profileOf(dev).IsolationViaPolicy
+	})
+
+	s.originateLocals(inputs)
+
+	// Initial decision for every table/prefix with candidates.
+	dirty := make(map[tableKey]map[netip.Prefix]bool)
+	markAll := func(k tableKey, p netip.Prefix) {
+		if dirty[k] == nil {
+			dirty[k] = make(map[netip.Prefix]bool)
+		}
+		dirty[k][p] = true
+	}
+	for k, m := range s.locals {
+		for p := range m {
+			markAll(k, p)
+		}
+	}
+	for k, m := range s.adjIn {
+		for p := range m {
+			markAll(k, p)
+		}
+	}
+
+	rounds := 0
+	converged := false
+	pending := s.decideAndAdvertise(dirty)
+	for rounds = 0; rounds < opts.MaxRounds; rounds++ {
+		if len(pending) == 0 {
+			converged = true
+			break
+		}
+		dirty = s.deliver(pending)
+		pending = s.decideAndAdvertise(dirty)
+	}
+	return &Result{ribs: s.ribs, Rounds: rounds, Converged: converged, Messages: s.messages}
+}
+
+func (s *sim) profileOf(dev string) vsb.Profile {
+	d := s.net.Devices[dev]
+	if d == nil {
+		return s.opts.Profiles.For("")
+	}
+	return s.opts.Profiles.For(d.Vendor)
+}
+
+func (s *sim) envOf(d *config.Device) policy.Env {
+	return d.PolicyEnv(policy.Env{
+		Profile:           s.profileOf(d.Name),
+		FlawedASPathRegex: s.opts.FlawedASPathRegex,
+	})
+}
+
+func (s *sim) localsOf(k tableKey) map[netip.Prefix][]cand {
+	m, ok := s.locals[k]
+	if !ok {
+		m = make(map[netip.Prefix][]cand)
+		s.locals[k] = m
+	}
+	return m
+}
+
+// originateLocals seeds the simulation: input routes, network statements,
+// static/direct/IS-IS redistribution, per Table 5 VSBs.
+func (s *sim) originateLocals(inputs []netmodel.Route) {
+	// Input routes: pre-built by the input-route building service; they are
+	// installed at their injection device as externally-learned candidates.
+	for _, r := range inputs {
+		d := s.net.Devices[r.Device]
+		if d == nil {
+			continue
+		}
+		if node := s.net.Topo.Node(r.Device); node == nil || !node.Up {
+			continue
+		}
+		vrf := r.VRF
+		if vrf == "" {
+			vrf = netmodel.DefaultVRF
+		}
+		k := tableKey{r.Device, vrf}
+		r.VRF = vrf
+		if r.Source == "" {
+			r.Source = r.Device
+		}
+		r.Peer = "input"
+		if r.Protocol != netmodel.ProtoBGP {
+			r.Protocol = netmodel.ProtoBGP
+		}
+		if r.Preference == 0 {
+			r.Preference = s.profileOf(r.Device).EBGPPreference
+		}
+		m := s.localsOf(k)
+		m[r.Prefix] = append(m[r.Prefix], cand{route: r, ebgp: true})
+	}
+
+	for _, name := range s.net.DeviceNames() {
+		d := s.net.Devices[name]
+		if node := s.net.Topo.Node(name); node == nil || !node.Up {
+			continue
+		}
+		prof := s.profileOf(name)
+		k := tableKey{name, netmodel.DefaultVRF}
+		m := s.localsOf(k)
+
+		// network statements originate local prefixes.
+		for _, p := range d.Networks {
+			r := netmodel.Route{
+				Device: name, VRF: netmodel.DefaultVRF, Prefix: p,
+				Protocol: netmodel.ProtoBGP, NextHop: d.Loopback,
+				LocalPref: 100, Origin: netmodel.OriginIGP,
+				Source: name, Peer: "network",
+			}
+			m[p] = append(m[p], cand{route: r, local: true})
+		}
+
+		// Redistribution.
+		for _, rd := range d.Redistributes {
+			for _, c := range s.redistributed(d, rd, prof) {
+				m[c.route.Prefix] = append(m[c.route.Prefix], c)
+			}
+		}
+
+		// Static routes live in their VRF's table even without
+		// redistribution (they affect forwarding); modelled as RIB locals
+		// with their own protocol so BGP does not advertise them unless
+		// redistributed.
+		for _, st := range d.Statics {
+			vrf := st.VRF
+			if vrf == "" {
+				vrf = netmodel.DefaultVRF
+			}
+			sk := tableKey{name, vrf}
+			r := netmodel.Route{
+				Device: name, VRF: vrf, Prefix: st.Prefix,
+				Protocol: netmodel.ProtoStatic, NextHop: st.NextHop,
+				Preference: st.Preference, Source: name, Peer: "static",
+			}
+			sm := s.localsOf(sk)
+			sm[r.Prefix] = append(sm[r.Prefix], cand{route: r, local: true})
+		}
+
+		// Direct (connected) routes.
+		for _, c := range s.directRoutes(d, prof, false) {
+			m[c.route.Prefix] = append(m[c.route.Prefix], c)
+		}
+	}
+}
+
+// redistributed computes the BGP candidates produced by one redistribution
+// statement.
+func (s *sim) redistributed(d *config.Device, rd config.Redistribution, prof vsb.Profile) []cand {
+	var srcRoutes []cand
+	switch rd.From {
+	case netmodel.ProtoStatic:
+		for _, st := range d.Statics {
+			if st.VRF != "" && st.VRF != netmodel.DefaultVRF {
+				continue
+			}
+			srcRoutes = append(srcRoutes, cand{route: netmodel.Route{
+				Device: d.Name, VRF: netmodel.DefaultVRF, Prefix: st.Prefix,
+				Protocol: netmodel.ProtoStatic, NextHop: st.NextHop,
+			}})
+		}
+	case netmodel.ProtoDirect:
+		srcRoutes = s.directRoutes(d, prof, true)
+	case netmodel.ProtoISIS:
+		for _, r := range s.igp.Routes(s.net.Topo, d.Name) {
+			srcRoutes = append(srcRoutes, cand{route: r})
+		}
+	}
+	env := s.envOf(d)
+	var out []cand
+	for _, c := range srcRoutes {
+		r := c.route
+		r.Protocol = netmodel.ProtoBGP
+		r.LocalPref = 100
+		r.Origin = netmodel.OriginIncomplete
+		// VSB: default weight on redistribution.
+		r.Weight = prof.RedistributionWeight
+		r.Source = d.Name
+		r.Peer = "redistribute:" + rd.From.String()
+		if rd.Policy != "" {
+			rm, ok := d.RouteMaps[rd.Policy]
+			if !ok {
+				if !prof.AcceptOnUndefinedPolicy {
+					continue
+				}
+			} else {
+				var disp policy.Disposition
+				r, disp = env.Apply(rm, r, netip.Addr{}, d.ASN)
+				if disp == policy.Reject {
+					continue
+				}
+			}
+		}
+		out = append(out, cand{route: r, local: true, direct32: c.direct32})
+	}
+	return out
+}
+
+// directRoutes returns the connected routes of a device: the interface
+// subnets plus, per the Table 5 VSB, the extra /32 host route produced by a
+// non-/32 direct connection.
+func (s *sim) directRoutes(d *config.Device, prof vsb.Profile, forRedist bool) []cand {
+	var out []cand
+	names := make([]string, 0, len(d.Interfaces))
+	for n := range d.Interfaces {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		i := d.Interfaces[n]
+		if !i.Addr.IsValid() {
+			continue
+		}
+		subnet := i.Addr.Masked()
+		out = append(out, cand{local: true, route: netmodel.Route{
+			Device: d.Name, VRF: netmodel.DefaultVRF, Prefix: subnet,
+			Protocol: netmodel.ProtoDirect, NextHop: i.Addr.Addr(),
+			Source: d.Name, Peer: "direct",
+		}})
+		// VSB: a non-/32 direct route also produces a /32 host route;
+		// whether it can be redistributed is vendor-specific.
+		if i.Addr.Bits() < i.Addr.Addr().BitLen() {
+			if !forRedist || prof.RedistributeDirect32 {
+				host, err := i.Addr.Addr().Prefix(i.Addr.Addr().BitLen())
+				if err == nil {
+					out = append(out, cand{local: true, direct32: true, route: netmodel.Route{
+						Device: d.Name, VRF: netmodel.DefaultVRF, Prefix: host,
+						Protocol: netmodel.ProtoDirect, NextHop: i.Addr.Addr(),
+						Source: d.Name, Peer: "direct",
+					}})
+				}
+			}
+		}
+	}
+	if d.Loopback.IsValid() {
+		if lo, err := d.Loopback.Prefix(d.Loopback.BitLen()); err == nil {
+			out = append(out, cand{local: true, route: netmodel.Route{
+				Device: d.Name, VRF: netmodel.DefaultVRF, Prefix: lo,
+				Protocol: netmodel.ProtoDirect, NextHop: d.Loopback,
+				Source: d.Name, Peer: "direct",
+			}})
+		}
+	}
+	return out
+}
+
+// deliver processes a batch of messages: ingress policy, loop prevention,
+// adj-RIB-in update. It returns the set of dirty (table, prefix) pairs.
+func (s *sim) deliver(msgs []msg) map[tableKey]map[netip.Prefix]bool {
+	dirty := make(map[tableKey]map[netip.Prefix]bool)
+	for _, m := range msgs {
+		s.messages++
+		d := s.net.Devices[m.to]
+		if d == nil {
+			continue
+		}
+		k := tableKey{m.to, m.vrf}
+		prof := s.profileOf(m.to)
+		env := s.envOf(d)
+
+		var accepted []cand
+		for _, r := range m.routes {
+			r.Device, r.VRF = m.to, m.vrf
+			r.Peer = m.from
+			// eBGP AS-loop prevention.
+			if m.ebgp && r.ASPath.Contains(d.ASN) {
+				continue
+			}
+			// Session-type defaults, applied before the import policy so the
+			// policy can override them.
+			if m.ebgp {
+				r.LocalPref = 100
+				r.Preference = prof.EBGPPreference
+			} else if r.Preference == 0 {
+				r.Preference = prof.IBGPPreference
+			}
+			r.Weight = 0
+			r.IGPCost = 0
+			r.RouteType = netmodel.RouteCandidate
+
+			if !strings.HasPrefix(m.from, "leak:") {
+				nb := s.neighborConfigFor(d, m)
+				pol, ok := s.importPolicy(d, nb, m.from, prof, m.ebgp)
+				if !ok {
+					continue // rejected by a VSB on missing/undefined policy
+				}
+				if pol != nil {
+					var disp policy.Disposition
+					r, disp = env.Apply(pol, r, m.fromAddr, d.ASN)
+					if disp == policy.Reject {
+						continue
+					}
+				}
+			}
+			accepted = append(accepted, cand{route: r, ebgp: m.ebgp})
+		}
+
+		if s.adjIn[k] == nil {
+			s.adjIn[k] = make(map[netip.Prefix]map[string][]cand)
+		}
+		if s.adjIn[k][m.prefix] == nil {
+			s.adjIn[k][m.prefix] = make(map[string][]cand)
+		}
+		if len(accepted) == 0 {
+			delete(s.adjIn[k][m.prefix], m.from)
+		} else {
+			s.adjIn[k][m.prefix][m.from] = accepted
+		}
+		if dirty[k] == nil {
+			dirty[k] = make(map[netip.Prefix]bool)
+		}
+		dirty[k][m.prefix] = true
+	}
+	return dirty
+}
+
+// neighborConfigFor finds the local neighbor configuration matching an
+// incoming message's sender.
+func (s *sim) neighborConfigFor(d *config.Device, m msg) *config.Neighbor {
+	for _, sess := range s.sessions[d.Name] {
+		if sess.remote == m.from && sess.vrf == m.vrf {
+			return sess.nb
+		}
+	}
+	return nil
+}
+
+// importPolicy resolves the import policy for a session under the missing-
+// and undefined-policy VSBs. pol == nil with ok == true means "accept
+// unfiltered".
+func (s *sim) importPolicy(d *config.Device, nb *config.Neighbor, remote string, prof vsb.Profile, ebgp bool) (*policy.RouteMap, bool) {
+	name := ""
+	if nb != nil {
+		name = nb.ImportPolicy
+		if name == "" && nb.VRF != netmodel.DefaultVRF && prof.SubViewInheritsOptions {
+			// VSB: sub-view (VRF address family) sessions inherit the global
+			// session's policy bindings on inheriting vendors.
+			if g := s.globalSessionNeighbor(d.Name, remote); g != nil {
+				name = g.ImportPolicy
+			}
+		}
+	}
+	if name == "" {
+		// VSB: missing policy. iBGP updates are always accepted.
+		if ebgp && !prof.AcceptOnMissingPolicy {
+			return nil, false
+		}
+		return nil, true
+	}
+	rm, ok := d.RouteMaps[name]
+	if !ok {
+		// VSB: undefined policy.
+		return nil, prof.AcceptOnUndefinedPolicy
+	}
+	return rm, true
+}
+
+// globalSessionNeighbor finds the default-VRF session from dev to the same
+// remote device, for the sub-view inheritance VSB.
+func (s *sim) globalSessionNeighbor(dev, remote string) *config.Neighbor {
+	for _, sess := range s.sessions[dev] {
+		if sess.remote == remote && sess.vrf == netmodel.DefaultVRF {
+			return sess.nb
+		}
+	}
+	return nil
+}
+
+// exportPolicy mirrors importPolicy for the egress direction; a missing
+// export policy always advertises.
+func (s *sim) exportPolicy(d *config.Device, nb *config.Neighbor, remote string, prof vsb.Profile) (*policy.RouteMap, bool) {
+	name := ""
+	if nb != nil {
+		name = nb.ExportPolicy
+		if name == "" && nb.VRF != netmodel.DefaultVRF && prof.SubViewInheritsOptions {
+			if g := s.globalSessionNeighbor(d.Name, remote); g != nil {
+				name = g.ExportPolicy
+			}
+		}
+	}
+	if name == "" {
+		return nil, true
+	}
+	rm, ok := d.RouteMaps[name]
+	if !ok {
+		return nil, prof.AcceptOnUndefinedPolicy
+	}
+	return rm, true
+}

@@ -1,0 +1,192 @@
+package config
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"hoyan/internal/netmodel"
+	"hoyan/internal/policy"
+)
+
+// ParseError reports a configuration line that could not be parsed.
+type ParseError struct {
+	Device string
+	Line   int
+	Text   string
+	Reason string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("config: %s line %d: %s: %q", e.Device, e.Line, e.Reason, e.Text)
+}
+
+func parseErr(device string, line int, text, reason string) error {
+	return &ParseError{Device: device, Line: line, Text: text, Reason: reason}
+}
+
+func parseUint32(s string) (uint32, error) {
+	v, err := strconv.ParseUint(s, 10, 32)
+	return uint32(v), err
+}
+
+func parseInt(s string) (int, error) {
+	v, err := strconv.ParseInt(s, 10, 32)
+	return int(v), err
+}
+
+// parseACLClause parses keyword-style ACL match tokens shared by both
+// dialects: [proto tcp|udp|NUM] [src PREFIX|any] [dst PREFIX|any]
+// [sport LO-HI] [dport LO-HI].
+func parseACLClause(fields []string) (policy.ACLEntry, error) {
+	var e policy.ACLEntry
+	i := 0
+	for i < len(fields) {
+		key := fields[i]
+		if i+1 >= len(fields) {
+			return e, fmt.Errorf("clause %q needs a value", key)
+		}
+		val := fields[i+1]
+		switch key {
+		case "proto":
+			switch val {
+			case "tcp":
+				e.Proto = netmodel.ProtoTCP
+			case "udp":
+				e.Proto = netmodel.ProtoUDP
+			case "any":
+			default:
+				n, err := parseUint32(val)
+				if err != nil || n > 255 {
+					return e, fmt.Errorf("bad proto %q", val)
+				}
+				e.Proto = netmodel.IPProto(n)
+			}
+		case "src", "dst":
+			if val != "any" {
+				p, err := netip.ParsePrefix(val)
+				if err != nil {
+					return e, fmt.Errorf("bad prefix %q", val)
+				}
+				if key == "src" {
+					e.Src = p
+				} else {
+					e.Dst = p
+				}
+			}
+		case "sport", "dport":
+			lo, hi, err := parsePortRange(val)
+			if err != nil {
+				return e, err
+			}
+			if key == "sport" {
+				e.SrcPortLo, e.SrcPortHi = lo, hi
+			} else {
+				e.DstPortLo, e.DstPortHi = lo, hi
+			}
+		default:
+			return e, fmt.Errorf("unknown clause %q", key)
+		}
+		i += 2
+	}
+	return e, nil
+}
+
+func parsePortRange(s string) (lo, hi uint16, err error) {
+	loS, hiS, ok := strings.Cut(s, "-")
+	if !ok {
+		hiS = loS
+	}
+	l, err := strconv.ParseUint(loS, 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad port %q", s)
+	}
+	h, err := strconv.ParseUint(hiS, 10, 16)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad port %q", s)
+	}
+	return uint16(l), uint16(h), nil
+}
+
+// formatACLClause is the inverse of parseACLClause.
+func formatACLClause(e policy.ACLEntry) string {
+	var parts []string
+	if e.Proto != 0 {
+		switch e.Proto {
+		case netmodel.ProtoTCP:
+			parts = append(parts, "proto tcp")
+		case netmodel.ProtoUDP:
+			parts = append(parts, "proto udp")
+		default:
+			parts = append(parts, fmt.Sprintf("proto %d", e.Proto))
+		}
+	}
+	if e.Src.IsValid() {
+		parts = append(parts, "src "+e.Src.String())
+	}
+	if e.Dst.IsValid() {
+		parts = append(parts, "dst "+e.Dst.String())
+	}
+	if e.SrcPortHi != 0 {
+		parts = append(parts, fmt.Sprintf("sport %d-%d", e.SrcPortLo, e.SrcPortHi))
+	}
+	if e.DstPortHi != 0 {
+		parts = append(parts, fmt.Sprintf("dport %d-%d", e.DstPortLo, e.DstPortHi))
+	}
+	return strings.Join(parts, " ")
+}
+
+// parseGeLe parses optional trailing "[ge N] [le N]" (alpha) or
+// "[greater-equal N] [less-equal N]" (beta) tokens.
+func parseGeLe(fields []string, geKey, leKey string) (ge, le int, err error) {
+	i := 0
+	for i < len(fields) {
+		if i+1 >= len(fields) {
+			return 0, 0, fmt.Errorf("dangling %q", fields[i])
+		}
+		n, err := parseInt(fields[i+1])
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad length %q", fields[i+1])
+		}
+		switch fields[i] {
+		case geKey:
+			ge = n
+		case leKey:
+			le = n
+		default:
+			return 0, 0, fmt.Errorf("unknown token %q", fields[i])
+		}
+		i += 2
+	}
+	return ge, le, nil
+}
+
+func permitDeny(s string) (bool, bool) {
+	switch s {
+	case "permit":
+		return true, true
+	case "deny":
+		return false, true
+	}
+	return false, false
+}
+
+// splitLines returns non-empty, comment-stripped lines with 1-based line
+// numbers preserved.
+type cfgLine struct {
+	n    int
+	text string
+}
+
+func splitLines(text string) []cfgLine {
+	var out []cfgLine
+	for i, raw := range strings.Split(text, "\n") {
+		s := strings.TrimSpace(raw)
+		if s == "" || strings.HasPrefix(s, "//") {
+			continue
+		}
+		out = append(out, cfgLine{n: i + 1, text: s})
+	}
+	return out
+}

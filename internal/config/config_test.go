@@ -1,0 +1,526 @@
+package config
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"hoyan/internal/netmodel"
+	"hoyan/internal/policy"
+)
+
+const alphaConfig = `
+hostname R1
+vendor alpha
+asn 65001
+router-id 1.1.1.1
+loopback 1.1.1.1
+isis enable
+!
+interface eth0
+ ip address 10.0.0.1/30
+ isis cost 10
+ isis te-cost 20
+ bandwidth 1e+10
+ acl-in ACL1
+!
+vrf v1
+ rd 65001:1
+ route-target import 65001:100
+ route-target export 65001:200
+ export-policy RM_EXP
+!
+router bgp
+ max-paths 4
+ neighbor 10.0.0.2 remote-as 65002
+ neighbor 10.0.0.2 route-map RM_IN in
+ neighbor 10.0.0.2 route-map RM_OUT out
+ neighbor 2.2.2.2 remote-as 65001
+ neighbor 2.2.2.2 update-source
+ neighbor 2.2.2.2 route-reflector-client
+ neighbor 2.2.2.2 next-hop-self
+ neighbor 2.2.2.2 add-paths 2
+ neighbor 3.3.3.3 remote-as 65001 vrf v1
+ network 172.16.0.0/16
+ aggregate-address 10.0.0.0/8 as-set
+ redistribute static route-map RM_RED
+ redistribute direct
+!
+route-map RM_IN permit 10
+ match ip-prefix PL1
+ match community CL1
+ set local-preference 200
+ set community add 100:1
+!
+route-map RM_IN deny 20
+!
+route-map RM_OUT 5
+ set med 50
+!
+route-map RM_RED permit 10
+ match protocol static
+!
+route-map RM_EXP permit 10
+!
+ip prefix-list PL1 permit 10.0.0.0/24 le 32
+ipv6 prefix-list PL6 permit 2001:db8::/32 le 64
+ip community-list CL1 permit 100:1
+ip as-path-list AP1 permit ".* 123 .*"
+ip access-list ACL1 deny proto tcp dst 10.0.0.0/24 dport 80-80
+ip access-list ACL1 permit
+ip route 10.9.0.0/16 10.0.0.2 pref 5 vrf v1
+sr-policy SRP1 endpoint 2.2.2.2 color 100 segments R2 R3
+pbr-policy PBR1 dst 10.7.0.0/16 next-hop 10.0.0.2
+`
+
+func TestParseAlpha(t *testing.T) {
+	d, err := ParseAlpha("R1", alphaConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "R1" || d.ASN != 65001 || !d.ISISEnabled {
+		t.Errorf("header: %+v", d)
+	}
+	if d.RouterID != netip.MustParseAddr("1.1.1.1") {
+		t.Error("router-id")
+	}
+	i := d.Interfaces["eth0"]
+	if i == nil || i.Addr != netip.MustParsePrefix("10.0.0.1/30") || i.ISISCost != 10 || i.TECost != 20 || i.ACLIn != "ACL1" || i.Bandwidth != 1e10 {
+		t.Errorf("interface: %+v", i)
+	}
+	v := d.VRFs["v1"]
+	if v == nil || v.RD != "65001:1" || len(v.ImportRTs) != 1 || v.ExportPolicy != "RM_EXP" {
+		t.Errorf("vrf: %+v", v)
+	}
+	if d.MaxPaths != 4 {
+		t.Errorf("max-paths = %d", d.MaxPaths)
+	}
+	nb := d.Neighbor(netip.MustParseAddr("10.0.0.2"), netmodel.DefaultVRF)
+	if nb == nil || nb.RemoteAS != 65002 || nb.ImportPolicy != "RM_IN" || nb.ExportPolicy != "RM_OUT" {
+		t.Fatalf("ebgp neighbor: %+v", nb)
+	}
+	rr := d.Neighbor(netip.MustParseAddr("2.2.2.2"), netmodel.DefaultVRF)
+	if rr == nil || !rr.RRClient || !rr.NextHopSelf || !rr.UpdateSource || rr.AddPaths != 2 {
+		t.Fatalf("ibgp neighbor: %+v", rr)
+	}
+	if d.Neighbor(netip.MustParseAddr("3.3.3.3"), "v1") == nil {
+		t.Error("vrf neighbor missing")
+	}
+	rm := d.RouteMaps["RM_IN"]
+	if rm == nil || len(rm.Nodes) != 2 {
+		t.Fatalf("RM_IN: %+v", rm)
+	}
+	n10 := rm.Node(10)
+	if n10.Action != policy.ActionPermit || len(n10.Matches) != 2 || len(n10.Sets) != 2 {
+		t.Errorf("node 10: %+v", n10)
+	}
+	if rm.Node(20).Action != policy.ActionDeny {
+		t.Error("node 20 should deny")
+	}
+	if d.RouteMaps["RM_OUT"].Node(5).Action != policy.ActionUnset {
+		t.Error("route-map without action should be ActionUnset (VSB)")
+	}
+	if d.PrefixLists["PL1"].Family != policy.FamilyIPv4 || d.PrefixLists["PL6"].Family != policy.FamilyIPv6 {
+		t.Error("prefix list families")
+	}
+	if len(d.ACLs["ACL1"].Entries) != 2 {
+		t.Error("ACL entries")
+	}
+	if len(d.Statics) != 1 || d.Statics[0].VRF != "v1" || d.Statics[0].Preference != 5 {
+		t.Errorf("statics: %+v", d.Statics)
+	}
+	if len(d.SRPolicies) != 1 || len(d.SRPolicies[0].Segments) != 2 {
+		t.Errorf("sr policies: %+v", d.SRPolicies)
+	}
+	if len(d.PBRPolicies["PBR1"]) != 1 {
+		t.Errorf("pbr: %+v", d.PBRPolicies)
+	}
+	if len(d.Aggregates) != 1 || !d.Aggregates[0].ASSet {
+		t.Errorf("aggregates: %+v", d.Aggregates)
+	}
+	if len(d.Redistributes) != 2 || d.Redistributes[0].Policy != "RM_RED" {
+		t.Errorf("redistributes: %+v", d.Redistributes)
+	}
+	if len(d.Networks) != 1 {
+		t.Errorf("networks: %+v", d.Networks)
+	}
+}
+
+func TestAlphaRoundTrip(t *testing.T) {
+	d, err := ParseAlpha("R1", alphaConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := SerializeAlpha(d)
+	d2, err := ParseAlpha("R1", text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	text2 := SerializeAlpha(d2)
+	if text != text2 {
+		t.Errorf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+}
+
+const betaConfig = `
+sysname R2
+vendor beta
+as-number 65002
+router-id 2.2.2.2
+loopback 2.2.2.2
+isis enable
+#
+interface ge0
+ ip address 10.0.0.2/30
+ isis cost 10
+ traffic-filter inbound acl ACL1
+#
+ip vpn-instance v1
+ rd 65002:1
+ vpn-target 65001:100 import
+ vpn-target 65001:200 export
+ export route-policy RP_EXP
+#
+bgp
+ maximum load-balancing 4
+ peer 10.0.0.1 as-number 65001
+ peer 10.0.0.1 route-policy RP_IN import
+ peer 10.0.0.1 route-policy RP_OUT export
+ peer 3.3.3.3 as-number 65002
+ peer 3.3.3.3 reflect-client
+ peer 3.3.3.3 connect-interface loopback
+ network 172.17.0.0/16
+ aggregate 20.0.0.0/8
+ import-route static
+#
+route-policy RP_IN permit node 10
+ if-match ip-prefix PL1
+ if-match community-filter CF1
+ apply local-preference 300
+ apply community 100:1 additive
+#
+route-policy RP_OUT deny node 10
+#
+route-policy RP_EXP permit node 10
+#
+ip ip-prefix PL1 index 10 permit 10.0.0.0/24 less-equal 32
+ip ipv6-prefix PL6 index 10 permit 2001:db8::/32 less-equal 64
+ip community-filter CF1 permit 100:1
+ip as-path-filter AF1 permit "(^|.* )123( .*|$)"
+acl ACL1 rule deny proto udp dst 10.1.0.0/16
+acl ACL1 rule permit
+ip route-static 10.9.0.0/16 10.0.0.1 preference 7
+sr-policy SRP1 endpoint 3.3.3.3 color 200
+policy-based-route PBR1 src 10.8.0.0/16 next-hop 10.0.0.1
+`
+
+func TestParseBeta(t *testing.T) {
+	d, err := ParseBeta("R2", betaConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Vendor != "beta" || d.ASN != 65002 {
+		t.Errorf("header: %+v", d)
+	}
+	nb := d.Neighbor(netip.MustParseAddr("10.0.0.1"), netmodel.DefaultVRF)
+	if nb == nil || nb.ImportPolicy != "RP_IN" || nb.ExportPolicy != "RP_OUT" {
+		t.Fatalf("peer: %+v", nb)
+	}
+	rr := d.Neighbor(netip.MustParseAddr("3.3.3.3"), netmodel.DefaultVRF)
+	if rr == nil || !rr.RRClient || !rr.UpdateSource {
+		t.Fatalf("rr peer: %+v", rr)
+	}
+	rm := d.RouteMaps["RP_IN"]
+	if rm == nil || rm.Node(10) == nil || len(rm.Node(10).Sets) != 2 {
+		t.Fatalf("RP_IN: %+v", rm)
+	}
+	// ip-prefix vs ipv6-prefix: family follows the declaring command.
+	if d.PrefixLists["PL1"].Family != policy.FamilyIPv4 {
+		t.Error("PL1 family")
+	}
+	if d.PrefixLists["PL6"].Family != policy.FamilyIPv6 {
+		t.Error("PL6 family")
+	}
+	if len(d.Statics) != 1 || d.Statics[0].Preference != 7 {
+		t.Errorf("statics: %+v", d.Statics)
+	}
+	if d.VRFs["v1"] == nil || d.VRFs["v1"].ExportPolicy != "RP_EXP" {
+		t.Errorf("vpn-instance: %+v", d.VRFs["v1"])
+	}
+}
+
+func TestBetaRoundTrip(t *testing.T) {
+	d, err := ParseBeta("R2", betaConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := SerializeBeta(d)
+	d2, err := ParseBeta("R2", text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if SerializeBeta(d2) != text {
+		t.Error("round trip not stable")
+	}
+}
+
+func TestFigure10bMisconfiguration(t *testing.T) {
+	// The operator declares IPv6 prefixes with the IPv4 "ip-prefix" command.
+	text := `
+sysname C
+vendor beta
+as-number 65100
+#
+ip ip-prefix TARGETS index 10 permit 2001:db8:1::/48
+`
+	d, err := ParseBeta("C", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.PrefixLists["TARGETS"]
+	if l.Family != policy.FamilyIPv4 {
+		t.Fatal("ip-prefix must declare an IPv4-family list even with v6 entries")
+	}
+	// Under a vendor whose ip-prefix permits all IPv6 by default, every v6
+	// prefix matches; the intended one and all others alike.
+	permissive := vsbProfilePermitV6()
+	if !l.Match(netip.MustParsePrefix("2001:db8:999::/48"), permissive) {
+		t.Error("unrelated IPv6 prefix should be permitted by the VSB")
+	}
+}
+
+func TestDetectVendorAndParseDevice(t *testing.T) {
+	if v := DetectVendor(alphaConfig); v != "alpha" {
+		t.Errorf("alpha detect = %q", v)
+	}
+	if v := DetectVendor(betaConfig); v != "beta" {
+		t.Errorf("beta detect = %q", v)
+	}
+	if v := DetectVendor("hostname X\n"); v != "alpha" {
+		t.Errorf("hostname fallback = %q", v)
+	}
+	if v := DetectVendor("sysname X\n"); v != "beta" {
+		t.Errorf("sysname fallback = %q", v)
+	}
+	d, err := ParseDevice("R2", betaConfig)
+	if err != nil || d.Vendor != "beta" {
+		t.Errorf("ParseDevice: %v %v", d, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"bogus command here\n",
+		"router bgp\n neighbor notanaddr remote-as 1\n",
+		"route-map RM permit notanumber\n",
+		"ip prefix-list PL permit 10.0.0.0.0/24\n",
+		"interface e0\n isis cost abc\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseAlpha("X", c); err == nil {
+			t.Errorf("want parse error for %q", c)
+		}
+	}
+	if _, err := ParseBeta("X", "bgp\n peer 1.1.1.1 as-number x\n"); err == nil {
+		t.Error("beta: want parse error")
+	}
+	var pe *ParseError
+	_, err := ParseAlpha("X", "hostname X\nbogus\n")
+	if pe2, ok := err.(*ParseError); !ok {
+		t.Errorf("want *ParseError, got %T", err)
+	} else {
+		pe = pe2
+		if pe.Device != "X" || pe.Line != 2 || !strings.Contains(pe.Error(), "bogus") {
+			t.Errorf("ParseError fields: %+v", pe)
+		}
+	}
+}
+
+func TestApplyCommandsAlpha(t *testing.T) {
+	d, err := ParseAlpha("R1", alphaConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 10(a)-style change: delete the deny node from an ingress policy.
+	cmds := `
+route-map RM_IN permit 30
+ match ip-prefix PL1
+ set local-preference 400
+!
+no route-map RM_IN deny 20
+ip route 10.10.0.0/16 10.0.0.2
+no ip route 10.9.0.0/16 10.0.0.2 vrf v1
+`
+	if err := ApplyCommands(d, cmds); err != nil {
+		t.Fatal(err)
+	}
+	rm := d.RouteMaps["RM_IN"]
+	if rm.Node(20) != nil {
+		t.Error("node 20 should be deleted")
+	}
+	n30 := rm.Node(30)
+	if n30 == nil || n30.Sets[0].Value != 400 {
+		t.Errorf("node 30: %+v", n30)
+	}
+	if len(d.Statics) != 1 || d.Statics[0].Prefix != netip.MustParsePrefix("10.10.0.0/16") {
+		t.Errorf("statics after change: %+v", d.Statics)
+	}
+}
+
+func TestApplyCommandsBeta(t *testing.T) {
+	d, err := ParseBeta("R2", betaConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := `
+route-policy RP_IN permit node 20
+ apply local-preference 500
+#
+undo route-policy RP_OUT deny node 10
+undo peer 3.3.3.3
+`
+	if err := ApplyCommands(d, cmds); err != nil {
+		t.Fatal(err)
+	}
+	if d.RouteMaps["RP_IN"].Node(20) == nil {
+		t.Error("node 20 missing")
+	}
+	if len(d.RouteMaps["RP_OUT"].Nodes) != 0 {
+		t.Error("RP_OUT node 10 should be deleted")
+	}
+	if d.Neighbor(netip.MustParseAddr("3.3.3.3"), netmodel.DefaultVRF) != nil {
+		t.Error("peer 3.3.3.3 should be removed")
+	}
+}
+
+func TestApplyCommandsErrors(t *testing.T) {
+	d := NewDevice("R", "alpha")
+	if err := ApplyCommands(d, "no route-map NOSUCH permit 10\n"); err == nil {
+		t.Error("want error deleting node of unknown map")
+	}
+	if err := ApplyCommands(d, "no neighbor 9.9.9.9\n"); err == nil {
+		t.Error("want error removing unknown neighbor")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	d, err := ParseAlpha("R1", alphaConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := d.Clone()
+	if err := ApplyCommands(cl, "no route-map RM_IN deny 20\nroute-map RM_IN permit 40\n set med 9\n"); err != nil {
+		t.Fatal(err)
+	}
+	if d.RouteMaps["RM_IN"].Node(20) == nil {
+		t.Error("clone mutation leaked into base (node 20)")
+	}
+	if d.RouteMaps["RM_IN"].Node(40) != nil {
+		t.Error("clone mutation leaked into base (node 40)")
+	}
+	cl.Interfaces["eth0"].ISISCost = 999
+	if d.Interfaces["eth0"].ISISCost == 999 {
+		t.Error("interface not deep-copied")
+	}
+	cl.VRFs["v1"].ImportRTs[0] = "zzz"
+	if d.VRFs["v1"].ImportRTs[0] == "zzz" {
+		t.Error("vrf RTs not deep-copied")
+	}
+}
+
+func TestNetworkValidate(t *testing.T) {
+	net := NewNetwork()
+	d := NewDevice("R1", "alpha")
+	d.Neighbors = append(d.Neighbors, &Neighbor{Addr: netip.MustParseAddr("1.2.3.4"), VRF: netmodel.DefaultVRF, ImportPolicy: "MISSING"})
+	d.Interfaces["e0"] = &Interface{Name: "e0", ACLIn: "NOACL"}
+	net.Devices["R1"] = d
+	issues := net.Validate()
+	if len(issues) != 2 {
+		t.Fatalf("issues = %v", issues)
+	}
+}
+
+func TestBuildNetwork(t *testing.T) {
+	configs := map[string]string{
+		"R1": alphaConfig,
+		"R2": betaConfig,
+	}
+	net, err := BuildNetwork(configs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Devices) != 2 || net.Devices["R1"].Vendor != "alpha" || net.Devices["R2"].Vendor != "beta" {
+		t.Errorf("devices: %v", net.DeviceNames())
+	}
+	if _, err := BuildNetwork(map[string]string{"X": "garbage line\n"}, nil); err == nil {
+		t.Error("want error for bad config")
+	}
+}
+
+// TestRandomizedRoundTripProperty builds random device models, serializes
+// them in both dialects, re-parses, and re-serializes: the second
+// serialization must be identical (parse ∘ serialize is a projection).
+func TestRandomizedRoundTripProperty(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	addr := func() netip.Addr {
+		return netip.AddrFrom4([4]byte{byte(1 + rnd.Intn(220)), byte(rnd.Intn(255)), byte(rnd.Intn(255)), byte(1 + rnd.Intn(250))})
+	}
+	prefix := func() netip.Prefix {
+		bits := 8 + rnd.Intn(25)
+		return netip.PrefixFrom(addr(), bits).Masked()
+	}
+	for trial := 0; trial < 25; trial++ {
+		vendor := "alpha"
+		if trial%2 == 1 {
+			vendor = "beta"
+		}
+		d := NewDevice(fmt.Sprintf("R%d", trial), vendor)
+		d.ASN = netmodel.ASN(64512 + rnd.Intn(1000))
+		d.Loopback = addr()
+		d.RouterID = d.Loopback
+		d.ISISEnabled = rnd.Intn(2) == 0
+		d.MaxPaths = 1 + rnd.Intn(8)
+		for i := 0; i < rnd.Intn(4); i++ {
+			name := fmt.Sprintf("eth%d", i)
+			d.Interfaces[name] = &Interface{
+				Name: name, Addr: netip.PrefixFrom(addr(), 30),
+				ISISCost: uint32(rnd.Intn(100)), Bandwidth: float64(rnd.Intn(10)) * 1e9,
+			}
+		}
+		for i := 0; i < rnd.Intn(3); i++ {
+			d.Neighbors = append(d.Neighbors, &Neighbor{
+				Addr: addr(), RemoteAS: netmodel.ASN(64512 + rnd.Intn(1000)),
+				VRF: netmodel.DefaultVRF, RRClient: rnd.Intn(2) == 0,
+				NextHopSelf: rnd.Intn(2) == 0, UpdateSource: rnd.Intn(2) == 0,
+			})
+		}
+		for i := 0; i < rnd.Intn(3); i++ {
+			name := fmt.Sprintf("PL%d", i)
+			d.PrefixLists[name] = &policy.PrefixList{Name: name, Family: policy.FamilyIPv4,
+				Entries: []policy.PrefixEntry{{Permit: rnd.Intn(2) == 0, Prefix: prefix(), Le: 32}}}
+		}
+		for i := 0; i < rnd.Intn(3); i++ {
+			name := fmt.Sprintf("RM%d", i)
+			d.RouteMaps[name] = &policy.RouteMap{Name: name, Nodes: []*policy.Node{{
+				Seq: 10, Action: policy.ActionPermit,
+				Sets: []policy.Set{{Kind: policy.SetLocalPref, Value: uint32(rnd.Intn(500))}},
+			}}}
+		}
+		d.Statics = append(d.Statics, StaticRoute{
+			VRF: netmodel.DefaultVRF, Prefix: prefix(), NextHop: addr(),
+			Preference: uint32(1 + rnd.Intn(200)),
+		})
+
+		text1 := Serialize(d)
+		d2, err := ParseDevice(d.Name, text1)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v\n%s", trial, vendor, err, text1)
+		}
+		text2 := Serialize(d2)
+		if text1 != text2 {
+			t.Fatalf("trial %d (%s): round trip unstable:\n--1--\n%s\n--2--\n%s", trial, vendor, text1, text2)
+		}
+	}
+}

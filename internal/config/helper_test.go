@@ -1,0 +1,10 @@
+package config
+
+import "hoyan/internal/vsb"
+
+// vsbProfilePermitV6 returns a profile with the Figure 10(b) behaviour on.
+func vsbProfilePermitV6() vsb.Profile {
+	p := vsb.Beta()
+	p.IPPrefixFilterPermitsIPv6 = true
+	return p
+}

@@ -1,0 +1,91 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DetectVendor inspects a configuration text and returns the dialect it is
+// written in ("alpha" or "beta"), based on the vendor stanza or, failing
+// that, dialect-specific keywords.
+func DetectVendor(text string) string {
+	for _, l := range splitLines(text) {
+		f := strings.Fields(l.text)
+		if len(f) == 2 && f[0] == "vendor" {
+			return f[1]
+		}
+		switch f[0] {
+		case "hostname":
+			return "alpha"
+		case "sysname":
+			return "beta"
+		}
+	}
+	return "alpha"
+}
+
+// ParseDevice parses one device configuration text, auto-detecting the
+// vendor dialect.
+func ParseDevice(name, text string) (*Device, error) {
+	switch DetectVendor(text) {
+	case "beta":
+		return ParseBeta(name, text)
+	default:
+		return ParseAlpha(name, text)
+	}
+}
+
+// Serialize renders the device back into its own vendor's dialect.
+func Serialize(d *Device) string {
+	if d.Vendor == "beta" {
+		return SerializeBeta(d)
+	}
+	return SerializeAlpha(d)
+}
+
+// BuildNetwork is the network-model-building service (§2.2): it parses all
+// device configuration texts and pairs them with the monitored topology into
+// the base network model.
+func BuildNetwork(configs map[string]string, topoOf func(net *Network) error) (*Network, error) {
+	net := NewNetwork()
+	for name, text := range configs {
+		d, err := ParseDevice(name, text)
+		if err != nil {
+			return nil, fmt.Errorf("config: building model: %w", err)
+		}
+		net.Devices[d.Name] = d
+	}
+	if topoOf != nil {
+		if err := topoOf(net); err != nil {
+			return nil, err
+		}
+	}
+	return net, nil
+}
+
+// ApplyCommands applies a block of change-plan command lines to the device,
+// using the device's own dialect, maintaining section context across lines
+// exactly like a CLI session. The device is modified in place; callers apply
+// change plans to a Clone of the base model.
+func ApplyCommands(d *Device, commands string) error {
+	lines := splitLines(commands)
+	if d.Vendor == "beta" {
+		p := &betaParser{d: d}
+		for _, l := range lines {
+			if err := p.line(l.n, l.text); err != nil {
+				return err
+			}
+		}
+	} else {
+		p := &alphaParser{d: d}
+		for _, l := range lines {
+			if err := p.line(l.n, l.text); err != nil {
+				return err
+			}
+		}
+	}
+	for _, rm := range d.RouteMaps {
+		rm.SortNodes()
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+// Package core is Hoyan's simulation engine: it orchestrates the IGP, BGP,
+// equivalence-class, and traffic-forwarding subsystems into the two
+// simulation services of Figure 2 — route simulation (input routes → RIBs)
+// and traffic simulation (input flows → paths + link loads) — in the
+// original centralized fashion. The distributed framework (internal/dsim)
+// runs this same engine on input subsets inside each worker.
+package core
+
+import (
+	"hoyan/internal/bgp"
+	"hoyan/internal/config"
+	"hoyan/internal/ec"
+	"hoyan/internal/isis"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/traffic"
+	"hoyan/internal/vsb"
+)
+
+// Options configures the engine; the zero value uses faithful vendor
+// profiles with both EC techniques enabled.
+type Options struct {
+	Profiles vsb.Profiles
+
+	// UseRouteECs / UseFlowECs toggle the §3.1 equivalence-class reductions
+	// (the EC-off ablation).
+	DisableRouteECs bool
+	DisableFlowECs  bool
+
+	// UseTEMetric enables IS-IS TE metrics in SPF.
+	UseTEMetric bool
+
+	// Fault-injection knobs for the accuracy campaign.
+	FlawedASPathRegex bool
+	IgnoreACLs        bool
+	IgnorePBR         bool
+
+	// MaxRounds bounds the BGP fixpoint.
+	MaxRounds int
+}
+
+// Engine runs simulations over one network snapshot.
+type Engine struct {
+	net  *config.Network
+	igp  *isis.Result
+	opts Options
+}
+
+// NewEngine prepares an engine: it computes the IGP SPF once (the paper's
+// pre-processing phase does the same for the base model).
+func NewEngine(net *config.Network, opts Options) *Engine {
+	if opts.Profiles == nil {
+		opts.Profiles = vsb.Defaults()
+	}
+	return &Engine{
+		net:  net,
+		igp:  isis.Compute(net.Topo, isis.Options{UseTEMetric: opts.UseTEMetric}),
+		opts: opts,
+	}
+}
+
+// Network returns the engine's network snapshot.
+func (e *Engine) Network() *config.Network { return e.net }
+
+// IGP returns the engine's SPF result.
+func (e *Engine) IGP() *isis.Result { return e.igp }
+
+// RouteResult is the outcome of route simulation.
+type RouteResult struct {
+	BGP *bgp.Result
+	// ECStats reports the route-EC reduction applied (nil with ECs off).
+	ECStats *ec.RouteECs
+}
+
+// RIB implements traffic.RIBSource.
+func (r *RouteResult) RIB(device, vrf string) *netmodel.RIB { return r.BGP.RIB(device, vrf) }
+
+// GlobalRIB returns the flattened global RIB.
+func (r *RouteResult) GlobalRIB() *netmodel.GlobalRIB { return r.BGP.GlobalRIB() }
+
+// RouteSimulation simulates the propagation of the input routes and returns
+// the RIBs of all routers. With route ECs enabled, one representative per EC
+// is simulated and results are expanded to the members.
+func (e *Engine) RouteSimulation(inputs []netmodel.Route) *RouteResult {
+	bgpOpts := bgp.Options{
+		Profiles:          e.opts.Profiles,
+		MaxRounds:         e.opts.MaxRounds,
+		FlawedASPathRegex: e.opts.FlawedASPathRegex,
+		UseTEMetric:       e.opts.UseTEMetric,
+	}
+	if e.opts.DisableRouteECs {
+		return &RouteResult{BGP: bgp.Simulate(e.net, e.igp, inputs, bgpOpts)}
+	}
+	ecs := ec.ComputeRouteECs(e.net, e.opts.Profiles, inputs)
+	res := bgp.Simulate(e.net, e.igp, ecs.Representatives(), bgpOpts)
+	for _, t := range res.Tables() {
+		ecs.ExpandRIB(res.RIB(t.Device, t.VRF))
+	}
+	return &RouteResult{BGP: res, ECStats: ecs}
+}
+
+// TrafficResult is the outcome of traffic simulation.
+type TrafficResult struct {
+	Traffic *traffic.Result
+	// ECStats reports the flow-EC reduction applied (nil with ECs off).
+	ECStats *ec.FlowECs
+}
+
+// TrafficSimulation forwards the input flows over the given RIBs and
+// computes link loads. With flow ECs enabled, one representative per class
+// carries the class's total volume.
+func (e *Engine) TrafficSimulation(ribs traffic.RIBSource, routeRows []netmodel.Route, flows []netmodel.Flow) *TrafficResult {
+	fw := traffic.NewForwarder(e.net, e.igp, ribs, traffic.Options{
+		Profiles:   e.opts.Profiles,
+		IgnoreACLs: e.opts.IgnoreACLs,
+		IgnorePBR:  e.opts.IgnorePBR,
+	})
+	if e.opts.DisableFlowECs {
+		return &TrafficResult{Traffic: fw.Simulate(flows)}
+	}
+	ecs := ec.ComputeFlowECs(e.net, ec.RIBPrefixes(routeRows), flows)
+	return &TrafficResult{Traffic: fw.Simulate(ecs.Representatives()), ECStats: ecs}
+}
+
+// Result is the outcome of a full simulation run.
+type Result struct {
+	Routes  *RouteResult
+	Traffic *TrafficResult
+}
+
+// Run executes route simulation followed by traffic simulation — the
+// centralized pipeline of Figure 2.
+func (e *Engine) Run(inputs []netmodel.Route, flows []netmodel.Flow) *Result {
+	routes := e.RouteSimulation(inputs)
+	var tr *TrafficResult
+	if len(flows) > 0 {
+		tr = e.TrafficSimulation(routes, routes.GlobalRIB().Rows(), flows)
+	}
+	return &Result{Routes: routes, Traffic: tr}
+}

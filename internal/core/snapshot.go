@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"hoyan/internal/config"
+	"hoyan/internal/netmodel"
+)
+
+// Snapshot is the wire form of a network model: every device's configuration
+// in its own vendor dialect plus the monitored topology. The master uploads
+// one snapshot per simulation task to the object store; workers restore it.
+type Snapshot struct {
+	Configs map[string]string `json:"configs"`
+	Nodes   []SnapshotNode    `json:"nodes"`
+	Links   []netmodel.Link   `json:"links"`
+}
+
+// SnapshotNode is the wire form of a topology node.
+type SnapshotNode struct {
+	Name     string     `json:"name"`
+	Loopback netip.Addr `json:"loopback"`
+	Up       bool       `json:"up"`
+}
+
+// TakeSnapshot serializes a network model.
+func TakeSnapshot(net *config.Network) *Snapshot {
+	s := &Snapshot{Configs: make(map[string]string, len(net.Devices))}
+	for name, d := range net.Devices {
+		s.Configs[name] = config.Serialize(d)
+	}
+	for _, n := range net.Topo.Nodes() {
+		s.Nodes = append(s.Nodes, SnapshotNode{Name: n.Name, Loopback: n.Loopback, Up: n.Up})
+	}
+	for _, l := range net.Topo.Links() {
+		s.Links = append(s.Links, *l)
+	}
+	return s
+}
+
+// Restore parses the snapshot back into a network model.
+func (s *Snapshot) Restore() (*config.Network, error) {
+	net, err := config.BuildNetwork(s.Configs, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range s.Nodes {
+		net.Topo.AddNode(netmodel.Node{Name: n.Name, Loopback: n.Loopback})
+		if !n.Up {
+			net.Topo.SetNodeUp(n.Name, false)
+		}
+	}
+	for _, l := range s.Links {
+		nl := net.Topo.AddLink(l)
+		if !l.Up {
+			net.Topo.SetLinkUp(nl.ID(), false)
+		}
+	}
+	return net, nil
+}
+
+// Encode writes the snapshot as JSON.
+func (s *Snapshot) Encode(w io.Writer) error {
+	return json.NewEncoder(w).Encode(s)
+}
+
+// DecodeSnapshot reads a snapshot written by Encode.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// EncodeRoutes writes route rows in the framework's wire format.
+func EncodeRoutes(w io.Writer, routes []netmodel.Route) error {
+	return json.NewEncoder(w).Encode(routes)
+}
+
+// DecodeRoutes reads route rows written by EncodeRoutes.
+func DecodeRoutes(r io.Reader) ([]netmodel.Route, error) {
+	var out []netmodel.Route
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("core: decoding routes: %w", err)
+	}
+	return out, nil
+}
+
+// EncodeFlows writes flows in the framework's wire format.
+func EncodeFlows(w io.Writer, flows []netmodel.Flow) error {
+	return json.NewEncoder(w).Encode(flows)
+}
+
+// DecodeFlows reads flows written by EncodeFlows.
+func DecodeFlows(r io.Reader) ([]netmodel.Flow, error) {
+	var out []netmodel.Flow
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("core: decoding flows: %w", err)
+	}
+	return out, nil
+}

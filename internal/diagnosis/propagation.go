@@ -1,0 +1,68 @@
+package diagnosis
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"hoyan/internal/netmodel"
+)
+
+// PropEdge is one hop of a route's propagation: the route reached Device
+// from Peer ("input", "network", "redistribute:*", "aggregate", "leak:*"
+// mark origination points).
+type PropEdge struct {
+	Device string
+	VRF    string
+	Peer   string
+	Route  netmodel.Route
+}
+
+// PropagationGraph reconstructs how a prefix propagated through the network
+// from the provenance recorded on the simulated RIB rows — the §2.2
+// automation that "builds the propagation graph of a route" so experts can
+// walk a mis-simulated route back to its origin.
+func PropagationGraph(rib *netmodel.GlobalRIB, prefix netip.Prefix) []PropEdge {
+	var edges []PropEdge
+	for _, r := range rib.Rows() {
+		if r.Prefix != prefix {
+			continue
+		}
+		edges = append(edges, PropEdge{Device: r.Device, VRF: r.VRF, Peer: r.Peer, Route: r})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Device != edges[j].Device {
+			return edges[i].Device < edges[j].Device
+		}
+		if edges[i].VRF != edges[j].VRF {
+			return edges[i].VRF < edges[j].VRF
+		}
+		return edges[i].Peer < edges[j].Peer
+	})
+	return edges
+}
+
+// FormatPropagation renders the graph origin-first: origination rows, then
+// learned rows grouped by device.
+func FormatPropagation(prefix netip.Prefix, edges []PropEdge) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "propagation of %s (%d rows):\n", prefix, len(edges))
+	isOrigin := func(peer string) bool {
+		return peer == "input" || peer == "network" || peer == "static" ||
+			peer == "direct" || peer == "aggregate" ||
+			strings.HasPrefix(peer, "redistribute:")
+	}
+	for _, e := range edges {
+		if isOrigin(e.Peer) {
+			fmt.Fprintf(&b, "  origin  %s/%s (%s) %s\n", e.Device, e.VRF, e.Peer, e.Route.RouteType)
+		}
+	}
+	for _, e := range edges {
+		if !isOrigin(e.Peer) {
+			fmt.Fprintf(&b, "  %s/%s <- %s (%s, lp=%d, aspath=[%s])\n",
+				e.Device, e.VRF, e.Peer, e.Route.RouteType, e.Route.LocalPref, e.Route.ASPath)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package diagnosis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hoyan/internal/core"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/traffic"
+)
+
+// RootCauseAnalysis is the §5.2 workflow outcome for one inaccurate link:
+// the selected large-volume flow, its simulated and real forwarding paths,
+// the first device where they diverge, and the RIB rows that device uses for
+// the flow in each world — everything the expert needs for step (5).
+type RootCauseAnalysis struct {
+	Link netmodel.LinkID
+	Flow netmodel.Flow
+
+	ModelPath netmodel.Path
+	TruthPath netmodel.Path
+
+	// DivergedAt is the first device whose forwarding differs ("" when the
+	// paths agree — the inaccuracy then stems from inputs, not forwarding).
+	DivergedAt string
+
+	// ModelRows / TruthRows are the LPM best rows for the flow at the
+	// diverging device in each world.
+	ModelRows []netmodel.Route
+	TruthRows []netmodel.Route
+}
+
+// AnalyzeLink runs the workflow for one flagged link:
+//
+//	(1) the link is given (from the accuracy report);
+//	(2) identify a large-volume flow traversing it in the ground truth;
+//	(3) build the flow's forwarding paths in both worlds;
+//	(4) compare per-device forwarding to find the divergence;
+//	(5) emit the diverging device's matching RIB rows for expert analysis.
+func (r *Report) AnalyzeLink(link netmodel.LinkID) (*RootCauseAnalysis, error) {
+	// (2) Largest-volume truth flow traversing the link.
+	var flows []netmodel.Flow
+	if r.truth.Traffic == nil {
+		return nil, fmt.Errorf("diagnosis: no traffic simulation available")
+	}
+	for _, fp := range r.truth.Traffic.Traffic.Paths {
+		if fp.Path.Traverses(link) {
+			flows = append(flows, fp.Flow)
+		}
+	}
+	if len(flows) == 0 {
+		// The model may route flows over the link that the truth does not.
+		if r.model.Traffic != nil {
+			for _, fp := range r.model.Traffic.Traffic.Paths {
+				if fp.Path.Traverses(link) {
+					flows = append(flows, fp.Flow)
+				}
+			}
+		}
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("diagnosis: no flow traverses %s in either world", link)
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Volume != flows[j].Volume {
+			return flows[i].Volume > flows[j].Volume
+		}
+		return netmodel.CompareFlows(flows[i], flows[j]) < 0
+	})
+	flow := flows[0]
+	return r.AnalyzeFlow(link, flow)
+}
+
+// AnalyzeFlow runs steps (3)-(5) for a specific flow.
+func (r *Report) AnalyzeFlow(link netmodel.LinkID, flow netmodel.Flow) (*RootCauseAnalysis, error) {
+	truthEng := r.truthForwarder()
+	modelEng := r.modelForwarder()
+
+	out := &RootCauseAnalysis{Link: link, Flow: flow}
+	out.TruthPath = truthEng.Path(flow)
+	out.ModelPath = modelEng.Path(flow)
+
+	// (4) First diverging device along the two paths.
+	tp, mp := out.TruthPath.Hops, out.ModelPath.Hops
+	for i := 0; i < len(tp) || i < len(mp); i++ {
+		switch {
+		case i >= len(tp):
+			out.DivergedAt = mp[i-1].Device
+		case i >= len(mp):
+			out.DivergedAt = tp[i-1].Device
+		case tp[i].Device != mp[i].Device:
+			if i > 0 {
+				out.DivergedAt = tp[i-1].Device
+			} else {
+				out.DivergedAt = tp[i].Device
+			}
+		case tp[i].Link != mp[i].Link && tp[i].Link != (netmodel.LinkID{}) && mp[i].Link != (netmodel.LinkID{}):
+			out.DivergedAt = tp[i].Device
+		default:
+			continue
+		}
+		break
+	}
+	if out.DivergedAt == "" && out.TruthPath.Exit != out.ModelPath.Exit {
+		// Same hops, different fate: diverged at the last device.
+		if len(tp) > 0 {
+			out.DivergedAt = tp[len(tp)-1].Device
+		}
+	}
+
+	// (5) Matching RIB rows at the diverging device in both worlds.
+	if out.DivergedAt != "" {
+		if _, best, ok := r.model.Routes.RIB(out.DivergedAt, netmodel.DefaultVRF).LongestMatch(flow.Dst); ok {
+			out.ModelRows = best
+		}
+		if _, best, ok := r.truth.Routes.RIB(out.DivergedAt, netmodel.DefaultVRF).LongestMatch(flow.Dst); ok {
+			out.TruthRows = best
+		}
+	}
+	return out, nil
+}
+
+func (r *Report) truthForwarder() *traffic.Forwarder {
+	eng := core.NewEngine(r.fw.Net, r.fw.TruthOpts)
+	return traffic.NewForwarder(r.fw.Net, eng.IGP(), r.truth.Routes, traffic.Options{Profiles: r.fw.TruthOpts.Profiles})
+}
+
+func (r *Report) modelForwarder() *traffic.Forwarder {
+	eng := core.NewEngine(r.fw.Net, r.fw.ModelOpts)
+	return traffic.NewForwarder(r.fw.Net, eng.IGP(), r.model.Routes, traffic.Options{
+		Profiles:   r.fw.ModelOpts.Profiles,
+		IgnoreACLs: r.fw.ModelOpts.IgnoreACLs,
+		IgnorePBR:  r.fw.ModelOpts.IgnorePBR,
+	})
+}
+
+// Summary renders the analysis in the Figure 9 case-study style.
+func (a *RootCauseAnalysis) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "link %s, flow %s\n", a.Link, a.Flow)
+	fmt.Fprintf(&b, "  simulated path: %s\n", a.ModelPath)
+	fmt.Fprintf(&b, "  real path:      %s\n", a.TruthPath)
+	if a.DivergedAt == "" {
+		b.WriteString("  forwarding agrees; investigate inputs/monitoring\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  diverges at %s\n", a.DivergedAt)
+	fmt.Fprintf(&b, "  simulated RIB rows at %s:\n", a.DivergedAt)
+	for _, r := range a.ModelRows {
+		fmt.Fprintf(&b, "    %s (igpCost=%d viaSR=%v)\n", r, r.IGPCost, r.ViaSR)
+	}
+	fmt.Fprintf(&b, "  real RIB rows at %s:\n", a.DivergedAt)
+	for _, r := range a.TruthRows {
+		fmt.Fprintf(&b, "    %s (igpCost=%d viaSR=%v)\n", r, r.IGPCost, r.ViaSR)
+	}
+	return b.String()
+}

@@ -1,0 +1,219 @@
+// Package dsim implements Hoyan's distributed simulation framework (§3.2,
+// Figure 3): a master splits a simulation task into subtasks over disjoint
+// input subsets, uploads each subset to the object store, and pushes one
+// message per subtask into the message queue; working servers consume
+// messages, run the core engine on their subset, and write result files; the
+// master monitors the subtask database, re-enqueues failures, and aggregates
+// results.
+//
+// The §3.2 *ordering heuristic* is implemented exactly as described: input
+// routes are ordered by the last address of their prefix and split into
+// contiguous subsets whose covered address range is recorded in the task DB;
+// input flows are ordered by destination address, so a traffic subtask only
+// loads the RIB files of route subtasks whose recorded range overlaps its
+// own destination range.
+package dsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"hoyan/internal/core"
+	"hoyan/internal/mq"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/objstore"
+	"hoyan/internal/taskdb"
+)
+
+// Topic is the message-queue topic subtask messages travel on.
+const Topic = "hoyan/subtasks"
+
+// Services bundles the three substrate handles every framework role needs.
+type Services struct {
+	Queue mq.Queue
+	Store objstore.Store
+	Tasks taskdb.DB
+}
+
+// Strategy selects how traffic subtasks decide which route-subtask RIB files
+// to load.
+type Strategy string
+
+// Strategies evaluated in Figure 5(b)/(d).
+const (
+	// StrategyOrdered is the §3.2 ordering heuristic: flows sorted by
+	// destination, subtask ranges overlap-tested against route ranges.
+	StrategyOrdered Strategy = "ordered"
+	// StrategyRandom partitions flows in input (effectively random) order;
+	// range overlap is still tested but covers nearly everything.
+	StrategyRandom Strategy = "random"
+	// StrategyBaseline loads every RIB file unconditionally.
+	StrategyBaseline Strategy = "baseline"
+)
+
+// SubtaskMsg is the queue payload describing one subtask.
+type SubtaskMsg struct {
+	TaskID      string       `json:"task_id"`
+	Kind        string       `json:"kind"` // "route" or "traffic"
+	SubID       int          `json:"sub_id"`
+	SnapshotKey string       `json:"snapshot_key"`
+	InputKey    string       `json:"input_key"`
+	ResultKey   string       `json:"result_key"`
+	Options     core.Options `json:"options"`
+
+	// Traffic subtasks only.
+	RouteTaskID   string   `json:"route_task_id,omitempty"`
+	RouteSubtasks int      `json:"route_subtasks,omitempty"`
+	Strategy      Strategy `json:"strategy,omitempty"`
+}
+
+func (m SubtaskMsg) key() string {
+	return fmt.Sprintf("%s/%s/%d", m.TaskID, m.Kind, m.SubID)
+}
+
+func (m SubtaskMsg) encode() mq.Message {
+	payload, _ := json.Marshal(m)
+	return mq.Message{ID: fmt.Sprintf("%s/%s/%d", m.TaskID, m.Kind, m.SubID), Kind: m.Kind, Payload: payload}
+}
+
+func decodeMsg(m mq.Message) (SubtaskMsg, error) {
+	var out SubtaskMsg
+	if err := json.Unmarshal(m.Payload, &out); err != nil {
+		return out, fmt.Errorf("dsim: decoding subtask message %s: %w", m.ID, err)
+	}
+	return out, nil
+}
+
+// Object-store key layout.
+func snapshotKey(taskID string) string { return "tasks/" + taskID + "/snapshot" }
+func inputKey(taskID, kind string, sub int) string {
+	return fmt.Sprintf("tasks/%s/%s/%d/input", taskID, kind, sub)
+}
+func resultKey(taskID, kind string, sub int) string {
+	return fmt.Sprintf("tasks/%s/%s/%d/result", taskID, kind, sub)
+}
+
+// splitRoutes orders input routes by the last address of their prefix and
+// cuts them into n contiguous subsets, keeping routes with the same prefix
+// in the same subset. It returns the subsets with their covered ranges.
+func splitRoutes(inputs []netmodel.Route, n int) []routeSubset {
+	routes := append([]netmodel.Route(nil), inputs...)
+	sort.SliceStable(routes, func(i, j int) bool {
+		li, lj := netmodel.LastAddr(routes[i].Prefix), netmodel.LastAddr(routes[j].Prefix)
+		if c := li.Compare(lj); c != 0 {
+			return c < 0
+		}
+		return netmodel.CompareRoutes(routes[i], routes[j]) < 0
+	})
+	if n < 1 {
+		n = 1
+	}
+	if n > len(routes) {
+		n = len(routes)
+	}
+	var out []routeSubset
+	if n == 0 {
+		return out
+	}
+	per := (len(routes) + n - 1) / n
+	for start := 0; start < len(routes); {
+		end := start + per
+		if end > len(routes) {
+			end = len(routes)
+		}
+		// Never split a prefix across subsets.
+		for end < len(routes) && routes[end].Prefix == routes[end-1].Prefix {
+			end++
+		}
+		sub := routeSubset{Routes: routes[start:end]}
+		sub.Lo = routes[start].Prefix.Masked().Addr()
+		sub.Hi = netmodel.LastAddr(routes[end-1].Prefix)
+		// The range must cover every member prefix (shorter prefixes may
+		// start earlier / end later than the sort order suggests).
+		for _, r := range sub.Routes {
+			if a := r.Prefix.Masked().Addr(); a.Compare(sub.Lo) < 0 {
+				sub.Lo = a
+			}
+			if a := netmodel.LastAddr(r.Prefix); a.Compare(sub.Hi) > 0 {
+				sub.Hi = a
+			}
+		}
+		out = append(out, sub)
+		start = end
+	}
+	return out
+}
+
+type routeSubset struct {
+	Routes []netmodel.Route
+	Lo, Hi netip.Addr
+}
+
+// splitFlows orders flows by destination address (unless the random
+// strategy keeps input order) and cuts them into n contiguous subsets.
+func splitFlows(flows []netmodel.Flow, n int, strategy Strategy) []flowSubset {
+	fs := append([]netmodel.Flow(nil), flows...)
+	if strategy != StrategyRandom {
+		sort.SliceStable(fs, func(i, j int) bool { return netmodel.CompareFlows(fs[i], fs[j]) < 0 })
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(fs) {
+		n = len(fs)
+	}
+	var out []flowSubset
+	if n == 0 {
+		return out
+	}
+	per := (len(fs) + n - 1) / n
+	for start := 0; start < len(fs); start += per {
+		end := start + per
+		if end > len(fs) {
+			end = len(fs)
+		}
+		sub := flowSubset{Flows: fs[start:end]}
+		sub.Lo, sub.Hi = fs[start].Dst, fs[start].Dst
+		for _, f := range sub.Flows {
+			if f.Dst.Compare(sub.Lo) < 0 {
+				sub.Lo = f.Dst
+			}
+			if f.Dst.Compare(sub.Hi) > 0 {
+				sub.Hi = f.Dst
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}
+
+type flowSubset struct {
+	Flows  []netmodel.Flow
+	Lo, Hi netip.Addr
+}
+
+// TrafficResultFile is the wire form of one traffic subtask's result.
+type TrafficResultFile struct {
+	Load  []LoadEntry `json:"load"`
+	Paths []PathEntry `json:"paths"`
+}
+
+// LoadEntry is one link's simulated volume.
+type LoadEntry struct {
+	Link   netmodel.LinkID `json:"link"`
+	Volume float64         `json:"volume"`
+}
+
+// PathEntry is one flow's simulated path.
+type PathEntry struct {
+	Flow netmodel.Flow `json:"flow"`
+	Path PathWire      `json:"path"`
+}
+
+// PathWire is the wire form of netmodel.Path.
+type PathWire struct {
+	Hops []netmodel.Hop      `json:"hops"`
+	Exit netmodel.ExitReason `json:"exit"`
+}

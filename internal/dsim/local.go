@@ -1,0 +1,61 @@
+package dsim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hoyan/internal/mq"
+	"hoyan/internal/objstore"
+	"hoyan/internal/taskdb"
+)
+
+// LocalCluster is a single-process deployment of the framework: in-memory
+// substrates plus a pool of worker goroutines. Benchmarks use it to sweep the
+// worker count (Figure 5); tests use it for end-to-end verification. The
+// same Master/Worker code runs unchanged against the TCP substrates for
+// multi-process deployments (cmd/hoyan-master, cmd/hoyan-worker).
+type LocalCluster struct {
+	Svc    Services
+	Master *Master
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	mem    *mq.Memory
+}
+
+// StartLocal creates in-memory services and starts n workers.
+func StartLocal(n int) *LocalCluster {
+	return StartLocalWithStore(n, objstore.NewMemory(), taskdb.NewMemory())
+}
+
+// StartLocalWithStore starts a cluster of n workers over an existing object
+// store and task DB (but a fresh queue), so successive runs can reuse
+// already-computed route-simulation results — the Figure 5(b) sweep re-runs
+// traffic simulation for several worker counts against one route result set.
+func StartLocalWithStore(n int, store objstore.Store, tasks taskdb.DB) *LocalCluster {
+	memq := mq.NewMemory()
+	svc := Services{
+		Queue: memq,
+		Store: store,
+		Tasks: tasks,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &LocalCluster{Svc: svc, Master: NewMaster(svc), cancel: cancel, mem: memq}
+	for i := 0; i < n; i++ {
+		w := NewWorker(fmt.Sprintf("worker-%d", i), svc)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	return c
+}
+
+// Stop terminates the workers and waits for them to exit.
+func (c *LocalCluster) Stop() {
+	c.cancel()
+	c.mem.Close()
+	c.wg.Wait()
+}

@@ -1,0 +1,279 @@
+package dsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/taskdb"
+	"hoyan/internal/traffic"
+)
+
+// Master coordinates a simulation task: it prepares subtasks, enqueues them,
+// monitors the task DB, re-enqueues failures, and aggregates results.
+type Master struct {
+	svc Services
+
+	// MaxAttempts bounds per-subtask retries (the paper's master resends a
+	// failed subtask's message back to the queue).
+	MaxAttempts int
+	// PollInterval is the task-DB monitoring cadence.
+	PollInterval time.Duration
+	// Timeout bounds a whole Wait call.
+	Timeout time.Duration
+
+	// msgs remembers each enqueued subtask message so failures can be
+	// resent verbatim.
+	msgs map[string]SubtaskMsg
+}
+
+// NewMaster creates a master over the given substrate services.
+func NewMaster(svc Services) *Master {
+	return &Master{
+		svc: svc, MaxAttempts: 3, PollInterval: 5 * time.Millisecond, Timeout: 10 * time.Minute,
+		msgs: make(map[string]SubtaskMsg),
+	}
+}
+
+// RouteTask handles a started distributed route simulation.
+type RouteTask struct {
+	ID          string
+	SnapshotKey string
+	Subtasks    int
+}
+
+// UploadSnapshot stores the network snapshot once; route and traffic tasks
+// of the same change verification share it.
+func (m *Master) UploadSnapshot(taskID string, net *config.Network) (string, error) {
+	var buf bytes.Buffer
+	if err := core.TakeSnapshot(net).Encode(&buf); err != nil {
+		return "", fmt.Errorf("dsim: encoding snapshot: %w", err)
+	}
+	key := snapshotKey(taskID)
+	if err := m.svc.Store.Put(key, buf.Bytes()); err != nil {
+		return "", fmt.Errorf("dsim: uploading snapshot: %w", err)
+	}
+	return key, nil
+}
+
+// StartRouteSimulation splits the input routes into n subtasks (ordering
+// heuristic), uploads their inputs, records pending status + ranges in the
+// task DB, and enqueues one message per subtask.
+func (m *Master) StartRouteSimulation(taskID, snapKey string, inputs []netmodel.Route, n int, opts core.Options) (*RouteTask, error) {
+	subsets := splitRoutes(inputs, n)
+	for i, sub := range subsets {
+		var buf bytes.Buffer
+		if err := core.EncodeRoutes(&buf, sub.Routes); err != nil {
+			return nil, err
+		}
+		ik := inputKey(taskID, "route", i)
+		if err := m.svc.Store.Put(ik, buf.Bytes()); err != nil {
+			return nil, err
+		}
+		rec := taskdb.Record{
+			TaskID: taskID, Kind: "route", SubID: i, Status: taskdb.StatusPending,
+			RangeLo: sub.Lo.String(), RangeHi: sub.Hi.String(),
+		}
+		if err := m.svc.Tasks.Upsert(rec); err != nil {
+			return nil, err
+		}
+		msg := SubtaskMsg{
+			TaskID: taskID, Kind: "route", SubID: i,
+			SnapshotKey: snapKey, InputKey: ik,
+			ResultKey: resultKey(taskID, "route", i),
+			Options:   opts,
+		}
+		m.msgs[msg.key()] = msg
+		if err := m.svc.Queue.Push(Topic, msg.encode()); err != nil {
+			return nil, err
+		}
+	}
+	return &RouteTask{ID: taskID, SnapshotKey: snapKey, Subtasks: len(subsets)}, nil
+}
+
+// TrafficTask handles a started distributed traffic simulation.
+type TrafficTask struct {
+	ID       string
+	Subtasks int
+}
+
+// StartTrafficSimulation splits the input flows into n subtasks following
+// the chosen strategy and enqueues them. The route simulation (routeTask)
+// must already be complete: traffic subtasks read its result files.
+func (m *Master) StartTrafficSimulation(taskID string, route *RouteTask, flows []netmodel.Flow, n int, strategy Strategy, opts core.Options) (*TrafficTask, error) {
+	subsets := splitFlows(flows, n, strategy)
+	for i, sub := range subsets {
+		var buf bytes.Buffer
+		if err := core.EncodeFlows(&buf, sub.Flows); err != nil {
+			return nil, err
+		}
+		ik := inputKey(taskID, "traffic", i)
+		if err := m.svc.Store.Put(ik, buf.Bytes()); err != nil {
+			return nil, err
+		}
+		rec := taskdb.Record{
+			TaskID: taskID, Kind: "traffic", SubID: i, Status: taskdb.StatusPending,
+			RangeLo: sub.Lo.String(), RangeHi: sub.Hi.String(),
+		}
+		if err := m.svc.Tasks.Upsert(rec); err != nil {
+			return nil, err
+		}
+		msg := SubtaskMsg{
+			TaskID: taskID, Kind: "traffic", SubID: i,
+			SnapshotKey: route.SnapshotKey, InputKey: ik,
+			ResultKey:     resultKey(taskID, "traffic", i),
+			Options:       opts,
+			RouteTaskID:   route.ID,
+			RouteSubtasks: route.Subtasks,
+			Strategy:      strategy,
+		}
+		m.msgs[msg.key()] = msg
+		if err := m.svc.Queue.Push(Topic, msg.encode()); err != nil {
+			return nil, err
+		}
+	}
+	return &TrafficTask{ID: taskID, Subtasks: len(subsets)}, nil
+}
+
+// Wait blocks until every subtask of (taskID, kind) is done, re-enqueueing
+// failed subtasks up to MaxAttempts times.
+func (m *Master) Wait(taskID, kind string, n int) error {
+	deadline := time.Now().Add(m.Timeout)
+	for {
+		recs, err := m.svc.Tasks.List(taskID)
+		if err != nil {
+			return err
+		}
+		done := 0
+		for _, rec := range recs {
+			if rec.Kind != kind {
+				continue
+			}
+			switch rec.Status {
+			case taskdb.StatusDone:
+				done++
+			case taskdb.StatusFailed:
+				if rec.Attempts >= m.MaxAttempts {
+					return fmt.Errorf("dsim: subtask %s/%s/%d failed permanently: %s", taskID, kind, rec.SubID, rec.Error)
+				}
+				// Re-enqueue (the paper's master resends the message).
+				rec.Status = taskdb.StatusPending
+				rec.Attempts++
+				if err := m.svc.Tasks.Upsert(rec); err != nil {
+					return err
+				}
+				msg, ok := m.msgs[SubtaskMsg{TaskID: taskID, Kind: kind, SubID: rec.SubID}.key()]
+				if !ok {
+					return fmt.Errorf("dsim: no recorded message for %s/%s/%d", taskID, kind, rec.SubID)
+				}
+				if err := m.svc.Queue.Push(Topic, msg.encode()); err != nil {
+					return err
+				}
+			}
+		}
+		if done == n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dsim: task %s/%s timed out (%d/%d done)", taskID, kind, done, n)
+		}
+		time.Sleep(m.PollInterval)
+	}
+}
+
+// CollectRouteResults merges the RIB rows of all route subtasks into one
+// global RIB, deduplicating rows that multiple subtasks derived (e.g. the
+// same aggregate generated by two contributor subsets).
+func (m *Master) CollectRouteResults(t *RouteTask) (*netmodel.GlobalRIB, error) {
+	seen := make(map[string]bool)
+	var rows []netmodel.Route
+	for i := 0; i < t.Subtasks; i++ {
+		data, err := m.svc.Store.Get(resultKey(t.ID, "route", i))
+		if err != nil {
+			return nil, err
+		}
+		sub, err := core.DecodeRoutes(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range sub {
+			sig := rowSignature(r)
+			if !seen[sig] {
+				seen[sig] = true
+				rows = append(rows, r)
+			}
+		}
+	}
+	return netmodel.NewGlobalRIB(rows), nil
+}
+
+func rowSignature(r netmodel.Route) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%s|%s|%d|%d|%d|%d|%s|%s|%d|%s",
+		r.Device, r.VRF, r.Prefix, r.Protocol, r.NextHop, r.Communities,
+		r.LocalPref, r.MED, r.Weight, r.Preference, r.ASPath, r.Origin,
+		r.RouteType, r.Peer)
+}
+
+// TrafficSummary is the aggregated result of a distributed traffic
+// simulation.
+type TrafficSummary struct {
+	Load  netmodel.LinkLoad
+	Paths []traffic.FlowPath
+	// LoadedRIBFiles reports, per subtask, how many route-result files were
+	// loaded — the Figure 5(d) metric.
+	LoadedRIBFiles []int
+}
+
+// CollectTrafficResults aggregates per-subtask link loads (summing across
+// subtasks, as the paper's master does) and concatenates flow paths.
+func (m *Master) CollectTrafficResults(t *TrafficTask) (*TrafficSummary, error) {
+	out := &TrafficSummary{Load: make(netmodel.LinkLoad)}
+	for i := 0; i < t.Subtasks; i++ {
+		data, err := m.svc.Store.Get(resultKey(t.ID, "traffic", i))
+		if err != nil {
+			return nil, err
+		}
+		var file TrafficResultFile
+		if err := json.Unmarshal(data, &file); err != nil {
+			return nil, fmt.Errorf("dsim: decoding traffic result %d: %w", i, err)
+		}
+		for _, e := range file.Load {
+			out.Load[e.Link] += e.Volume
+		}
+		for _, p := range file.Paths {
+			out.Paths = append(out.Paths, traffic.FlowPath{
+				Flow: p.Flow,
+				Path: netmodel.Path{Hops: p.Path.Hops, Exit: p.Path.Exit},
+			})
+		}
+		rec, ok, err := m.svc.Tasks.Get(t.ID, "traffic", i)
+		if err == nil && ok {
+			out.LoadedRIBFiles = append(out.LoadedRIBFiles, rec.LoadedRIBFiles)
+		}
+	}
+	sort.Slice(out.Paths, func(i, j int) bool {
+		return netmodel.CompareFlows(out.Paths[i].Flow, out.Paths[j].Flow) < 0
+	})
+	return out, nil
+}
+
+// SubtaskDurations returns the per-subtask run times of a task kind (the
+// Figure 5(c) CDF input).
+func (m *Master) SubtaskDurations(taskID, kind string) ([]time.Duration, error) {
+	recs, err := m.svc.Tasks.List(taskID)
+	if err != nil {
+		return nil, err
+	}
+	var out []time.Duration
+	for _, rec := range recs {
+		if rec.Kind == kind && rec.Status == taskdb.StatusDone {
+			out = append(out, time.Duration(rec.DurationMs)*time.Millisecond)
+		}
+	}
+	return out, nil
+}

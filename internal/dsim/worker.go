@@ -1,0 +1,278 @@
+package dsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"hoyan/internal/core"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/taskdb"
+)
+
+// Worker is one working server: it consumes subtask messages, runs the core
+// engine on the subtask's input subset, and writes result files.
+type Worker struct {
+	Name string
+	svc  Services
+
+	// PopWait is the queue polling timeout per iteration.
+	PopWait time.Duration
+
+	// FailNext makes the next n subtasks fail artificially (tests the
+	// master's retry path).
+	FailNext int
+
+	// Snapshot cache: workers process many subtasks of the same task, so
+	// re-parsing the network for each message would dominate run time.
+	cacheKey    string
+	cacheEngine *core.Engine
+	cacheOpts   string
+}
+
+// NewWorker creates a worker over the substrate services.
+func NewWorker(name string, svc Services) *Worker {
+	return &Worker{Name: name, svc: svc, PopWait: 50 * time.Millisecond}
+}
+
+// Run consumes subtasks until ctx is cancelled.
+func (w *Worker) Run(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		m, ok, err := w.svc.Queue.Pop(Topic, w.PopWait)
+		if err != nil {
+			return // queue closed or unreachable
+		}
+		if !ok {
+			continue
+		}
+		msg, err := decodeMsg(m)
+		if err != nil {
+			continue // malformed message: drop
+		}
+		w.execute(msg)
+	}
+}
+
+// RunN consumes exactly n subtasks then returns (deterministic tests).
+func (w *Worker) RunN(ctx context.Context, n int) {
+	for i := 0; i < n; {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		m, ok, err := w.svc.Queue.Pop(Topic, w.PopWait)
+		if err != nil {
+			return
+		}
+		if !ok {
+			continue
+		}
+		msg, err := decodeMsg(m)
+		if err != nil {
+			continue
+		}
+		w.execute(msg)
+		i++
+	}
+}
+
+// execute runs one subtask and records its status.
+func (w *Worker) execute(msg SubtaskMsg) {
+	rec, ok, err := w.svc.Tasks.Get(msg.TaskID, msg.Kind, msg.SubID)
+	if err != nil || !ok {
+		rec = taskdb.Record{TaskID: msg.TaskID, Kind: msg.Kind, SubID: msg.SubID}
+	}
+	rec.Status = taskdb.StatusRunning
+	rec.Worker = w.Name
+	rec.StartedAt = time.Now()
+	rec.Error = ""
+	w.svc.Tasks.Upsert(rec)
+
+	var loadedFiles int
+	runErr := func() error {
+		if w.FailNext > 0 {
+			w.FailNext--
+			return fmt.Errorf("injected failure on %s", w.Name)
+		}
+		switch msg.Kind {
+		case "route":
+			return w.routeSubtask(msg)
+		case "traffic":
+			var err error
+			loadedFiles, err = w.trafficSubtask(msg)
+			return err
+		}
+		return fmt.Errorf("unknown subtask kind %q", msg.Kind)
+	}()
+
+	rec.FinishedAt = time.Now()
+	rec.DurationMs = rec.FinishedAt.Sub(rec.StartedAt).Milliseconds()
+	rec.LoadedRIBFiles = loadedFiles
+	if runErr != nil {
+		rec.Status = taskdb.StatusFailed
+		rec.Error = runErr.Error()
+	} else {
+		rec.Status = taskdb.StatusDone
+	}
+	w.svc.Tasks.Upsert(rec)
+}
+
+// engineFor returns a core engine for the snapshot, cached across subtasks.
+func (w *Worker) engineFor(snapKey string, opts core.Options) (*core.Engine, error) {
+	optsSig, _ := json.Marshal(opts)
+	if w.cacheEngine != nil && w.cacheKey == snapKey && w.cacheOpts == string(optsSig) {
+		return w.cacheEngine, nil
+	}
+	data, err := w.svc.Store.Get(snapKey)
+	if err != nil {
+		return nil, fmt.Errorf("loading snapshot: %w", err)
+	}
+	snap, err := core.DecodeSnapshot(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	net, err := snap.Restore()
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(net, opts)
+	w.cacheKey, w.cacheEngine, w.cacheOpts = snapKey, eng, string(optsSig)
+	return eng, nil
+}
+
+// routeSubtask simulates a subset of input routes and stores the resulting
+// RIB rows.
+func (w *Worker) routeSubtask(msg SubtaskMsg) error {
+	eng, err := w.engineFor(msg.SnapshotKey, msg.Options)
+	if err != nil {
+		return err
+	}
+	data, err := w.svc.Store.Get(msg.InputKey)
+	if err != nil {
+		return fmt.Errorf("loading input: %w", err)
+	}
+	inputs, err := core.DecodeRoutes(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	res := eng.RouteSimulation(inputs)
+	var buf bytes.Buffer
+	if err := core.EncodeRoutes(&buf, res.GlobalRIB().Rows()); err != nil {
+		return err
+	}
+	return w.svc.Store.Put(msg.ResultKey, buf.Bytes())
+}
+
+// trafficSubtask simulates a subset of flows. It loads only the route
+// subtask result files its destination range can depend on (ordering
+// heuristic) unless the baseline strategy forces loading everything. It
+// returns the number of RIB files loaded.
+func (w *Worker) trafficSubtask(msg SubtaskMsg) (int, error) {
+	eng, err := w.engineFor(msg.SnapshotKey, msg.Options)
+	if err != nil {
+		return 0, err
+	}
+	data, err := w.svc.Store.Get(msg.InputKey)
+	if err != nil {
+		return 0, fmt.Errorf("loading input: %w", err)
+	}
+	flows, err := core.DecodeFlows(bytes.NewReader(data))
+	if err != nil {
+		return 0, err
+	}
+
+	needed, err := w.neededRouteFiles(msg, flows)
+	if err != nil {
+		return 0, err
+	}
+	ribs := netmodel.NewRIBSet(nil)
+	var allRows []netmodel.Route
+	for _, sub := range needed {
+		data, err := w.svc.Store.Get(resultKey(msg.RouteTaskID, "route", sub))
+		if err != nil {
+			return 0, fmt.Errorf("loading RIB file %d: %w", sub, err)
+		}
+		rows, err := core.DecodeRoutes(bytes.NewReader(data))
+		if err != nil {
+			return 0, err
+		}
+		ribs.AddRows(rows)
+		allRows = append(allRows, rows...)
+	}
+
+	res := eng.TrafficSimulation(ribs, allRows, flows)
+	file := TrafficResultFile{}
+	ids := make([]netmodel.LinkID, 0, len(res.Traffic.Load))
+	for id := range res.Traffic.Load {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	for _, id := range ids {
+		file.Load = append(file.Load, LoadEntry{Link: id, Volume: res.Traffic.Load[id]})
+	}
+	for _, p := range res.Traffic.Paths {
+		file.Paths = append(file.Paths, PathEntry{Flow: p.Flow, Path: PathWire{Hops: p.Path.Hops, Exit: p.Path.Exit}})
+	}
+	out, err := json.Marshal(file)
+	if err != nil {
+		return 0, err
+	}
+	if err := w.svc.Store.Put(msg.ResultKey, out); err != nil {
+		return 0, err
+	}
+	return len(needed), nil
+}
+
+// neededRouteFiles decides which route-subtask results this traffic subtask
+// depends on. Under the baseline strategy, all of them; otherwise only those
+// whose recorded address range overlaps the flows' destination range (§3.2).
+func (w *Worker) neededRouteFiles(msg SubtaskMsg, flows []netmodel.Flow) ([]int, error) {
+	all := make([]int, 0, msg.RouteSubtasks)
+	for i := 0; i < msg.RouteSubtasks; i++ {
+		all = append(all, i)
+	}
+	if msg.Strategy == StrategyBaseline || len(flows) == 0 {
+		return all, nil
+	}
+	lo, hi := flows[0].Dst, flows[0].Dst
+	for _, f := range flows {
+		if f.Dst.Compare(lo) < 0 {
+			lo = f.Dst
+		}
+		if f.Dst.Compare(hi) > 0 {
+			hi = f.Dst
+		}
+	}
+	var out []int
+	for i := 0; i < msg.RouteSubtasks; i++ {
+		rec, ok, err := w.svc.Tasks.Get(msg.RouteTaskID, "route", i)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			out = append(out, i) // unknown range: be safe, load it
+			continue
+		}
+		rLo, err1 := netip.ParseAddr(rec.RangeLo)
+		rHi, err2 := netip.ParseAddr(rec.RangeHi)
+		if err1 != nil || err2 != nil {
+			out = append(out, i)
+			continue
+		}
+		// Overlap test between [lo,hi] and [rLo,rHi].
+		if hi.Compare(rLo) >= 0 && rHi.Compare(lo) >= 0 {
+			out = append(out, i)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package intent
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"hoyan/internal/netmodel"
+	"hoyan/internal/traffic"
+)
+
+func snapRoutes(rows ...netmodel.Route) Snapshot {
+	return Snapshot{RIB: netmodel.NewGlobalRIB(rows), Bandwidth: map[netmodel.LinkID]float64{}}
+}
+
+func route(dev, prefix, nh string, best bool) netmodel.Route {
+	rt := netmodel.RouteCandidate
+	if best {
+		rt = netmodel.RouteBest
+	}
+	return netmodel.Route{
+		Device: dev, VRF: netmodel.DefaultVRF,
+		Prefix:   netip.MustParsePrefix(prefix),
+		NextHop:  netip.MustParseAddr(nh),
+		Protocol: netmodel.ProtoBGP, RouteType: rt,
+	}
+}
+
+func TestRouteIntent(t *testing.T) {
+	ctx := &Context{
+		Base:    snapRoutes(route("A", "10.0.0.0/24", "1.1.1.1", true)),
+		Updated: snapRoutes(route("A", "10.0.0.0/24", "2.2.2.2", true)),
+	}
+	rep := RouteIntent{Spec: "PRE != POST"}.Check(ctx)
+	if !rep.Satisfied {
+		t.Errorf("%v", rep.Violations)
+	}
+	rep = RouteIntent{Spec: "PRE = POST"}.Check(ctx)
+	if rep.Satisfied || len(rep.Violations) == 0 {
+		t.Error("violation with counterexamples expected")
+	}
+	// Spec errors surface as violations, not panics.
+	rep = RouteIntent{Spec: "this is not rcl"}.Check(ctx)
+	if rep.Satisfied || !strings.Contains(rep.Violations[0], "specification error") {
+		t.Errorf("%v", rep.Violations)
+	}
+}
+
+func TestReachIntent(t *testing.T) {
+	ctx := &Context{Updated: snapRoutes(
+		route("A", "10.0.0.0/24", "1.1.1.1", true),
+		route("B", "10.0.0.0/24", "1.1.1.1", false), // candidate only
+	)}
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	if rep := (ReachIntent{Prefix: p, Devices: []string{"A"}, Want: true}).Check(ctx); !rep.Satisfied {
+		t.Errorf("A has it: %v", rep.Violations)
+	}
+	if rep := (ReachIntent{Prefix: p, Devices: []string{"B"}, Want: true}).Check(ctx); rep.Satisfied {
+		t.Error("candidate-only must not satisfy a best-route reach intent")
+	}
+	if rep := (ReachIntent{Prefix: p, Devices: []string{"B"}, Want: false}).Check(ctx); !rep.Satisfied {
+		t.Error("absence on B holds")
+	}
+	// Empty device list = all devices in the RIB.
+	if rep := (ReachIntent{Prefix: p, Want: true}).Check(ctx); rep.Satisfied {
+		t.Error("B lacks a best route, so 'all routers' fails")
+	}
+}
+
+func flowPath(ing string, dst string, exit netmodel.ExitReason, devs ...string) traffic.FlowPath {
+	hops := make([]netmodel.Hop, len(devs))
+	for i, d := range devs {
+		hops[i] = netmodel.Hop{Device: d}
+	}
+	return traffic.FlowPath{
+		Flow: netmodel.Flow{Ingress: ing, Dst: netip.MustParseAddr(dst), Src: netip.MustParseAddr("192.0.2.1")},
+		Path: netmodel.Path{Hops: hops, Exit: exit},
+	}
+}
+
+func TestPathIntent(t *testing.T) {
+	ctx := &Context{Updated: Snapshot{Paths: []traffic.FlowPath{
+		flowPath("A", "10.0.0.5", netmodel.ExitDelivered, "A", "B", "C"),
+	}}}
+	sel := FlowSelector{Ingress: "A", DstWithin: netip.MustParsePrefix("10.0.0.0/24")}
+	if rep := (PathIntent{Select: sel, Traverse: []string{"A", "C"}, Delivered: true}).Check(ctx); !rep.Satisfied {
+		t.Errorf("subsequence should match: %v", rep.Violations)
+	}
+	if rep := (PathIntent{Select: sel, Traverse: []string{"C", "A"}}).Check(ctx); rep.Satisfied {
+		t.Error("order matters")
+	}
+	if rep := (PathIntent{Select: sel, Avoid: []string{"B"}}).Check(ctx); rep.Satisfied {
+		t.Error("B is on the path")
+	}
+	if rep := (PathIntent{Select: sel, Blocked: true}).Check(ctx); rep.Satisfied {
+		t.Error("delivered flow is not blocked")
+	}
+	// No matching flow is itself a violation (vacuous truth is dangerous in
+	// change verification).
+	none := FlowSelector{Ingress: "Z"}
+	if rep := (PathIntent{Select: none, Delivered: true}).Check(ctx); rep.Satisfied {
+		t.Error("empty selection must not verify")
+	}
+}
+
+func TestLoadIntent(t *testing.T) {
+	id := netmodel.LinkID{A: "A", B: "B", AIface: "x", BIface: "y"}
+	ctx := &Context{Updated: Snapshot{
+		Load:      netmodel.LinkLoad{id: 95e6},
+		Bandwidth: map[netmodel.LinkID]float64{id: 100e6},
+	}}
+	if rep := (LoadIntent{MaxUtilization: 0.96}).Check(ctx); !rep.Satisfied {
+		t.Errorf("under threshold: %v", rep.Violations)
+	}
+	rep := LoadIntent{MaxUtilization: 0.9}.Check(ctx)
+	if rep.Satisfied {
+		t.Error("95% > 90% must violate")
+	}
+	if !strings.Contains(rep.Violations[0], "overloaded") {
+		t.Errorf("violation text: %v", rep.Violations)
+	}
+	// Restricting to other links passes.
+	other := netmodel.LinkID{A: "C", B: "D"}
+	if rep := (LoadIntent{MaxUtilization: 0.9, Links: []netmodel.LinkID{other}}).Check(ctx); !rep.Satisfied {
+		t.Error("restricted link set should pass")
+	}
+}
+
+func TestVerifyAggregates(t *testing.T) {
+	ctx := &Context{
+		Base:    snapRoutes(route("A", "10.0.0.0/24", "1.1.1.1", true)),
+		Updated: snapRoutes(route("A", "10.0.0.0/24", "1.1.1.1", true)),
+	}
+	reports, ok := Verify(ctx, []Intent{
+		RouteIntent{Spec: "PRE = POST"},
+		RouteIntent{Spec: "PRE != POST"},
+	})
+	if ok {
+		t.Error("one intent fails, so ok must be false")
+	}
+	if len(reports) != 2 || !reports[0].Satisfied || reports[1].Satisfied {
+		t.Errorf("reports: %+v", reports)
+	}
+}
+
+func TestDescribeStrings(t *testing.T) {
+	descs := []string{
+		RouteIntent{Spec: "PRE = POST"}.Describe(),
+		ReachIntent{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Want: true}.Describe(),
+		ReachIntent{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Devices: []string{"A"}, Want: false}.Describe(),
+		PathIntent{Select: FlowSelector{Ingress: "A"}, Traverse: []string{"A", "B"}, Delivered: true}.Describe(),
+		LoadIntent{MaxUtilization: 0.8}.Describe(),
+	}
+	for _, d := range descs {
+		if d == "" {
+			t.Error("empty description")
+		}
+	}
+	if !strings.Contains(descs[3], "via A-B") {
+		t.Errorf("path describe: %q", descs[3])
+	}
+}

@@ -1,0 +1,251 @@
+// Package isis simulates the WAN's link-state IGP: shortest-path-first
+// computation with equal-cost multipath over the physical topology, including
+// the IS-IS traffic-engineering metric extension (RFC 5305).
+//
+// The SPF result feeds three consumers: BGP best-path selection (IGP cost to
+// the next hop), recursive next-hop resolution in the FIB, and SR tunnel
+// path computation.
+package isis
+
+import (
+	"container/heap"
+	"net/netip"
+	"sort"
+
+	"hoyan/internal/netmodel"
+)
+
+// Options tunes the SPF computation.
+type Options struct {
+	// UseTEMetric selects the IS-IS TE metric where configured. Hoyan did
+	// not model this feature until March 2023 (§5.3); the accuracy campaign
+	// injects that flaw by flipping this option off in the model under test.
+	UseTEMetric bool
+}
+
+// FirstHop is one equal-cost first hop from a source toward a destination.
+type FirstHop struct {
+	Device string          // neighbor device
+	Link   netmodel.LinkID // link from the source to Device
+}
+
+// Result holds the all-pairs SPF outcome.
+type Result struct {
+	dist map[string]map[string]uint32
+	hops map[string]map[string][]FirstHop
+}
+
+// Compute runs Dijkstra from every up node of the topology.
+func Compute(topo *netmodel.Topology, opts Options) *Result {
+	r := &Result{
+		dist: make(map[string]map[string]uint32),
+		hops: make(map[string]map[string][]FirstHop),
+	}
+	for _, n := range topo.Nodes() {
+		if !n.Up {
+			continue
+		}
+		dist, hops := sssp(topo, n.Name, opts)
+		r.dist[n.Name] = dist
+		r.hops[n.Name] = hops
+	}
+	return r
+}
+
+type pqItem struct {
+	device string
+	dist   uint32
+}
+
+type pq []pqItem
+
+func (q pq) Len() int      { return len(q) }
+func (q pq) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q pq) Less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].device < q[j].device
+}
+func (q *pq) Push(x any) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// sssp is single-source shortest paths with ECMP first-hop tracking.
+func sssp(topo *netmodel.Topology, src string, opts Options) (map[string]uint32, map[string][]FirstHop) {
+	dist := map[string]uint32{src: 0}
+	hops := map[string][]FirstHop{}
+	done := map[string]bool{}
+
+	q := &pq{{device: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.device] || it.dist != dist[it.device] {
+			continue
+		}
+		done[it.device] = true
+		for _, nb := range topo.Neighbors(it.device) {
+			cost := nb.Link.DirCost(it.device, opts.UseTEMetric)
+			nd := it.dist + cost
+			old, seen := dist[nb.Device]
+			switch {
+			case !seen || nd < old:
+				dist[nb.Device] = nd
+				hops[nb.Device] = firstHopsVia(src, it.device, nb, hops)
+				heap.Push(q, pqItem{device: nb.Device, dist: nd})
+			case nd == old:
+				hops[nb.Device] = mergeHops(hops[nb.Device], firstHopsVia(src, it.device, nb, hops))
+			}
+		}
+	}
+	for d := range hops {
+		sortHops(hops[d])
+	}
+	return dist, hops
+}
+
+// firstHopsVia returns the first-hop set for reaching nb.Device through
+// intermediate device via (which may be the source itself).
+func firstHopsVia(src, via string, nb netmodel.Neighbor, hops map[string][]FirstHop) []FirstHop {
+	if via == src {
+		return []FirstHop{{Device: nb.Device, Link: nb.Link.ID()}}
+	}
+	return append([]FirstHop(nil), hops[via]...)
+}
+
+func mergeHops(a, b []FirstHop) []FirstHop {
+	seen := make(map[FirstHop]bool, len(a))
+	for _, h := range a {
+		seen[h] = true
+	}
+	for _, h := range b {
+		if !seen[h] {
+			a = append(a, h)
+			seen[h] = true
+		}
+	}
+	return a
+}
+
+func sortHops(hs []FirstHop) {
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].Device != hs[j].Device {
+			return hs[i].Device < hs[j].Device
+		}
+		return hs[i].Link.String() < hs[j].Link.String()
+	})
+}
+
+// Cost returns the IGP metric from src to dst; ok is false when dst is
+// unreachable.
+func (r *Result) Cost(src, dst string) (uint32, bool) {
+	if src == dst {
+		return 0, true
+	}
+	d, ok := r.dist[src][dst]
+	return d, ok
+}
+
+// FirstHops returns the ECMP first hops from src toward dst (nil when
+// unreachable or src == dst).
+func (r *Result) FirstHops(src, dst string) []FirstHop {
+	return r.hops[src][dst]
+}
+
+// Reachable reports whether dst is reachable from src.
+func (r *Result) Reachable(src, dst string) bool {
+	_, ok := r.Cost(src, dst)
+	return ok
+}
+
+// Path returns one concrete shortest path from src to dst as a hop list
+// (device names), choosing the lexically first ECMP branch at each step.
+// Used by SR tunnel materialization and diagnosis graphs.
+func (r *Result) Path(src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	if !r.Reachable(src, dst) {
+		return nil
+	}
+	path := []string{src}
+	cur := src
+	for cur != dst {
+		fhs := r.FirstHops(cur, dst)
+		if len(fhs) == 0 {
+			return nil
+		}
+		cur = fhs[0].Device
+		path = append(path, cur)
+		if len(path) > len(r.dist)+1 {
+			return nil // defensive: must not happen on a consistent result
+		}
+	}
+	return path
+}
+
+// Routes materializes IS-IS RIB entries on device src: one route per remote
+// loopback, with one row per ECMP first hop, mirroring how the production
+// system installs IGP routes alongside BGP ones.
+func (r *Result) Routes(topo *netmodel.Topology, src string) []netmodel.Route {
+	var out []netmodel.Route
+	node := topo.Node(src)
+	if node == nil {
+		return nil
+	}
+	dsts := make([]string, 0, len(r.dist[src]))
+	for d := range r.dist[src] {
+		if d != src {
+			dsts = append(dsts, d)
+		}
+	}
+	sort.Strings(dsts)
+	for _, d := range dsts {
+		dn := topo.Node(d)
+		if dn == nil || !dn.Loopback.IsValid() {
+			continue
+		}
+		bits := 32
+		if dn.Loopback.Is6() {
+			bits = 128
+		}
+		p, err := dn.Loopback.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		cost := r.dist[src][d]
+		for _, fh := range r.FirstHops(src, d) {
+			out = append(out, netmodel.Route{
+				Device:     src,
+				VRF:        netmodel.DefaultVRF,
+				Prefix:     p,
+				Protocol:   netmodel.ProtoISIS,
+				NextHop:    neighborAddr(topo, fh, src),
+				IGPCost:    cost,
+				Preference: 15,
+				RouteType:  netmodel.RouteBest,
+				Peer:       fh.Device,
+				Source:     d,
+			})
+		}
+	}
+	return out
+}
+
+// neighborAddr returns the neighbor-side interface address of the first hop
+// (the conventional IGP next-hop address).
+func neighborAddr(topo *netmodel.Topology, fh FirstHop, src string) (nh netip.Addr) {
+	l := topo.Link(fh.Link)
+	if l == nil {
+		return nh
+	}
+	if l.A == src {
+		return l.BAddr
+	}
+	return l.AAddr
+}

@@ -1,0 +1,107 @@
+package kfail
+
+import (
+	"net/netip"
+	"testing"
+
+	"hoyan/internal/core"
+	"hoyan/internal/gen"
+	"hoyan/internal/intent"
+	"hoyan/internal/netmodel"
+)
+
+func TestSingleFailureToleranceOfGeneratedWAN(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	// Property: region 0's first DC prefix stays reachable on the remote
+	// RR under any single core-fabric link failure.
+	reach := intent.ReachIntent{
+		Prefix:  netip.MustParsePrefix("10.0.0.0/24"),
+		Devices: []string{"rr-1-0"},
+		Want:    true,
+	}
+	// Candidate failures: dual-homed uplinks of dc-0-0 (one at a time).
+	var elems []Element
+	for _, l := range out.Net.Topo.LinksOf("dc-0-0") {
+		elems = append(elems, Element{Link: l.ID()})
+	}
+	res, err := Check(out.Net, out.Inputs, nil, []intent.Intent{reach}, Options{K: 1, Elements: elems})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenarios != len(elems) {
+		t.Errorf("scenarios = %d, want %d", res.Scenarios, len(elems))
+	}
+	if !res.OK() {
+		t.Errorf("dual-homed DC must tolerate any single uplink failure: %+v", res.Violations)
+	}
+}
+
+func TestDoubleFailureViolationFound(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	reach := intent.ReachIntent{
+		Prefix:  netip.MustParsePrefix("10.0.0.0/24"),
+		Devices: []string{"rr-1-0"},
+		Want:    true,
+	}
+	var elems []Element
+	for _, l := range out.Net.Topo.LinksOf("dc-0-0") {
+		elems = append(elems, Element{Link: l.ID()})
+	}
+	if len(elems) != 2 {
+		t.Fatalf("dc-0-0 should be dual-homed, has %d links", len(elems))
+	}
+	// K=2 includes the scenario where both uplinks fail: the DC is cut off.
+	res, err := Check(out.Net, out.Inputs, nil, []intent.Intent{reach}, Options{K: 2, Elements: elems})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenarios != 3 { // C(2,1)+C(2,2)
+		t.Errorf("scenarios = %d, want 3", res.Scenarios)
+	}
+	if res.OK() {
+		t.Fatal("double uplink failure must violate reachability")
+	}
+	v := res.Violations[0]
+	if len(v.Failed) != 2 {
+		t.Errorf("violating scenario = %v, want both uplinks", v.Failed)
+	}
+}
+
+func TestNodeFailureElements(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	reach := intent.ReachIntent{
+		Prefix:  netip.MustParsePrefix("10.0.0.0/24"),
+		Devices: []string{"rr-1-0"},
+		Want:    true,
+	}
+	res, err := Check(out.Net, out.Inputs, nil, []intent.Intent{reach},
+		Options{K: 1, Elements: []Element{{Node: "dc-0-0"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Error("failing the injecting DC gateway must violate reachability")
+	}
+}
+
+func TestMaxScenariosCap(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	reach := intent.ReachIntent{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Devices: []string{"rr-0-0"}, Want: true}
+	res, err := Check(out.Net, out.Inputs, nil, []intent.Intent{reach},
+		Options{K: 1, MaxScenarios: 3, Sim: core.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scenarios != 3 {
+		t.Errorf("scenarios = %d, want capped at 3", res.Scenarios)
+	}
+}
+
+func TestBadK(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	if _, err := Check(out.Net, out.Inputs, nil, nil, Options{K: 0}); err == nil {
+		t.Error("K=0 must error")
+	}
+}
+
+var _ = netmodel.DefaultVRF

@@ -1,0 +1,144 @@
+package localize
+
+import (
+	"strings"
+	"testing"
+
+	"hoyan/internal/change"
+	"hoyan/internal/core"
+	"hoyan/internal/pipeline"
+	"hoyan/internal/scenario"
+)
+
+func TestSplitStanzas(t *testing.T) {
+	block := `
+ip prefix-list PL permit 10.0.0.0/24
+route-map RM permit 10
+ match ip-prefix PL
+ set local-preference 300
+!
+router bgp
+ neighbor 1.1.1.1 route-map RM out
+!
+`
+	got := SplitStanzas(block)
+	if len(got) != 3 {
+		t.Fatalf("stanzas = %d: %q", len(got), got)
+	}
+	if !strings.HasPrefix(got[0], "ip prefix-list") {
+		t.Errorf("stanza 0 = %q", got[0])
+	}
+	if !strings.Contains(got[1], "set local-preference 300") || !strings.Contains(got[1], "!") {
+		t.Errorf("stanza 1 = %q", got[1])
+	}
+	if !strings.Contains(got[2], "neighbor 1.1.1.1") {
+		t.Errorf("stanza 2 = %q", got[2])
+	}
+	// Re-assembly reproduces the commands (modulo blank lines).
+	joined := strings.Join(got, "")
+	for _, line := range []string{"match ip-prefix PL", "router bgp"} {
+		if !strings.Contains(joined, line) {
+			t.Errorf("reassembled block lost %q", line)
+		}
+	}
+}
+
+func TestLocalizeFig10bFindsTheGuiltyStanzas(t *testing.T) {
+	// Figure 10(b): the violation is caused by the route-map node whose
+	// "ip-prefix" match hits the IPv6-permit-all VSB, bound by the router
+	// bgp stanza. The prefix-list declarations themselves are exonerated
+	// (removing them still violates, via the undefined-filter VSB).
+	sc := scenario.Fig10b()
+	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, core.Options{})
+	res, err := Localize(sys, sc.Plan, sc.Intents, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Regressions) == 0 {
+		t.Fatalf("the others-unchanged intent is a regression: %+v", res)
+	}
+	if len(res.Culprits) == 0 {
+		t.Fatal("no culprits found")
+	}
+	joined := ""
+	for _, c := range res.Culprits {
+		joined += c.Text
+	}
+	if !strings.Contains(joined, "route-map RM_LP permit 10") {
+		t.Errorf("culprits must include the lp-300 node:\n%s", joined)
+	}
+	if !strings.Contains(joined, "neighbor") {
+		t.Errorf("culprits must include the binding stanza:\n%s", joined)
+	}
+	// The prefix-list declarations are innocent (the bug manifests with or
+	// without them).
+	if strings.Contains(joined, "ip prefix-list TARGETS") {
+		t.Errorf("prefix-list declarations should be exonerated:\n%s", joined)
+	}
+	t.Logf("localized to %d stanzas in %d trials", len(res.Culprits), res.Trials)
+}
+
+func TestLocalizeClassifiesUnachievedGoals(t *testing.T) {
+	// Figure 10(a): intent (1) ("R installed on M1 and M2") is violated both
+	// before and after the change — a goal the change fails to achieve
+	// because of the pre-existing misconfiguration. The localizer must
+	// classify it as unachieved rather than blame a command.
+	sc := scenario.Fig10a()
+	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, core.Options{})
+	res, err := Localize(sys, sc.Plan, sc.Intents, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unachieved) == 0 {
+		t.Fatalf("expected unachieved goals: %+v", res)
+	}
+	found := false
+	for _, u := range res.Unachieved {
+		if strings.Contains(u, "1.0.0.0/24") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("unachieved list should mention the target prefix: %v", res.Unachieved)
+	}
+}
+
+func TestLocalizeCleanPlanErrors(t *testing.T) {
+	sc := scenario.Fig10a()
+	// Verify a trivially-satisfiable intent: nothing to localize.
+	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, core.Options{})
+	plan := &change.Plan{ID: "noop", Commands: map[string]string{}}
+	if _, err := Localize(sys, plan, sc.Intents[2:3], Options{}); err == nil {
+		t.Error("clean plan must return an error")
+	}
+}
+
+func TestLocalizeTrialBudget(t *testing.T) {
+	sc := scenario.Fig10b()
+	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, core.Options{})
+	if _, err := Localize(sys, sc.Plan, sc.Intents, Options{MaxTrials: 1}); err == nil {
+		t.Error("budget of 1 must be exhausted")
+	}
+}
+
+func TestLocalizeMaintenanceRegression(t *testing.T) {
+	// The t6 "maintenance touches routing" scenario: the culprit is the
+	// network statement hidden inside the OS-upgrade plan.
+	var sc *scenario.Scenario
+	for _, rs := range scenario.Table6Catalog() {
+		if rs.Name == "t6-maintenance-touches-routing" {
+			sc = rs.Scenario
+		}
+	}
+	if sc == nil {
+		t.Fatal("scenario missing")
+	}
+	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, core.Options{})
+	res, err := Localize(sys, sc.Plan, sc.Intents, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Culprits) != 1 || !strings.Contains(res.Culprits[0].Text, "network 203.0.113.0/24") {
+		t.Errorf("culprits = %+v", res.Culprits)
+	}
+}

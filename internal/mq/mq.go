@@ -1,0 +1,107 @@
+// Package mq provides the message-queue substrate of the distributed
+// simulation framework (Figure 3): the master pushes one message per subtask
+// and each working server pops messages from the topic it listens to.
+//
+// Two implementations are provided: an in-memory queue for single-process
+// clusters and tests, and a TCP server/client pair (net/rpc over gob) so
+// masters and workers can run as separate OS processes, standing in for the
+// production message-queue service.
+package mq
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Message is one queue entry. Payload is opaque to the queue (the framework
+// stores JSON-encoded subtask metadata).
+type Message struct {
+	ID      string
+	Kind    string
+	Payload []byte
+}
+
+// Queue is the interface both implementations satisfy.
+type Queue interface {
+	// Push appends a message to a topic.
+	Push(topic string, m Message) error
+	// Pop removes the oldest message from a topic, waiting up to wait for
+	// one to arrive. ok is false on timeout.
+	Pop(topic string, wait time.Duration) (m Message, ok bool, err error)
+	// Len returns the number of queued messages in a topic.
+	Len(topic string) (int, error)
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("mq: queue closed")
+
+// Memory is an in-memory Queue. The zero value is not usable; call NewMemory.
+type Memory struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	topics map[string][]Message
+	closed bool
+}
+
+// NewMemory creates an empty in-memory queue.
+func NewMemory() *Memory {
+	m := &Memory{topics: make(map[string][]Message)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Push implements Queue.
+func (q *Memory) Push(topic string, m Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.topics[topic] = append(q.topics[topic], m)
+	q.cond.Broadcast()
+	return nil
+}
+
+// Pop implements Queue.
+func (q *Memory) Pop(topic string, wait time.Duration) (Message, bool, error) {
+	deadline := time.Now().Add(wait)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.closed {
+			return Message{}, false, ErrClosed
+		}
+		if ms := q.topics[topic]; len(ms) > 0 {
+			m := ms[0]
+			q.topics[topic] = ms[1:]
+			return m, true, nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Message{}, false, nil
+		}
+		// Wake periodically to honor the deadline without a timer per call.
+		waker := time.AfterFunc(remain, q.cond.Broadcast)
+		q.cond.Wait()
+		waker.Stop()
+	}
+}
+
+// Len implements Queue.
+func (q *Memory) Len(topic string) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, ErrClosed
+	}
+	return len(q.topics[topic]), nil
+}
+
+// Close wakes all waiters and rejects further operations.
+func (q *Memory) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,161 @@
+package mq
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemoryPushPop(t *testing.T) {
+	q := NewMemory()
+	if err := q.Push("t", Message{ID: "1", Kind: "route"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("t", Message{ID: "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := q.Len("t"); n != 2 {
+		t.Errorf("Len = %d", n)
+	}
+	m, ok, err := q.Pop("t", time.Second)
+	if err != nil || !ok || m.ID != "1" {
+		t.Fatalf("Pop = %v %v %v (FIFO order)", m, ok, err)
+	}
+	m, ok, _ = q.Pop("t", time.Second)
+	if !ok || m.ID != "2" {
+		t.Fatalf("Pop = %v %v", m, ok)
+	}
+}
+
+func TestMemoryPopTimeout(t *testing.T) {
+	q := NewMemory()
+	start := time.Now()
+	_, ok, err := q.Pop("empty", 30*time.Millisecond)
+	if err != nil || ok {
+		t.Fatalf("want timeout, got %v %v", ok, err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("returned before the deadline")
+	}
+}
+
+func TestMemoryBlockingWakeup(t *testing.T) {
+	q := NewMemory()
+	done := make(chan Message, 1)
+	go func() {
+		m, ok, _ := q.Pop("t", 2*time.Second)
+		if ok {
+			done <- m
+		}
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push("t", Message{ID: "late"})
+	select {
+	case m, ok := <-done:
+		if !ok || m.ID != "late" {
+			t.Fatalf("got %v %v", m, ok)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("consumer never woke up")
+	}
+}
+
+func TestMemoryConcurrentConsumers(t *testing.T) {
+	q := NewMemory()
+	const n = 100
+	for i := 0; i < n; i++ {
+		q.Push("t", Message{ID: fmt.Sprint(i)})
+	}
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m, ok, err := q.Pop("t", 50*time.Millisecond)
+				if err != nil || !ok {
+					return
+				}
+				mu.Lock()
+				if seen[m.ID] {
+					t.Errorf("message %s delivered twice", m.ID)
+				}
+				seen[m.ID] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Errorf("delivered %d of %d", len(seen), n)
+	}
+}
+
+func TestMemoryClose(t *testing.T) {
+	q := NewMemory()
+	q.Close()
+	if err := q.Push("t", Message{}); err != ErrClosed {
+		t.Errorf("Push after close: %v", err)
+	}
+	if _, _, err := q.Pop("t", time.Millisecond); err != ErrClosed {
+		t.Errorf("Pop after close: %v", err)
+	}
+}
+
+func TestRPCQueue(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	Serve(l, NewMemory())
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Push("t", Message{ID: "x", Kind: "route", Payload: []byte("data")}); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Len("t"); err != nil || n != 1 {
+		t.Fatalf("Len = %d %v", n, err)
+	}
+	m, ok, err := c.Pop("t", time.Second)
+	if err != nil || !ok || m.ID != "x" || string(m.Payload) != "data" {
+		t.Fatalf("Pop = %+v %v %v", m, ok, err)
+	}
+	// Timeout over RPC.
+	if _, ok, err := c.Pop("t", 50*time.Millisecond); ok || err != nil {
+		t.Fatalf("want rpc timeout, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRPCTwoClients(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	Serve(l, NewMemory())
+
+	producer, _ := Dial(l.Addr().String())
+	consumer, _ := Dial(l.Addr().String())
+	defer producer.Close()
+	defer consumer.Close()
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		producer.Push("jobs", Message{ID: "job-1"})
+	}()
+	m, ok, err := consumer.Pop("jobs", 2*time.Second)
+	if err != nil || !ok || m.ID != "job-1" {
+		t.Fatalf("cross-client delivery failed: %v %v %v", m, ok, err)
+	}
+}

@@ -1,0 +1,128 @@
+package mq
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"time"
+)
+
+// Service exposes a Queue over net/rpc.
+type Service struct {
+	q Queue
+}
+
+// PushArgs are the arguments of MQ.Push.
+type PushArgs struct {
+	Topic string
+	Msg   Message
+}
+
+// Push is the RPC form of Queue.Push.
+func (s *Service) Push(args *PushArgs, _ *struct{}) error {
+	return s.q.Push(args.Topic, args.Msg)
+}
+
+// PopArgs are the arguments of MQ.Pop.
+type PopArgs struct {
+	Topic  string
+	WaitMs int64
+}
+
+// PopReply is the result of MQ.Pop.
+type PopReply struct {
+	Msg Message
+	OK  bool
+}
+
+// Pop is the RPC form of Queue.Pop. Long waits are chunked client-side; the
+// server caps a single wait at 30s to keep connections healthy.
+func (s *Service) Pop(args *PopArgs, reply *PopReply) error {
+	wait := time.Duration(args.WaitMs) * time.Millisecond
+	if wait > 30*time.Second {
+		wait = 30 * time.Second
+	}
+	m, ok, err := s.q.Pop(args.Topic, wait)
+	reply.Msg, reply.OK = m, ok
+	return err
+}
+
+// LenArgs are the arguments of MQ.Len.
+type LenArgs struct{ Topic string }
+
+// Len is the RPC form of Queue.Len.
+func (s *Service) Len(args *LenArgs, reply *int) error {
+	n, err := s.q.Len(args.Topic)
+	*reply = n
+	return err
+}
+
+// Serve registers the queue on a fresh rpc server and serves connections on
+// l until the listener is closed. It returns immediately; accept errors end
+// the loop silently (listener closed).
+func Serve(l net.Listener, q Queue) {
+	srv := rpc.NewServer()
+	srv.RegisterName("MQ", &Service{q: q})
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+}
+
+// Client is a Queue talking to a remote Serve instance.
+type Client struct {
+	c *rpc.Client
+}
+
+// Dial connects to a queue server.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mq: dial %s: %w", addr, err)
+	}
+	return &Client{c: c}, nil
+}
+
+// Push implements Queue.
+func (c *Client) Push(topic string, m Message) error {
+	return c.c.Call("MQ.Push", &PushArgs{Topic: topic, Msg: m}, &struct{}{})
+}
+
+// Pop implements Queue, chunking long waits into server-side slices.
+func (c *Client) Pop(topic string, wait time.Duration) (Message, bool, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		chunk := time.Until(deadline)
+		if chunk <= 0 {
+			return Message{}, false, nil
+		}
+		if chunk > 5*time.Second {
+			chunk = 5 * time.Second
+		}
+		var reply PopReply
+		if err := c.c.Call("MQ.Pop", &PopArgs{Topic: topic, WaitMs: chunk.Milliseconds()}, &reply); err != nil {
+			return Message{}, false, err
+		}
+		if reply.OK {
+			return reply.Msg, true, nil
+		}
+		if time.Now().After(deadline) {
+			return Message{}, false, nil
+		}
+	}
+}
+
+// Len implements Queue.
+func (c *Client) Len(topic string) (int, error) {
+	var n int
+	err := c.c.Call("MQ.Len", &LenArgs{Topic: topic}, &n)
+	return n, err
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.c.Close() }

@@ -1,0 +1,278 @@
+package netmodel
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// RIB is the routing table of a single (device, vrf) pair: all candidate and
+// best routes keyed by prefix.
+type RIB struct {
+	Device string
+	VRF    string
+	// byPrefix holds route rows per prefix in deterministic order.
+	byPrefix map[netip.Prefix][]Route
+}
+
+// NewRIB creates an empty RIB for device/vrf.
+func NewRIB(device, vrf string) *RIB {
+	return &RIB{Device: device, VRF: vrf, byPrefix: make(map[netip.Prefix][]Route)}
+}
+
+// Add installs a route row. The row's Device/VRF are forced to the RIB's.
+func (t *RIB) Add(r Route) {
+	r.Device, r.VRF = t.Device, t.VRF
+	t.byPrefix[r.Prefix] = append(t.byPrefix[r.Prefix], r)
+}
+
+// Replace substitutes all rows for prefix with rs.
+func (t *RIB) Replace(prefix netip.Prefix, rs []Route) {
+	if len(rs) == 0 {
+		delete(t.byPrefix, prefix)
+		return
+	}
+	rows := make([]Route, len(rs))
+	for i, r := range rs {
+		r.Device, r.VRF = t.Device, t.VRF
+		rows[i] = r
+	}
+	t.byPrefix[prefix] = rows
+}
+
+// Routes returns the rows for prefix (shared slice; callers must not modify).
+func (t *RIB) Routes(prefix netip.Prefix) []Route {
+	return t.byPrefix[prefix]
+}
+
+// Best returns the best (selected) routes for prefix; multiple rows when
+// ECMP applies.
+func (t *RIB) Best(prefix netip.Prefix) []Route {
+	var out []Route
+	for _, r := range t.byPrefix[prefix] {
+		if r.RouteType == RouteBest {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Prefixes returns all prefixes in deterministic order.
+func (t *RIB) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(t.byPrefix))
+	for p := range t.byPrefix {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return comparePrefix(out[i], out[j]) < 0 })
+	return out
+}
+
+// Len returns the total number of route rows.
+func (t *RIB) Len() int {
+	n := 0
+	for _, rs := range t.byPrefix {
+		n += len(rs)
+	}
+	return n
+}
+
+// All returns every row in deterministic order.
+func (t *RIB) All() []Route {
+	out := make([]Route, 0, t.Len())
+	for _, p := range t.Prefixes() {
+		rows := append([]Route(nil), t.byPrefix[p]...)
+		sort.Slice(rows, func(i, j int) bool { return CompareRoutes(rows[i], rows[j]) < 0 })
+		out = append(out, rows...)
+	}
+	return out
+}
+
+// LongestMatch returns the best routes of the longest prefix covering addr,
+// together with the matched prefix. ok is false if no prefix covers addr.
+func (t *RIB) LongestMatch(addr netip.Addr) (prefix netip.Prefix, best []Route, ok bool) {
+	bestBits := -1
+	for p, rows := range t.byPrefix {
+		if !p.Contains(addr) || p.Bits() <= bestBits {
+			continue
+		}
+		var sel []Route
+		for _, r := range rows {
+			if r.RouteType == RouteBest {
+				sel = append(sel, r)
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		bestBits = p.Bits()
+		prefix, best = p, sel
+	}
+	if bestBits < 0 {
+		return netip.Prefix{}, nil, false
+	}
+	sort.Slice(best, func(i, j int) bool { return CompareRoutes(best[i], best[j]) < 0 })
+	return prefix, best, true
+}
+
+// GlobalRIB is the paper's global RIB abstraction: all routes from all
+// routers collected into a single table with device and vrf columns.
+type GlobalRIB struct {
+	rows []Route
+}
+
+// NewGlobalRIB builds a global RIB from the given rows. Rows are copied and
+// kept in deterministic order.
+func NewGlobalRIB(rows []Route) *GlobalRIB {
+	out := append([]Route(nil), rows...)
+	sort.Slice(out, func(i, j int) bool { return CompareRoutes(out[i], out[j]) < 0 })
+	return &GlobalRIB{rows: out}
+}
+
+// Merge combines per-device RIBs into one global RIB.
+func Merge(ribs ...*RIB) *GlobalRIB {
+	var rows []Route
+	for _, t := range ribs {
+		if t != nil {
+			rows = append(rows, t.All()...)
+		}
+	}
+	return NewGlobalRIB(rows)
+}
+
+// Rows returns all rows in deterministic order. Callers must not modify the
+// returned slice.
+func (g *GlobalRIB) Rows() []Route { return g.rows }
+
+// Len returns the number of rows.
+func (g *GlobalRIB) Len() int { return len(g.rows) }
+
+// Filter returns a new global RIB with only the rows where keep returns true.
+func (g *GlobalRIB) Filter(keep func(Route) bool) *GlobalRIB {
+	var rows []Route
+	for _, r := range g.rows {
+		if keep(r) {
+			rows = append(rows, r)
+		}
+	}
+	return &GlobalRIB{rows: rows}
+}
+
+// Equal reports whether two global RIBs contain exactly the same rows with
+// identical attributes. Both are already in deterministic order.
+func (g *GlobalRIB) Equal(o *GlobalRIB) bool {
+	if len(g.rows) != len(o.rows) {
+		return false
+	}
+	for i := range g.rows {
+		if !g.rows[i].AttrsEqual(o.rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns rows present in g but not o, and rows present in o but not g,
+// comparing full attributes. Used for counterexamples and diagnosis.
+func (g *GlobalRIB) Diff(o *GlobalRIB) (onlyG, onlyO []Route) {
+	type attrKey struct {
+		k RouteKey
+		s string
+	}
+	sig := func(r Route) attrKey {
+		return attrKey{k: r.Key(), s: r.Communities.String() + "|" + r.ASPath.String() + "|" +
+			r.Origin.String() + "|" + r.RouteType.String() + "|" +
+			uitoa(r.LocalPref) + "|" + uitoa(r.MED) + "|" + uitoa(r.Weight) + "|" + uitoa(r.Preference)}
+	}
+	inO := make(map[attrKey]int, len(o.rows))
+	for _, r := range o.rows {
+		inO[sig(r)]++
+	}
+	for _, r := range g.rows {
+		k := sig(r)
+		if inO[k] > 0 {
+			inO[k]--
+		} else {
+			onlyG = append(onlyG, r)
+		}
+	}
+	inG := make(map[attrKey]int, len(g.rows))
+	for _, r := range g.rows {
+		inG[sig(r)]++
+	}
+	for _, r := range o.rows {
+		k := sig(r)
+		if inG[k] > 0 {
+			inG[k]--
+		} else {
+			onlyO = append(onlyO, r)
+		}
+	}
+	return onlyG, onlyO
+}
+
+// RIBSet groups route rows into per-(device, vrf) RIBs; the form traffic
+// simulation consumes when RIBs are loaded from distributed result files.
+type RIBSet struct {
+	m map[[2]string]*RIB
+}
+
+// NewRIBSet builds a RIB set from flat route rows.
+func NewRIBSet(rows []Route) *RIBSet {
+	s := &RIBSet{m: make(map[[2]string]*RIB)}
+	s.AddRows(rows)
+	return s
+}
+
+// AddRows merges additional rows into the set.
+func (s *RIBSet) AddRows(rows []Route) {
+	for _, r := range rows {
+		k := [2]string{r.Device, r.VRF}
+		t, ok := s.m[k]
+		if !ok {
+			t = NewRIB(r.Device, r.VRF)
+			s.m[k] = t
+		}
+		t.Add(r)
+	}
+}
+
+// RIB returns the table for (device, vrf), or an empty RIB.
+func (s *RIBSet) RIB(device, vrf string) *RIB {
+	if t, ok := s.m[[2]string{device, vrf}]; ok {
+		return t
+	}
+	return NewRIB(device, vrf)
+}
+
+// Rows returns every row in deterministic order.
+func (s *RIBSet) Rows() []Route {
+	keys := make([][2]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	var out []Route
+	for _, k := range keys {
+		out = append(out, s.m[k].All()...)
+	}
+	return out
+}
+
+func uitoa(v uint32) string {
+	// Minimal allocation-friendly formatting for Diff signatures.
+	if v == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

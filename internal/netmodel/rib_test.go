@@ -1,0 +1,230 @@
+package netmodel
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func mkRoute(dev, vrf, prefix, nh string, rt RouteType) Route {
+	return Route{
+		Device: dev, VRF: vrf,
+		Prefix:    netip.MustParsePrefix(prefix),
+		Protocol:  ProtoBGP,
+		NextHop:   netip.MustParseAddr(nh),
+		RouteType: rt,
+	}
+}
+
+func TestRIBAddAndBest(t *testing.T) {
+	rib := NewRIB("A", DefaultVRF)
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	rib.Add(mkRoute("X", "ignored", "10.0.0.0/24", "1.1.1.1", RouteBest))
+	rib.Add(mkRoute("X", "ignored", "10.0.0.0/24", "2.2.2.2", RouteCandidate))
+	if rib.Len() != 2 {
+		t.Fatalf("Len = %d", rib.Len())
+	}
+	for _, r := range rib.Routes(p) {
+		if r.Device != "A" || r.VRF != DefaultVRF {
+			t.Errorf("Add must force device/vrf, got %s/%s", r.Device, r.VRF)
+		}
+	}
+	best := rib.Best(p)
+	if len(best) != 1 || best[0].NextHop != netip.MustParseAddr("1.1.1.1") {
+		t.Errorf("Best = %v", best)
+	}
+}
+
+func TestRIBReplace(t *testing.T) {
+	rib := NewRIB("A", DefaultVRF)
+	p := netip.MustParsePrefix("10.0.0.0/24")
+	rib.Add(mkRoute("A", DefaultVRF, "10.0.0.0/24", "1.1.1.1", RouteBest))
+	rib.Replace(p, []Route{mkRoute("A", DefaultVRF, "10.0.0.0/24", "3.3.3.3", RouteBest)})
+	if got := rib.Best(p); len(got) != 1 || got[0].NextHop != netip.MustParseAddr("3.3.3.3") {
+		t.Errorf("Replace: %v", got)
+	}
+	rib.Replace(p, nil)
+	if rib.Len() != 0 {
+		t.Error("Replace(nil) should delete the prefix")
+	}
+}
+
+func TestRIBLongestMatch(t *testing.T) {
+	rib := NewRIB("A", DefaultVRF)
+	rib.Add(mkRoute("A", DefaultVRF, "10.0.0.0/8", "1.0.0.1", RouteBest))
+	rib.Add(mkRoute("A", DefaultVRF, "10.1.0.0/16", "2.0.0.1", RouteBest))
+	rib.Add(mkRoute("A", DefaultVRF, "10.1.2.0/24", "3.0.0.1", RouteCandidate)) // no best rows
+
+	prefix, best, ok := rib.LongestMatch(netip.MustParseAddr("10.1.2.3"))
+	if !ok {
+		t.Fatal("no match")
+	}
+	// /24 has no best route, so LPM must fall back to /16.
+	if prefix != netip.MustParsePrefix("10.1.0.0/16") {
+		t.Errorf("matched %s, want 10.1.0.0/16", prefix)
+	}
+	if len(best) != 1 || best[0].NextHop != netip.MustParseAddr("2.0.0.1") {
+		t.Errorf("best = %v", best)
+	}
+	if _, _, ok := rib.LongestMatch(netip.MustParseAddr("192.168.0.1")); ok {
+		t.Error("want no match for uncovered address")
+	}
+}
+
+func TestGlobalRIBDeterministicOrder(t *testing.T) {
+	r1 := mkRoute("B", DefaultVRF, "10.0.0.0/24", "1.1.1.1", RouteBest)
+	r2 := mkRoute("A", DefaultVRF, "10.0.0.0/24", "1.1.1.1", RouteBest)
+	g1 := NewGlobalRIB([]Route{r1, r2})
+	g2 := NewGlobalRIB([]Route{r2, r1})
+	if !g1.Equal(g2) {
+		t.Error("insertion order must not matter")
+	}
+	if g1.Rows()[0].Device != "A" {
+		t.Error("rows not sorted by device")
+	}
+}
+
+func TestGlobalRIBEqualAndDiff(t *testing.T) {
+	base := []Route{
+		mkRoute("A", DefaultVRF, "10.0.0.0/24", "2.0.0.1", RouteBest),
+		mkRoute("B", DefaultVRF, "10.0.0.0/24", "4.0.0.1", RouteBest),
+	}
+	g := NewGlobalRIB(base)
+	same := NewGlobalRIB(base)
+	if !g.Equal(same) {
+		t.Fatal("identical RIBs must be Equal")
+	}
+
+	changed := base[0]
+	changed.LocalPref = 300
+	h := NewGlobalRIB([]Route{changed, base[1]})
+	if g.Equal(h) {
+		t.Fatal("attribute change must break equality")
+	}
+	onlyG, onlyH := g.Diff(h)
+	if len(onlyG) != 1 || len(onlyH) != 1 {
+		t.Fatalf("Diff = %d/%d rows, want 1/1", len(onlyG), len(onlyH))
+	}
+	if onlyG[0].LocalPref == onlyH[0].LocalPref {
+		t.Error("diff rows should differ in LocalPref")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	ra := NewRIB("A", DefaultVRF)
+	ra.Add(mkRoute("A", DefaultVRF, "10.0.0.0/24", "2.0.0.1", RouteBest))
+	rb := NewRIB("B", "vrf1")
+	rb.Add(mkRoute("B", "vrf1", "20.0.0.0/24", "3.0.0.1", RouteBest))
+	g := Merge(ra, rb, nil)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if g.Rows()[0].Device != "A" || g.Rows()[1].VRF != "vrf1" {
+		t.Errorf("rows = %v", g.Rows())
+	}
+}
+
+func TestGlobalRIBFilter(t *testing.T) {
+	g := NewGlobalRIB([]Route{
+		mkRoute("A", DefaultVRF, "10.0.0.0/24", "2.0.0.1", RouteBest),
+		mkRoute("B", DefaultVRF, "10.0.0.0/24", "4.0.0.1", RouteBest),
+	})
+	f := g.Filter(func(r Route) bool { return r.Device == "A" })
+	if f.Len() != 1 || f.Rows()[0].Device != "A" {
+		t.Errorf("Filter: %v", f.Rows())
+	}
+	if g.Len() != 2 {
+		t.Error("Filter must not mutate the source")
+	}
+}
+
+func TestTopologyBasics(t *testing.T) {
+	topo := NewTopology()
+	topo.AddNode(Node{Name: "A", Loopback: netip.MustParseAddr("1.1.1.1")})
+	topo.AddNode(Node{Name: "B", Loopback: netip.MustParseAddr("2.2.2.2")})
+	topo.AddNode(Node{Name: "C", Loopback: netip.MustParseAddr("3.3.3.3")})
+	l := topo.AddLink(Link{
+		A: "B", B: "A", AIface: "eth0", BIface: "eth1",
+		AAddr: netip.MustParseAddr("10.0.0.2"), BAddr: netip.MustParseAddr("10.0.0.1"),
+		CostAB: 10, CostBA: 20, Bandwidth: 1e9,
+	})
+	// Endpoints are normalized: A < B lexically.
+	if l.A != "A" || l.B != "B" || l.AIface != "eth1" || l.CostAB != 20 {
+		t.Errorf("normalization: %+v", l)
+	}
+	topo.AddLink(Link{A: "A", B: "C", AIface: "e2", BIface: "e0", CostAB: 5, CostBA: 5})
+
+	nbrs := topo.Neighbors("A")
+	if len(nbrs) != 2 || nbrs[0].Device != "B" || nbrs[1].Device != "C" {
+		t.Fatalf("Neighbors(A) = %v", nbrs)
+	}
+	if nbrs[0].Cost != 20 {
+		t.Errorf("A->B cost = %d, want 20", nbrs[0].Cost)
+	}
+
+	if owner := topo.AddrOwner(netip.MustParseAddr("10.0.0.2")); owner != "B" {
+		t.Errorf("AddrOwner = %q", owner)
+	}
+	if owner := topo.AddrOwner(netip.MustParseAddr("3.3.3.3")); owner != "C" {
+		t.Errorf("loopback AddrOwner = %q", owner)
+	}
+}
+
+func TestTopologyFailuresAndClone(t *testing.T) {
+	topo := NewTopology()
+	for _, n := range []string{"A", "B", "C"} {
+		topo.AddNode(Node{Name: n})
+	}
+	topo.AddLink(Link{A: "A", B: "B", AIface: "e0", BIface: "e0", CostAB: 1, CostBA: 1})
+	topo.AddLink(Link{A: "A", B: "C", AIface: "e1", BIface: "e0", CostAB: 1, CostBA: 1})
+
+	clone := topo.Clone()
+
+	topo.SetNodeUp("B", false)
+	if got := topo.Neighbors("A"); len(got) != 1 || got[0].Device != "C" {
+		t.Errorf("down node still a neighbor: %v", got)
+	}
+	if got := clone.Neighbors("A"); len(got) != 2 {
+		t.Errorf("clone affected by original mutation: %v", got)
+	}
+
+	id := LinkID{A: "A", B: "C", AIface: "e1", BIface: "e0"}
+	if !topo.SetLinkUp(id, false) {
+		t.Fatal("SetLinkUp failed")
+	}
+	if got := topo.Neighbors("A"); len(got) != 0 {
+		t.Errorf("down link still a neighbor: %v", got)
+	}
+	if !topo.RemoveLink(id) {
+		t.Error("RemoveLink failed")
+	}
+	if topo.Link(id) != nil {
+		t.Error("link still present after removal")
+	}
+	topo.RemoveNode("B")
+	if topo.Node("B") != nil || len(topo.Links()) != 0 {
+		t.Error("RemoveNode should drop node and its links")
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	id := LinkID{A: "A", B: "B", AIface: "e0", BIface: "e0"}
+	p := Path{Hops: []Hop{{Device: "A", Link: id}, {Device: "B"}}, Exit: ExitDelivered}
+	if got := p.Devices(); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Errorf("Devices = %v", got)
+	}
+	if !p.Traverses(id) {
+		t.Error("Traverses should find the link")
+	}
+	if p.Traverses(LinkID{A: "X", B: "Y"}) {
+		t.Error("Traverses false positive")
+	}
+}
+
+func TestLinkLoadAdd(t *testing.T) {
+	a := LinkLoad{{A: "A", B: "B"}: 5}
+	b := LinkLoad{{A: "A", B: "B"}: 7, {A: "B", B: "C"}: 1}
+	a.Add(b)
+	if a[LinkID{A: "A", B: "B"}] != 12 || a[LinkID{A: "B", B: "C"}] != 1 {
+		t.Errorf("Add: %v", a)
+	}
+}

@@ -1,0 +1,282 @@
+package netmodel
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Node is a router in the topology graph. Routing configuration lives in the
+// config package; the topology holds only what link-state protocols and
+// traffic simulation need.
+type Node struct {
+	Name     string
+	Loopback netip.Addr
+	Up       bool // false when the router has failed or is under maintenance
+}
+
+// Link is a bidirectional adjacency between two routers. Costs may be
+// asymmetric (CostAB for A→B, CostBA for B→A).
+type Link struct {
+	A, B      string // device names; A < B lexically for canonical form
+	AIface    string
+	BIface    string
+	ANet      netip.Prefix // interface subnet on A's side
+	BNet      netip.Prefix
+	AAddr     netip.Addr // interface address on A
+	BAddr     netip.Addr
+	CostAB    uint32
+	CostBA    uint32
+	TEAB      uint32  // IS-IS TE metric A→B; 0 means "use CostAB"
+	TEBA      uint32  // IS-IS TE metric B→A; 0 means "use CostBA"
+	Bandwidth float64 // bits per second
+	Up        bool
+}
+
+// DirCost returns the metric of the directed edge leaving from. When useTE
+// is set and a TE metric is configured for that direction, it is used
+// instead of the base IGP cost (IS-IS for traffic engineering, RFC 5305).
+func (l Link) DirCost(from string, useTE bool) uint32 {
+	cost, te := l.CostBA, l.TEBA
+	if from == l.A {
+		cost, te = l.CostAB, l.TEAB
+	}
+	if useTE && te != 0 {
+		return te
+	}
+	return cost
+}
+
+// LinkID canonically identifies a link by its endpoints and interfaces.
+type LinkID struct {
+	A, B           string
+	AIface, BIface string
+}
+
+// ID returns the canonical identifier of the link.
+func (l Link) ID() LinkID {
+	return LinkID{A: l.A, B: l.B, AIface: l.AIface, BIface: l.BIface}
+}
+
+func (id LinkID) String() string {
+	return fmt.Sprintf("%s[%s]--%s[%s]", id.A, id.AIface, id.B, id.BIface)
+}
+
+// Topology is the physical graph of the network.
+type Topology struct {
+	nodes map[string]*Node
+	links []*Link
+	// byDevice indexes links touching each device.
+	byDevice map[string][]*Link
+}
+
+// NewTopology creates an empty topology.
+func NewTopology() *Topology {
+	return &Topology{nodes: make(map[string]*Node), byDevice: make(map[string][]*Link)}
+}
+
+// AddNode registers a router. Adding an existing name replaces the node.
+func (t *Topology) AddNode(n Node) {
+	n.Up = true
+	cp := n
+	t.nodes[n.Name] = &cp
+}
+
+// RemoveNode deletes a router and every link touching it.
+func (t *Topology) RemoveNode(name string) {
+	delete(t.nodes, name)
+	var kept []*Link
+	for _, l := range t.links {
+		if l.A == name || l.B == name {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	t.links = kept
+	t.reindex()
+}
+
+// Node returns the named router, or nil.
+func (t *Topology) Node(name string) *Node { return t.nodes[name] }
+
+// Nodes returns all routers sorted by name.
+func (t *Topology) Nodes() []*Node {
+	out := make([]*Node, 0, len(t.nodes))
+	for _, n := range t.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NodeNames returns all router names sorted.
+func (t *Topology) NodeNames() []string {
+	out := make([]string, 0, len(t.nodes))
+	for name := range t.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AddLink registers a link. The endpoints are normalized so A < B.
+func (t *Topology) AddLink(l Link) *Link {
+	if l.B < l.A {
+		l.A, l.B = l.B, l.A
+		l.AIface, l.BIface = l.BIface, l.AIface
+		l.ANet, l.BNet = l.BNet, l.ANet
+		l.AAddr, l.BAddr = l.BAddr, l.AAddr
+		l.CostAB, l.CostBA = l.CostBA, l.CostAB
+		l.TEAB, l.TEBA = l.TEBA, l.TEAB
+	}
+	l.Up = true
+	cp := l
+	t.links = append(t.links, &cp)
+	t.byDevice[cp.A] = append(t.byDevice[cp.A], &cp)
+	t.byDevice[cp.B] = append(t.byDevice[cp.B], &cp)
+	return &cp
+}
+
+// RemoveLink deletes the link with the given ID; it reports whether a link
+// was removed.
+func (t *Topology) RemoveLink(id LinkID) bool {
+	for i, l := range t.links {
+		if l.ID() == id {
+			t.links = append(t.links[:i], t.links[i+1:]...)
+			t.reindex()
+			return true
+		}
+	}
+	return false
+}
+
+// Link returns the link with the given ID, or nil.
+func (t *Topology) Link(id LinkID) *Link {
+	for _, l := range t.links {
+		if l.ID() == id {
+			return l
+		}
+	}
+	return nil
+}
+
+// FindLink returns the first up link between the two devices, or nil.
+func (t *Topology) FindLink(a, b string) *Link {
+	if b < a {
+		a, b = b, a
+	}
+	for _, l := range t.byDevice[a] {
+		if l.A == a && l.B == b && l.Up {
+			return l
+		}
+	}
+	return nil
+}
+
+// Links returns all links in insertion order.
+func (t *Topology) Links() []*Link { return t.links }
+
+// LinksOf returns the links touching device.
+func (t *Topology) LinksOf(device string) []*Link { return t.byDevice[device] }
+
+// Neighbors returns (neighbor device, link) pairs for every up link of an up
+// device, sorted by neighbor name for determinism.
+func (t *Topology) Neighbors(device string) []Neighbor {
+	n := t.nodes[device]
+	if n == nil || !n.Up {
+		return nil
+	}
+	var out []Neighbor
+	for _, l := range t.byDevice[device] {
+		if !l.Up {
+			continue
+		}
+		other := l.A
+		cost := l.CostBA
+		if l.A == device {
+			other = l.B
+			cost = l.CostAB
+		}
+		if on := t.nodes[other]; on == nil || !on.Up {
+			continue
+		}
+		out = append(out, Neighbor{Device: other, Link: l, Cost: cost})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Device != out[j].Device {
+			return out[i].Device < out[j].Device
+		}
+		return out[i].Link.ID().String() < out[j].Link.ID().String()
+	})
+	return out
+}
+
+// Neighbor is one adjacency seen from a device.
+type Neighbor struct {
+	Device string
+	Link   *Link
+	Cost   uint32 // cost of the directed edge device → Device
+}
+
+// Clone returns a deep copy, so change plans can be applied to a copy of the
+// base topology without disturbing it.
+func (t *Topology) Clone() *Topology {
+	out := NewTopology()
+	for _, n := range t.nodes {
+		cp := *n
+		out.nodes[n.Name] = &cp
+	}
+	for _, l := range t.links {
+		cp := *l
+		out.links = append(out.links, &cp)
+	}
+	out.reindex()
+	return out
+}
+
+// SetNodeUp marks a router up or down (k-failure analysis, maintenance).
+func (t *Topology) SetNodeUp(name string, up bool) bool {
+	n := t.nodes[name]
+	if n == nil {
+		return false
+	}
+	n.Up = up
+	return true
+}
+
+// SetLinkUp marks a link up or down.
+func (t *Topology) SetLinkUp(id LinkID, up bool) bool {
+	l := t.Link(id)
+	if l == nil {
+		return false
+	}
+	l.Up = up
+	return true
+}
+
+func (t *Topology) reindex() {
+	t.byDevice = make(map[string][]*Link)
+	for _, l := range t.links {
+		t.byDevice[l.A] = append(t.byDevice[l.A], l)
+		t.byDevice[l.B] = append(t.byDevice[l.B], l)
+	}
+}
+
+// AddrOwner returns the device owning addr on one of its link interfaces or
+// loopback, or "" if none.
+func (t *Topology) AddrOwner(addr netip.Addr) string {
+	for _, n := range t.nodes {
+		if n.Loopback == addr {
+			return n.Name
+		}
+	}
+	for _, l := range t.links {
+		if l.AAddr == addr {
+			return l.A
+		}
+		if l.BAddr == addr {
+			return l.B
+		}
+	}
+	return ""
+}

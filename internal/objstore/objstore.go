@@ -1,0 +1,209 @@
+// Package objstore provides the cloud-object-storage substrate of the
+// distributed simulation framework: subtask inputs and result files live
+// here as opaque blobs, exactly like Hoyan uses Alibaba Cloud OSS.
+//
+// An in-memory store backs single-process clusters and tests; the TCP
+// server/client pair (net/rpc over gob) backs multi-process deployments.
+package objstore
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("objstore: not found")
+
+// Store is the object storage interface.
+type Store interface {
+	// Put stores data under key, overwriting any existing object.
+	Put(key string, data []byte) error
+	// Get retrieves the object at key (ErrNotFound if absent).
+	Get(key string) ([]byte, error)
+	// List returns the keys with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+	// Delete removes the object at key (no error if absent).
+	Delete(key string) error
+}
+
+// Memory is an in-memory Store safe for concurrent use.
+type Memory struct {
+	mu   sync.RWMutex
+	objs map[string][]byte
+
+	// bytesIn/bytesOut track transfer volume for the Figure 5(d) I/O
+	// evaluation.
+	bytesIn  int64
+	bytesOut int64
+}
+
+// NewMemory creates an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{objs: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (s *Memory) Put(key string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.objs[key] = cp
+	s.bytesIn += int64(len(data))
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *Memory) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	data, ok := s.objs[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	s.mu.Lock()
+	s.bytesOut += int64(len(data))
+	s.mu.Unlock()
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Store.
+func (s *Memory) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k := range s.objs {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Delete implements Store.
+func (s *Memory) Delete(key string) error {
+	s.mu.Lock()
+	delete(s.objs, key)
+	s.mu.Unlock()
+	return nil
+}
+
+// Transferred returns the cumulative bytes written to and read from the
+// store.
+func (s *Memory) Transferred() (in, out int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytesIn, s.bytesOut
+}
+
+// Service exposes a Store over net/rpc.
+type Service struct {
+	s Store
+}
+
+// PutArgs are the arguments of Store.Put.
+type PutArgs struct {
+	Key  string
+	Data []byte
+}
+
+// Put is the RPC form of Store.Put.
+func (sv *Service) Put(args *PutArgs, _ *struct{}) error { return sv.s.Put(args.Key, args.Data) }
+
+// GetReply is the result of Store.Get.
+type GetReply struct {
+	Data  []byte
+	Found bool
+}
+
+// Get is the RPC form of Store.Get; missing keys are reported in-band so the
+// sentinel error survives the RPC boundary.
+func (sv *Service) Get(key *string, reply *GetReply) error {
+	data, err := sv.s.Get(*key)
+	if errors.Is(err, ErrNotFound) {
+		reply.Found = false
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	reply.Data, reply.Found = data, true
+	return nil
+}
+
+// List is the RPC form of Store.List.
+func (sv *Service) List(prefix *string, reply *[]string) error {
+	keys, err := sv.s.List(*prefix)
+	*reply = keys
+	return err
+}
+
+// Delete is the RPC form of Store.Delete.
+func (sv *Service) Delete(key *string, _ *struct{}) error { return sv.s.Delete(*key) }
+
+// Serve registers the store on a fresh rpc server and serves connections on
+// l until the listener is closed.
+func Serve(l net.Listener, s Store) {
+	srv := rpc.NewServer()
+	srv.RegisterName("Store", &Service{s: s})
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+}
+
+// Client is a Store talking to a remote Serve instance.
+type Client struct {
+	c *rpc.Client
+}
+
+// Dial connects to an object store server.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("objstore: dial %s: %w", addr, err)
+	}
+	return &Client{c: c}, nil
+}
+
+// Put implements Store.
+func (c *Client) Put(key string, data []byte) error {
+	return c.c.Call("Store.Put", &PutArgs{Key: key, Data: data}, &struct{}{})
+}
+
+// Get implements Store.
+func (c *Client) Get(key string) ([]byte, error) {
+	var reply GetReply
+	if err := c.c.Call("Store.Get", &key, &reply); err != nil {
+		return nil, err
+	}
+	if !reply.Found {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	return reply.Data, nil
+}
+
+// List implements Store.
+func (c *Client) List(prefix string) ([]string, error) {
+	var keys []string
+	err := c.c.Call("Store.List", &prefix, &keys)
+	return keys, err
+}
+
+// Delete implements Store.
+func (c *Client) Delete(key string) error {
+	return c.c.Call("Store.Delete", &key, &struct{}{})
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.c.Close() }

@@ -1,0 +1,102 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+)
+
+func TestMemoryCRUD(t *testing.T) {
+	s := NewMemory()
+	if err := s.Put("task/1/input", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("task/1/input")
+	if err != nil || !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("Get = %q %v", got, err)
+	}
+	// Mutating the returned slice must not affect the stored object.
+	got[0] = 'X'
+	again, _ := s.Get("task/1/input")
+	if !bytes.Equal(again, []byte("abc")) {
+		t.Error("store aliased caller memory")
+	}
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing key err = %v", err)
+	}
+	s.Put("task/1/result", []byte("r"))
+	s.Put("task/2/input", []byte("i"))
+	keys, _ := s.List("task/1/")
+	if len(keys) != 2 || keys[0] != "task/1/input" || keys[1] != "task/1/result" {
+		t.Errorf("List = %v", keys)
+	}
+	if err := s.Delete("task/1/input"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("task/1/input"); !errors.Is(err, ErrNotFound) {
+		t.Error("delete did not remove object")
+	}
+	in, out := s.Transferred()
+	if in == 0 || out == 0 {
+		t.Errorf("transfer counters: in=%d out=%d", in, out)
+	}
+}
+
+func TestMemoryConcurrent(t *testing.T) {
+	s := NewMemory()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i))
+			for j := 0; j < 100; j++ {
+				s.Put(key, []byte{byte(j)})
+				if _, err := s.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestRPCStore(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	Serve(l, NewMemory())
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	blob := bytes.Repeat([]byte("route-data"), 1000)
+	if err := c.Put("k", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("k")
+	if err != nil || !bytes.Equal(got, blob) {
+		t.Fatalf("Get: len=%d err=%v", len(got), err)
+	}
+	if _, err := c.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing over RPC: %v", err)
+	}
+	keys, err := c.List("")
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("List = %v %v", keys, err)
+	}
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Error("delete over RPC failed")
+	}
+}

@@ -1,0 +1,83 @@
+package pipeline
+
+import (
+	"net/netip"
+	"testing"
+
+	"hoyan/internal/change"
+	"hoyan/internal/core"
+	"hoyan/internal/gen"
+	"hoyan/internal/intent"
+	"hoyan/internal/netmodel"
+)
+
+func TestBaseSnapshotCached(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	sys := New(out.Net, out.Inputs, out.Flows, core.Options{})
+	s1 := sys.BaseSnapshot()
+	s2 := sys.BaseSnapshot()
+	if s1 != s2 {
+		t.Error("base snapshot must be computed once (pre-processing)")
+	}
+	if s1.RIB.Len() == 0 || len(s1.Paths) == 0 {
+		t.Error("base snapshot incomplete")
+	}
+	if len(s1.Bandwidth) != len(out.Net.Topo.Links()) {
+		t.Error("bandwidth map incomplete")
+	}
+}
+
+func TestVerifyNewPrefixBothModes(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	p := netip.MustParsePrefix("10.99.0.0/24")
+	plan := &change.Plan{
+		ID: "t", Type: change.NewPrefix,
+		NewInputs: []netmodel.Route{{
+			Device: "dc-0-0", VRF: "global", Prefix: p,
+			NextHop: out.Net.Devices["dc-0-0"].Loopback,
+		}},
+	}
+	intents := []intent.Intent{intent.ReachIntent{Prefix: p, Devices: []string{"rr-1-0"}, Want: true}}
+
+	central := New(out.Net, out.Inputs, out.Flows, core.Options{})
+	got, err := central.Verify(plan, intents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK {
+		t.Fatalf("centralized verify failed: %+v", got.Reports)
+	}
+
+	dist := New(out.Net, out.Inputs, out.Flows, core.Options{})
+	dist.Workers = 2
+	dist.RouteSubtasks = 6
+	dist.TrafficSubtasks = 6
+	got2, err := dist.Verify(plan, intents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.OK {
+		t.Fatalf("distributed verify failed: %+v", got2.Reports)
+	}
+}
+
+func TestVerifyApplyErrorPropagates(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	sys := New(out.Net, out.Inputs, nil, core.Options{})
+	plan := &change.Plan{ID: "t", Commands: map[string]string{"nope": "isis enable\n"}}
+	if _, err := sys.Verify(plan, nil); err == nil {
+		t.Error("apply error must propagate")
+	}
+}
+
+func TestAudit(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	sys := New(out.Net, out.Inputs, out.Flows, core.Options{})
+	reports, ok := sys.Audit([]intent.Intent{
+		intent.RouteIntent{Spec: "PRE = POST"}, // trivially true: base vs base
+		intent.LoadIntent{MaxUtilization: 0.99},
+	})
+	if !ok || len(reports) != 2 {
+		t.Errorf("audit: ok=%v reports=%+v", ok, reports)
+	}
+}

@@ -1,0 +1,247 @@
+package rcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CmpOp is a comparison operator ⊙.
+type CmpOp string
+
+// Comparison operators.
+const (
+	OpEq  CmpOp = "="
+	OpNeq CmpOp = "!="
+	OpLt  CmpOp = "<"
+	OpLe  CmpOp = "<="
+	OpGt  CmpOp = ">"
+	OpGe  CmpOp = ">="
+)
+
+// Predicate is a route predicate p: it maps a route to a Boolean.
+type Predicate interface {
+	predString() string
+	// Size counts internal (non-leaf) syntax tree nodes (the Figure 8
+	// specification-size metric).
+	Size() int
+}
+
+// CmpPred is "field ⊙ value".
+type CmpPred struct {
+	Field string
+	Op    CmpOp
+	Value string
+}
+
+func (p *CmpPred) predString() string { return fmt.Sprintf("%s %s %s", p.Field, p.Op, p.Value) }
+func (p *CmpPred) Size() int          { return 1 }
+
+// ContainsPred is "field contains value" (alias "has").
+type ContainsPred struct {
+	Field string
+	Value string
+}
+
+func (p *ContainsPred) predString() string { return fmt.Sprintf("%s contains %s", p.Field, p.Value) }
+func (p *ContainsPred) Size() int          { return 1 }
+
+// InPred is "field in {v, ...}".
+type InPred struct {
+	Field  string
+	Values []string
+}
+
+func (p *InPred) predString() string {
+	return fmt.Sprintf("%s in {%s}", p.Field, strings.Join(p.Values, ", "))
+}
+func (p *InPred) Size() int { return 1 }
+
+// MatchesPred is `field matches "regex"`.
+type MatchesPred struct {
+	Field string
+	Regex string
+}
+
+func (p *MatchesPred) predString() string { return fmt.Sprintf("%s matches %q", p.Field, p.Regex) }
+func (p *MatchesPred) Size() int          { return 1 }
+
+// BoolPred composes predicates with and/or/imply.
+type BoolPred struct {
+	Op   string // "and" | "or" | "imply"
+	L, R Predicate
+}
+
+func (p *BoolPred) predString() string {
+	return fmt.Sprintf("(%s %s %s)", p.L.predString(), p.Op, p.R.predString())
+}
+func (p *BoolPred) Size() int { return 1 + p.L.Size() + p.R.Size() }
+
+// NotPred is "not p".
+type NotPred struct{ P Predicate }
+
+func (p *NotPred) predString() string { return "not " + p.P.predString() }
+func (p *NotPred) Size() int          { return 1 + p.P.Size() }
+
+// Transform is a RIB transformation r: it maps the (base, updated) RIB pair
+// to a single RIB.
+type Transform interface {
+	transString() string
+	Size() int
+}
+
+// SelectRIB is the PRE / POST keyword.
+type SelectRIB struct {
+	Post bool
+}
+
+func (t *SelectRIB) transString() string {
+	if t.Post {
+		return "POST"
+	}
+	return "PRE"
+}
+func (t *SelectRIB) Size() int { return 0 }
+
+// FilterRIB is "r || p".
+type FilterRIB struct {
+	R Transform
+	P Predicate
+}
+
+func (t *FilterRIB) transString() string {
+	return fmt.Sprintf("%s||(%s)", t.R.transString(), t.P.predString())
+}
+func (t *FilterRIB) Size() int { return 1 + t.R.Size() + t.P.Size() }
+
+// AggFunc identifies a RIB aggregate function f.
+type AggFunc string
+
+// Aggregate functions.
+const (
+	AggCount    AggFunc = "count"
+	AggDistCnt  AggFunc = "distCnt"
+	AggDistVals AggFunc = "distVals"
+)
+
+// Eval is a RIB evaluation e: it maps the RIB pair to a primitive value.
+type Eval interface {
+	evalString() string
+	Size() int
+}
+
+// LitEval is a literal value.
+type LitEval struct {
+	Value  string
+	Number bool
+}
+
+func (e *LitEval) evalString() string { return e.Value }
+func (e *LitEval) Size() int          { return 0 }
+
+// SetEval is a literal set {v, ...}.
+type SetEval struct{ Values []string }
+
+func (e *SetEval) evalString() string { return "{" + strings.Join(e.Values, ", ") + "}" }
+func (e *SetEval) Size() int          { return 0 }
+
+// AggEval is "r |> f(field)".
+type AggEval struct {
+	R     Transform
+	F     AggFunc
+	Field string // empty for count()
+}
+
+func (e *AggEval) evalString() string {
+	return fmt.Sprintf("%s |> %s(%s)", e.R.transString(), e.F, e.Field)
+}
+func (e *AggEval) Size() int { return 1 + e.R.Size() }
+
+// ArithEval is "e1 (+|-|*|/) e2".
+type ArithEval struct {
+	Op   string
+	L, R Eval
+}
+
+func (e *ArithEval) evalString() string {
+	return fmt.Sprintf("(%s %s %s)", e.L.evalString(), e.Op, e.R.evalString())
+}
+func (e *ArithEval) Size() int { return 1 + e.L.Size() + e.R.Size() }
+
+// Intent is the top-level construct g: it evaluates the RIB pair to a
+// Boolean.
+type Intent interface {
+	intentString() string
+	Size() int
+}
+
+// RIBCmpIntent is "r1 (=|!=) r2".
+type RIBCmpIntent struct {
+	Neq  bool
+	L, R Transform
+}
+
+func (g *RIBCmpIntent) intentString() string {
+	op := "="
+	if g.Neq {
+		op = "!="
+	}
+	return fmt.Sprintf("%s %s %s", g.L.transString(), op, g.R.transString())
+}
+func (g *RIBCmpIntent) Size() int { return 1 + g.L.Size() + g.R.Size() }
+
+// EvalCmpIntent is "e1 ⊙ e2".
+type EvalCmpIntent struct {
+	Op   CmpOp
+	L, R Eval
+}
+
+func (g *EvalCmpIntent) intentString() string {
+	return fmt.Sprintf("%s %s %s", g.L.evalString(), g.Op, g.R.evalString())
+}
+func (g *EvalCmpIntent) Size() int { return 1 + g.L.Size() + g.R.Size() }
+
+// GuardedIntent is "p => g".
+type GuardedIntent struct {
+	P Predicate
+	G Intent
+}
+
+func (g *GuardedIntent) intentString() string {
+	return fmt.Sprintf("%s => %s", g.P.predString(), g.G.intentString())
+}
+func (g *GuardedIntent) Size() int { return 1 + g.P.Size() + g.G.Size() }
+
+// ForallIntent is "forall field [in {v,...}] : g".
+type ForallIntent struct {
+	Field  string
+	Values []string // nil: group by every distinct value of Field
+	G      Intent
+}
+
+func (g *ForallIntent) intentString() string {
+	if g.Values == nil {
+		return fmt.Sprintf("forall %s: %s", g.Field, g.G.intentString())
+	}
+	return fmt.Sprintf("forall %s in {%s}: %s", g.Field, strings.Join(g.Values, ", "), g.G.intentString())
+}
+func (g *ForallIntent) Size() int { return 1 + g.G.Size() }
+
+// BoolIntent composes intents with and/or/imply.
+type BoolIntent struct {
+	Op   string
+	L, R Intent
+}
+
+func (g *BoolIntent) intentString() string {
+	return fmt.Sprintf("(%s %s %s)", g.L.intentString(), g.Op, g.R.intentString())
+}
+func (g *BoolIntent) Size() int { return 1 + g.L.Size() + g.R.Size() }
+
+// NotIntent is "not g".
+type NotIntent struct{ G Intent }
+
+func (g *NotIntent) intentString() string { return "not " + g.G.intentString() }
+func (g *NotIntent) Size() int            { return 1 + g.G.Size() }
+
+// String renders an intent in canonical concrete syntax (re-parsable).
+func String(g Intent) string { return g.intentString() }

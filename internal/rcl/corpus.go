@@ -1,0 +1,107 @@
+package rcl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Corpus generates the 50-specification evaluation corpus used for Figure 8,
+// mirroring the shapes of §4.3's real-world use cases: no-change intents,
+// attribute-change intents, blocked-community intents, conditional
+// re-routing intents, next-hop-count intents, and presence/absence intents.
+// The parameters plug concrete device names, prefixes, communities, and next
+// hops from the evaluated network into the templates, so verification times
+// are measured against real RIB contents.
+func Corpus(devices, prefixes, communities, nexthops []string) []string {
+	pick := func(xs []string, i int) string { return xs[i%len(xs)] }
+	pick2 := func(xs []string, i int) string {
+		if len(xs) == 1 {
+			return xs[0]
+		}
+		return xs[(i+1)%len(xs)]
+	}
+	set := func(xs ...string) string { return "{" + strings.Join(xs, ", ") + "}" }
+
+	var specs []string
+	add := func(s string) { specs = append(specs, s) }
+
+	// 1) Validating unchanged routes (12 variants), §4.3 use case 1.
+	for i := 0; i < 12; i++ {
+		d1, d2 := pick(devices, i), pick2(devices, i)
+		p1, p2 := pick(prefixes, i), pick2(prefixes, i)
+		switch i % 3 {
+		case 0:
+			add(fmt.Sprintf(
+				"forall device in %s: forall prefix in %s: routeType = BEST => PRE |> distVals(nexthop) = POST |> distVals(nexthop)",
+				set(d1, d2), set(p1, p2)))
+		case 1:
+			add(fmt.Sprintf("device = %s => PRE = POST", d1))
+		default:
+			add(fmt.Sprintf("prefix != %s => PRE = POST", p1))
+		}
+	}
+
+	// 2) Validating the success of route changes (10 variants): attribute
+	// values after the change.
+	for i := 0; i < 10; i++ {
+		p := pick(prefixes, i)
+		switch i % 2 {
+		case 0:
+			add(fmt.Sprintf("prefix = %s => POST |> distVals(localPref) = {%d}", p, 100+10*(i%5)))
+		default:
+			add(fmt.Sprintf("prefix = %s and routeType = BEST => POST |> count() >= 1", p))
+		}
+	}
+
+	// 3) Blocked communities (8 variants), §4.3 use case 2.
+	for i := 0; i < 8; i++ {
+		d := pick(devices, i)
+		c := pick(communities, i)
+		if i%2 == 0 {
+			add(fmt.Sprintf("forall device in %s: POST||(communities has %s) |> count() = 0", set(d), c))
+		} else {
+			add(fmt.Sprintf("device = %s => POST||(communities has %s) |> count() = 0", d, c))
+		}
+	}
+
+	// 4) Conditional changes (6 variants), §4.3 use case 3.
+	for i := 0; i < 6; i++ {
+		d := pick(devices, i)
+		nh1, nh2 := pick(nexthops, i), pick2(nexthops, i)
+		add(fmt.Sprintf(
+			"forall device in %s: forall prefix: (PRE |> distVals(nexthop) = {%s}) imply (POST |> distVals(nexthop) = {%s})",
+			set(d), nh1, nh2))
+	}
+
+	// 5) Next-hop counts / ECMP intents (6 variants).
+	for i := 0; i < 6; i++ {
+		p := pick(prefixes, i+3)
+		if i%2 == 0 {
+			add(fmt.Sprintf("prefix = %s and routeType = BEST => POST |> distCnt(nexthop) >= 1", p))
+		} else {
+			add(fmt.Sprintf("forall prefix in %s: routeType = BEST => POST |> distCnt(device) >= 1", set(p)))
+		}
+	}
+
+	// 6) Presence / absence (4 variants): new prefix announcement and
+	// prefix reclamation (Table 2).
+	for i := 0; i < 4; i++ {
+		p := pick(prefixes, i+1)
+		if i%2 == 0 {
+			add(fmt.Sprintf("prefix = %s => POST |> distCnt(device) >= 1", p))
+		} else {
+			add(fmt.Sprintf("POST||prefix = %s||device = %s |> count() >= 0", p, pick(devices, i)))
+		}
+	}
+
+	// 7) Composite intents (4 variants).
+	for i := 0; i < 4; i++ {
+		p := pick(prefixes, i)
+		c := pick(communities, i)
+		add(fmt.Sprintf(
+			"(prefix = %s => POST |> count() >= 1) and (communities has %s => POST |> distCnt(prefix) >= 1)",
+			p, c))
+	}
+
+	return specs
+}

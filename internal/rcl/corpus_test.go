@@ -1,0 +1,49 @@
+package rcl
+
+import "testing"
+
+func TestCorpusParsesAndSizes(t *testing.T) {
+	specs := Corpus(
+		[]string{"rr-0-0", "border-0-0", "dc-1-1"},
+		[]string{"10.0.0.0/24", "10.1.0.0/24", "20.0.0.0/24"},
+		[]string{"65000:0", "65000:999"},
+		[]string{"100.64.3.1", "100.65.3.1"},
+	)
+	if len(specs) != 50 {
+		t.Fatalf("corpus size = %d, want 50", len(specs))
+	}
+	small := 0
+	for _, spec := range specs {
+		g, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("corpus spec does not parse: %q: %v", spec, err)
+		}
+		if g.Size() < 15 {
+			small++
+		}
+		// Canonical form must re-parse.
+		if _, err := Parse(String(g)); err != nil {
+			t.Errorf("canonical form of %q unparsable: %v", spec, err)
+		}
+	}
+	// Figure 8 shape: >90% of real-world specifications are smaller than 15.
+	if frac := float64(small) / float64(len(specs)); frac < 0.9 {
+		t.Errorf("only %.0f%% of corpus specs are < 15 internal nodes", frac*100)
+	}
+}
+
+func TestCorpusVerifiesAgainstRIBs(t *testing.T) {
+	base, updated := figure6()
+	specs := Corpus(
+		[]string{"A", "B"},
+		[]string{"10.0.0.0/24", "20.0.0.0/24"},
+		[]string{"100:1", "200:1"},
+		[]string{"2.0.0.1", "4.0.0.1"},
+	)
+	for _, spec := range specs {
+		g := MustParse(spec)
+		if _, err := Check(g, base, updated); err != nil {
+			t.Errorf("spec %q fails to verify: %v", spec, err)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package rcl implements the Route Change intent specification Language of
+// §4 and Appendix A: a small domain-specific language over the global-RIB
+// abstraction that relates the RIBs before (PRE) and after (POST) a network
+// change.
+//
+// The concrete syntax follows the paper with ASCII spellings:
+//
+//	p  :=  field OP value | field contains v | field has v
+//	    |  field in {v, ...} | field matches "regex"
+//	    |  p and p | p or p | p imply p | not p
+//	r  :=  PRE | POST | r || p
+//	e  :=  value | {v, ...} | r |> count() | r |> distCnt(f) | r |> distVals(f)
+//	    |  e + e | e - e | e * e | e / e
+//	g  :=  r = r | r != r | e OP e | p => g
+//	    |  forall f : g | forall f in {v, ...} : g
+//	    |  g and g | g or g | g imply g | not g
+//
+// "▷"/"►" are accepted as aliases of "|>", and "⇒" of "=>".
+package rcl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF  tokenKind = iota
+	tokWord           // identifiers, keywords, field names, bare values
+	tokNumber
+	tokString // quoted regex/string
+	tokLParen
+	tokRParen
+	tokLBrace
+	tokRBrace
+	tokComma
+	tokColon
+	tokEq  // =
+	tokNeq // !=
+	tokLt  // <
+	tokLe  // <=
+	tokGt  // >
+	tokGe  // >=
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokFilter // ||
+	tokPipe   // |>
+	tokArrow  // =>
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// SyntaxError reports a lexing or parsing failure with its input offset.
+type SyntaxError struct {
+	Pos    int
+	Reason string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("rcl: syntax error at offset %d: %s", e.Pos, e.Reason)
+}
+
+// lex tokenizes a specification. Values like "10.0.0.0/24", "100:1",
+// "2.0.0.1", and "2001:db8::/32" are single word tokens: '/' joins a word
+// when the word already contains '.' or ':' (so arithmetic division needs
+// surrounding whitespace, which the grammar requires anyway).
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+			continue
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == '{':
+			toks = append(toks, token{tokLBrace, "{", i})
+			i++
+		case c == '}':
+			toks = append(toks, token{tokRBrace, "}", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == ':':
+			toks = append(toks, token{tokColon, ":", i})
+			i++
+		case c == '+':
+			toks = append(toks, token{tokPlus, "+", i})
+			i++
+		case c == '-':
+			toks = append(toks, token{tokMinus, "-", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '/':
+			toks = append(toks, token{tokSlash, "/", i})
+			i++
+		case c == '=':
+			if i+1 < n && src[i+1] == '>' {
+				toks = append(toks, token{tokArrow, "=>", i})
+				i += 2
+			} else if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokEq, "=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokEq, "=", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokNeq, "!=", i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{Pos: i, Reason: "unexpected '!'"}
+			}
+		case c == '<':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokLe, "<=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokLt, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokGe, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokGt, ">", i})
+				i++
+			}
+		case c == '|':
+			if i+1 < n && src[i+1] == '|' {
+				toks = append(toks, token{tokFilter, "||", i})
+				i += 2
+			} else if i+1 < n && src[i+1] == '>' {
+				toks = append(toks, token{tokPipe, "|>", i})
+				i += 2
+			} else {
+				return nil, &SyntaxError{Pos: i, Reason: "unexpected '|'"}
+			}
+		case c == '"':
+			j := i + 1
+			for j < n && src[j] != '"' {
+				j++
+			}
+			if j >= n {
+				return nil, &SyntaxError{Pos: i, Reason: "unterminated string"}
+			}
+			toks = append(toks, token{tokString, src[i+1 : j], i})
+			i = j + 1
+		default:
+			// Unicode aliases.
+			if strings.HasPrefix(src[i:], "⇒") {
+				toks = append(toks, token{tokArrow, "=>", i})
+				i += len("⇒")
+				continue
+			}
+			if strings.HasPrefix(src[i:], "▷") || strings.HasPrefix(src[i:], "►") {
+				toks = append(toks, token{tokPipe, "|>", i})
+				i += len("▷")
+				continue
+			}
+			if strings.HasPrefix(src[i:], "≠") {
+				toks = append(toks, token{tokNeq, "!=", i})
+				i += len("≠")
+				continue
+			}
+			if !isWordByte(c) {
+				return nil, &SyntaxError{Pos: i, Reason: fmt.Sprintf("unexpected character %q", rune(c))}
+			}
+			j := i
+			for j < n {
+				cj := src[j]
+				// ':' joins a word only when another word character follows
+				// (community "100:1", IPv6 "2001:db8::1"); a trailing ':'
+				// is the forall separator.
+				if cj == ':' {
+					if j+1 < n && (isWordByte(src[j+1]) || src[j+1] == ':' || src[j+1] == '/') {
+						j++
+						continue
+					}
+					break
+				}
+				if isWordByte(cj) {
+					j++
+					continue
+				}
+				// '/' continues a word only when it already looks like an
+				// address (contains '.' or ':') and a digit follows.
+				if cj == '/' && j+1 < n && isDigit(src[j+1]) &&
+					(strings.ContainsAny(src[i:j], ".:")) {
+					j++
+					continue
+				}
+				break
+			}
+			word := src[i:j]
+			if isNumber(word) {
+				toks = append(toks, token{tokNumber, word, i})
+			} else {
+				toks = append(toks, token{tokWord, word, i})
+			}
+			i = j
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c == '.' || c == '-' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isNumber(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"testing"
+
+	"hoyan/internal/change"
+)
+
+func TestTable2CatalogCoversAllTypes(t *testing.T) {
+	cat := Table2Catalog()
+	if len(cat) != len(change.AllTypes) {
+		t.Fatalf("catalog size = %d, want %d", len(cat), len(change.AllTypes))
+	}
+	seen := map[change.Type]bool{}
+	for _, sc := range cat {
+		seen[sc.Type] = true
+		if len(sc.Intents) == 0 {
+			t.Errorf("%s: no intents", sc.Name)
+		}
+	}
+	for _, typ := range change.AllTypes {
+		if !seen[typ] {
+			t.Errorf("type %s missing", typ)
+		}
+	}
+}
+
+func TestTable2CatalogVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full catalog verification is slow")
+	}
+	for _, sc := range Table2Catalog() {
+		sc := sc
+		t.Run(string(sc.Type), func(t *testing.T) {
+			runScenario(t, sc)
+		})
+	}
+}

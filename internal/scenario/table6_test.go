@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"testing"
+
+	"hoyan/internal/core"
+	"hoyan/internal/pipeline"
+)
+
+func TestTable6CatalogAllRisksDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full risk campaign is slow")
+	}
+	cat := Table6Catalog()
+	if len(cat) != 16 {
+		t.Fatalf("catalog size = %d, want 16", len(cat))
+	}
+	counts := map[RootCause]int{}
+	for _, rs := range cat {
+		rs := rs
+		counts[rs.Cause]++
+		t.Run(rs.Name, func(t *testing.T) {
+			sys := pipeline.New(rs.Net, rs.Inputs, rs.Flows, core.Options{})
+			out, err := sys.Verify(rs.Plan, rs.Intents)
+			if rs.WantApplyError {
+				if err == nil {
+					t.Fatal("plan must fail to apply")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.OK {
+				t.Fatal("risk not detected: all intents verified")
+			}
+		})
+	}
+	// The distribution mirrors Table 6's ordering.
+	if !(counts[CauseIncorrectCommands] > counts[CauseDesignFlaw] &&
+		counts[CauseDesignFlaw] > counts[CauseExistingMisconfig] &&
+		counts[CauseExistingMisconfig] > counts[CauseTopologyIssue]) {
+		t.Errorf("root cause distribution off: %v", counts)
+	}
+}

@@ -1,0 +1,193 @@
+// Package taskdb provides the subtask-status database of the distributed
+// simulation framework: workers update subtask status here, the master
+// monitors it, and the §3.2 ordering heuristic records each route subtask's
+// covered address range here so traffic subtasks can test overlap.
+package taskdb
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Status of a subtask.
+type Status string
+
+// Subtask lifecycle states.
+const (
+	StatusPending Status = "pending"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Record is one subtask's state. RangeLo/RangeHi hold the address range
+// covered by a route subtask's input prefixes (textual netip.Addr form, kept
+// as strings for clean wire encoding).
+type Record struct {
+	TaskID   string // simulation task this subtask belongs to
+	SubID    int
+	Kind     string // "route" or "traffic"
+	Status   Status
+	Worker   string
+	Attempts int
+	Error    string
+
+	RangeLo string
+	RangeHi string
+
+	StartedAt  time.Time
+	FinishedAt time.Time
+	DurationMs int64
+
+	// LoadedRIBFiles counts how many route-subtask result files a traffic
+	// subtask loaded (the Figure 5(d) metric).
+	LoadedRIBFiles int
+}
+
+// Key identifies a subtask record.
+func (r Record) Key() string { return fmt.Sprintf("%s/%s/%d", r.TaskID, r.Kind, r.SubID) }
+
+// DB is the subtask database interface.
+type DB interface {
+	// Upsert stores the record, replacing any previous state.
+	Upsert(rec Record) error
+	// Get fetches one record.
+	Get(taskID, kind string, subID int) (Record, bool, error)
+	// List returns all records of a task, sorted by kind then sub ID.
+	List(taskID string) ([]Record, error)
+}
+
+// Memory is an in-memory DB safe for concurrent use.
+type Memory struct {
+	mu   sync.RWMutex
+	recs map[string]Record
+}
+
+// NewMemory creates an empty in-memory DB.
+func NewMemory() *Memory { return &Memory{recs: make(map[string]Record)} }
+
+// Upsert implements DB.
+func (db *Memory) Upsert(rec Record) error {
+	db.mu.Lock()
+	db.recs[rec.Key()] = rec
+	db.mu.Unlock()
+	return nil
+}
+
+// Get implements DB.
+func (db *Memory) Get(taskID, kind string, subID int) (Record, bool, error) {
+	db.mu.RLock()
+	rec, ok := db.recs[Record{TaskID: taskID, Kind: kind, SubID: subID}.Key()]
+	db.mu.RUnlock()
+	return rec, ok, nil
+}
+
+// List implements DB.
+func (db *Memory) List(taskID string) ([]Record, error) {
+	db.mu.RLock()
+	var out []Record
+	for _, rec := range db.recs {
+		if rec.TaskID == taskID {
+			out = append(out, rec)
+		}
+	}
+	db.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].SubID < out[j].SubID
+	})
+	return out, nil
+}
+
+// Service exposes a DB over net/rpc.
+type Service struct{ db DB }
+
+// Upsert is the RPC form of DB.Upsert.
+func (s *Service) Upsert(rec *Record, _ *struct{}) error { return s.db.Upsert(*rec) }
+
+// GetArgs are the arguments of Tasks.Get.
+type GetArgs struct {
+	TaskID string
+	Kind   string
+	SubID  int
+}
+
+// GetReply is the result of Tasks.Get.
+type GetReply struct {
+	Rec   Record
+	Found bool
+}
+
+// Get is the RPC form of DB.Get.
+func (s *Service) Get(args *GetArgs, reply *GetReply) error {
+	rec, ok, err := s.db.Get(args.TaskID, args.Kind, args.SubID)
+	reply.Rec, reply.Found = rec, ok
+	return err
+}
+
+// List is the RPC form of DB.List.
+func (s *Service) List(taskID *string, reply *[]Record) error {
+	recs, err := s.db.List(*taskID)
+	*reply = recs
+	return err
+}
+
+// Serve registers the DB on a fresh rpc server and serves connections on l
+// until the listener is closed.
+func Serve(l net.Listener, db DB) {
+	srv := rpc.NewServer()
+	srv.RegisterName("Tasks", &Service{db: db})
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+}
+
+// Client is a DB talking to a remote Serve instance.
+type Client struct{ c *rpc.Client }
+
+// Dial connects to a task DB server.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("taskdb: dial %s: %w", addr, err)
+	}
+	return &Client{c: c}, nil
+}
+
+// Upsert implements DB.
+func (c *Client) Upsert(rec Record) error {
+	return c.c.Call("Tasks.Upsert", &rec, &struct{}{})
+}
+
+// Get implements DB.
+func (c *Client) Get(taskID, kind string, subID int) (Record, bool, error) {
+	var reply GetReply
+	err := c.c.Call("Tasks.Get", &GetArgs{TaskID: taskID, Kind: kind, SubID: subID}, &reply)
+	return reply.Rec, reply.Found, err
+}
+
+// List implements DB.
+func (c *Client) List(taskID string) ([]Record, error) {
+	var recs []Record
+	err := c.c.Call("Tasks.List", &taskID, &recs)
+	return recs, err
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error { return c.c.Close() }
+
+// ErrUnreachable reports substrate connectivity problems distinctly.
+var ErrUnreachable = errors.New("taskdb: unreachable")

@@ -1,0 +1,78 @@
+package taskdb
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestMemoryUpsertGetList(t *testing.T) {
+	db := NewMemory()
+	r1 := Record{TaskID: "t1", Kind: "route", SubID: 0, Status: StatusPending, RangeLo: "10.0.0.0", RangeHi: "10.0.255.255"}
+	r2 := Record{TaskID: "t1", Kind: "route", SubID: 1, Status: StatusPending}
+	r3 := Record{TaskID: "t1", Kind: "traffic", SubID: 0, Status: StatusPending}
+	other := Record{TaskID: "t2", Kind: "route", SubID: 0}
+	for _, r := range []Record{r2, r3, r1, other} {
+		if err := db.Upsert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok, err := db.Get("t1", "route", 0)
+	if err != nil || !ok || got.RangeHi != "10.0.255.255" {
+		t.Fatalf("Get = %+v %v %v", got, ok, err)
+	}
+	if _, ok, _ := db.Get("t1", "route", 99); ok {
+		t.Error("phantom record")
+	}
+	recs, err := db.List("t1")
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("List = %v %v", recs, err)
+	}
+	// Sorted by kind then sub ID.
+	if recs[0].Kind != "route" || recs[0].SubID != 0 || recs[2].Kind != "traffic" {
+		t.Errorf("order: %v", recs)
+	}
+
+	// Upsert replaces.
+	r1.Status = StatusDone
+	r1.DurationMs = 123
+	db.Upsert(r1)
+	got, _, _ = db.Get("t1", "route", 0)
+	if got.Status != StatusDone || got.DurationMs != 123 {
+		t.Errorf("after upsert: %+v", got)
+	}
+}
+
+func TestRPCTaskDB(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	Serve(l, NewMemory())
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rec := Record{
+		TaskID: "t", Kind: "route", SubID: 3, Status: StatusRunning,
+		Worker: "w1", StartedAt: time.Now().Truncate(time.Second),
+	}
+	if err := c.Upsert(rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get("t", "route", 3)
+	if err != nil || !ok || got.Worker != "w1" || got.Status != StatusRunning {
+		t.Fatalf("Get over RPC: %+v %v %v", got, ok, err)
+	}
+	recs, err := c.List("t")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("List over RPC: %v %v", recs, err)
+	}
+	if _, ok, err := c.Get("t", "route", 9); ok || err != nil {
+		t.Errorf("missing record: ok=%v err=%v", ok, err)
+	}
+}

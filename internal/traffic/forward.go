@@ -1,0 +1,425 @@
+// Package traffic simulates packet forwarding: given the simulated RIBs, it
+// computes the forwarding path of every input flow and aggregates per-link
+// traffic loads (the Jingubang/Yu capability folded into Hoyan, §3.1).
+//
+// Forwarding at each hop honors PBR steering, ingress/egress ACLs, longest
+// prefix match over best routes, recursive next-hop resolution through the
+// IGP, SR tunnels with explicit segment lists, and ECMP. Flow volume is
+// split evenly across equal-cost branches for load computation; a
+// deterministic 5-tuple hash picks the representative path.
+package traffic
+
+import (
+	"hash/fnv"
+	"net/netip"
+	"sort"
+
+	"hoyan/internal/config"
+	"hoyan/internal/isis"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/vsb"
+)
+
+// RIBSource supplies routing tables per (device, vrf). Both *bgp.Result and
+// RIB file sets loaded by the distributed framework implement it.
+type RIBSource interface {
+	RIB(device, vrf string) *netmodel.RIB
+}
+
+// Options tunes the forwarding simulation.
+type Options struct {
+	// Profiles supplies vendor behaviours (unused VSBs are harmless here).
+	Profiles vsb.Profiles
+	// IgnoreACLs disables ACL evaluation (fault-injection for the accuracy
+	// campaign: "Hoyan does not model ACLs").
+	IgnoreACLs bool
+	// IgnorePBR disables PBR steering (fault injection).
+	IgnorePBR bool
+	// MaxHops bounds path length before declaring a loop.
+	MaxHops int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Profiles == nil {
+		o.Profiles = vsb.Defaults()
+	}
+	if o.MaxHops == 0 {
+		o.MaxHops = 64
+	}
+	return o
+}
+
+// Forwarder computes flow paths over a network snapshot and its RIBs.
+type Forwarder struct {
+	net  *config.Network
+	igp  *isis.Result
+	ribs RIBSource
+	opts Options
+}
+
+// NewForwarder builds a forwarder over the given snapshot.
+func NewForwarder(net *config.Network, igp *isis.Result, ribs RIBSource, opts Options) *Forwarder {
+	return &Forwarder{net: net, igp: igp, ribs: ribs, opts: opts.withDefaults()}
+}
+
+// Result of a traffic simulation.
+type Result struct {
+	// Paths holds the representative (hash-chosen) path per flow, in input
+	// order.
+	Paths []FlowPath
+	// Load is the per-link traffic volume with ECMP even-splitting.
+	Load netmodel.LinkLoad
+}
+
+// FlowPath pairs a flow with its simulated forwarding path.
+type FlowPath struct {
+	Flow netmodel.Flow
+	Path netmodel.Path
+}
+
+// Simulate forwards every flow and aggregates link loads.
+func (f *Forwarder) Simulate(flows []netmodel.Flow) *Result {
+	res := &Result{Load: make(netmodel.LinkLoad)}
+	for _, fl := range flows {
+		path := f.Path(fl)
+		res.Paths = append(res.Paths, FlowPath{Flow: fl, Path: path})
+		f.accumulateLoad(fl, res.Load)
+	}
+	return res
+}
+
+// Path computes the representative forwarding path of one flow, choosing one
+// ECMP branch per hop by 5-tuple hash.
+func (f *Forwarder) Path(fl netmodel.Flow) netmodel.Path {
+	var path netmodel.Path
+	cur := fl.Ingress
+	inIface := ""
+	visited := map[string]bool{}
+	h := flowHash(fl)
+	for hop := 0; hop < f.opts.MaxHops; hop++ {
+		if visited[cur] {
+			path.Hops = append(path.Hops, netmodel.Hop{Device: cur})
+			path.Exit = netmodel.ExitLoop
+			return path
+		}
+		visited[cur] = true
+
+		step := f.step(cur, inIface, fl)
+		if step.exit != exitNone {
+			path.Hops = append(path.Hops, netmodel.Hop{Device: cur})
+			path.Exit = exitReason(step.exit)
+			return path
+		}
+		// Pick one branch by hash.
+		nh := step.branches[int(h)%len(step.branches)]
+		path.Hops = append(path.Hops, netmodel.Hop{Device: cur, Link: nh.link})
+		cur = nh.device
+		inIface = nh.remoteIface
+	}
+	path.Hops = append(path.Hops, netmodel.Hop{Device: cur})
+	path.Exit = netmodel.ExitLoop
+	return path
+}
+
+// accumulateLoad adds the flow's volume to every traversed link, splitting
+// evenly at each ECMP branch point.
+func (f *Forwarder) accumulateLoad(fl netmodel.Flow, load netmodel.LinkLoad) {
+	type state struct {
+		device  string
+		inIface string
+		volume  float64
+		depth   int
+	}
+	queue := []state{{device: fl.Ingress, volume: fl.Volume}}
+	// visits caps work on pathological loops.
+	visits := 0
+	for len(queue) > 0 && visits < 4*f.opts.MaxHops {
+		st := queue[0]
+		queue = queue[1:]
+		visits++
+		if st.depth >= f.opts.MaxHops {
+			continue
+		}
+		step := f.step(st.device, st.inIface, fl)
+		if step.exit != exitNone {
+			continue
+		}
+		share := st.volume / float64(len(step.branches))
+		for _, br := range step.branches {
+			load[br.link] += share
+			queue = append(queue, state{device: br.device, inIface: br.remoteIface, volume: share, depth: st.depth + 1})
+		}
+	}
+}
+
+type branch struct {
+	device      string // next device
+	link        netmodel.LinkID
+	remoteIface string // interface name on the next device (for its ACL-in)
+}
+
+type stepExit uint8
+
+const (
+	exitNone stepExit = iota
+	exitDelivered
+	exitToPeer
+	exitNoRoute
+	exitACL
+	exitLinkDown
+)
+
+func exitReason(e stepExit) netmodel.ExitReason {
+	switch e {
+	case exitDelivered:
+		return netmodel.ExitDelivered
+	case exitToPeer:
+		return netmodel.ExitToPeer
+	case exitACL:
+		return netmodel.ExitACLDenied
+	case exitLinkDown:
+		return netmodel.ExitLinkDown
+	}
+	return netmodel.ExitNoRoute
+}
+
+type stepResult struct {
+	exit     stepExit
+	branches []branch
+}
+
+// step decides what device dev does with the flow: terminate or forward
+// along one or more equal-cost branches.
+func (f *Forwarder) step(dev, inIface string, fl netmodel.Flow) stepResult {
+	d := f.net.Devices[dev]
+	if d == nil {
+		return stepResult{exit: exitNoRoute}
+	}
+	// Ingress ACL.
+	if !f.opts.IgnoreACLs && inIface != "" {
+		if i := d.Interfaces[inIface]; i != nil && i.ACLIn != "" {
+			if acl := d.ACLs[i.ACLIn]; acl != nil && !acl.Permits(fl) {
+				return stepResult{exit: exitACL}
+			}
+		}
+	}
+	// Local delivery.
+	if f.ownsAddr(d, fl.Dst) {
+		return stepResult{exit: exitDelivered}
+	}
+	// PBR bound to the ingress interface (or any interface at injection).
+	if !f.opts.IgnorePBR {
+		if nh, ok := f.pbrNextHop(d, inIface, fl); ok {
+			return f.applyEgressACL(d, fl, f.toward(d, nh, fl))
+		}
+	}
+	// Longest prefix match over best routes. When the RIB has no match the
+	// flow may still be deliverable through the IGP (router loopbacks and
+	// link subnets are IS-IS routes, not BGP ones).
+	rib := f.ribs.RIB(dev, netmodel.DefaultVRF)
+	_, best, ok := rib.LongestMatch(fl.Dst)
+	if !ok {
+		return f.toward(d, fl.Dst, fl)
+	}
+	// Direct route: destination is on-subnet but not ours — the flow leaves
+	// the modelled network here (e.g. toward an un-modelled server).
+	if best[0].Protocol == netmodel.ProtoDirect {
+		return stepResult{exit: exitDelivered}
+	}
+	var out stepResult
+	exitSeen := exitNoRoute
+	for _, r := range best {
+		br := f.toward(d, r.NextHop, fl)
+		if br.exit != exitNone {
+			if exitSeen == exitNoRoute {
+				exitSeen = br.exit
+			}
+			continue
+		}
+		out.branches = append(out.branches, br.branches...)
+	}
+	if len(out.branches) == 0 {
+		out.exit = exitSeen
+		return out
+	}
+	dedupeBranches(&out.branches)
+	return f.applyEgressACL(d, fl, out)
+}
+
+// applyEgressACL drops branches whose local egress interface carries a
+// denying ACL; the flow is ACL-denied when every branch is blocked.
+func (f *Forwarder) applyEgressACL(d *config.Device, fl netmodel.Flow, sr stepResult) stepResult {
+	if f.opts.IgnoreACLs || sr.exit != exitNone {
+		return sr
+	}
+	kept := sr.branches[:0]
+	for _, br := range sr.branches {
+		l := f.net.Topo.Link(br.link)
+		if l == nil {
+			continue
+		}
+		iface := l.AIface
+		if l.B == d.Name {
+			iface = l.BIface
+		}
+		if i := d.Interfaces[iface]; i != nil && i.ACLOut != "" {
+			if acl := d.ACLs[i.ACLOut]; acl != nil && !acl.Permits(fl) {
+				continue
+			}
+		}
+		kept = append(kept, br)
+	}
+	if len(kept) == 0 {
+		return stepResult{exit: exitACL}
+	}
+	sr.branches = kept
+	return sr
+}
+
+// toward resolves a next-hop address into concrete branches (or an exit).
+func (f *Forwarder) toward(d *config.Device, nh netip.Addr, fl netmodel.Flow) stepResult {
+	if !nh.IsValid() {
+		return stepResult{exit: exitNoRoute}
+	}
+	owner := f.net.Topo.AddrOwner(nh)
+	if owner == "" {
+		// Off-network next hop: if it is on a directly connected subnet the
+		// flow exits to a peer; otherwise it is unroutable.
+		for _, i := range d.Interfaces {
+			if i.Addr.IsValid() && i.Addr.Masked().Contains(nh) {
+				return stepResult{exit: exitToPeer}
+			}
+		}
+		return stepResult{exit: exitNoRoute}
+	}
+	if owner == d.Name {
+		return stepResult{exit: exitDelivered}
+	}
+	// SR policy with explicit segments: first segment decides the next
+	// device (the tunnel path then continues hop by hop since intermediate
+	// devices also follow their SR/IGP state; explicit segments are resolved
+	// by routing toward the first segment device).
+	target := owner
+	if sp := f.srPolicyFor(d, nh, owner); sp != nil && len(sp.Segments) > 0 {
+		if f.net.Topo.Node(sp.Segments[0]) != nil {
+			target = sp.Segments[0]
+		}
+	}
+	// Directly connected to the target through the link holding nh?
+	for _, l := range f.net.Topo.LinksOf(d.Name) {
+		if !l.Up {
+			continue
+		}
+		if l.A == d.Name && l.BAddr == nh && l.B == target {
+			return stepResult{branches: []branch{{device: l.B, link: l.ID(), remoteIface: l.BIface}}}
+		}
+		if l.B == d.Name && l.AAddr == nh && l.A == target {
+			return stepResult{branches: []branch{{device: l.A, link: l.ID(), remoteIface: l.AIface}}}
+		}
+	}
+	// Recursive resolution through the IGP.
+	fhs := f.igp.FirstHops(d.Name, target)
+	if len(fhs) == 0 {
+		return stepResult{exit: exitNoRoute}
+	}
+	var out stepResult
+	for _, fh := range fhs {
+		l := f.net.Topo.Link(fh.Link)
+		if l == nil || !l.Up {
+			continue
+		}
+		iface := l.AIface
+		if l.A == d.Name {
+			iface = l.BIface
+		}
+		out.branches = append(out.branches, branch{device: fh.Device, link: fh.Link, remoteIface: iface})
+	}
+	if len(out.branches) == 0 {
+		return stepResult{exit: exitLinkDown}
+	}
+	dedupeBranches(&out.branches)
+	return out
+}
+
+func (f *Forwarder) srPolicyFor(d *config.Device, nh netip.Addr, owner string) *config.SRPolicy {
+	for _, sp := range d.SRPolicies {
+		epOwner := f.net.Topo.AddrOwner(sp.Endpoint)
+		if sp.Endpoint == nh || (epOwner != "" && epOwner == owner) {
+			return sp
+		}
+	}
+	return nil
+}
+
+// pbrNextHop finds an applicable PBR rule. At the injection point (no
+// ingress interface) any bound policy applies; mid-path only the ingress
+// interface's policy applies.
+func (f *Forwarder) pbrNextHop(d *config.Device, inIface string, fl netmodel.Flow) (netip.Addr, bool) {
+	var names []string
+	if inIface != "" {
+		if i := d.Interfaces[inIface]; i != nil && i.PBR != "" {
+			names = []string{i.PBR}
+		}
+	} else {
+		seen := map[string]bool{}
+		for _, i := range d.Interfaces {
+			if i.PBR != "" && !seen[i.PBR] {
+				names = append(names, i.PBR)
+				seen[i.PBR] = true
+			}
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		for _, rule := range d.PBRPolicies[name] {
+			if rule.Match.Matches(fl) {
+				return rule.NextHop, true
+			}
+		}
+	}
+	return netip.Addr{}, false
+}
+
+// ownsAddr reports whether the device terminates the address locally.
+func (f *Forwarder) ownsAddr(d *config.Device, a netip.Addr) bool {
+	if d.Loopback == a {
+		return true
+	}
+	node := f.net.Topo.Node(d.Name)
+	if node != nil && node.Loopback == a {
+		return true
+	}
+	for _, i := range d.Interfaces {
+		if i.Addr.IsValid() && i.Addr.Addr() == a {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupeBranches(bs *[]branch) {
+	sort.Slice(*bs, func(i, j int) bool {
+		a, b := (*bs)[i], (*bs)[j]
+		if a.device != b.device {
+			return a.device < b.device
+		}
+		return a.link.String() < b.link.String()
+	})
+	out := (*bs)[:0]
+	var last branch
+	for i, b := range *bs {
+		if i == 0 || b != last {
+			out = append(out, b)
+		}
+		last = b
+	}
+	*bs = out
+}
+
+func flowHash(fl netmodel.Flow) uint32 {
+	h := fnv.New32a()
+	h.Write(fl.Src.AsSlice())
+	h.Write(fl.Dst.AsSlice())
+	h.Write([]byte{byte(fl.SrcPort >> 8), byte(fl.SrcPort), byte(fl.DstPort >> 8), byte(fl.DstPort), byte(fl.Proto)})
+	return h.Sum32()
+}
