@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet race bench-smoke check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over every package: the parallel engine hot paths (SPF,
+# forwarding, ECs, config parse) and the concurrent-engine tests must stay
+# race-clean on every PR.
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark, to catch bit-rot in the bench harness
+# (including the BenchmarkParallel* scaling sweeps) without timing anything.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+check: vet build race bench-smoke

@@ -7,6 +7,9 @@
 package hoyan
 
 import (
+	"fmt"
+	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -119,7 +122,7 @@ func benchDistributedTraffic(b *testing.B, strategy dsim.Strategy) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		taskID := "bench-t" + string(strategy) + string(rune('a'+i%26))
+		taskID := "bench-t" + string(strategy) + strconv.Itoa(i)
 		tt, err := c.Master.StartTrafficSimulation(taskID, rt, wan.Flows, 16, strategy, core.Options{})
 		if err != nil {
 			b.Fatal(err)
@@ -143,7 +146,7 @@ func BenchmarkRouteECs(b *testing.B) {
 	wan, _, _, _ := fixtures()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ecs := ec.ComputeRouteECs(wan.Net, nil, wan.Inputs)
+		ecs := ec.ComputeRouteECs(wan.Net, nil, wan.Inputs, 1)
 		if ecs.Reduction() < 1 {
 			b.Fatal("no reduction")
 		}
@@ -156,7 +159,7 @@ func BenchmarkFlowECs(b *testing.B) {
 	prefixes := ec.RIBPrefixes(ribs.GlobalRIB().Rows())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ec.ComputeFlowECs(wan.Net, prefixes, wan.Flows)
+		ec.ComputeFlowECs(wan.Net, prefixes, wan.Flows, 1)
 	}
 }
 
@@ -293,6 +296,77 @@ router bgp
 			b.Fatal(err)
 		}
 	}
+}
+
+// parallelismSweep runs fn once per Parallelism setting in {1, 2, 4, NumCPU}
+// as sub-benchmarks — the Figure 5-style intra-engine scaling curve.
+func parallelismSweep(b *testing.B, fn func(b *testing.B, parallelism int)) {
+	levels := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, p := range levels {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) { fn(b, p) })
+	}
+}
+
+// Intra-engine scaling of the per-source SPF + BGP route-simulation pass.
+func BenchmarkParallelRouteSim(b *testing.B) {
+	wan, _, _, _ := fixtures()
+	parallelismSweep(b, func(b *testing.B, p int) {
+		for i := 0; i < b.N; i++ {
+			core.NewEngine(wan.Net, core.Options{Parallelism: p}).RouteSimulation(wan.Inputs)
+		}
+	})
+}
+
+// Intra-engine scaling of BenchmarkTrafficSimulation (per-flow forwarding
+// over precomputed RIBs — the per-subtask hot path).
+func BenchmarkParallelTrafficSimulation(b *testing.B) {
+	wan, _, eng, ribs := fixtures()
+	parallelismSweep(b, func(b *testing.B, p int) {
+		fw := traffic.NewForwarder(wan.Net, eng.IGP(), ribs, traffic.Options{Parallelism: p})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fw.Simulate(wan.Flows)
+		}
+	})
+}
+
+// Intra-engine scaling of route-EC classification.
+func BenchmarkParallelRouteECs(b *testing.B) {
+	wan, _, _, _ := fixtures()
+	parallelismSweep(b, func(b *testing.B, p int) {
+		for i := 0; i < b.N; i++ {
+			ec.ComputeRouteECs(wan.Net, nil, wan.Inputs, p)
+		}
+	})
+}
+
+// Intra-engine scaling of flow-EC classification.
+func BenchmarkParallelFlowECs(b *testing.B) {
+	wan, _, _, ribs := fixtures()
+	prefixes := ec.RIBPrefixes(ribs.GlobalRIB().Rows())
+	parallelismSweep(b, func(b *testing.B, p int) {
+		for i := 0; i < b.N; i++ {
+			ec.ComputeFlowECs(wan.Net, prefixes, wan.Flows, p)
+		}
+	})
+}
+
+// Intra-engine scaling of per-device configuration parsing.
+func BenchmarkParallelConfigParse(b *testing.B) {
+	wan, _, _, _ := fixtures()
+	texts := wan.ConfigTexts()
+	parallelismSweep(b, func(b *testing.B, p int) {
+		for i := 0; i < b.N; i++ {
+			if _, err := config.BuildNetworkOpts(texts, nil, config.BuildOptions{Parallelism: p}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // The makespan schedule model used for the Figure 5 sweeps.

@@ -25,6 +25,7 @@ func main() {
 	mqAddr := flag.String("mq", "127.0.0.1:7101", "message queue address")
 	storeAddr := flag.String("store", "127.0.0.1:7102", "object store address")
 	tasksAddr := flag.String("tasks", "127.0.0.1:7103", "task DB address")
+	parallelism := flag.Int("parallelism", 0, "pin intra-engine parallelism per subtask (0 = use each task's own setting)")
 	flag.Parse()
 
 	queue, err := mq.Dial(*mqAddr)
@@ -44,6 +45,7 @@ func main() {
 	defer tasks.Close()
 
 	w := dsim.NewWorker(*name, dsim.Services{Queue: queue, Store: store, Tasks: tasks})
+	w.Parallelism = *parallelism
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	fmt.Printf("worker %s consuming from %s\n", *name, *mqAddr)

@@ -39,9 +39,11 @@ func main() {
 	planFile := flag.String("plan", "", "change plan file (@device blocks)")
 	rclSpec := flag.String("rcl", "", "route change intent in RCL")
 	workers := flag.Int("workers", 0, "simulate on a local cluster with N workers (0 = centralized)")
+	parallelism := flag.Int("parallelism", 0, "intra-engine parallelism: 0 = all cores, 1 = sequential, N = N workers")
 	doLocalize := flag.Bool("localize", false, "on violation, delta-debug the plan to a minimal culprit stanza set")
 	flag.Parse()
 	localizeWanted = *doLocalize
+	parallelismFlag = *parallelism
 
 	switch {
 	case *scenarioName != "":
@@ -54,7 +56,10 @@ func main() {
 	}
 }
 
-var localizeWanted bool
+var (
+	localizeWanted  bool
+	parallelismFlag int
+)
 
 func runScenario(name string, workers int) {
 	var sc *scenario.Scenario
@@ -68,7 +73,7 @@ func runScenario(name string, workers int) {
 		os.Exit(2)
 	}
 	fmt.Printf("scenario: %s\n%s\n\n", sc.Name, sc.Description)
-	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, core.Options{})
+	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, core.Options{Parallelism: parallelismFlag})
 	sys.Workers = workers
 	out, err := sys.Verify(sc.Plan, sc.Intents)
 	if err != nil {
@@ -121,7 +126,7 @@ func runConfigs(dir, planFile, rclSpec string, workers int) {
 		name := strings.TrimSuffix(e.Name(), filepath.Ext(e.Name()))
 		configs[name] = string(data)
 	}
-	net, err := config.BuildNetwork(configs, nil)
+	net, err := config.BuildNetworkOpts(configs, nil, config.BuildOptions{Parallelism: parallelismFlag})
 	if err != nil {
 		fatal(err)
 	}
@@ -141,7 +146,7 @@ func runConfigs(dir, planFile, rclSpec string, workers int) {
 	if rclSpec != "" {
 		intents = append(intents, intent.RouteIntent{Spec: rclSpec})
 	}
-	sys := pipeline.New(net, nil, nil, core.Options{})
+	sys := pipeline.New(net, nil, nil, core.Options{Parallelism: parallelismFlag})
 	sys.Workers = workers
 	out, err := sys.Verify(plan, intents)
 	if err != nil {

@@ -2,7 +2,10 @@ package config
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+
+	"hoyan/internal/par"
 )
 
 // DetectVendor inspects a configuration text and returns the dialect it is
@@ -43,17 +46,44 @@ func Serialize(d *Device) string {
 	return SerializeAlpha(d)
 }
 
+// BuildOptions tunes network-model building.
+type BuildOptions struct {
+	// Parallelism bounds the worker pool parsing device configurations
+	// (par conventions: 0 = GOMAXPROCS, 1 = sequential).
+	Parallelism int
+}
+
 // BuildNetwork is the network-model-building service (§2.2): it parses all
 // device configuration texts and pairs them with the monitored topology into
-// the base network model.
+// the base network model. Parsing runs sequentially; use BuildNetworkOpts to
+// parse devices concurrently.
 func BuildNetwork(configs map[string]string, topoOf func(net *Network) error) (*Network, error) {
+	return BuildNetworkOpts(configs, topoOf, BuildOptions{Parallelism: 1})
+}
+
+// BuildNetworkOpts is BuildNetwork with tuning: each device text parses
+// independently on the worker pool into its own slot (devices are sorted by
+// name first, so the reported error is the lexically-first failing device at
+// any parallelism); the Network is then assembled single-threaded.
+func BuildNetworkOpts(configs map[string]string, topoOf func(net *Network) error, opts BuildOptions) (*Network, error) {
+	names := make([]string, 0, len(configs))
+	for name := range configs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	devs := make([]*Device, len(names))
+	errs := make([]error, len(names))
+	par.ForEach(opts.Parallelism, len(names), func(i int) {
+		devs[i], errs[i] = ParseDevice(names[i], configs[names[i]])
+	})
+
 	net := NewNetwork()
-	for name, text := range configs {
-		d, err := ParseDevice(name, text)
-		if err != nil {
-			return nil, fmt.Errorf("config: building model: %w", err)
+	for i := range names {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("config: building model: %w", errs[i])
 		}
-		net.Devices[d.Name] = d
+		net.Devices[devs[i].Name] = devs[i]
 	}
 	if topoOf != nil {
 		if err := topoOf(net); err != nil {

@@ -36,6 +36,13 @@ type Options struct {
 
 	// MaxRounds bounds the BGP fixpoint.
 	MaxRounds int
+
+	// Parallelism bounds the worker pools behind the engine's data-parallel
+	// hot paths — per-source SPF, per-flow forwarding, EC classification, and
+	// config parsing when restoring snapshots. 0 (the default) uses
+	// runtime.GOMAXPROCS(0) workers; 1 forces the sequential reference path;
+	// results are byte-identical at every setting.
+	Parallelism int
 }
 
 // Engine runs simulations over one network snapshot.
@@ -53,7 +60,7 @@ func NewEngine(net *config.Network, opts Options) *Engine {
 	}
 	return &Engine{
 		net:  net,
-		igp:  isis.Compute(net.Topo, isis.Options{UseTEMetric: opts.UseTEMetric}),
+		igp:  isis.Compute(net.Topo, isis.Options{UseTEMetric: opts.UseTEMetric, Parallelism: opts.Parallelism}),
 		opts: opts,
 	}
 }
@@ -90,7 +97,7 @@ func (e *Engine) RouteSimulation(inputs []netmodel.Route) *RouteResult {
 	if e.opts.DisableRouteECs {
 		return &RouteResult{BGP: bgp.Simulate(e.net, e.igp, inputs, bgpOpts)}
 	}
-	ecs := ec.ComputeRouteECs(e.net, e.opts.Profiles, inputs)
+	ecs := ec.ComputeRouteECs(e.net, e.opts.Profiles, inputs, e.opts.Parallelism)
 	res := bgp.Simulate(e.net, e.igp, ecs.Representatives(), bgpOpts)
 	for _, t := range res.Tables() {
 		ecs.ExpandRIB(res.RIB(t.Device, t.VRF))
@@ -110,14 +117,15 @@ type TrafficResult struct {
 // carries the class's total volume.
 func (e *Engine) TrafficSimulation(ribs traffic.RIBSource, routeRows []netmodel.Route, flows []netmodel.Flow) *TrafficResult {
 	fw := traffic.NewForwarder(e.net, e.igp, ribs, traffic.Options{
-		Profiles:   e.opts.Profiles,
-		IgnoreACLs: e.opts.IgnoreACLs,
-		IgnorePBR:  e.opts.IgnorePBR,
+		Profiles:    e.opts.Profiles,
+		IgnoreACLs:  e.opts.IgnoreACLs,
+		IgnorePBR:   e.opts.IgnorePBR,
+		Parallelism: e.opts.Parallelism,
 	})
 	if e.opts.DisableFlowECs {
 		return &TrafficResult{Traffic: fw.Simulate(flows)}
 	}
-	ecs := ec.ComputeFlowECs(e.net, ec.RIBPrefixes(routeRows), flows)
+	ecs := ec.ComputeFlowECs(e.net, ec.RIBPrefixes(routeRows), flows, e.opts.Parallelism)
 	return &TrafficResult{Traffic: fw.Simulate(ecs.Representatives()), ECStats: ecs}
 }
 

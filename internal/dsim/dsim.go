@@ -73,9 +73,12 @@ func (m SubtaskMsg) key() string {
 	return fmt.Sprintf("%s/%s/%d", m.TaskID, m.Kind, m.SubID)
 }
 
-func (m SubtaskMsg) encode() mq.Message {
-	payload, _ := json.Marshal(m)
-	return mq.Message{ID: fmt.Sprintf("%s/%s/%d", m.TaskID, m.Kind, m.SubID), Kind: m.Kind, Payload: payload}
+func (m SubtaskMsg) encode() (mq.Message, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return mq.Message{}, fmt.Errorf("dsim: encoding subtask message %s: %w", m.key(), err)
+	}
+	return mq.Message{ID: m.key(), Kind: m.Kind, Payload: payload}, nil
 }
 
 func decodeMsg(m mq.Message) (SubtaskMsg, error) {

@@ -89,7 +89,11 @@ func (m *Master) StartRouteSimulation(taskID, snapKey string, inputs []netmodel.
 			Options:   opts,
 		}
 		m.msgs[msg.key()] = msg
-		if err := m.svc.Queue.Push(Topic, msg.encode()); err != nil {
+		enc, err := msg.encode()
+		if err != nil {
+			return nil, err
+		}
+		if err := m.svc.Queue.Push(Topic, enc); err != nil {
 			return nil, err
 		}
 	}
@@ -133,7 +137,11 @@ func (m *Master) StartTrafficSimulation(taskID string, route *RouteTask, flows [
 			Strategy:      strategy,
 		}
 		m.msgs[msg.key()] = msg
-		if err := m.svc.Queue.Push(Topic, msg.encode()); err != nil {
+		enc, err := msg.encode()
+		if err != nil {
+			return nil, err
+		}
+		if err := m.svc.Queue.Push(Topic, enc); err != nil {
 			return nil, err
 		}
 	}
@@ -171,7 +179,11 @@ func (m *Master) Wait(taskID, kind string, n int) error {
 				if !ok {
 					return fmt.Errorf("dsim: no recorded message for %s/%s/%d", taskID, kind, rec.SubID)
 				}
-				if err := m.svc.Queue.Push(Topic, msg.encode()); err != nil {
+				enc, err := msg.encode()
+				if err != nil {
+					return err
+				}
+				if err := m.svc.Queue.Push(Topic, enc); err != nil {
 					return err
 				}
 			}

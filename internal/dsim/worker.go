@@ -27,6 +27,12 @@ type Worker struct {
 	// master's retry path).
 	FailNext int
 
+	// Parallelism, when > 0, pins the intra-engine parallelism of every
+	// subtask this worker executes, overriding the task's own
+	// Options.Parallelism (an operator knob for co-located workers sharing
+	// one machine). 0 leaves the task options untouched.
+	Parallelism int
+
 	// Snapshot cache: workers process many subtasks of the same task, so
 	// re-parsing the network for each message would dominate run time.
 	cacheKey    string
@@ -129,6 +135,9 @@ func (w *Worker) execute(msg SubtaskMsg) {
 
 // engineFor returns a core engine for the snapshot, cached across subtasks.
 func (w *Worker) engineFor(snapKey string, opts core.Options) (*core.Engine, error) {
+	if w.Parallelism > 0 {
+		opts.Parallelism = w.Parallelism
+	}
 	optsSig, _ := json.Marshal(opts)
 	if w.cacheEngine != nil && w.cacheKey == snapKey && w.cacheOpts == string(optsSig) {
 		return w.cacheEngine, nil
@@ -141,7 +150,7 @@ func (w *Worker) engineFor(snapKey string, opts core.Options) (*core.Engine, err
 	if err != nil {
 		return nil, err
 	}
-	net, err := snap.Restore()
+	net, err := snap.RestoreParallel(opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}

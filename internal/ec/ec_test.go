@@ -44,7 +44,7 @@ func TestRouteECGrouping(t *testing.T) {
 		input("R1", "10.3.0.0/24", 200), // different: attribute differs
 		input("R2", "10.4.0.0/24", 100), // different: injection device
 	}
-	ecs := ComputeRouteECs(net, nil, inputs)
+	ecs := ComputeRouteECs(net, nil, inputs, 1)
 	if len(ecs.Classes) != 4 {
 		for i, c := range ecs.Classes {
 			t.Logf("class %d: %v", i, c.Routes)
@@ -68,7 +68,7 @@ func TestRouteECExpansion(t *testing.T) {
 		input("R1", "10.1.0.0/24", 100),
 		input("R1", "10.2.0.0/24", 100),
 	}
-	ecs := ComputeRouteECs(net, nil, inputs)
+	ecs := ComputeRouteECs(net, nil, inputs, 1)
 	if len(ecs.Classes) != 1 {
 		t.Fatalf("classes = %d", len(ecs.Classes))
 	}
@@ -102,14 +102,14 @@ func TestRouteECVendorSensitivity(t *testing.T) {
 	net.Devices["R1"] = d
 	v6a := netmodel.Route{Device: "R1", VRF: netmodel.DefaultVRF, Prefix: netip.MustParsePrefix("2001:db8:1::/48"), NextHop: netip.MustParseAddr("2001:db8::1")}
 	v4a := netmodel.Route{Device: "R1", VRF: netmodel.DefaultVRF, Prefix: netip.MustParsePrefix("10.1.0.0/24"), NextHop: netip.MustParseAddr("2001:db8::1")}
-	ecs := ComputeRouteECs(net, nil, []netmodel.Route{v6a, v4a})
+	ecs := ComputeRouteECs(net, nil, []netmodel.Route{v6a, v4a}, 1)
 	// Alpha: both match PL (v6 via the VSB) but they are still different...
 	// prefixes with equal signatures fold into one EC.
 	if len(ecs.Classes) != 1 {
 		t.Errorf("alpha classes = %d, want 1 (VSB folds v6 into the same EC)", len(ecs.Classes))
 	}
 	d.Vendor = "beta" // strict: v6 does not match the IPv4 list
-	ecs = ComputeRouteECs(net, nil, []netmodel.Route{v6a, v4a})
+	ecs = ComputeRouteECs(net, nil, []netmodel.Route{v6a, v4a}, 1)
 	if len(ecs.Classes) != 2 {
 		t.Errorf("beta classes = %d, want 2", len(ecs.Classes))
 	}
@@ -194,7 +194,7 @@ func TestFlowECs(t *testing.T) {
 		mkFlow("R1", "20.0.0.1", 80, 5),    // different atom
 		mkFlow("R2", "10.0.0.1", 80, 1),    // different ingress
 	}
-	ecs := ComputeFlowECs(net, prefixes, flows)
+	ecs := ComputeFlowECs(net, prefixes, flows, 1)
 	if len(ecs.Classes) != 3 {
 		t.Fatalf("classes = %d, want 3", len(ecs.Classes))
 	}
@@ -241,7 +241,7 @@ func TestFlowECsACLRefinement(t *testing.T) {
 	f443.DstPort = 443
 	fUDP := f80
 	fUDP.Proto = netmodel.ProtoUDP
-	ecs := ComputeFlowECs(net, prefixes, []netmodel.Flow{f80, f443, fUDP})
+	ecs := ComputeFlowECs(net, prefixes, []netmodel.Flow{f80, f443, fUDP}, 1)
 	// The ACL matches on dst port and proto, so all three must separate.
 	if len(ecs.Classes) != 3 {
 		t.Errorf("classes = %d, want 3 (ACL-sensitive fields separate)", len(ecs.Classes))
@@ -268,7 +268,7 @@ func BenchmarkRouteECSignatures(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ComputeRouteECs(net, nil, inputs)
+		ComputeRouteECs(net, nil, inputs, 1)
 	}
 }
 

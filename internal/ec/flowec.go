@@ -6,6 +6,7 @@ import (
 
 	"hoyan/internal/config"
 	"hoyan/internal/netmodel"
+	"hoyan/internal/par"
 	"hoyan/internal/policy"
 )
 
@@ -122,7 +123,12 @@ type flowKey struct {
 // in the pre-processing service, the input routes' prefixes plus locally
 // originated ones). ACL and PBR rule fields refine the partition so that
 // classmates are indistinguishable to packet filters.
-func ComputeFlowECs(net *config.Network, ribPrefixes []netip.Prefix, flows []netmodel.Flow) *FlowECs {
+//
+// Per-flow signature computation (atom binary searches) fans out over
+// parallelism workers (0 = GOMAXPROCS, 1 = sequential) into per-flow slots;
+// classes are grouped sequentially in input order afterwards, keeping the
+// partition identical at any parallelism.
+func ComputeFlowECs(net *config.Network, ribPrefixes []netip.Prefix, flows []netmodel.Flow, parallelism int) *FlowECs {
 	dstAtoms := NewAtoms(ribPrefixes)
 
 	// ACL/PBR-induced refinements.
@@ -178,9 +184,8 @@ func ComputeFlowECs(net *config.Network, ribPrefixes []netip.Prefix, flows []net
 	sports := portBuckets(sportB)
 	dports := portBuckets(dportB)
 
-	out := &FlowECs{Inputs: len(flows)}
-	bySig := map[flowKey]int{}
-	for _, f := range flows {
+	keys := par.Map(parallelism, len(flows), func(i int) flowKey {
+		f := flows[i]
 		key := flowKey{
 			ingress:  f.Ingress,
 			dstAtom:  dstAtoms.Atom(f.Dst),
@@ -191,6 +196,13 @@ func ComputeFlowECs(net *config.Network, ribPrefixes []netip.Prefix, flows []net
 		if protoSensitive {
 			key.proto = f.Proto
 		}
+		return key
+	})
+
+	out := &FlowECs{Inputs: len(flows)}
+	bySig := map[flowKey]int{}
+	for i, f := range flows {
+		key := keys[i]
 		idx, ok := bySig[key]
 		if !ok {
 			idx = len(out.Classes)

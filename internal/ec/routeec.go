@@ -19,6 +19,7 @@ import (
 
 	"hoyan/internal/config"
 	"hoyan/internal/netmodel"
+	"hoyan/internal/par"
 	"hoyan/internal/vsb"
 )
 
@@ -56,7 +57,11 @@ func (e *RouteECs) Representatives() []netmodel.Route {
 }
 
 // ComputeRouteECs partitions the input routes per the §3.1 criteria.
-func ComputeRouteECs(net *config.Network, profiles vsb.Profiles, inputs []netmodel.Route) *RouteECs {
+// Signature computation — the prefix-list sweep dominating the cost — fans
+// out over Options-style parallelism (0 = GOMAXPROCS, 1 = sequential) into
+// per-input slots; classes are then grouped sequentially in input order, so
+// the partition is identical at any parallelism.
+func ComputeRouteECs(net *config.Network, profiles vsb.Profiles, inputs []netmodel.Route, parallelism int) *RouteECs {
 	if profiles == nil {
 		profiles = vsb.Defaults()
 	}
@@ -107,10 +112,12 @@ func ComputeRouteECs(net *config.Network, profiles vsb.Profiles, inputs []netmod
 		return b.String()
 	}
 
+	sigs := par.Map(parallelism, len(inputs), func(i int) string { return sigOf(inputs[i]) })
+
 	bySig := make(map[string]int)
 	out := &RouteECs{Inputs: len(inputs)}
-	for _, r := range inputs {
-		sig := sigOf(r)
+	for i, r := range inputs {
+		sig := sigs[i]
 		idx, ok := bySig[sig]
 		if !ok {
 			idx = len(out.Classes)

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"hoyan/internal/netmodel"
+	"hoyan/internal/par"
 )
 
 // Options tunes the SPF computation.
@@ -21,6 +22,10 @@ type Options struct {
 	// not model this feature until March 2023 (§5.3); the accuracy campaign
 	// injects that flaw by flipping this option off in the model under test.
 	UseTEMetric bool
+
+	// Parallelism bounds the worker pool running per-source Dijkstra
+	// (par conventions: 0 = GOMAXPROCS, 1 = sequential).
+	Parallelism int
 }
 
 // FirstHop is one equal-cost first hop from a source toward a destination.
@@ -35,19 +40,32 @@ type Result struct {
 	hops map[string]map[string][]FirstHop
 }
 
-// Compute runs Dijkstra from every up node of the topology.
+// Compute runs Dijkstra from every up node of the topology. Sources are
+// independent, so they fan out over Options.Parallelism workers; each worker
+// writes only its own pre-sized slot and the source→result maps are filled
+// sequentially afterwards, so the outcome is identical at any parallelism.
 func Compute(topo *netmodel.Topology, opts Options) *Result {
-	r := &Result{
-		dist: make(map[string]map[string]uint32),
-		hops: make(map[string]map[string][]FirstHop),
-	}
+	var srcs []string
 	for _, n := range topo.Nodes() {
-		if !n.Up {
-			continue
+		if n.Up {
+			srcs = append(srcs, n.Name)
 		}
-		dist, hops := sssp(topo, n.Name, opts)
-		r.dist[n.Name] = dist
-		r.hops[n.Name] = hops
+	}
+	type perSrc struct {
+		dist map[string]uint32
+		hops map[string][]FirstHop
+	}
+	slots := par.Map(opts.Parallelism, len(srcs), func(i int) perSrc {
+		dist, hops := sssp(topo, srcs[i], opts)
+		return perSrc{dist: dist, hops: hops}
+	})
+	r := &Result{
+		dist: make(map[string]map[string]uint32, len(srcs)),
+		hops: make(map[string]map[string][]FirstHop, len(srcs)),
+	}
+	for i, src := range srcs {
+		r.dist[src] = slots[i].dist
+		r.hops[src] = slots[i].hops
 	}
 	return r
 }

@@ -2,6 +2,7 @@ package isis
 
 import (
 	"net/netip"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -179,5 +180,17 @@ func TestSPFSymmetricCosts(t *testing.T) {
 				t.Errorf("asymmetric: %s->%s=%d %s->%s=%d", a, b, ca, b, a, cb)
 			}
 		}
+	}
+}
+
+func TestComputeParallelMatchesSequential(t *testing.T) {
+	topo := diamond()
+	seq := Compute(topo, Options{Parallelism: 1})
+	pll := Compute(topo, Options{Parallelism: 8})
+	if !reflect.DeepEqual(seq.dist, pll.dist) {
+		t.Error("parallel SPF distances diverged from sequential")
+	}
+	if !reflect.DeepEqual(seq.hops, pll.hops) {
+		t.Error("parallel SPF first hops diverged from sequential")
 	}
 }

@@ -1,0 +1,93 @@
+// Package par is the engine's bounded fork-join helper: every parallel hot
+// path (per-source SPF, per-flow forwarding, EC classification, per-device
+// config parsing) fans its independent work items out through ForEach and
+// merges results in a deterministic order afterwards.
+//
+// The Parallelism convention shared by every Options struct that embeds the
+// knob: 0 selects runtime.GOMAXPROCS(0) workers, 1 runs inline on the calling
+// goroutine (the sequential reference path), n > 1 uses n workers.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism knob value into a worker count: 0 (the
+// default) means runtime.GOMAXPROCS(0); negative values are clamped to 1.
+func Workers(parallelism int) int {
+	if parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if parallelism < 1 {
+		return 1
+	}
+	return parallelism
+}
+
+// ForEach invokes fn(i) for every i in [0, n), fanning the calls out over at
+// most Workers(parallelism) goroutines. Items are claimed from a shared
+// counter, so callers must make fn(i) independent of every fn(j): each call
+// should write only into its own pre-sized result slot. With an effective
+// worker count of 1 (or n <= 1) every call runs inline on the caller's
+// goroutine in index order — the sequential reference path.
+//
+// A panic inside fn is captured and re-raised on the calling goroutine after
+// all workers drain, so a parallel run fails the same way a sequential one
+// does instead of crashing the process from a worker.
+func ForEach(parallelism, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(parallelism)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		panicked atomic.Value
+		wg       sync.WaitGroup
+	)
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, fmt.Sprintf("par: worker panic on item %d: %v", i, r))
+			}
+		}()
+		fn(i)
+	}
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for panicked.Load() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+}
+
+// Map applies fn to every index in [0, n) and returns the results in index
+// order, regardless of which worker computed each one.
+func Map[T any](parallelism, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(parallelism, n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,72 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+	if got := Workers(-3); got != 1 {
+		t.Errorf("Workers(-3) = %d, want 1", got)
+	}
+}
+
+func TestForEachCoversAllItemsOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 0} {
+		const n = 1000
+		var counts [n]atomic.Int32
+		ForEach(p, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("parallelism %d: item %d visited %d times, want 1", p, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachSequentialIsInOrder(t *testing.T) {
+	var seen []int
+	ForEach(1, 5, func(i int) { seen = append(seen, i) })
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("sequential ForEach out of order: %v", seen)
+		}
+	}
+	ForEach(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestMapKeepsIndexOrder(t *testing.T) {
+	got := Map(4, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("parallelism %d: panic did not propagate", p)
+				}
+			}()
+			ForEach(p, 50, func(i int) {
+				if i == 13 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}

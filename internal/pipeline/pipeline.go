@@ -19,6 +19,10 @@ import (
 // System is a Hoyan deployment over one base network: it owns the
 // pre-processed base model, input routes/flows, and the cached base
 // simulation results every change verification compares against.
+//
+// Opts.Parallelism reaches every simulation the system runs: the centralized
+// path passes it straight to the engine, and the distributed path ships it to
+// workers inside each subtask message.
 type System struct {
 	Base   *config.Network
 	Inputs []netmodel.Route

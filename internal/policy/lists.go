@@ -12,6 +12,7 @@ import (
 	"net/netip"
 	"regexp"
 	"strings"
+	"sync"
 
 	"hoyan/internal/netmodel"
 	"hoyan/internal/vsb"
@@ -123,15 +124,39 @@ func (l *CommunityList) Match(cs netmodel.CommunitySet) bool {
 type ASPathEntry struct {
 	Permit bool
 	Regex  string
-
-	compiled *regexp.Regexp
-	compErr  error
 }
 
-// Compile prepares the entry's regular expression.
+// Compile prepares (and caches) the entry's regular expression, reporting
+// whether it is valid. Matching compiles on demand, so calling Compile is
+// optional — a warm-up/validation hook for parsers.
 func (e *ASPathEntry) Compile() error {
-	e.compiled, e.compErr = regexp.Compile(e.Regex)
-	return e.compErr
+	_, err := compiledASPathRegex(e.Regex)
+	return err
+}
+
+// regexCache memoizes compiled AS-path regexes process-wide. The same small
+// set of patterns recurs across thousands of devices and every parallel
+// worker, so caching here both removes recompilation from the hot path and
+// keeps concurrent Match calls free of per-entry lazy-init races.
+var regexCache sync.Map // regex string -> regexCacheEntry
+
+type regexCacheEntry struct {
+	re  *regexp.Regexp // nil when the pattern does not compile
+	err error
+}
+
+func compiledASPathRegex(pattern string) (*regexp.Regexp, error) {
+	if v, ok := regexCache.Load(pattern); ok {
+		e := v.(regexCacheEntry)
+		return e.re, e.err
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		re = nil
+	}
+	v, _ := regexCache.LoadOrStore(pattern, regexCacheEntry{re: re, err: err})
+	e := v.(regexCacheEntry)
+	return e.re, e.err
 }
 
 // ASPathList is a named list of AS-path regex entries.
@@ -144,19 +169,15 @@ type ASPathList struct {
 // reproduces the implementation bug the paper reports (§5.3 "Hoyan's early
 // implementation of regular expression matching for AS path was flawed"):
 // when set, matching degrades to substring search of the literal parts.
+// Entries with invalid regexes never match (as before).
 func (l *ASPathList) Match(aspath string, flawedRegex bool) bool {
 	for i := range l.Entries {
 		e := &l.Entries[i]
 		var matched bool
 		if flawedRegex {
 			matched = strings.Contains(aspath, stripRegexMeta(e.Regex))
-		} else {
-			if e.compiled == nil && e.compErr == nil {
-				e.Compile()
-			}
-			if e.compiled != nil {
-				matched = e.compiled.MatchString(aspath)
-			}
+		} else if re, _ := compiledASPathRegex(e.Regex); re != nil {
+			matched = re.MatchString(aspath)
 		}
 		if matched {
 			return e.Permit

@@ -17,6 +17,7 @@ import (
 	"hoyan/internal/config"
 	"hoyan/internal/isis"
 	"hoyan/internal/netmodel"
+	"hoyan/internal/par"
 	"hoyan/internal/vsb"
 )
 
@@ -37,6 +38,10 @@ type Options struct {
 	IgnorePBR bool
 	// MaxHops bounds path length before declaring a loop.
 	MaxHops int
+	// Parallelism bounds the worker pool forwarding flows in Simulate
+	// (par conventions: 0 = GOMAXPROCS, 1 = sequential). Every per-flow walk
+	// is read-only over the snapshot, IGP, and RIBs.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -77,13 +82,28 @@ type FlowPath struct {
 	Path netmodel.Path
 }
 
-// Simulate forwards every flow and aggregates link loads.
+// Simulate forwards every flow and aggregates link loads. Flows fan out over
+// Options.Parallelism workers; each worker fills only its flow's slot in the
+// pre-sized path and load-contribution slices, and contributions are summed
+// sequentially in flow order afterwards, so the floating-point additions
+// happen in exactly the sequential path's order and the result is
+// byte-identical at any parallelism.
 func (f *Forwarder) Simulate(flows []netmodel.Flow) *Result {
-	res := &Result{Load: make(netmodel.LinkLoad)}
-	for _, fl := range flows {
-		path := f.Path(fl)
-		res.Paths = append(res.Paths, FlowPath{Flow: fl, Path: path})
-		f.accumulateLoad(fl, res.Load)
+	if len(flows) == 0 {
+		return &Result{Load: make(netmodel.LinkLoad)}
+	}
+	paths := make([]FlowPath, len(flows))
+	contribs := make([][]linkShare, len(flows))
+	par.ForEach(f.opts.Parallelism, len(flows), func(i int) {
+		fl := flows[i]
+		paths[i] = FlowPath{Flow: fl, Path: f.Path(fl)}
+		contribs[i] = f.loadContribs(fl)
+	})
+	res := &Result{Paths: paths, Load: make(netmodel.LinkLoad)}
+	for _, cs := range contribs {
+		for _, c := range cs {
+			res.Load[c.link] += c.volume
+		}
 	}
 	return res
 }
@@ -121,15 +141,24 @@ func (f *Forwarder) Path(fl netmodel.Flow) netmodel.Path {
 	return path
 }
 
-// accumulateLoad adds the flow's volume to every traversed link, splitting
-// evenly at each ECMP branch point.
-func (f *Forwarder) accumulateLoad(fl netmodel.Flow, load netmodel.LinkLoad) {
+// linkShare is one link's slice of a flow's volume, in the order the BFS
+// visits it — replaying a flow's shares in order reproduces the sequential
+// accumulation exactly.
+type linkShare struct {
+	link   netmodel.LinkID
+	volume float64
+}
+
+// loadContribs walks the flow's ECMP fan-out and returns the volume share it
+// places on every traversed link, splitting evenly at each branch point.
+func (f *Forwarder) loadContribs(fl netmodel.Flow) []linkShare {
 	type state struct {
 		device  string
 		inIface string
 		volume  float64
 		depth   int
 	}
+	var out []linkShare
 	queue := []state{{device: fl.Ingress, volume: fl.Volume}}
 	// visits caps work on pathological loops.
 	visits := 0
@@ -146,10 +175,11 @@ func (f *Forwarder) accumulateLoad(fl netmodel.Flow, load netmodel.LinkLoad) {
 		}
 		share := st.volume / float64(len(step.branches))
 		for _, br := range step.branches {
-			load[br.link] += share
+			out = append(out, linkShare{link: br.link, volume: share})
 			queue = append(queue, state{device: br.device, inIface: br.remoteIface, volume: share, depth: st.depth + 1})
 		}
 	}
+	return out
 }
 
 type branch struct {
