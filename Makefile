@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke check
+.PHONY: all build test vet race bench-smoke chaos check
 
 all: check
 
@@ -24,4 +24,10 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-check: vet build race bench-smoke
+# Fault-tolerance pass: the chaos harness (crashed workers, >=10% injected
+# substrate error rates) plus the resilience tests, under the race detector.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestWorker|TestStale' -v ./internal/dsim/
+	$(GO) test -race ./internal/faults/ ./internal/retry/ ./internal/rpcx/
+
+check: vet build race bench-smoke chaos

@@ -34,6 +34,8 @@ func main() {
 	scale := flag.Int("scale", 2, "gen.WAN scale for -run")
 	subtasks := flag.Int("subtasks", 40, "route subtasks for -run")
 	timeout := flag.Duration("timeout", 10*time.Minute, "simulation timeout for -run")
+	lease := flag.Duration("lease", 30*time.Second, "lease timeout before a silent worker's subtask is reclaimed (0 disables)")
+	maxAttempts := flag.Int("max-attempts", 3, "attempts per subtask before the task fails permanently")
 	flag.Parse()
 
 	lq := listen(*mqAddr)
@@ -64,6 +66,8 @@ func main() {
 	}
 	master := dsim.NewMaster(dsim.Services{Queue: queue, Store: store, Tasks: tasks})
 	master.Timeout = *timeout
+	master.LeaseTimeout = *lease
+	master.MaxAttempts = *maxAttempts
 
 	g := gen.Generate(gen.WAN(*scale))
 	fmt.Printf("generated WAN: %d devices, %d input routes, %d flows\n",

@@ -11,8 +11,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"hoyan/internal/dsim"
 	"hoyan/internal/mq"
@@ -26,6 +28,7 @@ func main() {
 	storeAddr := flag.String("store", "127.0.0.1:7102", "object store address")
 	tasksAddr := flag.String("tasks", "127.0.0.1:7103", "task DB address")
 	parallelism := flag.Int("parallelism", 0, "pin intra-engine parallelism per subtask (0 = use each task's own setting)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "lease heartbeat interval while executing a subtask")
 	flag.Parse()
 
 	queue, err := mq.Dial(*mqAddr)
@@ -46,6 +49,8 @@ func main() {
 
 	w := dsim.NewWorker(*name, dsim.Services{Queue: queue, Store: store, Tasks: tasks})
 	w.Parallelism = *parallelism
+	w.HeartbeatInterval = *heartbeat
+	w.Logf = log.New(os.Stderr, *name+": ", log.LstdFlags).Printf
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	fmt.Printf("worker %s consuming from %s\n", *name, *mqAddr)

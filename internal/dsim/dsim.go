@@ -63,6 +63,13 @@ type SubtaskMsg struct {
 	ResultKey   string       `json:"result_key"`
 	Options     core.Options `json:"options"`
 
+	// Attempt is the attempt epoch this message belongs to (0 for the first
+	// enqueue, bumped by the master on every re-enqueue). Workers stamp it
+	// into their task-DB writes so a stale attempt — a worker the master
+	// already presumed dead and reclaimed — cannot overwrite the status of
+	// the attempt that superseded it (see taskdb.DB.FencedUpsert).
+	Attempt int `json:"attempt,omitempty"`
+
 	// Traffic subtasks only.
 	RouteTaskID   string   `json:"route_task_id,omitempty"`
 	RouteSubtasks int      `json:"route_subtasks,omitempty"`

@@ -16,6 +16,14 @@ import (
 
 // Master coordinates a simulation task: it prepares subtasks, enqueues them,
 // monitors the task DB, re-enqueues failures, and aggregates results.
+//
+// Fault tolerance: the master assumes at-least-once subtask execution. It
+// re-enqueues subtasks that report failure, subtasks whose worker stopped
+// heartbeating (crash or partition — the lease), and subtasks stuck pending
+// with an empty queue (message lost in flight). Every re-enqueue bumps the
+// attempt epoch, which fences out writes from the superseded attempt; result
+// files are deterministic and keyed per subtask, so duplicate executions are
+// idempotent.
 type Master struct {
 	svc Services
 
@@ -26,17 +34,33 @@ type Master struct {
 	PollInterval time.Duration
 	// Timeout bounds a whole Wait call.
 	Timeout time.Duration
+	// LeaseTimeout bounds how long a running subtask may go without a worker
+	// heartbeat before the master presumes the worker dead and reclaims the
+	// subtask. It also paces the lost-pending sweep. 0 disables reclaim.
+	// It must be several times the workers' heartbeat interval.
+	LeaseTimeout time.Duration
 
 	// msgs remembers each enqueued subtask message so failures can be
 	// resent verbatim.
 	msgs map[string]SubtaskMsg
+	// pendingSince tracks when a pending subtask was first seen alongside an
+	// empty queue: only after a full lease period in that state is its
+	// message declared lost. Keying the grace period off this observation
+	// (rather than EnqueuedAt) keeps a long queue wait on a busy cluster
+	// from looking like message loss.
+	pendingSince map[string]time.Time
 }
 
-// NewMaster creates a master over the given substrate services.
+// NewMaster creates a master over the given substrate services. The queue,
+// store, and task DB handles are wrapped with DefaultRetryPolicy so transient
+// substrate errors are retried in place.
 func NewMaster(svc Services) *Master {
 	return &Master{
-		svc: svc, MaxAttempts: 3, PollInterval: 5 * time.Millisecond, Timeout: 10 * time.Minute,
-		msgs: make(map[string]SubtaskMsg),
+		svc: WithRetry(svc, DefaultRetryPolicy()),
+		MaxAttempts: 3, PollInterval: 5 * time.Millisecond, Timeout: 10 * time.Minute,
+		LeaseTimeout: 30 * time.Second,
+		msgs:         make(map[string]SubtaskMsg),
+		pendingSince: make(map[string]time.Time),
 	}
 }
 
@@ -78,6 +102,7 @@ func (m *Master) StartRouteSimulation(taskID, snapKey string, inputs []netmodel.
 		rec := taskdb.Record{
 			TaskID: taskID, Kind: "route", SubID: i, Status: taskdb.StatusPending,
 			RangeLo: sub.Lo.String(), RangeHi: sub.Hi.String(),
+			EnqueuedAt: time.Now(),
 		}
 		if err := m.svc.Tasks.Upsert(rec); err != nil {
 			return nil, err
@@ -123,6 +148,7 @@ func (m *Master) StartTrafficSimulation(taskID string, route *RouteTask, flows [
 		rec := taskdb.Record{
 			TaskID: taskID, Kind: "traffic", SubID: i, Status: taskdb.StatusPending,
 			RangeLo: sub.Lo.String(), RangeHi: sub.Hi.String(),
+			EnqueuedAt: time.Now(),
 		}
 		if err := m.svc.Tasks.Upsert(rec); err != nil {
 			return nil, err
@@ -148,8 +174,9 @@ func (m *Master) StartTrafficSimulation(taskID string, route *RouteTask, flows [
 	return &TrafficTask{ID: taskID, Subtasks: len(subsets)}, nil
 }
 
-// Wait blocks until every subtask of (taskID, kind) is done, re-enqueueing
-// failed subtasks up to MaxAttempts times.
+// Wait blocks until every subtask of (taskID, kind) is done. It re-enqueues
+// subtasks that failed, whose worker's lease expired, or whose message was
+// lost, each up to MaxAttempts times.
 func (m *Master) Wait(taskID, kind string, n int) error {
 	deadline := time.Now().Add(m.Timeout)
 	for {
@@ -157,6 +184,9 @@ func (m *Master) Wait(taskID, kind string, n int) error {
 		if err != nil {
 			return err
 		}
+		// Queue length is fetched at most once per sweep, and only when a
+		// pending record needs the lost-message heuristic.
+		qlen, qlenKnown := 0, false
 		done := 0
 		for _, rec := range recs {
 			if rec.Kind != kind {
@@ -164,27 +194,49 @@ func (m *Master) Wait(taskID, kind string, n int) error {
 			}
 			switch rec.Status {
 			case taskdb.StatusDone:
+				delete(m.pendingSince, rec.Key())
 				done++
 			case taskdb.StatusFailed:
-				if rec.Attempts >= m.MaxAttempts {
-					return fmt.Errorf("dsim: subtask %s/%s/%d failed permanently: %s", taskID, kind, rec.SubID, rec.Error)
-				}
+				delete(m.pendingSince, rec.Key())
 				// Re-enqueue (the paper's master resends the message).
-				rec.Status = taskdb.StatusPending
-				rec.Attempts++
-				if err := m.svc.Tasks.Upsert(rec); err != nil {
+				if err := m.reenqueue(rec, "worker reported: "+rec.Error); err != nil {
 					return err
 				}
-				msg, ok := m.msgs[SubtaskMsg{TaskID: taskID, Kind: kind, SubID: rec.SubID}.key()]
-				if !ok {
-					return fmt.Errorf("dsim: no recorded message for %s/%s/%d", taskID, kind, rec.SubID)
+			case taskdb.StatusRunning:
+				delete(m.pendingSince, rec.Key())
+				if m.leaseExpired(rec) {
+					if err := m.reenqueue(rec, fmt.Sprintf("lease expired (worker %s presumed dead)", rec.Worker)); err != nil {
+						return err
+					}
 				}
-				enc, err := msg.encode()
-				if err != nil {
-					return err
+			case taskdb.StatusPending:
+				if m.LeaseTimeout <= 0 {
+					break
 				}
-				if err := m.svc.Queue.Push(Topic, enc); err != nil {
-					return err
+				if !qlenKnown {
+					if qlen, err = m.svc.Queue.Len(Topic); err != nil {
+						qlen = 1 // unknown: assume the message is still queued
+					}
+					qlenKnown = true
+				}
+				if qlen > 0 {
+					// A queued message may be this subtask's: not lost.
+					delete(m.pendingSince, rec.Key())
+					break
+				}
+				first, seen := m.pendingSince[rec.Key()]
+				switch {
+				case !seen:
+					m.pendingSince[rec.Key()] = time.Now()
+				case time.Since(first) > m.LeaseTimeout:
+					// Pending for a full lease period with nothing queued:
+					// the message was lost (e.g. a Pop reply that never
+					// reached a worker, or a worker that died between Pop
+					// and claiming the record).
+					delete(m.pendingSince, rec.Key())
+					if err := m.reenqueue(rec, "pending with empty queue (message lost)"); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -196,6 +248,57 @@ func (m *Master) Wait(taskID, kind string, n int) error {
 		}
 		time.Sleep(m.PollInterval)
 	}
+}
+
+// leaseExpired reports whether a running subtask's worker has gone silent for
+// longer than the lease.
+func (m *Master) leaseExpired(rec taskdb.Record) bool {
+	if m.LeaseTimeout <= 0 {
+		return false
+	}
+	last := rec.HeartbeatAt
+	if rec.StartedAt.After(last) {
+		last = rec.StartedAt
+	}
+	return !last.IsZero() && time.Since(last) > m.LeaseTimeout
+}
+
+// reenqueue bumps the subtask's attempt epoch (fencing out the superseded
+// attempt) and resends its message. Exhausting MaxAttempts is the only error
+// that aborts the task: a failed push is left to the lost-pending sweep,
+// which re-enqueues the subtask after a lease period instead of stranding it.
+func (m *Master) reenqueue(rec taskdb.Record, cause string) error {
+	if rec.Attempts >= m.MaxAttempts {
+		return fmt.Errorf("dsim: subtask %s/%s/%d failed permanently after %d attempts: %s",
+			rec.TaskID, rec.Kind, rec.SubID, rec.Attempts+1, cause)
+	}
+	msg, ok := m.msgs[SubtaskMsg{TaskID: rec.TaskID, Kind: rec.Kind, SubID: rec.SubID}.key()]
+	if !ok {
+		return fmt.Errorf("dsim: no recorded message for %s/%s/%d", rec.TaskID, rec.Kind, rec.SubID)
+	}
+	rec.Status = taskdb.StatusPending
+	rec.Attempts++
+	rec.Worker = ""
+	rec.Error = cause
+	rec.EnqueuedAt = time.Now()
+	rec.HeartbeatAt = time.Time{}
+	// The record write must land before the push: a worker may pop the new
+	// message immediately, and its claim (same epoch) must not be clobbered
+	// by this pending write arriving late.
+	if _, err := m.svc.Tasks.FencedUpsert(rec); err != nil {
+		return err
+	}
+	msg.Attempt = rec.Attempts
+	enc, err := msg.encode()
+	if err != nil {
+		return err
+	}
+	if err := m.svc.Queue.Push(Topic, enc); err != nil {
+		// Push already retried by the substrate wrapper; the record stays
+		// pending and the lost-pending sweep will re-enqueue it.
+		return nil
+	}
+	return nil
 }
 
 // CollectRouteResults merges the RIB rows of all route subtasks into one

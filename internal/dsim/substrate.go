@@ -1,0 +1,169 @@
+package dsim
+
+import (
+	"context"
+	"errors"
+	"net/rpc"
+	"time"
+
+	"hoyan/internal/mq"
+	"hoyan/internal/objstore"
+	"hoyan/internal/retry"
+	"hoyan/internal/taskdb"
+)
+
+// TransientSubstrateError classifies substrate errors for the retry layer:
+// everything is presumed transient (TCP resets, I/O deadlines, injected
+// chaos) except deliberate shutdown (mq.ErrClosed, rpc.ErrShutdown), missing
+// objects (objstore.ErrNotFound — inputs and snapshots are written before any
+// message referencing them is pushed, so absence is a protocol bug, not a
+// flake), context cancellation, and errors marked retry.Permanent.
+func TransientSubstrateError(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch {
+	case errors.Is(err, mq.ErrClosed),
+		errors.Is(err, objstore.ErrNotFound),
+		errors.Is(err, rpc.ErrShutdown),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		retry.IsPermanent(err):
+		return false
+	}
+	return true
+}
+
+// DefaultRetryPolicy is the policy masters and workers wrap their substrate
+// handles with: five tries over roughly a second, transient-only.
+func DefaultRetryPolicy() retry.Policy {
+	p := retry.Default()
+	p.Retryable = TransientSubstrateError
+	return p
+}
+
+// WithRetry wraps the services' queue, store, and task DB so every call rides
+// out transient substrate errors under the policy. Already-wrapped handles
+// are left alone, so nesting WithRetry does not multiply retries.
+func WithRetry(svc Services, p retry.Policy) Services {
+	if _, ok := svc.Queue.(*retryQueue); !ok {
+		svc.Queue = &retryQueue{q: svc.Queue, p: p}
+	}
+	if _, ok := svc.Store.(*retryStore); !ok {
+		svc.Store = &retryStore{s: svc.Store, p: p}
+	}
+	if _, ok := svc.Tasks.(*retryTasks); !ok {
+		svc.Tasks = &retryTasks{db: svc.Tasks, p: p}
+	}
+	return svc
+}
+
+// retryQueue retries mq.Queue calls.
+type retryQueue struct {
+	q mq.Queue
+	p retry.Policy
+}
+
+func (r *retryQueue) Push(topic string, m mq.Message) error {
+	return r.p.Do(context.Background(), func() error { return r.q.Push(topic, m) })
+}
+
+// Pop retries transient errors. Note the at-least-once consequence: if a
+// reply is lost after the server already dequeued a message, the retried Pop
+// returns a different message and the first one is gone — the master's lease
+// reclaim re-enqueues its subtask.
+func (r *retryQueue) Pop(topic string, wait time.Duration) (m mq.Message, ok bool, err error) {
+	err = r.p.Do(context.Background(), func() error {
+		var e error
+		m, ok, e = r.q.Pop(topic, wait)
+		return e
+	})
+	return m, ok, err
+}
+
+func (r *retryQueue) Len(topic string) (n int, err error) {
+	err = r.p.Do(context.Background(), func() error {
+		var e error
+		n, e = r.q.Len(topic)
+		return e
+	})
+	return n, err
+}
+
+// retryStore retries objstore.Store calls.
+type retryStore struct {
+	s objstore.Store
+	p retry.Policy
+}
+
+func (r *retryStore) Put(key string, data []byte) error {
+	return r.p.Do(context.Background(), func() error { return r.s.Put(key, data) })
+}
+
+func (r *retryStore) Get(key string) (data []byte, err error) {
+	err = r.p.Do(context.Background(), func() error {
+		var e error
+		data, e = r.s.Get(key)
+		return e
+	})
+	return data, err
+}
+
+func (r *retryStore) List(prefix string) (keys []string, err error) {
+	err = r.p.Do(context.Background(), func() error {
+		var e error
+		keys, e = r.s.List(prefix)
+		return e
+	})
+	return keys, err
+}
+
+func (r *retryStore) Delete(key string) error {
+	return r.p.Do(context.Background(), func() error { return r.s.Delete(key) })
+}
+
+// retryTasks retries taskdb.DB calls.
+type retryTasks struct {
+	db taskdb.DB
+	p  retry.Policy
+}
+
+func (r *retryTasks) Upsert(rec taskdb.Record) error {
+	return r.p.Do(context.Background(), func() error { return r.db.Upsert(rec) })
+}
+
+func (r *retryTasks) FencedUpsert(rec taskdb.Record) (applied bool, err error) {
+	err = r.p.Do(context.Background(), func() error {
+		var e error
+		applied, e = r.db.FencedUpsert(rec)
+		return e
+	})
+	return applied, err
+}
+
+func (r *retryTasks) Heartbeat(taskID, kind string, subID, attempt int, at time.Time) (applied bool, err error) {
+	err = r.p.Do(context.Background(), func() error {
+		var e error
+		applied, e = r.db.Heartbeat(taskID, kind, subID, attempt, at)
+		return e
+	})
+	return applied, err
+}
+
+func (r *retryTasks) Get(taskID, kind string, subID int) (rec taskdb.Record, ok bool, err error) {
+	err = r.p.Do(context.Background(), func() error {
+		var e error
+		rec, ok, e = r.db.Get(taskID, kind, subID)
+		return e
+	})
+	return rec, ok, err
+}
+
+func (r *retryTasks) List(taskID string) (recs []taskdb.Record, err error) {
+	err = r.p.Do(context.Background(), func() error {
+		var e error
+		recs, e = r.db.List(taskID)
+		return e
+	})
+	return recs, err
+}

@@ -4,34 +4,58 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/netip"
 	"sort"
 	"time"
 
 	"hoyan/internal/core"
+	"hoyan/internal/mq"
 	"hoyan/internal/netmodel"
 	"hoyan/internal/taskdb"
 )
 
 // Worker is one working server: it consumes subtask messages, runs the core
 // engine on the subtask's input subset, and writes result files.
+//
+// Fault tolerance: while executing, a side goroutine heartbeats into the
+// subtask's task-DB record so the master can tell a slow worker from a dead
+// one. Every status write is fenced with the message's attempt epoch, so a
+// worker that was presumed dead and reclaimed cannot clobber the superseding
+// attempt's status when it finally finishes. Result-file writes are
+// deterministic and keyed per subtask, so duplicate executions are safe.
 type Worker struct {
 	Name string
 	svc  Services
 
-	// PopWait is the queue polling timeout per iteration.
+	// PopWait is the queue polling timeout per iteration; it also paces the
+	// backoff after a transient queue error.
 	PopWait time.Duration
 
+	// HeartbeatInterval is the lease-refresh cadence while executing a
+	// subtask. It must be well below the master's LeaseTimeout.
+	HeartbeatInterval time.Duration
+
 	// FailNext makes the next n subtasks fail artificially (tests the
-	// master's retry path).
+	// master's retry path): the failure is reported to the task DB.
 	FailNext int
+
+	// CrashNext makes the worker die mid-subtask n times: it claims the
+	// subtask (status running) and then Run returns without reporting
+	// anything — the chaos harness's stand-in for a killed process, which
+	// only the master's lease reclaim can recover from.
+	CrashNext int
 
 	// Parallelism, when > 0, pins the intra-engine parallelism of every
 	// subtask this worker executes, overriding the task's own
 	// Options.Parallelism (an operator knob for co-located workers sharing
 	// one machine). 0 leaves the task options untouched.
 	Parallelism int
+
+	// Logf, when set, receives diagnostics (transient errors being retried,
+	// stale attempts skipped). Nil discards them.
+	Logf func(format string, args ...any)
 
 	// Snapshot cache: workers process many subtasks of the same task, so
 	// re-parsing the network for each message would dominate run time.
@@ -40,69 +64,141 @@ type Worker struct {
 	cacheOpts   string
 }
 
-// NewWorker creates a worker over the substrate services.
+// NewWorker creates a worker over the substrate services. The queue, store,
+// and task DB handles are wrapped with DefaultRetryPolicy so transient
+// substrate errors are retried in place.
 func NewWorker(name string, svc Services) *Worker {
-	return &Worker{Name: name, svc: svc, PopWait: 50 * time.Millisecond}
-}
-
-// Run consumes subtasks until ctx is cancelled.
-func (w *Worker) Run(ctx context.Context) {
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		default:
-		}
-		m, ok, err := w.svc.Queue.Pop(Topic, w.PopWait)
-		if err != nil {
-			return // queue closed or unreachable
-		}
-		if !ok {
-			continue
-		}
-		msg, err := decodeMsg(m)
-		if err != nil {
-			continue // malformed message: drop
-		}
-		w.execute(msg)
+	return &Worker{
+		Name: name, svc: WithRetry(svc, DefaultRetryPolicy()),
+		PopWait:           50 * time.Millisecond,
+		HeartbeatInterval: time.Second,
 	}
 }
 
-// RunN consumes exactly n subtasks then returns (deterministic tests).
-func (w *Worker) RunN(ctx context.Context, n int) {
-	for i := 0; i < n; {
-		select {
-		case <-ctx.Done():
-			return
-		default:
-		}
-		m, ok, err := w.svc.Queue.Pop(Topic, w.PopWait)
-		if err != nil {
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf(format, args...)
+	}
+}
+
+// Run consumes subtasks until ctx is cancelled or the queue is closed.
+// Transient queue errors are logged and retried; they never kill the worker.
+func (w *Worker) Run(ctx context.Context) {
+	for {
+		msg, ok, fatal := w.nextMsg(ctx)
+		if fatal {
 			return
 		}
 		if !ok {
 			continue
 		}
-		msg, err := decodeMsg(m)
-		if err != nil {
+		if crashed := w.execute(ctx, msg); crashed {
+			return
+		}
+	}
+}
+
+// RunN consumes exactly n subtask messages then returns (deterministic
+// tests).
+func (w *Worker) RunN(ctx context.Context, n int) {
+	for i := 0; i < n; {
+		msg, ok, fatal := w.nextMsg(ctx)
+		if fatal {
+			return
+		}
+		if !ok {
 			continue
 		}
-		w.execute(msg)
+		if crashed := w.execute(ctx, msg); crashed {
+			return
+		}
 		i++
 	}
 }
 
-// execute runs one subtask and records its status.
-func (w *Worker) execute(msg SubtaskMsg) {
+// nextMsg pops and decodes one subtask message. fatal reports that the
+// worker should stop: the context is done or the queue was deliberately
+// closed. Any other pop error is transient — logged, backed off, retried.
+func (w *Worker) nextMsg(ctx context.Context) (msg SubtaskMsg, ok, fatal bool) {
+	if ctx.Err() != nil {
+		return SubtaskMsg{}, false, true
+	}
+	m, ok, err := w.svc.Queue.Pop(Topic, w.PopWait)
+	if err != nil {
+		if errors.Is(err, mq.ErrClosed) || errors.Is(err, context.Canceled) || ctx.Err() != nil {
+			return SubtaskMsg{}, false, true
+		}
+		w.logf("dsim: worker %s: queue pop: %v (backing off)", w.Name, err)
+		select {
+		case <-ctx.Done():
+			return SubtaskMsg{}, false, true
+		case <-time.After(w.PopWait):
+		}
+		return SubtaskMsg{}, false, false
+	}
+	if !ok {
+		return SubtaskMsg{}, false, false
+	}
+	msg, derr := decodeMsg(m)
+	if derr != nil {
+		w.logf("dsim: worker %s: %v (dropping message)", w.Name, derr)
+		return SubtaskMsg{}, false, false
+	}
+	return msg, true, false
+}
+
+// execute runs one subtask and records its status. crashed reports that the
+// worker simulated a hard crash and must stop immediately.
+func (w *Worker) execute(ctx context.Context, msg SubtaskMsg) (crashed bool) {
 	rec, ok, err := w.svc.Tasks.Get(msg.TaskID, msg.Kind, msg.SubID)
-	if err != nil || !ok {
+	if err != nil {
+		// Can't claim: skip the message. The master's lost-pending sweep
+		// re-enqueues the subtask once the lease period passes.
+		w.logf("dsim: worker %s: claiming %s/%s/%d: %v (skipping, reclaim will resend)",
+			w.Name, msg.TaskID, msg.Kind, msg.SubID, err)
+		return false
+	}
+	if !ok {
 		rec = taskdb.Record{TaskID: msg.TaskID, Kind: msg.Kind, SubID: msg.SubID}
 	}
+	if rec.Attempts > msg.Attempt {
+		// This message belongs to an attempt the master already reclaimed;
+		// the superseding attempt owns the subtask now.
+		w.logf("dsim: worker %s: skipping stale attempt %d of %s/%s/%d (current %d)",
+			w.Name, msg.Attempt, msg.TaskID, msg.Kind, msg.SubID, rec.Attempts)
+		return false
+	}
+
+	now := time.Now()
 	rec.Status = taskdb.StatusRunning
 	rec.Worker = w.Name
-	rec.StartedAt = time.Now()
+	rec.Attempts = msg.Attempt
+	rec.StartedAt = now
+	rec.HeartbeatAt = now
 	rec.Error = ""
-	w.svc.Tasks.Upsert(rec)
+	if applied, err := w.svc.Tasks.FencedUpsert(rec); err != nil || !applied {
+		w.logf("dsim: worker %s: claim of %s/%s/%d not applied (applied=%v err=%v)",
+			w.Name, msg.TaskID, msg.Kind, msg.SubID, applied, err)
+		return false
+	}
+
+	if w.CrashNext > 0 {
+		// Simulated hard crash: the subtask is claimed, no completion will
+		// ever be reported, and heartbeats stop with the worker. Only the
+		// master's lease reclaim gets the subtask done now.
+		w.CrashNext--
+		w.logf("dsim: worker %s: simulated crash holding %s/%s/%d attempt %d",
+			w.Name, msg.TaskID, msg.Kind, msg.SubID, msg.Attempt)
+		return true
+	}
+
+	// Heartbeat from a side goroutine while the engine runs.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeat(hbCtx, msg)
+	}()
 
 	var loadedFiles int
 	runErr := func() error {
@@ -121,8 +217,12 @@ func (w *Worker) execute(msg SubtaskMsg) {
 		return fmt.Errorf("unknown subtask kind %q", msg.Kind)
 	}()
 
+	stopHB()
+	<-hbDone
+
 	rec.FinishedAt = time.Now()
 	rec.DurationMs = rec.FinishedAt.Sub(rec.StartedAt).Milliseconds()
+	rec.HeartbeatAt = rec.FinishedAt
 	rec.LoadedRIBFiles = loadedFiles
 	if runErr != nil {
 		rec.Status = taskdb.StatusFailed
@@ -130,7 +230,38 @@ func (w *Worker) execute(msg SubtaskMsg) {
 	} else {
 		rec.Status = taskdb.StatusDone
 	}
-	w.svc.Tasks.Upsert(rec)
+	// The completion write is retried by the substrate wrapper. If it still
+	// fails, the subtask is NOT reported done: the record stays running with
+	// a stale heartbeat and the master's lease reclaim re-runs it (result
+	// writes are idempotent, so the re-run converges to the same state).
+	if applied, err := w.svc.Tasks.FencedUpsert(rec); err != nil {
+		w.logf("dsim: worker %s: completion of %s/%s/%d lost: %v (lease reclaim will re-run)",
+			w.Name, msg.TaskID, msg.Kind, msg.SubID, err)
+	} else if !applied {
+		w.logf("dsim: worker %s: completion of %s/%s/%d fenced off by newer attempt",
+			w.Name, msg.TaskID, msg.Kind, msg.SubID)
+	}
+	return false
+}
+
+// heartbeat refreshes the subtask's lease until ctx is cancelled.
+func (w *Worker) heartbeat(ctx context.Context, msg SubtaskMsg) {
+	interval := w.HeartbeatInterval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, err := w.svc.Tasks.Heartbeat(msg.TaskID, msg.Kind, msg.SubID, msg.Attempt, time.Now()); err != nil {
+				w.logf("dsim: worker %s: heartbeat %s/%s/%d: %v", w.Name, msg.TaskID, msg.Kind, msg.SubID, err)
+			}
+		}
+	}
 }
 
 // engineFor returns a core engine for the snapshot, cached across subtasks.

@@ -1,0 +1,162 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hoyan/internal/mq"
+	"hoyan/internal/objstore"
+	"hoyan/internal/taskdb"
+)
+
+func TestInjectorDeterministicAndRateBounded(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := NewInjector(seed)
+		in.ErrorRate = 0.3
+		var out []bool
+		for i := 0; i < 1000; i++ {
+			out = append(out, in.point("op") != nil)
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	fails := 0
+	for _, f := range a {
+		if f {
+			fails++
+		}
+	}
+	if fails < 200 || fails > 400 {
+		t.Fatalf("injected %d/1000 at rate 0.3", fails)
+	}
+	points, injected := func() (int64, int64) {
+		in := NewInjector(42)
+		in.ErrorRate = 0.3
+		for i := 0; i < 10; i++ {
+			in.point("op")
+		}
+		return in.Stats()
+	}()
+	if points != 10 || injected < 0 || injected > 10 {
+		t.Fatalf("Stats = %d, %d", points, injected)
+	}
+}
+
+func TestInjectedErrorsAreMarked(t *testing.T) {
+	in := NewInjector(1)
+	in.ErrorRate = 1
+	err := in.point("store.Get")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFlakyStoreDelegatesWhenQuiet(t *testing.T) {
+	in := NewInjector(1) // rate 0: never fails
+	s := FlakyStore{S: objstore.NewMemory(), In: in}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Get = %q %v", got, err)
+	}
+	if _, err := s.Get("missing"); !errors.Is(err, objstore.ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+	keys, err := s.List("")
+	if err != nil || len(keys) != 1 {
+		t.Fatalf("List = %v %v", keys, err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// seedPassFail finds a seed whose first injection point passes and whose
+// second fails at rate 0.5, so a wrapped op runs for real and then loses its
+// acknowledgement.
+func seedPassFail(t *testing.T) *Injector {
+	t.Helper()
+	for seed := int64(1); seed < 1000; seed++ {
+		probe := NewInjector(seed)
+		probe.ErrorRate = 0.5
+		if probe.point("a") == nil && probe.point("b") != nil {
+			in := NewInjector(seed)
+			in.ErrorRate = 0.5
+			return in
+		}
+	}
+	t.Fatal("no suitable seed found")
+	return nil
+}
+
+func TestFlakyStorePutAfterFailureStillStores(t *testing.T) {
+	// An "ack lost" Put failure must leave the object stored: this is the
+	// case idempotent retried Puts paper over.
+	mem := objstore.NewMemory()
+	s := FlakyStore{S: mem, In: seedPassFail(t)}
+	if err := s.Put("k", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Put = %v, want injected after-failure", err)
+	}
+	got, err := mem.Get("k")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("object missing after ack-lost Put: %q %v", got, err)
+	}
+}
+
+func TestFlakyQueueAfterFailureLosesMessage(t *testing.T) {
+	q := FlakyQueue{Q: mq.NewMemory(), In: seedPassFail(t)}
+	if err := q.Q.Push("t", mq.Message{ID: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := q.Pop("t", 10*time.Millisecond)
+	if err == nil || ok {
+		t.Fatalf("Pop = ok=%v err=%v, want injected after-failure", ok, err)
+	}
+	// The message is gone: lost in flight, exactly what lease reclaim covers.
+	if n, _ := q.Q.Len("t"); n != 0 {
+		t.Fatalf("queue len = %d, want 0 (message lost)", n)
+	}
+}
+
+func TestFlakyTasksDelegatesWhenQuiet(t *testing.T) {
+	in := NewInjector(1)
+	db := FlakyTasks{DB: taskdb.NewMemory(), In: in}
+	rec := taskdb.Record{TaskID: "t", Kind: "route", SubID: 0, Status: taskdb.StatusRunning, Attempts: 1}
+	if ok, err := db.FencedUpsert(rec); err != nil || !ok {
+		t.Fatalf("FencedUpsert = %v %v", ok, err)
+	}
+	if ok, err := db.Heartbeat("t", "route", 0, 1, time.Now()); err != nil || !ok {
+		t.Fatalf("Heartbeat = %v %v", ok, err)
+	}
+	rec.Attempts = 0
+	if ok, err := db.FencedUpsert(rec); err != nil || ok {
+		t.Fatalf("stale FencedUpsert applied through wrapper: %v %v", ok, err)
+	}
+	recs, err := db.List("t")
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("List = %v %v", recs, err)
+	}
+	if _, ok, err := db.Get("t", "route", 0); err != nil || !ok {
+		t.Fatalf("Get = %v %v", ok, err)
+	}
+	if err := db.Upsert(rec); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlakyQueueLenNeverInjected(t *testing.T) {
+	in := NewInjector(3)
+	in.ErrorRate = 1
+	q := FlakyQueue{Q: mq.NewMemory(), In: in}
+	if _, err := q.Len("t"); err != nil {
+		t.Fatalf("Len injected an error: %v", err)
+	}
+}

@@ -1,11 +1,14 @@
 package mq
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"testing"
 	"time"
+
+	"hoyan/internal/rpcx"
 )
 
 func TestMemoryPushPop(t *testing.T) {
@@ -134,6 +137,92 @@ func TestRPCQueue(t *testing.T) {
 	// Timeout over RPC.
 	if _, ok, err := c.Pop("t", 50*time.Millisecond); ok || err != nil {
 		t.Fatalf("want rpc timeout, got ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRPCErrClosedSurvivesBoundary(t *testing.T) {
+	// A worker deciding whether to keep consuming must see the ErrClosed
+	// sentinel even when the queue lives across a TCP hop.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	mem := NewMemory()
+	Serve(l, mem)
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mem.Close()
+
+	if err := c.Push("t", Message{ID: "x"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Push after close over RPC: %v, want ErrClosed", err)
+	}
+	if _, _, err := c.Pop("t", 10*time.Millisecond); !errors.Is(err, ErrClosed) {
+		t.Errorf("Pop after close over RPC: %v, want ErrClosed", err)
+	}
+	if _, err := c.Len("t"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Len after close over RPC: %v, want ErrClosed", err)
+	}
+}
+
+func TestRPCHungServerTimesOut(t *testing.T) {
+	// A server that accepts and never speaks gob must not wedge the client
+	// forever: the per-call I/O deadline fires instead.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var held net.Conn
+	accepted := make(chan struct{})
+	go func() {
+		held, _ = l.Accept()
+		close(accepted)
+	}()
+	defer func() {
+		<-accepted
+		if held != nil {
+			held.Close()
+		}
+	}()
+
+	c, err := DialOptions(l.Addr().String(), rpcx.Options{CallTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := c.Push("t", Message{ID: "x"}); err == nil {
+		t.Fatal("Push to hung server succeeded")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Push blocked %v despite 100ms call timeout", d)
+	}
+}
+
+func TestRPCPopChunkStaysUnderCallTimeout(t *testing.T) {
+	// A long Pop wait must be sliced into chunks shorter than the I/O
+	// deadline, or an idle (but healthy) queue would look like a dead server.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	Serve(l, NewMemory())
+
+	c, err := DialOptions(l.Addr().String(), rpcx.Options{CallTimeout: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Wait longer than the call timeout: must return a clean timeout (no
+	// message), not an I/O error.
+	if _, ok, err := c.Pop("idle", 700*time.Millisecond); ok || err != nil {
+		t.Fatalf("Pop on idle queue = ok=%v err=%v, want clean timeout", ok, err)
 	}
 }
 

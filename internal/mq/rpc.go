@@ -5,6 +5,8 @@ import (
 	"net"
 	"net/rpc"
 	"time"
+
+	"hoyan/internal/rpcx"
 )
 
 // Service exposes a Queue over net/rpc.
@@ -74,23 +76,47 @@ func Serve(l net.Listener, q Queue) {
 	}()
 }
 
-// Client is a Queue talking to a remote Serve instance.
+// Client is a Queue talking to a remote Serve instance over a reconnecting
+// connection with dial and per-call I/O timeouts.
 type Client struct {
-	c *rpc.Client
+	c *rpcx.Client
+	// chunk is the per-RPC slice of a long Pop wait; it must stay well below
+	// the I/O timeout, since a waiting server legitimately sends no bytes.
+	chunk time.Duration
 }
 
-// Dial connects to a queue server.
-func Dial(addr string) (*Client, error) {
-	c, err := rpc.Dial("tcp", addr)
+// Dial connects to a queue server with default timeouts.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, rpcx.Options{}) }
+
+// DialOptions connects with explicit timeouts.
+func DialOptions(addr string, opts rpcx.Options) (*Client, error) {
+	c, err := rpcx.Dial(addr, opts)
 	if err != nil {
 		return nil, fmt.Errorf("mq: dial %s: %w", addr, err)
 	}
-	return &Client{c: c}, nil
+	chunk := 5 * time.Second
+	if opts.CallTimeout > 0 && chunk > opts.CallTimeout/2 {
+		chunk = opts.CallTimeout / 2
+	}
+	return &Client{c: c, chunk: chunk}, nil
+}
+
+// mapErr restores the ErrClosed sentinel, which crosses the RPC boundary as a
+// flat rpc.ServerError string: without this, a worker cannot distinguish "the
+// queue was shut down" (stop consuming) from a transient fault (retry).
+func mapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if se, ok := err.(rpc.ServerError); ok && string(se) == ErrClosed.Error() {
+		return ErrClosed
+	}
+	return err
 }
 
 // Push implements Queue.
 func (c *Client) Push(topic string, m Message) error {
-	return c.c.Call("MQ.Push", &PushArgs{Topic: topic, Msg: m}, &struct{}{})
+	return mapErr(c.c.Call("MQ.Push", &PushArgs{Topic: topic, Msg: m}, &struct{}{}))
 }
 
 // Pop implements Queue, chunking long waits into server-side slices.
@@ -101,12 +127,12 @@ func (c *Client) Pop(topic string, wait time.Duration) (Message, bool, error) {
 		if chunk <= 0 {
 			return Message{}, false, nil
 		}
-		if chunk > 5*time.Second {
-			chunk = 5 * time.Second
+		if chunk > c.chunk {
+			chunk = c.chunk
 		}
 		var reply PopReply
 		if err := c.c.Call("MQ.Pop", &PopArgs{Topic: topic, WaitMs: chunk.Milliseconds()}, &reply); err != nil {
-			return Message{}, false, err
+			return Message{}, false, mapErr(err)
 		}
 		if reply.OK {
 			return reply.Msg, true, nil
@@ -121,7 +147,7 @@ func (c *Client) Pop(topic string, wait time.Duration) (Message, bool, error) {
 func (c *Client) Len(topic string) (int, error) {
 	var n int
 	err := c.c.Call("MQ.Len", &LenArgs{Topic: topic}, &n)
-	return n, err
+	return n, mapErr(err)
 }
 
 // Close closes the client connection.

@@ -14,6 +14,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"hoyan/internal/rpcx"
 )
 
 // ErrNotFound is returned by Get for missing keys.
@@ -162,14 +164,18 @@ func Serve(l net.Listener, s Store) {
 	}()
 }
 
-// Client is a Store talking to a remote Serve instance.
+// Client is a Store talking to a remote Serve instance over a reconnecting
+// connection with dial and per-call I/O timeouts.
 type Client struct {
-	c *rpc.Client
+	c *rpcx.Client
 }
 
-// Dial connects to an object store server.
-func Dial(addr string) (*Client, error) {
-	c, err := rpc.Dial("tcp", addr)
+// Dial connects to an object store server with default timeouts.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, rpcx.Options{}) }
+
+// DialOptions connects with explicit timeouts.
+func DialOptions(addr string, opts rpcx.Options) (*Client, error) {
+	c, err := rpcx.Dial(addr, opts)
 	if err != nil {
 		return nil, fmt.Errorf("objstore: dial %s: %w", addr, err)
 	}

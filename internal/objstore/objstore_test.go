@@ -6,6 +6,9 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
+
+	"hoyan/internal/rpcx"
 )
 
 func TestMemoryCRUD(t *testing.T) {
@@ -98,5 +101,40 @@ func TestRPCStore(t *testing.T) {
 	}
 	if _, err := c.Get("k"); !errors.Is(err, ErrNotFound) {
 		t.Error("delete over RPC failed")
+	}
+}
+
+func TestRPCHungServerTimesOut(t *testing.T) {
+	// A server that accepts and never responds must not block Get forever:
+	// the per-call I/O deadline fires.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var held net.Conn
+	accepted := make(chan struct{})
+	go func() {
+		held, _ = l.Accept()
+		close(accepted)
+	}()
+	defer func() {
+		<-accepted
+		if held != nil {
+			held.Close()
+		}
+	}()
+
+	c, err := DialOptions(l.Addr().String(), rpcx.Options{CallTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Get("k"); err == nil {
+		t.Fatal("Get from hung server succeeded")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Get blocked %v despite 100ms call timeout", d)
 	}
 }

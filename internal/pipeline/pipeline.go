@@ -7,6 +7,7 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"hoyan/internal/change"
 	"hoyan/internal/config"
@@ -37,6 +38,10 @@ type System struct {
 	// for flows at full scale).
 	RouteSubtasks   int
 	TrafficSubtasks int
+	// Fault-tolerance knobs for the distributed path, forwarded to the
+	// cluster master; zero values keep the dsim defaults.
+	LeaseTimeout time.Duration
+	MaxAttempts  int
 
 	baseSnap *intent.Snapshot
 }
@@ -75,6 +80,12 @@ func (s *System) simulateDistributed(net *config.Network, inputs []netmodel.Rout
 	cluster := dsim.StartLocal(s.Workers)
 	defer cluster.Stop()
 	m := cluster.Master
+	if s.LeaseTimeout > 0 {
+		m.LeaseTimeout = s.LeaseTimeout
+	}
+	if s.MaxAttempts > 0 {
+		m.MaxAttempts = s.MaxAttempts
+	}
 
 	snapKey, err := m.UploadSnapshot(taskID, net)
 	if err != nil {

@@ -1,0 +1,203 @@
+package rpcx
+
+import (
+	"errors"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Echo is the test RPC service.
+type Echo struct{}
+
+// Echo returns its input.
+func (Echo) Echo(in *string, out *string) error { *out = *in; return nil }
+
+// Fail always returns an application error.
+func (Echo) Fail(in *string, out *string) error { return errors.New("app error: " + *in) }
+
+// serveEcho serves the Echo service on l, reporting each accepted connection
+// on the returned channel so tests can kill them.
+func serveEcho(t *testing.T, l net.Listener) <-chan net.Conn {
+	t.Helper()
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Echo", Echo{}); err != nil {
+		t.Fatal(err)
+	}
+	conns := make(chan net.Conn, 16)
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			conns <- conn
+			go srv.ServeConn(conn)
+		}
+	}()
+	return conns
+}
+
+func TestCallAndServerErrorKeepConnection(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serveEcho(t, l)
+
+	c, err := Dial(l.Addr().String(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	in, out := "hello", ""
+	if err := c.Call("Echo.Echo", &in, &out); err != nil || out != "hello" {
+		t.Fatalf("Echo = %q, %v", out, err)
+	}
+
+	// An application error must come back as rpc.ServerError and must not
+	// poison the connection.
+	if err := c.Call("Echo.Fail", &in, &out); err == nil {
+		t.Fatal("Fail returned nil")
+	} else if _, ok := err.(rpc.ServerError); !ok {
+		t.Fatalf("Fail error type %T, want rpc.ServerError", err)
+	} else if !strings.Contains(err.Error(), "app error: hello") {
+		t.Fatalf("Fail error = %v", err)
+	}
+	if err := c.Call("Echo.Echo", &in, &out); err != nil {
+		t.Fatalf("Echo after server error: %v", err)
+	}
+}
+
+func TestDialFailsFastOnRefusedConnection(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	start := time.Now()
+	if _, err := Dial(addr, Options{DialTimeout: time.Second}); err == nil {
+		t.Fatal("Dial to closed port succeeded")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("Dial took %v", d)
+	}
+}
+
+func TestHungServerCallTimesOut(t *testing.T) {
+	// A server that accepts and then goes silent: without I/O deadlines the
+	// gob handshake would block forever.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var held []net.Conn
+	var mu sync.Mutex
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, conn) // hold it open, never respond
+			mu.Unlock()
+		}
+	}()
+	defer func() {
+		mu.Lock()
+		for _, c := range held {
+			c.Close()
+		}
+		mu.Unlock()
+	}()
+
+	c, err := Dial(l.Addr().String(), Options{CallTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	in, out := "x", ""
+	start := time.Now()
+	err = c.Call("Echo.Echo", &in, &out)
+	if err == nil {
+		t.Fatal("call to hung server succeeded")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("call blocked for %v despite 200ms call timeout", d)
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("err = %v, want i/o timeout", err)
+	}
+}
+
+func TestReconnectsAfterServerDropsConnection(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	conns := serveEcho(t, l)
+
+	c, err := Dial(l.Addr().String(), Options{CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	in, out := "one", ""
+	if err := c.Call("Echo.Echo", &in, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server side of the first connection.
+	(<-conns).Close()
+
+	// The client must recover: at most a couple of calls fail while the dead
+	// connection is detected, then redial succeeds against the same server.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		in, out = "two", ""
+		if err := c.Call("Echo.Echo", &in, &out); err == nil {
+			if out != "two" {
+				t.Fatalf("out = %q", out)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never recovered after server dropped the connection")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCloseRejectsFurtherCalls(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	serveEcho(t, l)
+
+	c, err := Dial(l.Addr().String(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	in, out := "x", ""
+	if err := c.Call("Echo.Echo", &in, &out); !errors.Is(err, rpc.ErrShutdown) {
+		t.Fatalf("call after Close = %v, want ErrShutdown", err)
+	}
+}

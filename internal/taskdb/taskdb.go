@@ -2,6 +2,12 @@
 // simulation framework: workers update subtask status here, the master
 // monitors it, and the §3.2 ordering heuristic records each route subtask's
 // covered address range here so traffic subtasks can test overlap.
+//
+// Fault tolerance: each record carries a lease (HeartbeatAt, refreshed by the
+// executing worker) and a fence (Attempts, the attempt epoch the master
+// assigns on every (re-)enqueue). FencedUpsert rejects writes from attempts
+// older than the stored one, so a worker reclaimed as dead cannot clobber the
+// status written by the attempt that superseded it.
 package taskdb
 
 import (
@@ -12,6 +18,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hoyan/internal/rpcx"
 )
 
 // Status of a subtask.
@@ -29,20 +37,31 @@ const (
 // covered by a route subtask's input prefixes (textual netip.Addr form, kept
 // as strings for clean wire encoding).
 type Record struct {
-	TaskID   string // simulation task this subtask belongs to
-	SubID    int
-	Kind     string // "route" or "traffic"
-	Status   Status
-	Worker   string
+	TaskID string // simulation task this subtask belongs to
+	SubID  int
+	Kind   string // "route" or "traffic"
+	Status Status
+	Worker string
+	// Attempts is the attempt epoch: 0 for the first enqueue, incremented by
+	// the master on every re-enqueue (failure or lease reclaim). It doubles
+	// as the fence token for FencedUpsert.
 	Attempts int
 	Error    string
 
 	RangeLo string
 	RangeHi string
 
+	// EnqueuedAt is stamped by the master when the subtask's message is
+	// (re-)pushed; a record pending long past it with an empty queue means
+	// the message was lost.
+	EnqueuedAt time.Time
 	StartedAt  time.Time
 	FinishedAt time.Time
-	DurationMs int64
+	// HeartbeatAt is refreshed by the executing worker's heartbeat loop; the
+	// master treats a running record with a stale heartbeat as a dead worker
+	// and reclaims the subtask.
+	HeartbeatAt time.Time
+	DurationMs  int64
 
 	// LoadedRIBFiles counts how many route-subtask result files a traffic
 	// subtask loaded (the Figure 5(d) metric).
@@ -54,8 +73,16 @@ func (r Record) Key() string { return fmt.Sprintf("%s/%s/%d", r.TaskID, r.Kind, 
 
 // DB is the subtask database interface.
 type DB interface {
-	// Upsert stores the record, replacing any previous state.
+	// Upsert stores the record unconditionally, replacing any previous state.
 	Upsert(rec Record) error
+	// FencedUpsert stores the record unless the stored record belongs to a
+	// newer attempt (stored.Attempts > rec.Attempts). It reports whether the
+	// write was applied; a rejected write is not an error.
+	FencedUpsert(rec Record) (bool, error)
+	// Heartbeat refreshes HeartbeatAt on a running record of the given
+	// attempt. It reports whether the record matched (same attempt, still
+	// running); a miss is not an error.
+	Heartbeat(taskID, kind string, subID, attempt int, at time.Time) (bool, error)
 	// Get fetches one record.
 	Get(taskID, kind string, subID int) (Record, bool, error)
 	// List returns all records of a task, sorted by kind then sub ID.
@@ -77,6 +104,31 @@ func (db *Memory) Upsert(rec Record) error {
 	db.recs[rec.Key()] = rec
 	db.mu.Unlock()
 	return nil
+}
+
+// FencedUpsert implements DB.
+func (db *Memory) FencedUpsert(rec Record) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if old, ok := db.recs[rec.Key()]; ok && old.Attempts > rec.Attempts {
+		return false, nil
+	}
+	db.recs[rec.Key()] = rec
+	return true, nil
+}
+
+// Heartbeat implements DB.
+func (db *Memory) Heartbeat(taskID, kind string, subID, attempt int, at time.Time) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := Record{TaskID: taskID, Kind: kind, SubID: subID}.Key()
+	rec, ok := db.recs[key]
+	if !ok || rec.Attempts != attempt || rec.Status != StatusRunning {
+		return false, nil
+	}
+	rec.HeartbeatAt = at
+	db.recs[key] = rec
+	return true, nil
 }
 
 // Get implements DB.
@@ -111,6 +163,29 @@ type Service struct{ db DB }
 
 // Upsert is the RPC form of DB.Upsert.
 func (s *Service) Upsert(rec *Record, _ *struct{}) error { return s.db.Upsert(*rec) }
+
+// FencedUpsert is the RPC form of DB.FencedUpsert.
+func (s *Service) FencedUpsert(rec *Record, applied *bool) error {
+	ok, err := s.db.FencedUpsert(*rec)
+	*applied = ok
+	return err
+}
+
+// HeartbeatArgs are the arguments of Tasks.Heartbeat.
+type HeartbeatArgs struct {
+	TaskID  string
+	Kind    string
+	SubID   int
+	Attempt int
+	At      time.Time
+}
+
+// Heartbeat is the RPC form of DB.Heartbeat.
+func (s *Service) Heartbeat(args *HeartbeatArgs, applied *bool) error {
+	ok, err := s.db.Heartbeat(args.TaskID, args.Kind, args.SubID, args.Attempt, args.At)
+	*applied = ok
+	return err
+}
 
 // GetArgs are the arguments of Tasks.Get.
 type GetArgs struct {
@@ -155,12 +230,16 @@ func Serve(l net.Listener, db DB) {
 	}()
 }
 
-// Client is a DB talking to a remote Serve instance.
-type Client struct{ c *rpc.Client }
+// Client is a DB talking to a remote Serve instance over a reconnecting
+// connection with dial and per-call I/O timeouts.
+type Client struct{ c *rpcx.Client }
 
-// Dial connects to a task DB server.
-func Dial(addr string) (*Client, error) {
-	c, err := rpc.Dial("tcp", addr)
+// Dial connects to a task DB server with default timeouts.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, rpcx.Options{}) }
+
+// DialOptions connects with explicit timeouts.
+func DialOptions(addr string, opts rpcx.Options) (*Client, error) {
+	c, err := rpcx.Dial(addr, opts)
 	if err != nil {
 		return nil, fmt.Errorf("taskdb: dial %s: %w", addr, err)
 	}
@@ -170,6 +249,21 @@ func Dial(addr string) (*Client, error) {
 // Upsert implements DB.
 func (c *Client) Upsert(rec Record) error {
 	return c.c.Call("Tasks.Upsert", &rec, &struct{}{})
+}
+
+// FencedUpsert implements DB.
+func (c *Client) FencedUpsert(rec Record) (bool, error) {
+	var applied bool
+	err := c.c.Call("Tasks.FencedUpsert", &rec, &applied)
+	return applied, err
+}
+
+// Heartbeat implements DB.
+func (c *Client) Heartbeat(taskID, kind string, subID, attempt int, at time.Time) (bool, error) {
+	var applied bool
+	err := c.c.Call("Tasks.Heartbeat",
+		&HeartbeatArgs{TaskID: taskID, Kind: kind, SubID: subID, Attempt: attempt, At: at}, &applied)
+	return applied, err
 }
 
 // Get implements DB.

@@ -43,6 +43,73 @@ func TestMemoryUpsertGetList(t *testing.T) {
 	}
 }
 
+func TestFencedUpsertRejectsStaleAttempt(t *testing.T) {
+	db := NewMemory()
+	// Attempt 0 runs, master reclaims and bumps the epoch to 1.
+	ok, err := db.FencedUpsert(Record{TaskID: "t", Kind: "route", SubID: 0, Status: StatusRunning, Worker: "w0", Attempts: 0})
+	if err != nil || !ok {
+		t.Fatalf("first write: %v %v", ok, err)
+	}
+	ok, err = db.FencedUpsert(Record{TaskID: "t", Kind: "route", SubID: 0, Status: StatusPending, Attempts: 1})
+	if err != nil || !ok {
+		t.Fatalf("reclaim write: %v %v", ok, err)
+	}
+	// The stale attempt-0 worker finishes late: its write must be rejected.
+	ok, err = db.FencedUpsert(Record{TaskID: "t", Kind: "route", SubID: 0, Status: StatusDone, Worker: "w0", Attempts: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("stale attempt overwrote newer epoch")
+	}
+	got, _, _ := db.Get("t", "route", 0)
+	if got.Status != StatusPending || got.Attempts != 1 {
+		t.Fatalf("record clobbered by stale attempt: %+v", got)
+	}
+	// Attempt 1's worker claims and completes: same-epoch writes apply.
+	ok, _ = db.FencedUpsert(Record{TaskID: "t", Kind: "route", SubID: 0, Status: StatusRunning, Worker: "w1", Attempts: 1})
+	if !ok {
+		t.Fatal("same-epoch claim rejected")
+	}
+	ok, _ = db.FencedUpsert(Record{TaskID: "t", Kind: "route", SubID: 0, Status: StatusDone, Worker: "w1", Attempts: 1})
+	if !ok {
+		t.Fatal("same-epoch completion rejected")
+	}
+	got, _, _ = db.Get("t", "route", 0)
+	if got.Status != StatusDone || got.Worker != "w1" {
+		t.Fatalf("final record: %+v", got)
+	}
+}
+
+func TestHeartbeatOnlyTouchesMatchingRunningRecord(t *testing.T) {
+	db := NewMemory()
+	at := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+
+	// No record yet: miss.
+	if ok, err := db.Heartbeat("t", "route", 0, 0, at); err != nil || ok {
+		t.Fatalf("heartbeat on missing record: %v %v", ok, err)
+	}
+	db.Upsert(Record{TaskID: "t", Kind: "route", SubID: 0, Status: StatusRunning, Attempts: 2})
+
+	// Wrong attempt: miss.
+	if ok, _ := db.Heartbeat("t", "route", 0, 1, at); ok {
+		t.Fatal("stale-attempt heartbeat applied")
+	}
+	// Matching attempt and running: applied.
+	if ok, _ := db.Heartbeat("t", "route", 0, 2, at); !ok {
+		t.Fatal("matching heartbeat missed")
+	}
+	got, _, _ := db.Get("t", "route", 0)
+	if !got.HeartbeatAt.Equal(at) {
+		t.Fatalf("HeartbeatAt = %v", got.HeartbeatAt)
+	}
+	// Done record: heartbeat is a no-op.
+	db.Upsert(Record{TaskID: "t", Kind: "route", SubID: 0, Status: StatusDone, Attempts: 2})
+	if ok, _ := db.Heartbeat("t", "route", 0, 2, at.Add(time.Minute)); ok {
+		t.Fatal("heartbeat applied to done record")
+	}
+}
+
 func TestRPCTaskDB(t *testing.T) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -74,5 +141,22 @@ func TestRPCTaskDB(t *testing.T) {
 	}
 	if _, ok, err := c.Get("t", "route", 9); ok || err != nil {
 		t.Errorf("missing record: ok=%v err=%v", ok, err)
+	}
+
+	// Fencing and heartbeats across the RPC boundary.
+	if ok, err := c.FencedUpsert(Record{TaskID: "t", Kind: "route", SubID: 3, Status: StatusPending, Attempts: 2}); err != nil || !ok {
+		t.Fatalf("FencedUpsert over RPC: %v %v", ok, err)
+	}
+	if ok, err := c.FencedUpsert(Record{TaskID: "t", Kind: "route", SubID: 3, Status: StatusDone, Attempts: 1}); err != nil || ok {
+		t.Fatalf("stale FencedUpsert over RPC applied: %v %v", ok, err)
+	}
+	c.Upsert(Record{TaskID: "t", Kind: "route", SubID: 3, Status: StatusRunning, Attempts: 2})
+	at := time.Now().UTC().Truncate(time.Second)
+	if ok, err := c.Heartbeat("t", "route", 3, 2, at); err != nil || !ok {
+		t.Fatalf("Heartbeat over RPC: %v %v", ok, err)
+	}
+	got, _, _ = c.Get("t", "route", 3)
+	if !got.HeartbeatAt.Equal(at) {
+		t.Fatalf("HeartbeatAt over RPC = %v, want %v", got.HeartbeatAt, at)
 	}
 }
