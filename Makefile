@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke chaos check
+.PHONY: all build test vet race bench-smoke bench-wire chaos check
 
 all: check
 
@@ -24,10 +24,18 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Wire-codec size/speed measurement: binary format vs the legacy JSON
+# encoding on the gen.WAN(2) fixture. Asserts the >=3x size / >=2x decode
+# floors and writes the measured numbers to BENCH_wire.json; the one-shot
+# BenchmarkWire* pass catches bench bit-rot.
+bench-wire:
+	WIRE_BENCH_JSON=BENCH_wire.json $(GO) test -run '^TestWireCompactness$$' -v .
+	$(GO) test -run '^$$' -bench '^BenchmarkWire' -benchtime 1x .
+
 # Fault-tolerance pass: the chaos harness (crashed workers, >=10% injected
 # substrate error rates) plus the resilience tests, under the race detector.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestWorker|TestStale' -v ./internal/dsim/
 	$(GO) test -race ./internal/faults/ ./internal/retry/ ./internal/rpcx/
 
-check: vet build race bench-smoke chaos
+check: vet build race bench-smoke bench-wire chaos

@@ -29,6 +29,7 @@ func main() {
 	tasksAddr := flag.String("tasks", "127.0.0.1:7103", "task DB address")
 	parallelism := flag.Int("parallelism", 0, "pin intra-engine parallelism per subtask (0 = use each task's own setting)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "lease heartbeat interval while executing a subtask")
+	ribCache := flag.Int("ribcache", 0, "route-RIB file cache size in entries (0 = default, negative = disabled)")
 	flag.Parse()
 
 	queue, err := mq.Dial(*mqAddr)
@@ -50,11 +51,16 @@ func main() {
 	w := dsim.NewWorker(*name, dsim.Services{Queue: queue, Store: store, Tasks: tasks})
 	w.Parallelism = *parallelism
 	w.HeartbeatInterval = *heartbeat
+	w.RIBCacheSize = *ribCache
 	w.Logf = log.New(os.Stderr, *name+": ", log.LstdFlags).Printf
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	fmt.Printf("worker %s consuming from %s\n", *name, *mqAddr)
 	w.Run(ctx)
+	st := w.Stats()
+	fmt.Printf("worker %s done: snapshot cache %d/%d hits, RIB cache %d/%d hits, %d bytes fetched, %d bytes saved\n",
+		*name, st.SnapshotHits, st.SnapshotHits+st.SnapshotMisses,
+		st.RIBFileHits, st.RIBFileHits+st.RIBFileMisses, st.BytesFetched, st.BytesSaved)
 }
 
 func fatal(err error) {

@@ -1,30 +1,25 @@
 package core
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"net/netip"
 
 	"hoyan/internal/config"
 	"hoyan/internal/netmodel"
+	"hoyan/internal/wire"
 )
 
 // Snapshot is the wire form of a network model: every device's configuration
 // in its own vendor dialect plus the monitored topology. The master uploads
 // one snapshot per simulation task to the object store; workers restore it.
-type Snapshot struct {
-	Configs map[string]string `json:"configs"`
-	Nodes   []SnapshotNode    `json:"nodes"`
-	Links   []netmodel.Link   `json:"links"`
-}
+//
+// It shares internal/wire's Snapshot struct, so encoding is a free
+// conversion: blobs are written in the compact binary wire format and old
+// JSON blobs are still decoded transparently.
+type Snapshot wire.Snapshot
 
 // SnapshotNode is the wire form of a topology node.
-type SnapshotNode struct {
-	Name     string     `json:"name"`
-	Loopback netip.Addr `json:"loopback"`
-	Up       bool       `json:"up"`
-}
+type SnapshotNode = wire.SnapshotNode
 
 // TakeSnapshot serializes a network model.
 func TakeSnapshot(net *config.Network) *Snapshot {
@@ -69,29 +64,39 @@ func (s *Snapshot) RestoreParallel(parallelism int) (*config.Network, error) {
 	return net, nil
 }
 
-// Encode writes the snapshot as JSON.
+// Encode writes the snapshot in the compact binary wire format (flate
+// compressed: configuration text dominates).
 func (s *Snapshot) Encode(w io.Writer) error {
-	return json.NewEncoder(w).Encode(s)
+	if err := wire.EncodeSnapshot(w, (*wire.Snapshot)(s)); err != nil {
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	return nil
 }
 
-// DecodeSnapshot reads a snapshot written by Encode.
+// DecodeSnapshot reads a snapshot written by Encode — current binary frames
+// or legacy JSON blobs.
 func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
-	var s Snapshot
-	if err := json.NewDecoder(r).Decode(&s); err != nil {
+	ws, err := wire.DecodeSnapshot(r)
+	if err != nil {
 		return nil, fmt.Errorf("core: decoding snapshot: %w", err)
 	}
-	return &s, nil
+	return (*Snapshot)(ws), nil
 }
 
-// EncodeRoutes writes route rows in the framework's wire format.
+// EncodeRoutes writes route rows in the framework's wire format (compact
+// binary with string/AS-path/community interning).
 func EncodeRoutes(w io.Writer, routes []netmodel.Route) error {
-	return json.NewEncoder(w).Encode(routes)
+	if err := wire.EncodeRoutes(w, routes); err != nil {
+		return fmt.Errorf("core: encoding routes: %w", err)
+	}
+	return nil
 }
 
-// DecodeRoutes reads route rows written by EncodeRoutes.
+// DecodeRoutes reads route rows written by EncodeRoutes (binary or legacy
+// JSON).
 func DecodeRoutes(r io.Reader) ([]netmodel.Route, error) {
-	var out []netmodel.Route
-	if err := json.NewDecoder(r).Decode(&out); err != nil {
+	out, err := wire.DecodeRoutes(r)
+	if err != nil {
 		return nil, fmt.Errorf("core: decoding routes: %w", err)
 	}
 	return out, nil
@@ -99,13 +104,16 @@ func DecodeRoutes(r io.Reader) ([]netmodel.Route, error) {
 
 // EncodeFlows writes flows in the framework's wire format.
 func EncodeFlows(w io.Writer, flows []netmodel.Flow) error {
-	return json.NewEncoder(w).Encode(flows)
+	if err := wire.EncodeFlows(w, flows); err != nil {
+		return fmt.Errorf("core: encoding flows: %w", err)
+	}
+	return nil
 }
 
-// DecodeFlows reads flows written by EncodeFlows.
+// DecodeFlows reads flows written by EncodeFlows (binary or legacy JSON).
 func DecodeFlows(r io.Reader) ([]netmodel.Flow, error) {
-	var out []netmodel.Flow
-	if err := json.NewDecoder(r).Decode(&out); err != nil {
+	out, err := wire.DecodeFlows(r)
+	if err != nil {
 		return nil, fmt.Errorf("core: decoding flows: %w", err)
 	}
 	return out, nil

@@ -25,6 +25,7 @@ import (
 	"hoyan/internal/netmodel"
 	"hoyan/internal/objstore"
 	"hoyan/internal/taskdb"
+	"hoyan/internal/wire"
 )
 
 // Topic is the message-queue topic subtask messages travel on.
@@ -204,26 +205,16 @@ type flowSubset struct {
 	Lo, Hi netip.Addr
 }
 
-// TrafficResultFile is the wire form of one traffic subtask's result.
-type TrafficResultFile struct {
-	Load  []LoadEntry `json:"load"`
-	Paths []PathEntry `json:"paths"`
-}
+// TrafficResultFile is the wire form of one traffic subtask's result. The
+// struct lives in internal/wire so result files share the framework's compact
+// binary codec (legacy JSON files still decode).
+type TrafficResultFile = wire.TrafficResult
 
 // LoadEntry is one link's simulated volume.
-type LoadEntry struct {
-	Link   netmodel.LinkID `json:"link"`
-	Volume float64         `json:"volume"`
-}
+type LoadEntry = wire.LoadEntry
 
 // PathEntry is one flow's simulated path.
-type PathEntry struct {
-	Flow netmodel.Flow `json:"flow"`
-	Path PathWire      `json:"path"`
-}
+type PathEntry = wire.PathEntry
 
 // PathWire is the wire form of netmodel.Path.
-type PathWire struct {
-	Hops []netmodel.Hop      `json:"hops"`
-	Exit netmodel.ExitReason `json:"exit"`
-}
+type PathWire = wire.Path

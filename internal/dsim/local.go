@@ -16,8 +16,9 @@ import (
 // same Master/Worker code runs unchanged against the TCP substrates for
 // multi-process deployments (cmd/hoyan-master, cmd/hoyan-worker).
 type LocalCluster struct {
-	Svc    Services
-	Master *Master
+	Svc     Services
+	Master  *Master
+	Workers []*Worker
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
@@ -44,6 +45,7 @@ func StartLocalWithStore(n int, store objstore.Store, tasks taskdb.DB) *LocalClu
 	c := &LocalCluster{Svc: svc, Master: NewMaster(svc), cancel: cancel, mem: memq}
 	for i := 0; i < n; i++ {
 		w := NewWorker(fmt.Sprintf("worker-%d", i), svc)
+		c.Workers = append(c.Workers, w)
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
@@ -51,6 +53,16 @@ func StartLocalWithStore(n int, store objstore.Store, tasks taskdb.DB) *LocalClu
 		}()
 	}
 	return c
+}
+
+// CacheStats aggregates cache and transfer counters across the cluster's
+// workers. Safe to call while the cluster runs.
+func (c *LocalCluster) CacheStats() CacheStats {
+	var s CacheStats
+	for _, w := range c.Workers {
+		s.Add(w.Stats())
+	}
+	return s
 }
 
 // Stop terminates the workers and waits for them to exit.

@@ -2,7 +2,6 @@ package dsim
 
 import (
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"sort"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"hoyan/internal/netmodel"
 	"hoyan/internal/taskdb"
 	"hoyan/internal/traffic"
+	"hoyan/internal/wire"
 )
 
 // Master coordinates a simulation task: it prepares subtasks, enqueues them,
@@ -56,7 +56,7 @@ type Master struct {
 // substrate errors are retried in place.
 func NewMaster(svc Services) *Master {
 	return &Master{
-		svc: WithRetry(svc, DefaultRetryPolicy()),
+		svc:         WithRetry(svc, DefaultRetryPolicy()),
 		MaxAttempts: 3, PollInterval: 5 * time.Millisecond, Timeout: 10 * time.Minute,
 		LeaseTimeout: 30 * time.Second,
 		msgs:         make(map[string]SubtaskMsg),
@@ -353,8 +353,8 @@ func (m *Master) CollectTrafficResults(t *TrafficTask) (*TrafficSummary, error) 
 		if err != nil {
 			return nil, err
 		}
-		var file TrafficResultFile
-		if err := json.Unmarshal(data, &file); err != nil {
+		file, err := wire.DecodeTrafficResult(bytes.NewReader(data))
+		if err != nil {
 			return nil, fmt.Errorf("dsim: decoding traffic result %d: %w", i, err)
 		}
 		for _, e := range file.Load {

@@ -8,12 +8,16 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"hoyan/internal/config"
 	"hoyan/internal/core"
 	"hoyan/internal/mq"
 	"hoyan/internal/netmodel"
 	"hoyan/internal/taskdb"
+	"hoyan/internal/wire"
 )
 
 // Worker is one working server: it consumes subtask messages, runs the core
@@ -57,11 +61,78 @@ type Worker struct {
 	// stale attempts skipped). Nil discards them.
 	Logf func(format string, args ...any)
 
-	// Snapshot cache: workers process many subtasks of the same task, so
-	// re-parsing the network for each message would dominate run time.
-	cacheKey    string
-	cacheEngine *core.Engine
-	cacheOpts   string
+	// RIBCacheSize bounds the worker's LRU of decoded route-RIB result
+	// files, in entries. 0 uses DefaultRIBCacheSize; negative disables the
+	// cache. Read once, on first use.
+	RIBCacheSize int
+
+	// Caches: workers process many subtasks of the same task, so
+	// re-fetching and re-parsing shared inputs per message would dominate
+	// run time. nets memoizes restored base snapshots per (snapshot key,
+	// parallelism); engines memoizes prepared engines per (snapshot key,
+	// options); ribs holds decoded route-RIB result files keyed by object
+	// key. Run is single-threaded — the mutex only protects concurrent
+	// Stats() readers.
+	cacheMu sync.Mutex
+	nets    *lru[*config.Network]
+	engines *lru[*core.Engine]
+	ribs    *lru[ribEntry]
+
+	snapshotHits, snapshotMisses atomic.Int64
+	ribHits, ribMisses           atomic.Int64
+	bytesFetched, bytesSaved     atomic.Int64
+}
+
+// DefaultRIBCacheSize is the route-RIB file cache bound (entries) when
+// Worker.RIBCacheSize is 0.
+const DefaultRIBCacheSize = 64
+
+// ribEntry is one cached route-RIB result file: its decoded rows plus the
+// encoded size it saves on every hit.
+type ribEntry struct {
+	rows []netmodel.Route
+	size int64
+}
+
+// CacheStats is a point-in-time copy of a worker's cache and transfer
+// counters.
+type CacheStats struct {
+	// SnapshotHits / SnapshotMisses count memoized engine and network
+	// restores: a hit skips the snapshot download, config parse, and IGP
+	// computation.
+	SnapshotHits   int64 `json:"snapshot_hits"`
+	SnapshotMisses int64 `json:"snapshot_misses"`
+	// RIBFileHits / RIBFileMisses count route-RIB result files served from
+	// the worker's LRU versus fetched and decoded from the object store.
+	RIBFileHits   int64 `json:"rib_file_hits"`
+	RIBFileMisses int64 `json:"rib_file_misses"`
+	// BytesFetched counts object-store bytes this worker downloaded;
+	// BytesSaved counts encoded RIB bytes served from cache instead.
+	BytesFetched int64 `json:"bytes_fetched"`
+	BytesSaved   int64 `json:"bytes_saved"`
+}
+
+// Add accumulates o into s (aggregating across a cluster's workers).
+func (s *CacheStats) Add(o CacheStats) {
+	s.SnapshotHits += o.SnapshotHits
+	s.SnapshotMisses += o.SnapshotMisses
+	s.RIBFileHits += o.RIBFileHits
+	s.RIBFileMisses += o.RIBFileMisses
+	s.BytesFetched += o.BytesFetched
+	s.BytesSaved += o.BytesSaved
+}
+
+// Stats returns the worker's cache and transfer counters. Safe to call
+// concurrently with Run.
+func (w *Worker) Stats() CacheStats {
+	return CacheStats{
+		SnapshotHits:   w.snapshotHits.Load(),
+		SnapshotMisses: w.snapshotMisses.Load(),
+		RIBFileHits:    w.ribHits.Load(),
+		RIBFileMisses:  w.ribMisses.Load(),
+		BytesFetched:   w.bytesFetched.Load(),
+		BytesSaved:     w.bytesSaved.Load(),
+	}
 }
 
 // NewWorker creates a worker over the substrate services. The queue, store,
@@ -72,6 +143,8 @@ func NewWorker(name string, svc Services) *Worker {
 		Name: name, svc: WithRetry(svc, DefaultRetryPolicy()),
 		PopWait:           50 * time.Millisecond,
 		HeartbeatInterval: time.Second,
+		nets:              newLRU[*config.Network](2),
+		engines:           newLRU[*core.Engine](4),
 	}
 }
 
@@ -264,30 +337,114 @@ func (w *Worker) heartbeat(ctx context.Context, msg SubtaskMsg) {
 	}
 }
 
-// engineFor returns a core engine for the snapshot, cached across subtasks.
+// engineFor returns a core engine for the snapshot, memoized across subtasks
+// per (snapshot, options). Beneath it the restored network itself is memoized
+// per (snapshot, parallelism), so switching options — e.g. a strategy sweep
+// over one snapshot — re-runs the IGP but not the download and config parse.
 func (w *Worker) engineFor(snapKey string, opts core.Options) (*core.Engine, error) {
 	if w.Parallelism > 0 {
 		opts.Parallelism = w.Parallelism
 	}
 	optsSig, _ := json.Marshal(opts)
-	if w.cacheEngine != nil && w.cacheKey == snapKey && w.cacheOpts == string(optsSig) {
-		return w.cacheEngine, nil
+	ekey := snapKey + "|" + string(optsSig)
+	w.cacheMu.Lock()
+	eng, ok := w.engines.get(ekey)
+	w.cacheMu.Unlock()
+	if ok {
+		w.snapshotHits.Add(1)
+		return eng, nil
 	}
+	net, err := w.networkFor(snapKey, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	eng = core.NewEngine(net, opts)
+	w.cacheMu.Lock()
+	w.engines.put(ekey, eng)
+	w.cacheMu.Unlock()
+	return eng, nil
+}
+
+// networkFor returns the restored network model for a snapshot, memoized per
+// (snapshot key, parallelism). The restored model is read-only to engines.
+func (w *Worker) networkFor(snapKey string, parallelism int) (*config.Network, error) {
+	nkey := fmt.Sprintf("%s|p%d", snapKey, parallelism)
+	w.cacheMu.Lock()
+	net, ok := w.nets.get(nkey)
+	w.cacheMu.Unlock()
+	if ok {
+		w.snapshotHits.Add(1)
+		return net, nil
+	}
+	w.snapshotMisses.Add(1)
 	data, err := w.svc.Store.Get(snapKey)
 	if err != nil {
 		return nil, fmt.Errorf("loading snapshot: %w", err)
 	}
+	w.bytesFetched.Add(int64(len(data)))
 	snap, err := core.DecodeSnapshot(bytes.NewReader(data))
 	if err != nil {
 		return nil, err
 	}
-	net, err := snap.RestoreParallel(opts.Parallelism)
+	net, err = snap.RestoreParallel(parallelism)
 	if err != nil {
 		return nil, err
 	}
-	eng := core.NewEngine(net, opts)
-	w.cacheKey, w.cacheEngine, w.cacheOpts = snapKey, eng, string(optsSig)
-	return eng, nil
+	w.cacheMu.Lock()
+	w.nets.put(nkey, net)
+	w.cacheMu.Unlock()
+	return net, nil
+}
+
+// ribRows returns the decoded rows of one route-subtask result file, served
+// from the worker's bounded LRU when possible. Caching by object key is
+// sound across attempt epochs: result files are content-deterministic, so a
+// reclaimed subtask's re-run writes byte-identical data under the same key.
+// Cached rows are shared read-only — RIBSet.AddRows copies what it keeps.
+func (w *Worker) ribRows(key string) ([]netmodel.Route, error) {
+	w.cacheMu.Lock()
+	ent, ok := w.ribCacheLocked().get(key)
+	w.cacheMu.Unlock()
+	if ok {
+		w.ribHits.Add(1)
+		w.bytesSaved.Add(ent.size)
+		return ent.rows, nil
+	}
+	w.ribMisses.Add(1)
+	data, err := w.svc.Store.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	w.bytesFetched.Add(int64(len(data)))
+	rows, err := core.DecodeRoutes(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	w.cacheRIB(key, rows, int64(len(data)))
+	return rows, nil
+}
+
+// cacheRIB inserts one decoded route-RIB file into the LRU.
+func (w *Worker) cacheRIB(key string, rows []netmodel.Route, size int64) {
+	w.cacheMu.Lock()
+	w.ribCacheLocked().put(key, ribEntry{rows: rows, size: size})
+	w.cacheMu.Unlock()
+}
+
+// ribCacheLocked lazily sizes the RIB cache from the RIBCacheSize knob.
+// Callers hold cacheMu.
+func (w *Worker) ribCacheLocked() *lru[ribEntry] {
+	if w.ribs == nil {
+		size := w.RIBCacheSize
+		switch {
+		case size == 0:
+			size = DefaultRIBCacheSize
+		case size < 0:
+			size = 0
+		}
+		w.ribs = newLRU[ribEntry](size)
+	}
+	return w.ribs
 }
 
 // routeSubtask simulates a subset of input routes and stores the resulting
@@ -301,16 +458,24 @@ func (w *Worker) routeSubtask(msg SubtaskMsg) error {
 	if err != nil {
 		return fmt.Errorf("loading input: %w", err)
 	}
+	w.bytesFetched.Add(int64(len(data)))
 	inputs, err := core.DecodeRoutes(bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
 	res := eng.RouteSimulation(inputs)
+	rows := res.GlobalRIB().Rows()
 	var buf bytes.Buffer
-	if err := core.EncodeRoutes(&buf, res.GlobalRIB().Rows()); err != nil {
+	if err := core.EncodeRoutes(&buf, rows); err != nil {
 		return err
 	}
-	return w.svc.Store.Put(msg.ResultKey, buf.Bytes())
+	if err := w.svc.Store.Put(msg.ResultKey, buf.Bytes()); err != nil {
+		return err
+	}
+	// Seed the RIB cache: this worker's own traffic subtasks often read the
+	// file straight back.
+	w.cacheRIB(msg.ResultKey, rows, int64(buf.Len()))
+	return nil
 }
 
 // trafficSubtask simulates a subset of flows. It loads only the route
@@ -326,6 +491,7 @@ func (w *Worker) trafficSubtask(msg SubtaskMsg) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("loading input: %w", err)
 	}
+	w.bytesFetched.Add(int64(len(data)))
 	flows, err := core.DecodeFlows(bytes.NewReader(data))
 	if err != nil {
 		return 0, err
@@ -338,13 +504,9 @@ func (w *Worker) trafficSubtask(msg SubtaskMsg) (int, error) {
 	ribs := netmodel.NewRIBSet(nil)
 	var allRows []netmodel.Route
 	for _, sub := range needed {
-		data, err := w.svc.Store.Get(resultKey(msg.RouteTaskID, "route", sub))
+		rows, err := w.ribRows(resultKey(msg.RouteTaskID, "route", sub))
 		if err != nil {
 			return 0, fmt.Errorf("loading RIB file %d: %w", sub, err)
-		}
-		rows, err := core.DecodeRoutes(bytes.NewReader(data))
-		if err != nil {
-			return 0, err
 		}
 		ribs.AddRows(rows)
 		allRows = append(allRows, rows...)
@@ -363,11 +525,11 @@ func (w *Worker) trafficSubtask(msg SubtaskMsg) (int, error) {
 	for _, p := range res.Traffic.Paths {
 		file.Paths = append(file.Paths, PathEntry{Flow: p.Flow, Path: PathWire{Hops: p.Path.Hops, Exit: p.Path.Exit}})
 	}
-	out, err := json.Marshal(file)
-	if err != nil {
-		return 0, err
+	var buf bytes.Buffer
+	if err := wire.EncodeTrafficResult(&buf, &file); err != nil {
+		return 0, fmt.Errorf("encoding traffic result: %w", err)
 	}
-	if err := w.svc.Store.Put(msg.ResultKey, out); err != nil {
+	if err := w.svc.Store.Put(msg.ResultKey, buf.Bytes()); err != nil {
 		return 0, err
 	}
 	return len(needed), nil

@@ -14,7 +14,9 @@ import (
 	"hoyan/internal/dsim"
 	"hoyan/internal/gen"
 	"hoyan/internal/netmodel"
+	"hoyan/internal/objstore"
 	"hoyan/internal/rcl"
+	"hoyan/internal/taskdb"
 )
 
 // Scale is the experiment scale knob: 1 = quick (CI-sized), larger values
@@ -257,13 +259,29 @@ func PrintFig5a(w io.Writer, r *Fig5aResult) {
 	}
 }
 
-// Fig5bResult bundles the traffic sweep with the loaded-RIB-file counts (for
-// Figure 5(d)).
+// StrategyIO is the measured object-store and worker-cache I/O of one
+// strategy's traffic run (the Figure 5(d) bytes-moved evaluation).
+type StrategyIO struct {
+	// BytesMoved is the object-store read volume of the whole traffic run
+	// (inputs + RIB files actually fetched).
+	BytesMoved int64
+	// CacheHits / CacheMisses count route-RIB files served from the
+	// workers' LRU caches versus fetched from the store.
+	CacheHits   int64
+	CacheMisses int64
+	// BytesSaved is the encoded RIB volume the caches kept off the wire.
+	BytesSaved int64
+}
+
+// Fig5bResult bundles the traffic sweep with the loaded-RIB-file counts and
+// measured I/O (for Figure 5(d)).
 type Fig5bResult struct {
 	Points []Fig5Point
 	// LoadedFiles maps strategy -> per-subtask loaded-file counts of the
 	// max-worker run.
 	LoadedFiles map[dsim.Strategy][]int
+	// IO maps strategy -> measured store/cache I/O of its traffic run.
+	IO map[dsim.Strategy]StrategyIO
 	// RouteSubtasks is the total RIB file count (the 100% mark of Fig 5(d)).
 	RouteSubtasks int
 }
@@ -272,12 +290,22 @@ type Fig5bResult struct {
 // heuristic, the baseline (load-everything) strategy, and the random split,
 // collecting per-subtask durations (makespan-modelled across worker counts,
 // as in Fig5a) and the Figure 5(d) loaded-file distributions.
+//
+// The route results are computed once on their own cluster; each strategy
+// then runs on a fresh single-worker cluster over the same object store, so
+// the store's read-volume delta and the workers' cache counters are clean
+// per-strategy measurements.
 func Fig5b(s Scale) *Fig5bResult {
 	g := gen.Generate(gen.WAN(s.WANK))
-	res := &Fig5bResult{LoadedFiles: map[dsim.Strategy][]int{}, RouteSubtasks: s.RouteSubtasks}
+	res := &Fig5bResult{
+		LoadedFiles:   map[dsim.Strategy][]int{},
+		IO:            map[dsim.Strategy]StrategyIO{},
+		RouteSubtasks: s.RouteSubtasks,
+	}
 
 	// Shared route simulation results (computed once).
-	cluster := dsim.StartLocal(1)
+	store, tasks := objstore.NewMemory(), taskdb.NewMemory()
+	cluster := dsim.StartLocalWithStore(1, store, tasks)
 	snapKey, err := cluster.Master.UploadSnapshot("fig5b-routes", g.Net)
 	if err != nil {
 		panic(err)
@@ -289,20 +317,31 @@ func Fig5b(s Scale) *Fig5bResult {
 	if err := cluster.Master.Wait("fig5b-routes", "route", routeTask.Subtasks); err != nil {
 		panic(err)
 	}
+	cluster.Stop()
 
 	for _, strategy := range []dsim.Strategy{dsim.StrategyOrdered, dsim.StrategyBaseline, dsim.StrategyRandom} {
+		readsBefore := store.Stats().BytesOut
+		c := dsim.StartLocalWithStore(1, store, tasks)
 		taskID := "fig5b-" + string(strategy)
-		tt, err := cluster.Master.StartTrafficSimulation(taskID, routeTask, g.Flows, s.TrafficSubtasks, strategy, core.Options{})
+		tt, err := c.Master.StartTrafficSimulation(taskID, routeTask, g.Flows, s.TrafficSubtasks, strategy, core.Options{})
 		if err != nil {
 			panic(err)
 		}
-		if err := cluster.Master.Wait(taskID, "traffic", tt.Subtasks); err != nil {
+		if err := c.Master.Wait(taskID, "traffic", tt.Subtasks); err != nil {
 			panic(err)
 		}
-		if sum, err := cluster.Master.CollectTrafficResults(tt); err == nil {
+		if sum, err := c.Master.CollectTrafficResults(tt); err == nil {
 			res.LoadedFiles[strategy] = sum.LoadedRIBFiles
 		}
-		durs, _ := cluster.Master.SubtaskDurations(taskID, "traffic")
+		durs, _ := c.Master.SubtaskDurations(taskID, "traffic")
+		cacheStats := c.CacheStats()
+		c.Stop()
+		res.IO[strategy] = StrategyIO{
+			BytesMoved:  store.Stats().BytesOut - readsBefore,
+			CacheHits:   cacheStats.RIBFileHits,
+			CacheMisses: cacheStats.RIBFileMisses,
+			BytesSaved:  cacheStats.BytesSaved,
+		}
 		if strategy == dsim.StrategyRandom {
 			continue // random is measured for Fig 5(d) only
 		}
@@ -313,7 +352,6 @@ func Fig5b(s Scale) *Fig5bResult {
 			})
 		}
 	}
-	cluster.Stop()
 	return res
 }
 
@@ -370,7 +408,8 @@ func PrintFig5c(w io.Writer, durations []time.Duration) {
 		min.Round(time.Millisecond), max.Round(time.Millisecond), skew)
 }
 
-// PrintFig5d renders the loaded-RIB-file CDF per strategy.
+// PrintFig5d renders the loaded-RIB-file CDF per strategy together with the
+// measured object-store read volume and worker cache-hit rate of each run.
 func PrintFig5d(w io.Writer, r *Fig5bResult) {
 	fmt.Fprintln(w, "Figure 5(d): loaded RIB files per traffic subtask (of", r.RouteSubtasks, "total)")
 	for _, strategy := range []dsim.Strategy{dsim.StrategyOrdered, dsim.StrategyRandom, dsim.StrategyBaseline} {
@@ -384,9 +423,34 @@ func PrintFig5d(w io.Writer, r *Fig5bResult) {
 		for _, c := range cs {
 			total += c
 		}
-		fmt.Fprintf(w, "  %-9s median %d, max %d, mean %.1f files\n",
+		fmt.Fprintf(w, "  %-9s median %d, max %d, mean %.1f files",
 			strategy, cs[len(cs)/2], cs[len(cs)-1], float64(total)/float64(len(cs)))
+		if io, ok := r.IO[strategy]; ok {
+			fmt.Fprintf(w, "; %s moved, RIB cache %s (%s saved)",
+				fmtBytes(io.BytesMoved), fmtHitRate(io.CacheHits, io.CacheMisses), fmtBytes(io.BytesSaved))
+		}
+		fmt.Fprintln(w)
 	}
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/float64(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/float64(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// fmtHitRate renders a hit/total ratio.
+func fmtHitRate(hits, misses int64) string {
+	total := hits + misses
+	if total == 0 {
+		return "0/0 hits"
+	}
+	return fmt.Sprintf("%d/%d hits (%.0f%%)", hits, total, 100*float64(hits)/float64(total))
 }
 
 // ---------------------------------------------------------------- Figure 8

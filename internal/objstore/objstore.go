@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hoyan/internal/rpcx"
 )
@@ -33,15 +34,28 @@ type Store interface {
 	Delete(key string) error
 }
 
-// Memory is an in-memory Store safe for concurrent use.
+// Stats is a point-in-time copy of a store's transfer counters, tracked for
+// the Figure 5(d) I/O evaluation.
+type Stats struct {
+	Puts     int64 `json:"puts"`
+	Gets     int64 `json:"gets"`
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+}
+
+// StatsProvider is implemented by stores that track transfer counters.
+type StatsProvider interface {
+	Stats() Stats
+}
+
+// Memory is an in-memory Store safe for concurrent use. Transfer counters
+// are atomics so Get stays a pure read-lock operation.
 type Memory struct {
 	mu   sync.RWMutex
 	objs map[string][]byte
 
-	// bytesIn/bytesOut track transfer volume for the Figure 5(d) I/O
-	// evaluation.
-	bytesIn  int64
-	bytesOut int64
+	puts, gets        atomic.Int64
+	bytesIn, bytesOut atomic.Int64
 }
 
 // NewMemory creates an empty in-memory store.
@@ -54,8 +68,9 @@ func (s *Memory) Put(key string, data []byte) error {
 	cp := append([]byte(nil), data...)
 	s.mu.Lock()
 	s.objs[key] = cp
-	s.bytesIn += int64(len(data))
 	s.mu.Unlock()
+	s.puts.Add(1)
+	s.bytesIn.Add(int64(len(data)))
 	return nil
 }
 
@@ -67,9 +82,8 @@ func (s *Memory) Get(key string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
-	s.mu.Lock()
-	s.bytesOut += int64(len(data))
-	s.mu.Unlock()
+	s.gets.Add(1)
+	s.bytesOut.Add(int64(len(data)))
 	return append([]byte(nil), data...), nil
 }
 
@@ -95,17 +109,30 @@ func (s *Memory) Delete(key string) error {
 	return nil
 }
 
+// Stats implements StatsProvider.
+func (s *Memory) Stats() Stats {
+	return Stats{
+		Puts:     s.puts.Load(),
+		Gets:     s.gets.Load(),
+		BytesIn:  s.bytesIn.Load(),
+		BytesOut: s.bytesOut.Load(),
+	}
+}
+
 // Transferred returns the cumulative bytes written to and read from the
 // store.
 func (s *Memory) Transferred() (in, out int64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.bytesIn, s.bytesOut
+	st := s.Stats()
+	return st.BytesIn, st.BytesOut
 }
 
-// Service exposes a Store over net/rpc.
+// Service exposes a Store over net/rpc. It keeps its own RPC-level transfer
+// counters so Stats works even when the wrapped store does not track any.
 type Service struct {
 	s Store
+
+	puts, gets        atomic.Int64
+	bytesIn, bytesOut atomic.Int64
 }
 
 // PutArgs are the arguments of Store.Put.
@@ -115,7 +142,14 @@ type PutArgs struct {
 }
 
 // Put is the RPC form of Store.Put.
-func (sv *Service) Put(args *PutArgs, _ *struct{}) error { return sv.s.Put(args.Key, args.Data) }
+func (sv *Service) Put(args *PutArgs, _ *struct{}) error {
+	if err := sv.s.Put(args.Key, args.Data); err != nil {
+		return err
+	}
+	sv.puts.Add(1)
+	sv.bytesIn.Add(int64(len(args.Data)))
+	return nil
+}
 
 // GetReply is the result of Store.Get.
 type GetReply struct {
@@ -134,7 +168,26 @@ func (sv *Service) Get(key *string, reply *GetReply) error {
 	if err != nil {
 		return err
 	}
+	sv.gets.Add(1)
+	sv.bytesOut.Add(int64(len(data)))
 	reply.Data, reply.Found = data, true
+	return nil
+}
+
+// Stats is the RPC form of StatsProvider.Stats: the wrapped store's counters
+// when it tracks them (they include in-process traffic too), otherwise the
+// RPC server's own.
+func (sv *Service) Stats(_ *struct{}, reply *Stats) error {
+	if sp, ok := sv.s.(StatsProvider); ok {
+		*reply = sp.Stats()
+		return nil
+	}
+	*reply = Stats{
+		Puts:     sv.puts.Load(),
+		Gets:     sv.gets.Load(),
+		BytesIn:  sv.bytesIn.Load(),
+		BytesOut: sv.bytesOut.Load(),
+	}
 	return nil
 }
 
@@ -209,6 +262,17 @@ func (c *Client) List(prefix string) ([]string, error) {
 // Delete implements Store.
 func (c *Client) Delete(key string) error {
 	return c.c.Call("Store.Delete", &key, &struct{}{})
+}
+
+// Stats implements StatsProvider against the remote server (the error is
+// swallowed: a stats probe failing should never fail a caller that only
+// wants numbers — zeros are returned instead).
+func (c *Client) Stats() Stats {
+	var st Stats
+	if err := c.c.Call("Store.Stats", &struct{}{}, &st); err != nil {
+		return Stats{}
+	}
+	return st
 }
 
 // Close closes the client connection.

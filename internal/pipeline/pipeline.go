@@ -15,6 +15,8 @@ import (
 	"hoyan/internal/dsim"
 	"hoyan/internal/intent"
 	"hoyan/internal/netmodel"
+	"hoyan/internal/objstore"
+	"hoyan/internal/taskdb"
 )
 
 // System is a Hoyan deployment over one base network: it owns the
@@ -44,7 +46,19 @@ type System struct {
 	MaxAttempts  int
 
 	baseSnap *intent.Snapshot
+	lastIO   RunIO
 }
+
+// RunIO is the measured substrate I/O of one distributed simulation run:
+// object-store transfer counters plus the workers' aggregated cache stats.
+type RunIO struct {
+	Store objstore.Stats
+	Cache dsim.CacheStats
+}
+
+// LastRunIO returns the I/O counters of the most recent distributed
+// simulation this system ran (the zero value if none has).
+func (s *System) LastRunIO() RunIO { return s.lastIO }
 
 // New creates a system over the base network.
 func New(base *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, opts core.Options) *System {
@@ -77,8 +91,12 @@ func (s *System) simulate(net *config.Network, inputs []netmodel.Route, flows []
 
 // simulateDistributed runs the same pipeline on a local worker cluster.
 func (s *System) simulateDistributed(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, taskID string) (*intent.Snapshot, error) {
-	cluster := dsim.StartLocal(s.Workers)
-	defer cluster.Stop()
+	store := objstore.NewMemory()
+	cluster := dsim.StartLocalWithStore(s.Workers, store, taskdb.NewMemory())
+	defer func() {
+		s.lastIO = RunIO{Store: store.Stats(), Cache: cluster.CacheStats()}
+		cluster.Stop()
+	}()
 	m := cluster.Master
 	if s.LeaseTimeout > 0 {
 		m.LeaseTimeout = s.LeaseTimeout

@@ -1,0 +1,514 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+
+	"hoyan/internal/netmodel"
+)
+
+// ---------------------------------------------------------------- routes
+
+// EncodeRoutes writes route rows as an uncompressed binary frame.
+func EncodeRoutes(w io.Writer, routes []netmodel.Route) error {
+	return EncodeRoutesOpts(w, routes, Options{})
+}
+
+// EncodeRoutesOpts writes route rows with explicit options.
+func EncodeRoutesOpts(w io.Writer, routes []netmodel.Route, opts Options) error {
+	return encodeFrame(w, KindRoutes, opts, func(e *encoder) {
+		e.uvarint(uint64(len(routes)))
+		for i := range routes {
+			e.route(&routes[i])
+		}
+	})
+}
+
+func (e *encoder) route(r *netmodel.Route) {
+	e.str(r.Device)
+	e.str(r.VRF)
+	e.prefix(r.Prefix)
+	e.byte(byte(r.Protocol))
+	e.addr(r.NextHop)
+	e.communities(r.Communities)
+	e.uvarint(uint64(r.LocalPref))
+	e.uvarint(uint64(r.MED))
+	e.uvarint(uint64(r.Weight))
+	e.uvarint(uint64(r.Preference))
+	e.asPath(r.ASPath)
+	e.byte(byte(r.Origin))
+	e.uvarint(uint64(r.IGPCost))
+	e.byte(byte(r.RouteType))
+	e.bool(r.ViaSR)
+	e.str(r.Peer)
+	e.str(r.Source)
+}
+
+// DecodeRoutes reads a route file written by EncodeRoutes, falling back to
+// the legacy JSON encoding when the blob does not start with the wire magic.
+func DecodeRoutes(r io.Reader) ([]netmodel.Route, error) {
+	br := bufio.NewReader(r)
+	d, binary, err := decodeFrame(br, KindRoutes)
+	if err != nil {
+		return nil, err
+	}
+	if !binary {
+		var out []netmodel.Route
+		if err := json.NewDecoder(br).Decode(&out); err != nil {
+			return nil, fmt.Errorf("wire: decoding routes (json fallback): %w", err)
+		}
+		return out, nil
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding routes: %w", err)
+	}
+	out := make([]netmodel.Route, 0, min(n, preallocCap))
+	for i := uint64(0); i < n; i++ {
+		rt, err := d.route()
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding route %d/%d: %w", i, n, err)
+		}
+		out = append(out, rt)
+	}
+	return out, nil
+}
+
+func (d *decoder) route() (netmodel.Route, error) {
+	var r netmodel.Route
+	var err error
+	read := func(f func() error) {
+		if err == nil {
+			err = f()
+		}
+	}
+	read(func() (e error) { r.Device, e = d.str(); return })
+	read(func() (e error) { r.VRF, e = d.str(); return })
+	read(func() (e error) { r.Prefix, e = d.prefix(); return })
+	read(func() (e error) {
+		b, e := d.byte()
+		r.Protocol = netmodel.Protocol(b)
+		return e
+	})
+	read(func() (e error) { r.NextHop, e = d.addr(); return })
+	read(func() (e error) { r.Communities, e = d.communities(); return })
+	read(func() (e error) { r.LocalPref, e = d.u32(); return })
+	read(func() (e error) { r.MED, e = d.u32(); return })
+	read(func() (e error) { r.Weight, e = d.u32(); return })
+	read(func() (e error) { r.Preference, e = d.u32(); return })
+	read(func() (e error) { r.ASPath, e = d.asPath(); return })
+	read(func() (e error) {
+		b, e := d.byte()
+		r.Origin = netmodel.Origin(b)
+		return e
+	})
+	read(func() (e error) { r.IGPCost, e = d.u32(); return })
+	read(func() (e error) {
+		b, e := d.byte()
+		r.RouteType = netmodel.RouteType(b)
+		return e
+	})
+	read(func() (e error) { r.ViaSR, e = d.bool(); return })
+	read(func() (e error) { r.Peer, e = d.str(); return })
+	read(func() (e error) { r.Source, e = d.str(); return })
+	return r, err
+}
+
+// ---------------------------------------------------------------- flows
+
+// EncodeFlows writes flows as an uncompressed binary frame.
+func EncodeFlows(w io.Writer, flows []netmodel.Flow) error {
+	return EncodeFlowsOpts(w, flows, Options{})
+}
+
+// EncodeFlowsOpts writes flows with explicit options.
+func EncodeFlowsOpts(w io.Writer, flows []netmodel.Flow, opts Options) error {
+	return encodeFrame(w, KindFlows, opts, func(e *encoder) {
+		e.uvarint(uint64(len(flows)))
+		for i := range flows {
+			e.flow(&flows[i])
+		}
+	})
+}
+
+func (e *encoder) flow(f *netmodel.Flow) {
+	e.addr(f.Src)
+	e.addr(f.Dst)
+	e.uvarint(uint64(f.SrcPort))
+	e.uvarint(uint64(f.DstPort))
+	e.byte(byte(f.Proto))
+	e.str(f.Ingress)
+	e.f64(f.Volume)
+}
+
+// DecodeFlows reads a flow file written by EncodeFlows, with JSON fallback.
+func DecodeFlows(r io.Reader) ([]netmodel.Flow, error) {
+	br := bufio.NewReader(r)
+	d, binary, err := decodeFrame(br, KindFlows)
+	if err != nil {
+		return nil, err
+	}
+	if !binary {
+		var out []netmodel.Flow
+		if err := json.NewDecoder(br).Decode(&out); err != nil {
+			return nil, fmt.Errorf("wire: decoding flows (json fallback): %w", err)
+		}
+		return out, nil
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding flows: %w", err)
+	}
+	out := make([]netmodel.Flow, 0, min(n, preallocCap))
+	for i := uint64(0); i < n; i++ {
+		f, err := d.flow()
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding flow %d/%d: %w", i, n, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func (d *decoder) flow() (netmodel.Flow, error) {
+	var f netmodel.Flow
+	var err error
+	read := func(fn func() error) {
+		if err == nil {
+			err = fn()
+		}
+	}
+	read(func() (e error) { f.Src, e = d.addr(); return })
+	read(func() (e error) { f.Dst, e = d.addr(); return })
+	read(func() (e error) {
+		v, e := d.uvarint()
+		f.SrcPort = uint16(v)
+		return e
+	})
+	read(func() (e error) {
+		v, e := d.uvarint()
+		f.DstPort = uint16(v)
+		return e
+	})
+	read(func() (e error) {
+		b, e := d.byte()
+		f.Proto = netmodel.IPProto(b)
+		return e
+	})
+	read(func() (e error) { f.Ingress, e = d.str(); return })
+	read(func() (e error) { f.Volume, e = d.f64(); return })
+	return f, err
+}
+
+// ---------------------------------------------------------------- snapshot
+
+// SnapshotNode is the wire form of a topology node. core.SnapshotNode
+// aliases this type; the JSON tags preserve the legacy fallback encoding.
+type SnapshotNode struct {
+	Name     string     `json:"name"`
+	Loopback netip.Addr `json:"loopback"`
+	Up       bool       `json:"up"`
+}
+
+// Snapshot is the wire form of a network model: per-device configuration
+// text plus the monitored topology. core.Snapshot shares this underlying
+// struct, so conversions between the two are free.
+type Snapshot struct {
+	Configs map[string]string `json:"configs"`
+	Nodes   []SnapshotNode    `json:"nodes"`
+	Links   []netmodel.Link   `json:"links"`
+}
+
+// EncodeSnapshot writes the snapshot as a flate-compressed binary frame
+// (configuration text dominates the payload and compresses well).
+func EncodeSnapshot(w io.Writer, s *Snapshot) error {
+	return EncodeSnapshotOpts(w, s, Options{Compress: true})
+}
+
+// EncodeSnapshotOpts writes the snapshot with explicit options.
+func EncodeSnapshotOpts(w io.Writer, s *Snapshot, opts Options) error {
+	return encodeFrame(w, KindSnapshot, opts, func(e *encoder) {
+		// Deterministic bytes: config map in sorted key order.
+		names := make([]string, 0, len(s.Configs))
+		for name := range s.Configs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		e.uvarint(uint64(len(names)))
+		for _, name := range names {
+			e.str(name)
+			e.blob(s.Configs[name])
+		}
+		e.uvarint(uint64(len(s.Nodes)))
+		for _, n := range s.Nodes {
+			e.str(n.Name)
+			e.addr(n.Loopback)
+			e.bool(n.Up)
+		}
+		e.uvarint(uint64(len(s.Links)))
+		for i := range s.Links {
+			e.link(&s.Links[i])
+		}
+	})
+}
+
+func (e *encoder) link(l *netmodel.Link) {
+	e.str(l.A)
+	e.str(l.B)
+	e.str(l.AIface)
+	e.str(l.BIface)
+	e.prefix(l.ANet)
+	e.prefix(l.BNet)
+	e.addr(l.AAddr)
+	e.addr(l.BAddr)
+	e.uvarint(uint64(l.CostAB))
+	e.uvarint(uint64(l.CostBA))
+	e.uvarint(uint64(l.TEAB))
+	e.uvarint(uint64(l.TEBA))
+	e.f64(l.Bandwidth)
+	e.bool(l.Up)
+}
+
+// DecodeSnapshot reads a snapshot written by EncodeSnapshot, with JSON
+// fallback for blobs produced by older versions.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	d, binary, err := decodeFrame(br, KindSnapshot)
+	if err != nil {
+		return nil, err
+	}
+	if !binary {
+		var s Snapshot
+		if err := json.NewDecoder(br).Decode(&s); err != nil {
+			return nil, fmt.Errorf("wire: decoding snapshot (json fallback): %w", err)
+		}
+		return &s, nil
+	}
+	s := &Snapshot{Configs: make(map[string]string)}
+	nc, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding snapshot configs: %w", err)
+	}
+	for i := uint64(0); i < nc; i++ {
+		name, err := d.str()
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding snapshot config name %d: %w", i, err)
+		}
+		text, err := d.blob()
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding snapshot config %q: %w", name, err)
+		}
+		s.Configs[name] = text
+	}
+	nn, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding snapshot nodes: %w", err)
+	}
+	s.Nodes = make([]SnapshotNode, 0, min(nn, preallocCap))
+	for i := uint64(0); i < nn; i++ {
+		var n SnapshotNode
+		if n.Name, err = d.str(); err == nil {
+			if n.Loopback, err = d.addr(); err == nil {
+				n.Up, err = d.bool()
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding snapshot node %d: %w", i, err)
+		}
+		s.Nodes = append(s.Nodes, n)
+	}
+	nl, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding snapshot links: %w", err)
+	}
+	s.Links = make([]netmodel.Link, 0, min(nl, preallocCap))
+	for i := uint64(0); i < nl; i++ {
+		l, err := d.link()
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding snapshot link %d: %w", i, err)
+		}
+		s.Links = append(s.Links, l)
+	}
+	return s, nil
+}
+
+func (d *decoder) link() (netmodel.Link, error) {
+	var l netmodel.Link
+	var err error
+	read := func(fn func() error) {
+		if err == nil {
+			err = fn()
+		}
+	}
+	read(func() (e error) { l.A, e = d.str(); return })
+	read(func() (e error) { l.B, e = d.str(); return })
+	read(func() (e error) { l.AIface, e = d.str(); return })
+	read(func() (e error) { l.BIface, e = d.str(); return })
+	read(func() (e error) { l.ANet, e = d.prefix(); return })
+	read(func() (e error) { l.BNet, e = d.prefix(); return })
+	read(func() (e error) { l.AAddr, e = d.addr(); return })
+	read(func() (e error) { l.BAddr, e = d.addr(); return })
+	read(func() (e error) { l.CostAB, e = d.u32(); return })
+	read(func() (e error) { l.CostBA, e = d.u32(); return })
+	read(func() (e error) { l.TEAB, e = d.u32(); return })
+	read(func() (e error) { l.TEBA, e = d.u32(); return })
+	read(func() (e error) { l.Bandwidth, e = d.f64(); return })
+	read(func() (e error) { l.Up, e = d.bool(); return })
+	return l, err
+}
+
+// ----------------------------------------------------- traffic result file
+
+// Path is the wire form of netmodel.Path (dsim.PathWire aliases it).
+type Path struct {
+	Hops []netmodel.Hop      `json:"hops"`
+	Exit netmodel.ExitReason `json:"exit"`
+}
+
+// PathEntry is one flow's simulated path (dsim.PathEntry aliases it).
+type PathEntry struct {
+	Flow netmodel.Flow `json:"flow"`
+	Path Path          `json:"path"`
+}
+
+// LoadEntry is one link's simulated volume (dsim.LoadEntry aliases it).
+type LoadEntry struct {
+	Link   netmodel.LinkID `json:"link"`
+	Volume float64         `json:"volume"`
+}
+
+// TrafficResult is the wire form of one traffic subtask's result file
+// (dsim.TrafficResultFile aliases it).
+type TrafficResult struct {
+	Load  []LoadEntry `json:"load"`
+	Paths []PathEntry `json:"paths"`
+}
+
+// EncodeTrafficResult writes a traffic result file as an uncompressed
+// binary frame.
+func EncodeTrafficResult(w io.Writer, t *TrafficResult) error {
+	return EncodeTrafficResultOpts(w, t, Options{})
+}
+
+// EncodeTrafficResultOpts writes a traffic result with explicit options.
+func EncodeTrafficResultOpts(w io.Writer, t *TrafficResult, opts Options) error {
+	return encodeFrame(w, KindTrafficResult, opts, func(e *encoder) {
+		e.uvarint(uint64(len(t.Load)))
+		for i := range t.Load {
+			e.linkID(t.Load[i].Link)
+			e.f64(t.Load[i].Volume)
+		}
+		e.uvarint(uint64(len(t.Paths)))
+		for i := range t.Paths {
+			p := &t.Paths[i]
+			e.flow(&p.Flow)
+			e.uvarint(uint64(len(p.Path.Hops)))
+			for _, h := range p.Path.Hops {
+				e.str(h.Device)
+				e.linkID(h.Link)
+			}
+			e.byte(byte(p.Path.Exit))
+		}
+	})
+}
+
+func (e *encoder) linkID(id netmodel.LinkID) {
+	e.str(id.A)
+	e.str(id.B)
+	e.str(id.AIface)
+	e.str(id.BIface)
+}
+
+// DecodeTrafficResult reads a traffic result file, with JSON fallback.
+func DecodeTrafficResult(r io.Reader) (*TrafficResult, error) {
+	br := bufio.NewReader(r)
+	d, binary, err := decodeFrame(br, KindTrafficResult)
+	if err != nil {
+		return nil, err
+	}
+	if !binary {
+		var t TrafficResult
+		if err := json.NewDecoder(br).Decode(&t); err != nil {
+			return nil, fmt.Errorf("wire: decoding traffic result (json fallback): %w", err)
+		}
+		return &t, nil
+	}
+	t := &TrafficResult{}
+	nl, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding traffic loads: %w", err)
+	}
+	t.Load = make([]LoadEntry, 0, min(nl, preallocCap))
+	for i := uint64(0); i < nl; i++ {
+		var le LoadEntry
+		if le.Link, err = d.linkID(); err == nil {
+			le.Volume, err = d.f64()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding traffic load %d: %w", i, err)
+		}
+		t.Load = append(t.Load, le)
+	}
+	np, err := d.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("wire: decoding traffic paths: %w", err)
+	}
+	t.Paths = make([]PathEntry, 0, min(np, preallocCap))
+	for i := uint64(0); i < np; i++ {
+		pe, err := d.pathEntry()
+		if err != nil {
+			return nil, fmt.Errorf("wire: decoding traffic path %d: %w", i, err)
+		}
+		t.Paths = append(t.Paths, pe)
+	}
+	return t, nil
+}
+
+func (d *decoder) linkID() (netmodel.LinkID, error) {
+	var id netmodel.LinkID
+	var err error
+	read := func(fn func() error) {
+		if err == nil {
+			err = fn()
+		}
+	}
+	read(func() (e error) { id.A, e = d.str(); return })
+	read(func() (e error) { id.B, e = d.str(); return })
+	read(func() (e error) { id.AIface, e = d.str(); return })
+	read(func() (e error) { id.BIface, e = d.str(); return })
+	return id, err
+}
+
+func (d *decoder) pathEntry() (PathEntry, error) {
+	var pe PathEntry
+	f, err := d.flow()
+	if err != nil {
+		return pe, err
+	}
+	pe.Flow = f
+	nh, err := d.uvarint()
+	if err != nil {
+		return pe, err
+	}
+	pe.Path.Hops = make([]netmodel.Hop, 0, min(nh, preallocCap))
+	for i := uint64(0); i < nh; i++ {
+		var h netmodel.Hop
+		if h.Device, err = d.str(); err == nil {
+			h.Link, err = d.linkID()
+		}
+		if err != nil {
+			return pe, err
+		}
+		pe.Path.Hops = append(pe.Path.Hops, h)
+	}
+	exit, err := d.byte()
+	if err != nil {
+		return pe, err
+	}
+	pe.Path.Exit = netmodel.ExitReason(exit)
+	return pe, nil
+}

@@ -1,0 +1,493 @@
+// Package wire implements the distributed framework's versioned compact
+// binary wire format. Every blob that crosses the object store — network
+// snapshots, route files, flow files, traffic result files — pays for its
+// bytes twice: once in transfer and once in decode CPU on a worker. The
+// format here replaces the encoding/json wire path with:
+//
+//   - string interning: device names, VRFs, interface names, peers, and
+//     ingress devices repeat massively across rows; each distinct string is
+//     transmitted once and referenced by a varint id afterwards,
+//   - structural interning of AS paths and community sets (the two
+//     heavy repeated BGP attributes), which also deduplicates them in memory
+//     on decode — all rows sharing an AS path share one backing slice,
+//   - varint integers for the uint32-ish attribute fields,
+//   - raw 4/16-byte netip address and prefix encodings instead of quoted
+//     dotted strings,
+//   - an optional compress/flate frame (used for snapshots, whose payload is
+//     device configuration text).
+//
+// Framing: a 6-byte header [Magic 'H' 'Y' version flags kind] precedes the
+// payload. Magic (0xB1) can never start a JSON document, so every decoder
+// sniffs the first byte and falls back to the legacy encoding/json decoder
+// for old blobs — mixed-version clusters and archived result files keep
+// working.
+package wire
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+
+	"hoyan/internal/netmodel"
+)
+
+// Frame header constants.
+const (
+	// Magic is the first byte of every binary wire frame. It is outside the
+	// ASCII range, so it can never begin a JSON document ('{', '[', '"',
+	// digits, whitespace, ...): decoders sniff it to pick binary vs JSON.
+	Magic byte = 0xB1
+	mark1 byte = 'H'
+	mark2 byte = 'Y'
+
+	// Version is the current format version. Decoders reject frames with a
+	// newer version instead of misparsing them.
+	Version byte = 1
+
+	flagFlate byte = 1 << 0
+
+	headerLen = 6
+)
+
+// Kind tags the payload type inside a frame so a routes decoder fed a flows
+// blob fails cleanly instead of producing garbage.
+type Kind byte
+
+// Payload kinds.
+const (
+	KindRoutes Kind = iota + 1
+	KindFlows
+	KindSnapshot
+	KindTrafficResult
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRoutes:
+		return "routes"
+	case KindFlows:
+		return "flows"
+	case KindSnapshot:
+		return "snapshot"
+	case KindTrafficResult:
+		return "traffic-result"
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// Options tunes encoding. The zero value is an uncompressed frame.
+type Options struct {
+	// Compress wraps the payload in a flate stream. Snapshots (configuration
+	// text) compress ~5-10x; route/flow files are already dense after
+	// interning, so their default is uncompressed for decode speed.
+	Compress bool
+}
+
+// maxBlob bounds a single length-prefixed byte string (a device
+// configuration is the largest legitimate payload). Corrupt length prefixes
+// fail here instead of attempting a multi-gigabyte allocation.
+const maxBlob = 1 << 28
+
+// preallocCap bounds speculative slice preallocation from untrusted counts:
+// decoders grow by append beyond it, so a corrupt count fails on EOF rather
+// than on an absurd make().
+const preallocCap = 1 << 16
+
+// ErrCorrupt tags structural decode failures (bad magic trailer, dangling
+// intern reference, oversized length).
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// ---------------------------------------------------------------- encoder
+
+// encoder writes the payload of one frame, carrying a sticky error and the
+// interning tables.
+type encoder struct {
+	w   io.Writer
+	err error
+
+	varbuf  [binary.MaxVarintLen64]byte
+	scratch []byte
+
+	strings map[string]uint64
+	asPaths map[string]uint64
+	comms   map[string]uint64
+}
+
+func newEncoder(w io.Writer) *encoder {
+	return &encoder{
+		w:       w,
+		strings: make(map[string]uint64),
+		asPaths: make(map[string]uint64),
+		comms:   make(map[string]uint64),
+	}
+}
+
+func (e *encoder) write(p []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(p)
+	}
+}
+
+func (e *encoder) byte(b byte) { e.write([]byte{b}) }
+
+func (e *encoder) bool(b bool) {
+	if b {
+		e.byte(1)
+	} else {
+		e.byte(0)
+	}
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.varbuf[:], v)
+	e.write(e.varbuf[:n])
+}
+
+func (e *encoder) f64(v float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	e.write(b[:])
+}
+
+// blob writes a non-interned length-prefixed byte string (config text).
+func (e *encoder) blob(s string) {
+	e.uvarint(uint64(len(s)))
+	e.write([]byte(s))
+}
+
+// str writes an interned string: a varint reference for strings seen before,
+// or 0 followed by the literal on first appearance (which assigns the next
+// id on both sides).
+func (e *encoder) str(s string) {
+	if id, ok := e.strings[s]; ok {
+		e.uvarint(id)
+		return
+	}
+	e.strings[s] = uint64(len(e.strings)) + 1
+	e.uvarint(0)
+	e.blob(s)
+}
+
+// addr writes a netip address as a length byte (0 = zero Addr) plus raw
+// bytes, preserving the 4/16-byte form.
+func (e *encoder) addr(a netip.Addr) {
+	if !a.IsValid() {
+		e.byte(0)
+		return
+	}
+	b := a.AsSlice()
+	e.byte(byte(len(b)))
+	e.write(b)
+}
+
+func (e *encoder) prefix(p netip.Prefix) {
+	e.addr(p.Addr())
+	if p.Addr().IsValid() {
+		e.byte(byte(p.Bits()))
+	}
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	return append(dst, b[:n]...)
+}
+
+// asPath writes a structurally interned AS path.
+func (e *encoder) asPath(p netmodel.ASPath) {
+	e.scratch = e.scratch[:0]
+	e.scratch = appendUvarint(e.scratch, uint64(len(p.Seq)))
+	for _, a := range p.Seq {
+		e.scratch = appendUvarint(e.scratch, uint64(a))
+	}
+	e.scratch = appendUvarint(e.scratch, uint64(len(p.Set)))
+	for _, a := range p.Set {
+		e.scratch = appendUvarint(e.scratch, uint64(a))
+	}
+	key := string(e.scratch)
+	if id, ok := e.asPaths[key]; ok {
+		e.uvarint(id)
+		return
+	}
+	e.asPaths[key] = uint64(len(e.asPaths)) + 1
+	e.uvarint(0)
+	e.write(e.scratch)
+}
+
+// communities writes a structurally interned community set.
+func (e *encoder) communities(s netmodel.CommunitySet) {
+	all := s.All()
+	e.scratch = e.scratch[:0]
+	e.scratch = appendUvarint(e.scratch, uint64(len(all)))
+	for _, c := range all {
+		e.scratch = appendUvarint(e.scratch, uint64(c))
+	}
+	key := string(e.scratch)
+	if id, ok := e.comms[key]; ok {
+		e.uvarint(id)
+		return
+	}
+	e.comms[key] = uint64(len(e.comms)) + 1
+	e.uvarint(0)
+	e.write(e.scratch)
+}
+
+// encodeFrame writes the header and runs body over a fresh encoder,
+// finishing the flate stream when compression is on.
+func encodeFrame(w io.Writer, kind Kind, opts Options, body func(*encoder)) error {
+	bw := bufio.NewWriter(w)
+	header := [headerLen]byte{Magic, mark1, mark2, Version, 0, byte(kind)}
+	if opts.Compress {
+		header[4] |= flagFlate
+	}
+	if _, err := bw.Write(header[:]); err != nil {
+		return err
+	}
+	var e *encoder
+	var fw *flate.Writer
+	if opts.Compress {
+		fw, _ = flate.NewWriter(bw, flate.BestSpeed)
+		e = newEncoder(fw)
+	} else {
+		e = newEncoder(bw)
+	}
+	body(e)
+	if e.err != nil {
+		return e.err
+	}
+	if fw != nil {
+		if err := fw.Close(); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ---------------------------------------------------------------- decoder
+
+// decoder reads one frame's payload, mirroring the encoder's interning
+// tables.
+type decoder struct {
+	r *bufio.Reader
+
+	strings []string
+	asPaths []netmodel.ASPath
+	comms   []netmodel.CommunitySet
+}
+
+// decodeFrame sniffs the first byte of br. If it is not the wire magic, it
+// returns (nil, false, nil): the caller decodes br as legacy JSON. Otherwise
+// it validates the header and returns a decoder over the (possibly
+// decompressed) payload.
+func decodeFrame(br *bufio.Reader, want Kind) (*decoder, bool, error) {
+	first, err := br.Peek(1)
+	if err != nil {
+		return nil, false, fmt.Errorf("wire: reading %s frame: %w", want, err)
+	}
+	if first[0] != Magic {
+		return nil, false, nil
+	}
+	var header [headerLen]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return nil, false, fmt.Errorf("wire: %s header truncated: %w (%w)", want, err, ErrCorrupt)
+	}
+	if header[1] != mark1 || header[2] != mark2 {
+		return nil, false, fmt.Errorf("wire: bad %s frame marker %q (%w)", want, header[1:3], ErrCorrupt)
+	}
+	if header[3] != Version {
+		return nil, false, fmt.Errorf("wire: unsupported %s frame version %d (have %d)", want, header[3], Version)
+	}
+	if Kind(header[5]) != want {
+		return nil, false, fmt.Errorf("wire: frame holds %s, want %s (%w)", Kind(header[5]), want, ErrCorrupt)
+	}
+	if header[4]&^flagFlate != 0 {
+		return nil, false, fmt.Errorf("wire: unknown %s frame flags %#x (%w)", want, header[4], ErrCorrupt)
+	}
+	d := &decoder{r: br}
+	if header[4]&flagFlate != 0 {
+		d.r = bufio.NewReader(flate.NewReader(br))
+	}
+	return d, true, nil
+}
+
+func (d *decoder) byte() (byte, error) { return d.r.ReadByte() }
+
+func (d *decoder) bool() (bool, error) {
+	b, err := d.r.ReadByte()
+	return b != 0, err
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	return binary.ReadUvarint(d.r)
+}
+
+func (d *decoder) u32() (uint32, error) {
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxUint32 {
+		return 0, fmt.Errorf("wire: value %d overflows uint32 (%w)", v, ErrCorrupt)
+	}
+	return uint32(v), nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func (d *decoder) blob() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > maxBlob {
+		return "", fmt.Errorf("wire: blob length %d exceeds limit (%w)", n, ErrCorrupt)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (d *decoder) str() (string, error) {
+	id, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if id == 0 {
+		s, err := d.blob()
+		if err != nil {
+			return "", err
+		}
+		d.strings = append(d.strings, s)
+		return s, nil
+	}
+	if id > uint64(len(d.strings)) {
+		return "", fmt.Errorf("wire: string ref %d out of table (%d entries) (%w)", id, len(d.strings), ErrCorrupt)
+	}
+	return d.strings[id-1], nil
+}
+
+func (d *decoder) addr() (netip.Addr, error) {
+	n, err := d.r.ReadByte()
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	switch n {
+	case 0:
+		return netip.Addr{}, nil
+	case 4, 16:
+		b := make([]byte, n)
+		if _, err := io.ReadFull(d.r, b); err != nil {
+			return netip.Addr{}, err
+		}
+		a, _ := netip.AddrFromSlice(b)
+		return a, nil
+	}
+	return netip.Addr{}, fmt.Errorf("wire: address length %d (%w)", n, ErrCorrupt)
+}
+
+func (d *decoder) prefix() (netip.Prefix, error) {
+	a, err := d.addr()
+	if err != nil || !a.IsValid() {
+		return netip.Prefix{}, err
+	}
+	bits, err := d.r.ReadByte()
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	if int(bits) > a.BitLen() {
+		return netip.Prefix{}, fmt.Errorf("wire: prefix bits %d exceed %d-bit address (%w)", bits, a.BitLen(), ErrCorrupt)
+	}
+	return netip.PrefixFrom(a, int(bits)), nil
+}
+
+func (d *decoder) asnList() ([]netmodel.ASN, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]netmodel.ASN, 0, min(n, preallocCap))
+	for i := uint64(0); i < n; i++ {
+		v, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, netmodel.ASN(v))
+	}
+	return out, nil
+}
+
+func (d *decoder) asPath() (netmodel.ASPath, error) {
+	id, err := d.uvarint()
+	if err != nil {
+		return netmodel.ASPath{}, err
+	}
+	if id == 0 {
+		seq, err := d.asnList()
+		if err != nil {
+			return netmodel.ASPath{}, err
+		}
+		set, err := d.asnList()
+		if err != nil {
+			return netmodel.ASPath{}, err
+		}
+		p := netmodel.ASPath{Seq: seq, Set: set}
+		d.asPaths = append(d.asPaths, p)
+		return p, nil
+	}
+	if id > uint64(len(d.asPaths)) {
+		return netmodel.ASPath{}, fmt.Errorf("wire: as-path ref %d out of table (%d entries) (%w)", id, len(d.asPaths), ErrCorrupt)
+	}
+	// Rows sharing an AS path share the decoded backing slices; ASPath is
+	// treated as immutable everywhere (Prepend copies).
+	return d.asPaths[id-1], nil
+}
+
+func (d *decoder) communities() (netmodel.CommunitySet, error) {
+	id, err := d.uvarint()
+	if err != nil {
+		return netmodel.CommunitySet{}, err
+	}
+	if id == 0 {
+		n, err := d.uvarint()
+		if err != nil {
+			return netmodel.CommunitySet{}, err
+		}
+		var set netmodel.CommunitySet
+		for i := uint64(0); i < n; i++ {
+			v, err := d.u32()
+			if err != nil {
+				return netmodel.CommunitySet{}, err
+			}
+			set = set.Add(netmodel.Community(v))
+		}
+		d.comms = append(d.comms, set)
+		return set, nil
+	}
+	if id > uint64(len(d.comms)) {
+		return netmodel.CommunitySet{}, fmt.Errorf("wire: community-set ref %d out of table (%d entries) (%w)", id, len(d.comms), ErrCorrupt)
+	}
+	return d.comms[id-1], nil
+}
+
+func min(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

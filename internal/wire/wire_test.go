@@ -1,0 +1,439 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hoyan/internal/netmodel"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from the sample fixtures")
+
+// ---------------------------------------------------------------- fixtures
+
+// sampleRoutes exercises the interesting encoder paths: repeated strings and
+// AS paths (interning), IPv4 and IPv6, zero addresses/prefixes, empty rows,
+// and values past the one-byte varint range.
+func sampleRoutes() []netmodel.Route {
+	shared := netmodel.ASPath{Seq: []netmodel.ASN{65000, 65001, 4200000000}}
+	comms := netmodel.NewCommunitySet(netmodel.NewCommunity(65000, 1), netmodel.NewCommunity(65000, 666))
+	return []netmodel.Route{
+		{
+			Device: "rr-0-0", VRF: netmodel.DefaultVRF,
+			Prefix:      netip.MustParsePrefix("10.0.0.0/24"),
+			Protocol:    netmodel.ProtoBGP,
+			NextHop:     netip.MustParseAddr("192.0.2.1"),
+			Communities: comms, LocalPref: 200, MED: 50, Weight: 32768,
+			Preference: 170, ASPath: shared, Origin: netmodel.OriginIGP,
+			IGPCost: 10, RouteType: netmodel.RouteBest, ViaSR: true,
+			Peer: "border-0-0", Source: "bgp",
+		},
+		{
+			Device: "rr-0-0", VRF: netmodel.DefaultVRF, // interned refs
+			Prefix:   netip.MustParsePrefix("2001:db8::/48"),
+			Protocol: netmodel.ProtoISIS,
+			NextHop:  netip.MustParseAddr("2001:db8::1"),
+			ASPath:   shared, // interned structural ref
+			IGPCost:  300000, RouteType: netmodel.RouteCandidate,
+			Peer: "border-0-0", Source: "isis",
+		},
+		{
+			Device: "border-1-0", VRF: "vpn-a",
+			Prefix:   netip.MustParsePrefix("10.1.0.0/16"),
+			Protocol: netmodel.ProtoStatic,
+			ASPath:   netmodel.ASPath{Set: []netmodel.ASN{65010, 65011}},
+			Origin:   netmodel.OriginIncomplete,
+		},
+		{}, // zero route: zero prefix, zero addr, empty everything
+	}
+}
+
+func sampleFlows() []netmodel.Flow {
+	return []netmodel.Flow{
+		{
+			Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.1.0.1"),
+			SrcPort: 443, DstPort: 51234, Proto: netmodel.ProtoTCP,
+			Ingress: "border-0-0", Volume: 1.5e9,
+		},
+		{
+			Src: netip.MustParseAddr("2001:db8::1"), Dst: netip.MustParseAddr("2001:db8:1::1"),
+			Proto: netmodel.ProtoUDP, Ingress: "border-0-0", Volume: 0.25,
+		},
+		{}, // zero flow
+	}
+}
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Configs: map[string]string{
+			"rr-0-0":     "hostname rr-0-0\nrouter bgp 65000\n",
+			"border-0-0": "hostname border-0-0\nrouter bgp 65000\n",
+		},
+		Nodes: []SnapshotNode{
+			{Name: "rr-0-0", Loopback: netip.MustParseAddr("10.255.0.1"), Up: true},
+			{Name: "border-0-0", Loopback: netip.MustParseAddr("10.255.0.2"), Up: false},
+		},
+		Links: []netmodel.Link{{
+			A: "rr-0-0", B: "border-0-0", AIface: "eth0", BIface: "eth1",
+			ANet:   netip.MustParsePrefix("10.254.0.0/31"),
+			BNet:   netip.MustParsePrefix("10.254.0.0/31"),
+			AAddr:  netip.MustParseAddr("10.254.0.0"),
+			BAddr:  netip.MustParseAddr("10.254.0.1"),
+			CostAB: 10, CostBA: 10, TEAB: 1, TEBA: 1, Bandwidth: 100e9, Up: true,
+		}},
+	}
+}
+
+func sampleTraffic() *TrafficResult {
+	id := netmodel.LinkID{A: "rr-0-0", B: "border-0-0", AIface: "eth0", BIface: "eth1"}
+	return &TrafficResult{
+		Load: []LoadEntry{{Link: id, Volume: 1.5e9}},
+		Paths: []PathEntry{{
+			Flow: sampleFlows()[0],
+			Path: Path{
+				Hops: []netmodel.Hop{{Device: "border-0-0", Link: id}, {Device: "rr-0-0"}},
+				Exit: netmodel.ExitDelivered,
+			},
+		}},
+	}
+}
+
+// ---------------------------------------------------------------- round trips
+
+func TestRoutesRoundTrip(t *testing.T) {
+	want := sampleRoutes()
+	for _, opts := range []Options{{}, {Compress: true}} {
+		var buf bytes.Buffer
+		if err := EncodeRoutesOpts(&buf, want, opts); err != nil {
+			t.Fatalf("encode (%+v): %v", opts, err)
+		}
+		got, err := DecodeRoutes(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode (%+v): %v", opts, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip (%+v):\n got %+v\nwant %+v", opts, got, want)
+		}
+	}
+}
+
+func TestRoutesRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeRoutes(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRoutes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d routes, want 0", len(got))
+	}
+}
+
+func TestFlowsRoundTrip(t *testing.T) {
+	want := sampleFlows()
+	var buf bytes.Buffer
+	if err := EncodeFlows(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFlows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	for _, opts := range []Options{{}, {Compress: true}} {
+		var buf bytes.Buffer
+		if err := EncodeSnapshotOpts(&buf, want, opts); err != nil {
+			t.Fatalf("encode (%+v): %v", opts, err)
+		}
+		got, err := DecodeSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode (%+v): %v", opts, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip (%+v):\n got %+v\nwant %+v", opts, got, want)
+		}
+	}
+}
+
+func TestSnapshotEncodeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := EncodeSnapshot(&a, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeSnapshot(&b, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two encodings of the same snapshot differ (config map ordering leaked)")
+	}
+}
+
+func TestTrafficResultRoundTrip(t *testing.T) {
+	want := sampleTraffic()
+	var buf bytes.Buffer
+	if err := EncodeTrafficResult(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTrafficResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// ----------------------------------------------------------------- goldens
+
+// golden compares got against testdata/name, rewriting it under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/wire -update` to create goldens)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: encoding drifted from golden (%d vs %d bytes); if the format "+
+			"change is intentional, bump Version and regenerate with -update", name, len(got), len(want))
+	}
+}
+
+// TestGolden locks the binary encodings: a byte-level change to the format
+// breaks this test, forcing a deliberate Version bump.
+func TestGolden(t *testing.T) {
+	var routes, flows, snap, traffic bytes.Buffer
+	if err := EncodeRoutes(&routes, sampleRoutes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeFlows(&flows, sampleFlows()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeSnapshot(&snap, sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeTrafficResult(&traffic, sampleTraffic()); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "routes.bin", routes.Bytes())
+	golden(t, "flows.bin", flows.Bytes())
+	golden(t, "snapshot.bin", snap.Bytes())
+	golden(t, "traffic.bin", traffic.Bytes())
+
+	// Decoding the goldens must reproduce the fixtures exactly.
+	gotR, err := DecodeRoutes(&routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotR, sampleRoutes()) {
+		t.Error("golden routes decode mismatch")
+	}
+	gotS, err := DecodeSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotS, sampleSnapshot()) {
+		t.Error("golden snapshot decode mismatch")
+	}
+}
+
+// TestJSONFallback feeds every decoder a legacy JSON blob — what a
+// pre-binary master or an archived result file would hold — and checks it
+// decodes identically to the fixtures.
+func TestJSONFallback(t *testing.T) {
+	routesJSON, err := json.Marshal(sampleRoutes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "routes.json", routesJSON)
+	gotR, err := DecodeRoutes(bytes.NewReader(routesJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotR, sampleRoutes()) {
+		t.Errorf("json fallback routes:\n got %+v\nwant %+v", gotR, sampleRoutes())
+	}
+
+	flowsJSON, _ := json.Marshal(sampleFlows())
+	gotF, err := DecodeFlows(bytes.NewReader(flowsJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotF, sampleFlows()) {
+		t.Error("json fallback flows mismatch")
+	}
+
+	snapJSON, _ := json.Marshal(sampleSnapshot())
+	gotS, err := DecodeSnapshot(bytes.NewReader(snapJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotS, sampleSnapshot()) {
+		t.Error("json fallback snapshot mismatch")
+	}
+
+	trafficJSON, _ := json.Marshal(sampleTraffic())
+	gotT, err := DecodeTrafficResult(bytes.NewReader(trafficJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotT, sampleTraffic()) {
+		t.Error("json fallback traffic result mismatch")
+	}
+}
+
+// ------------------------------------------------------------- corrupt input
+
+func encodedRoutes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodeRoutes(&buf, sampleRoutes()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	blob := encodedRoutes(t)
+	for n := 0; n < len(blob); n++ {
+		if _, err := DecodeRoutes(bytes.NewReader(blob[:n])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", n, len(blob))
+		}
+	}
+}
+
+func TestDecodeCorruptHeader(t *testing.T) {
+	blob := encodedRoutes(t)
+	mut := func(i int, b byte) []byte {
+		c := append([]byte(nil), blob...)
+		c[i] = b
+		return c
+	}
+	cases := []struct {
+		name    string
+		blob    []byte
+		corrupt bool // must map to ErrCorrupt specifically
+	}{
+		{"bad marker", mut(1, 'X'), true},
+		{"future version", mut(3, 99), false},
+		{"unknown flags", mut(4, 0x80), true},
+		{"unknown kind", mut(5, 42), true},
+	}
+	for _, tc := range cases {
+		_, err := DecodeRoutes(bytes.NewReader(tc.blob))
+		if err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+			continue
+		}
+		if tc.corrupt && !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v does not wrap ErrCorrupt", tc.name, err)
+		}
+	}
+}
+
+func TestDecodeWrongKind(t *testing.T) {
+	if _, err := DecodeFlows(bytes.NewReader(encodedRoutes(t))); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("flows decoder accepted a routes frame: %v", err)
+	}
+}
+
+func TestDecodeDanglingStringRef(t *testing.T) {
+	// Frame holding one route whose device field references string id 5
+	// with an empty intern table.
+	blob := []byte{Magic, mark1, mark2, Version, 0, byte(KindRoutes), 1 /* count */, 5 /* str ref */}
+	if _, err := DecodeRoutes(bytes.NewReader(blob)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("dangling intern ref: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeOversizedBlobLength(t *testing.T) {
+	// A literal string whose claimed length exceeds maxBlob must fail before
+	// allocating.
+	var buf bytes.Buffer
+	buf.Write([]byte{Magic, mark1, mark2, Version, 0, byte(KindRoutes), 1, 0})
+	e := newEncoder(&buf)
+	e.uvarint(maxBlob + 1)
+	if _, err := DecodeRoutes(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("oversized blob length: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeJSONGarbage(t *testing.T) {
+	_, err := DecodeRoutes(strings.NewReader("definitely not json"))
+	if err == nil || !strings.Contains(err.Error(), "json fallback") {
+		t.Errorf("garbage input: got %v, want json fallback error", err)
+	}
+}
+
+func TestDecodeEmptyInput(t *testing.T) {
+	if _, err := DecodeRoutes(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input decoded without error")
+	}
+}
+
+// ---------------------------------------------------------------- fuzzing
+
+// FuzzDecodeRoutes asserts the decoder never panics and that anything it
+// accepts re-encodes and re-decodes to the same rows.
+func FuzzDecodeRoutes(f *testing.F) {
+	var plain, compressed bytes.Buffer
+	if err := EncodeRoutes(&plain, sampleRoutes()); err != nil {
+		f.Fatal(err)
+	}
+	if err := EncodeRoutesOpts(&compressed, sampleRoutes(), Options{Compress: true}); err != nil {
+		f.Fatal(err)
+	}
+	jsonBlob, _ := json.Marshal(sampleRoutes())
+	f.Add(plain.Bytes())
+	f.Add(compressed.Bytes())
+	f.Add(jsonBlob)
+	f.Add(plain.Bytes()[:len(plain.Bytes())/2]) // truncated
+	corrupted := append([]byte(nil), plain.Bytes()...)
+	corrupted[len(corrupted)/2] ^= 0xFF
+	f.Add(corrupted)
+	f.Add([]byte{Magic, mark1, mark2, Version, 0, byte(KindRoutes), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F}) // absurd count
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		routes, err := DecodeRoutes(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeRoutes(&buf, routes); err != nil {
+			t.Fatalf("re-encoding accepted rows: %v", err)
+		}
+		again, err := DecodeRoutes(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding own encoding: %v", err)
+		}
+		if len(again) != len(routes) {
+			t.Fatalf("re-decode row count %d != %d", len(again), len(routes))
+		}
+	})
+}
