@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench-wire chaos check
+.PHONY: all build test vet race bench-smoke bench-wire chaos trace check
 
 all: check
 
@@ -37,5 +37,11 @@ bench-wire:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestWorker|TestStale' -v ./internal/dsim/
 	$(GO) test -race ./internal/faults/ ./internal/retry/ ./internal/rpcx/
+
+# Observability demo: one instrumented distributed run; prints the per-stage
+# breakdown and writes the end-to-end trace to trace.json (view it in
+# chrome://tracing or https://ui.perfetto.dev).
+trace:
+	$(GO) run ./cmd/hoyan-exp -scale 1 -trace trace.json report
 
 check: vet build race bench-smoke bench-wire chaos

@@ -2,10 +2,15 @@
 //
 // Usage:
 //
-//	hoyan-exp [-scale N] [experiment...]
+//	hoyan-exp [-scale N] [-trace FILE] [experiment...]
 //
 // Experiments: table1 fig1 table2 table3 fig5a fig5b fig5c fig5d fig8
-// table4 table5 table6 fig9 ecstats all (default: all).
+// table4 table5 table6 fig9 ecstats report all (default: all).
+//
+// The report experiment runs one telemetry-instrumented distributed
+// verification and prints the pipeline's per-stage breakdown; -trace
+// additionally writes its end-to-end trace as Chrome trace_event JSON
+// (load in chrome://tracing or https://ui.perfetto.dev).
 package main
 
 import (
@@ -15,10 +20,12 @@ import (
 	"time"
 
 	"hoyan/internal/experiments"
+	"hoyan/internal/telemetry"
 )
 
 func main() {
 	scaleK := flag.Int("scale", 0, "WAN scale multiplier (0 = default experiment scale)")
+	traceOut := flag.String("trace", "", "write the report experiment's Chrome trace_event JSON here")
 	flag.Parse()
 
 	s := experiments.DefaultScale()
@@ -81,4 +88,25 @@ func main() {
 		fmt.Fprintln(out, summary)
 	})
 	run("ecstats", func() { experiments.PrintECStats(out, experiments.ECStats(s)) })
+	run("report", func() {
+		rep, err := experiments.Report(s)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		experiments.PrintReport(out, rep)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "report:", err)
+				os.Exit(1)
+			}
+			if err := telemetry.WriteChromeTrace(f, rep.Report.Spans); err != nil {
+				fmt.Fprintln(os.Stderr, "report:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s (%d spans)\n", *traceOut, len(rep.Report.Spans))
+		}
+	})
 }

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	hoyan-master -serve                        # just host the substrates
+//	hoyan-master                               # just host the substrates
 //	hoyan-master -run -scale 2 -subtasks 40    # host and drive a simulation
+//	hoyan-master -run -http :7100              # + /metrics /healthz /debug/pprof
 package main
 
 import (
@@ -23,13 +24,17 @@ import (
 	"hoyan/internal/gen"
 	"hoyan/internal/mq"
 	"hoyan/internal/objstore"
+	"hoyan/internal/rpcx"
 	"hoyan/internal/taskdb"
+	"hoyan/internal/telemetry"
 )
 
 func main() {
 	mqAddr := flag.String("mq", "127.0.0.1:7101", "message queue listen address")
 	storeAddr := flag.String("store", "127.0.0.1:7102", "object store listen address")
 	tasksAddr := flag.String("tasks", "127.0.0.1:7103", "task DB listen address")
+	httpAddr := flag.String("http", "", "ops HTTP listen address for /metrics, /healthz, /debug/pprof (empty = off)")
+	traceOut := flag.String("trace", "", "write the run's Chrome trace_event JSON here (with -run)")
 	runSim := flag.Bool("run", false, "drive a distributed simulation after serving")
 	scale := flag.Int("scale", 2, "gen.WAN scale for -run")
 	subtasks := flag.Int("subtasks", 40, "route subtasks for -run")
@@ -38,13 +43,26 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 3, "attempts per subtask before the task fails permanently")
 	flag.Parse()
 
+	// One registry carries everything master-side: the hosted substrates'
+	// server counters, the dialed clients' RPC metrics, and the master's own
+	// scheduling metrics.
+	reg := telemetry.NewRegistry()
+	events := telemetry.NewEventLogger(os.Stderr, telemetry.F("role", "master"))
+
 	lq := listen(*mqAddr)
 	ls := listen(*storeAddr)
 	lt := listen(*tasksAddr)
-	mq.Serve(lq, mq.NewMemory())
-	objstore.Serve(ls, objstore.NewMemory())
-	taskdb.Serve(lt, taskdb.NewMemory())
+	mq.ServeRegistry(lq, mq.NewMemory(), reg)
+	objstore.ServeRegistry(ls, objstore.NewMemory(), reg)
+	taskdb.ServeRegistry(lt, taskdb.NewMemory(), reg)
 	fmt.Printf("substrates: mq=%s store=%s tasks=%s\n", lq.Addr(), ls.Addr(), lt.Addr())
+
+	if srv, addr, err := telemetry.ServeOps(*httpAddr, reg, nil, nil); err != nil {
+		fatal(err)
+	} else if srv != nil {
+		defer srv.Close()
+		fmt.Printf("ops: http://%s/metrics /healthz /debug/pprof\n", addr)
+	}
 
 	if !*runSim {
 		fmt.Println("serving; start hoyan-worker processes and press Ctrl-C to stop")
@@ -52,15 +70,15 @@ func main() {
 		return
 	}
 
-	queue, err := mq.Dial(lq.Addr().String())
+	queue, err := mq.DialOptions(lq.Addr().String(), rpcx.Options{Metrics: rpcx.NewMetrics(reg, "mq")})
 	if err != nil {
 		fatal(err)
 	}
-	store, err := objstore.Dial(ls.Addr().String())
+	store, err := objstore.DialOptions(ls.Addr().String(), rpcx.Options{Metrics: rpcx.NewMetrics(reg, "objstore")})
 	if err != nil {
 		fatal(err)
 	}
-	tasks, err := taskdb.Dial(lt.Addr().String())
+	tasks, err := taskdb.DialOptions(lt.Addr().String(), rpcx.Options{Metrics: rpcx.NewMetrics(reg, "taskdb")})
 	if err != nil {
 		fatal(err)
 	}
@@ -68,10 +86,14 @@ func main() {
 	master.Timeout = *timeout
 	master.LeaseTimeout = *lease
 	master.MaxAttempts = *maxAttempts
+	master.Tracer = telemetry.NewTracer("master")
+	master.Events = events
+	master.Instrument(reg)
 
 	g := gen.Generate(gen.WAN(*scale))
 	fmt.Printf("generated WAN: %d devices, %d input routes, %d flows\n",
 		len(g.Net.Devices), len(g.Inputs), len(g.Flows))
+	runSpan := master.BeginRun("cli-task")
 	snapKey, err := master.UploadSnapshot("cli-task", g.Net)
 	if err != nil {
 		fatal(err)
@@ -103,8 +125,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	runSpan.End()
 	fmt.Printf("traffic simulation done: %d flow paths, %d loaded links\n",
 		len(sum.Paths), len(sum.Load))
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.WriteChromeTrace(f, master.Tracer.Spans()); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote master-side trace to %s (workers add their spans to the same trace IDs)\n", *traceOut)
+	}
 }
 
 func listen(addr string) net.Listener {

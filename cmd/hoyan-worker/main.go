@@ -5,13 +5,18 @@
 // Usage:
 //
 //	hoyan-worker -name w1 -mq HOST:PORT -store HOST:PORT -tasks HOST:PORT
+//	hoyan-worker -http :7110     # + /metrics /healthz /debug/pprof
+//
+// Diagnostics are structured JSON lines on stderr (one object per event with
+// worker/subtask/attempt fields), so chaos runs are machine-greppable.
+// /healthz reports 503 once the worker has gone -stale without a successful
+// substrate round-trip (queue poll or lease heartbeat).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"time"
@@ -19,7 +24,9 @@ import (
 	"hoyan/internal/dsim"
 	"hoyan/internal/mq"
 	"hoyan/internal/objstore"
+	"hoyan/internal/rpcx"
 	"hoyan/internal/taskdb"
+	"hoyan/internal/telemetry"
 )
 
 func main() {
@@ -27,22 +34,27 @@ func main() {
 	mqAddr := flag.String("mq", "127.0.0.1:7101", "message queue address")
 	storeAddr := flag.String("store", "127.0.0.1:7102", "object store address")
 	tasksAddr := flag.String("tasks", "127.0.0.1:7103", "task DB address")
+	httpAddr := flag.String("http", "", "ops HTTP listen address for /metrics, /healthz, /debug/pprof (empty = off)")
+	stale := flag.Duration("stale", 15*time.Second, "substrate-contact staleness after which /healthz reports unhealthy")
 	parallelism := flag.Int("parallelism", 0, "pin intra-engine parallelism per subtask (0 = use each task's own setting)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "lease heartbeat interval while executing a subtask")
 	ribCache := flag.Int("ribcache", 0, "route-RIB file cache size in entries (0 = default, negative = disabled)")
 	flag.Parse()
 
-	queue, err := mq.Dial(*mqAddr)
+	reg := telemetry.NewRegistry()
+	events := telemetry.NewEventLogger(os.Stderr)
+
+	queue, err := mq.DialOptions(*mqAddr, rpcx.Options{Metrics: rpcx.NewMetrics(reg, "mq")})
 	if err != nil {
 		fatal(err)
 	}
 	defer queue.Close()
-	store, err := objstore.Dial(*storeAddr)
+	store, err := objstore.DialOptions(*storeAddr, rpcx.Options{Metrics: rpcx.NewMetrics(reg, "objstore")})
 	if err != nil {
 		fatal(err)
 	}
 	defer store.Close()
-	tasks, err := taskdb.Dial(*tasksAddr)
+	tasks, err := taskdb.DialOptions(*tasksAddr, rpcx.Options{Metrics: rpcx.NewMetrics(reg, "taskdb")})
 	if err != nil {
 		fatal(err)
 	}
@@ -52,7 +64,31 @@ func main() {
 	w.Parallelism = *parallelism
 	w.HeartbeatInterval = *heartbeat
 	w.RIBCacheSize = *ribCache
-	w.Logf = log.New(os.Stderr, *name+": ", log.LstdFlags).Printf
+	w.Tracer = telemetry.NewTracer(*name)
+	w.Events = events
+	// Free-form diagnostics ride the same structured stream as one field.
+	w.Logf = func(format string, args ...any) {
+		events.Log("log", telemetry.F("worker", *name), telemetry.F("msg", fmt.Sprintf(format, args...)))
+	}
+	w.Instrument(reg)
+
+	health := func() error {
+		last := w.LastContact()
+		if last.IsZero() {
+			return nil // not started consuming yet
+		}
+		if age := time.Since(last); age > *stale {
+			return fmt.Errorf("no substrate contact for %s (threshold %s)", age.Round(time.Millisecond), *stale)
+		}
+		return nil
+	}
+	if srv, addr, err := telemetry.ServeOps(*httpAddr, reg, health, nil); err != nil {
+		fatal(err)
+	} else if srv != nil {
+		defer srv.Close()
+		fmt.Printf("ops: http://%s/metrics /healthz /debug/pprof\n", addr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	fmt.Printf("worker %s consuming from %s\n", *name, *mqAddr)

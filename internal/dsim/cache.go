@@ -33,21 +33,26 @@ func (c *lru[V]) get(key string) (V, bool) {
 	return zero, false
 }
 
-func (c *lru[V]) put(key string, val V) {
+// put inserts or refreshes an entry, returning the keys it evicted to stay
+// within bounds (so callers can count and log evictions).
+func (c *lru[V]) put(key string, val V) (evicted []string) {
 	if c.max < 1 {
-		return
+		return nil
 	}
 	if el, ok := c.m[key]; ok {
 		el.Value.(*lruEntry[V]).val = val
 		c.ll.MoveToFront(el)
-		return
+		return nil
 	}
 	c.m[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*lruEntry[V]).key)
+		k := oldest.Value.(*lruEntry[V]).key
+		delete(c.m, k)
+		evicted = append(evicted, k)
 	}
+	return evicted
 }
 
 func (c *lru[V]) len() int { return c.ll.Len() }

@@ -71,6 +71,15 @@ type SubtaskMsg struct {
 	// the attempt that superseded it (see taskdb.DB.FencedUpsert).
 	Attempt int `json:"attempt,omitempty"`
 
+	// Trace propagation: the master stamps its enqueue span's identity and
+	// the enqueue wall time here, so the worker parents its subtask span (and
+	// a synthetic mq.wait span) under the master's trace — one simulation run
+	// yields a single end-to-end trace. Empty when tracing is off; the fields
+	// never influence simulation results.
+	TraceID          string `json:"trace_id,omitempty"`
+	ParentSpan       string `json:"parent_span,omitempty"`
+	EnqueuedUnixNano int64  `json:"enqueued_unix_nano,omitempty"`
+
 	// Traffic subtasks only.
 	RouteTaskID   string   `json:"route_task_id,omitempty"`
 	RouteSubtasks int      `json:"route_subtasks,omitempty"`

@@ -8,6 +8,7 @@ import (
 	"hoyan/internal/mq"
 	"hoyan/internal/objstore"
 	"hoyan/internal/taskdb"
+	"hoyan/internal/telemetry"
 )
 
 // LocalCluster is a single-process deployment of the framework: in-memory
@@ -20,14 +21,34 @@ type LocalCluster struct {
 	Master  *Master
 	Workers []*Worker
 
+	// MasterReg / WorkerRegs are the per-role metric registries (nil/empty
+	// when the cluster was started without telemetry). The master registry
+	// also carries the shared substrates' counters (queue, store).
+	MasterReg  *telemetry.Registry
+	WorkerRegs []*telemetry.Registry
+
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 	mem    *mq.Memory
 }
 
+// LocalOptions configures StartLocalOptions.
+type LocalOptions struct {
+	// Workers is the worker-goroutine count.
+	Workers int
+	// Store / Tasks reuse existing substrates (nil creates fresh in-memory
+	// ones); the queue is always fresh.
+	Store objstore.Store
+	Tasks taskdb.DB
+	// Telemetry gives the master and every worker a registry and a tracer,
+	// instruments the in-memory substrates, and enables span collection —
+	// gather the results with MetricsSnapshot and TraceSpans.
+	Telemetry bool
+}
+
 // StartLocal creates in-memory services and starts n workers.
 func StartLocal(n int) *LocalCluster {
-	return StartLocalWithStore(n, objstore.NewMemory(), taskdb.NewMemory())
+	return StartLocalOptions(LocalOptions{Workers: n})
 }
 
 // StartLocalWithStore starts a cluster of n workers over an existing object
@@ -35,16 +56,42 @@ func StartLocal(n int) *LocalCluster {
 // already-computed route-simulation results — the Figure 5(b) sweep re-runs
 // traffic simulation for several worker counts against one route result set.
 func StartLocalWithStore(n int, store objstore.Store, tasks taskdb.DB) *LocalCluster {
+	return StartLocalOptions(LocalOptions{Workers: n, Store: store, Tasks: tasks})
+}
+
+// StartLocalOptions starts a cluster described by opts.
+func StartLocalOptions(opts LocalOptions) *LocalCluster {
+	if opts.Store == nil {
+		opts.Store = objstore.NewMemory()
+	}
+	if opts.Tasks == nil {
+		opts.Tasks = taskdb.NewMemory()
+	}
 	memq := mq.NewMemory()
 	svc := Services{
 		Queue: memq,
-		Store: store,
-		Tasks: tasks,
+		Store: opts.Store,
+		Tasks: opts.Tasks,
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &LocalCluster{Svc: svc, Master: NewMaster(svc), cancel: cancel, mem: memq}
-	for i := 0; i < n; i++ {
+	if opts.Telemetry {
+		c.MasterReg = telemetry.NewRegistry()
+		c.Master.Tracer = telemetry.NewTracer("master")
+		c.Master.Instrument(c.MasterReg)
+		memq.Instrument(c.MasterReg)
+		if ms, ok := opts.Store.(*objstore.Memory); ok {
+			ms.Instrument(c.MasterReg)
+		}
+	}
+	for i := 0; i < opts.Workers; i++ {
 		w := NewWorker(fmt.Sprintf("worker-%d", i), svc)
+		if opts.Telemetry {
+			reg := telemetry.NewRegistry()
+			w.Tracer = telemetry.NewTracer(w.Name)
+			w.Instrument(reg)
+			c.WorkerRegs = append(c.WorkerRegs, reg)
+		}
 		c.Workers = append(c.Workers, w)
 		c.wg.Add(1)
 		go func() {
@@ -63,6 +110,31 @@ func (c *LocalCluster) CacheStats() CacheStats {
 		s.Add(w.Stats())
 	}
 	return s
+}
+
+// MetricsSnapshot merges the master's and every worker's registry into one
+// fleet-wide snapshot (nil without telemetry). Same-name series with the same
+// labels are summed, so per-worker counters read as fleet totals.
+func (c *LocalCluster) MetricsSnapshot() telemetry.Snapshot {
+	var snap telemetry.Snapshot
+	if c.MasterReg != nil {
+		snap = c.MasterReg.Gather()
+	}
+	for _, reg := range c.WorkerRegs {
+		snap = snap.Merge(reg.Gather())
+	}
+	return snap
+}
+
+// TraceSpans gathers the run's spans across the master and every worker (nil
+// without telemetry), ready for telemetry.WriteChromeTrace.
+func (c *LocalCluster) TraceSpans() []telemetry.SpanRecord {
+	var out []telemetry.SpanRecord
+	out = append(out, c.Master.Tracer.Spans()...)
+	for _, w := range c.Workers {
+		out = append(out, w.Tracer.Spans()...)
+	}
+	return out
 }
 
 // Stop terminates the workers and waits for them to exit.

@@ -10,6 +10,7 @@ import (
 	"hoyan/internal/core"
 	"hoyan/internal/netmodel"
 	"hoyan/internal/taskdb"
+	"hoyan/internal/telemetry"
 	"hoyan/internal/traffic"
 	"hoyan/internal/wire"
 )
@@ -40,6 +41,23 @@ type Master struct {
 	// It must be several times the workers' heartbeat interval.
 	LeaseTimeout time.Duration
 
+	// Tracer collects the master's spans: a run root (BeginRun) with one
+	// "enqueue" child per subtask message, whose identity travels inside the
+	// message so worker spans land in the same trace. Nil disables tracing.
+	Tracer *telemetry.Tracer
+
+	// Events receives structured diagnostics (re-enqueues with cause and
+	// attempt). Nil discards them.
+	Events *telemetry.EventLogger
+
+	// metrics is the master's instrument bundle — detached counters until
+	// Instrument binds a registry; never nil.
+	metrics *MasterMetrics
+
+	// runCtx is the span context enqueue spans parent under (set by
+	// BeginRun; zero makes each enqueue start its own trace).
+	runCtx telemetry.SpanContext
+
 	// msgs remembers each enqueued subtask message so failures can be
 	// resent verbatim.
 	msgs map[string]SubtaskMsg
@@ -59,9 +77,42 @@ func NewMaster(svc Services) *Master {
 		svc:         WithRetry(svc, DefaultRetryPolicy()),
 		MaxAttempts: 3, PollInterval: 5 * time.Millisecond, Timeout: 10 * time.Minute,
 		LeaseTimeout: 30 * time.Second,
+		metrics:      NewMasterMetrics(nil),
 		msgs:         make(map[string]SubtaskMsg),
 		pendingSince: make(map[string]time.Time),
 	}
+}
+
+// Instrument registers the master's metrics in reg and re-binds the retry
+// policies of its substrate handles so retry activity shows per component.
+// Call before starting tasks.
+func (m *Master) Instrument(reg *telemetry.Registry) {
+	m.metrics = NewMasterMetrics(reg)
+	instrumentRetries(m.svc, reg)
+}
+
+// BeginRun opens the run's root span: every subsequent enqueue span — and,
+// through message propagation, every worker span — lands in its trace, so one
+// run yields one end-to-end trace. The caller ends the returned span when the
+// run completes. Nil-safe without a tracer.
+func (m *Master) BeginRun(name string) *telemetry.Span {
+	sp := m.Tracer.StartRoot(name)
+	m.runCtx = sp.Context()
+	return sp
+}
+
+// stampTrace opens a per-subtask enqueue span under the run root and stamps
+// its identity plus the enqueue wall time into the message. The caller ends
+// the span once the push lands.
+func (m *Master) stampTrace(msg *SubtaskMsg) *telemetry.Span {
+	sp := m.Tracer.StartChild(m.runCtx, "enqueue")
+	if sc := sp.Context(); sc.Valid() {
+		sp.SetTag("subtask", msg.key())
+		msg.TraceID = sc.TraceID
+		msg.ParentSpan = sc.SpanID
+	}
+	msg.EnqueuedUnixNano = time.Now().UnixNano()
+	return sp
 }
 
 // RouteTask handles a started distributed route simulation.
@@ -82,6 +133,7 @@ func (m *Master) UploadSnapshot(taskID string, net *config.Network) (string, err
 	if err := m.svc.Store.Put(key, buf.Bytes()); err != nil {
 		return "", fmt.Errorf("dsim: uploading snapshot: %w", err)
 	}
+	m.metrics.UploadBytes.Add(int64(buf.Len()))
 	return key, nil
 }
 
@@ -113,14 +165,20 @@ func (m *Master) StartRouteSimulation(taskID, snapKey string, inputs []netmodel.
 			ResultKey: resultKey(taskID, "route", i),
 			Options:   opts,
 		}
+		m.metrics.UploadBytes.Add(int64(buf.Len()))
+		sp := m.stampTrace(&msg)
 		m.msgs[msg.key()] = msg
 		enc, err := msg.encode()
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
-		if err := m.svc.Queue.Push(Topic, enc); err != nil {
+		err = m.svc.Queue.Push(Topic, enc)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
+		m.metrics.EnqueuedRoute.Inc()
 	}
 	return &RouteTask{ID: taskID, SnapshotKey: snapKey, Subtasks: len(subsets)}, nil
 }
@@ -162,14 +220,20 @@ func (m *Master) StartTrafficSimulation(taskID string, route *RouteTask, flows [
 			RouteSubtasks: route.Subtasks,
 			Strategy:      strategy,
 		}
+		m.metrics.UploadBytes.Add(int64(buf.Len()))
+		sp := m.stampTrace(&msg)
 		m.msgs[msg.key()] = msg
 		enc, err := msg.encode()
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
-		if err := m.svc.Queue.Push(Topic, enc); err != nil {
+		err = m.svc.Queue.Push(Topic, enc)
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
+		m.metrics.EnqueuedTraffic.Inc()
 	}
 	return &TrafficTask{ID: taskID, Subtasks: len(subsets)}, nil
 }
@@ -178,8 +242,11 @@ func (m *Master) StartTrafficSimulation(taskID string, route *RouteTask, flows [
 // subtasks that failed, whose worker's lease expired, or whose message was
 // lost, each up to MaxAttempts times.
 func (m *Master) Wait(taskID, kind string, n int) error {
-	deadline := time.Now().Add(m.Timeout)
+	start := time.Now()
+	defer func() { m.metrics.WaitSeconds.Observe(time.Since(start).Seconds()) }()
+	deadline := start.Add(m.Timeout)
 	for {
+		m.metrics.PollSweeps.Inc()
 		recs, err := m.svc.Tasks.List(taskID)
 		if err != nil {
 			return err
@@ -199,13 +266,13 @@ func (m *Master) Wait(taskID, kind string, n int) error {
 			case taskdb.StatusFailed:
 				delete(m.pendingSince, rec.Key())
 				// Re-enqueue (the paper's master resends the message).
-				if err := m.reenqueue(rec, "worker reported: "+rec.Error); err != nil {
+				if err := m.reenqueue(rec, m.metrics.ReenqueueFailed, "worker reported: "+rec.Error); err != nil {
 					return err
 				}
 			case taskdb.StatusRunning:
 				delete(m.pendingSince, rec.Key())
 				if m.leaseExpired(rec) {
-					if err := m.reenqueue(rec, fmt.Sprintf("lease expired (worker %s presumed dead)", rec.Worker)); err != nil {
+					if err := m.reenqueue(rec, m.metrics.ReenqueueLease, fmt.Sprintf("lease expired (worker %s presumed dead)", rec.Worker)); err != nil {
 						return err
 					}
 				}
@@ -234,13 +301,14 @@ func (m *Master) Wait(taskID, kind string, n int) error {
 					// reached a worker, or a worker that died between Pop
 					// and claiming the record).
 					delete(m.pendingSince, rec.Key())
-					if err := m.reenqueue(rec, "pending with empty queue (message lost)"); err != nil {
+					if err := m.reenqueue(rec, m.metrics.ReenqueueLost, "pending with empty queue (message lost)"); err != nil {
 						return err
 					}
 				}
 			}
 		}
 		if done == n {
+			m.metrics.Done.Add(int64(n))
 			return nil
 		}
 		if time.Now().After(deadline) {
@@ -264,10 +332,11 @@ func (m *Master) leaseExpired(rec taskdb.Record) bool {
 }
 
 // reenqueue bumps the subtask's attempt epoch (fencing out the superseded
-// attempt) and resends its message. Exhausting MaxAttempts is the only error
-// that aborts the task: a failed push is left to the lost-pending sweep,
-// which re-enqueues the subtask after a lease period instead of stranding it.
-func (m *Master) reenqueue(rec taskdb.Record, cause string) error {
+// attempt) and resends its message, counting the given cause. Exhausting
+// MaxAttempts is the only error that aborts the task: a failed push is left
+// to the lost-pending sweep, which re-enqueues the subtask after a lease
+// period instead of stranding it.
+func (m *Master) reenqueue(rec taskdb.Record, causeCount *telemetry.Counter, cause string) error {
 	if rec.Attempts >= m.MaxAttempts {
 		return fmt.Errorf("dsim: subtask %s/%s/%d failed permanently after %d attempts: %s",
 			rec.TaskID, rec.Kind, rec.SubID, rec.Attempts+1, cause)
@@ -276,6 +345,11 @@ func (m *Master) reenqueue(rec taskdb.Record, cause string) error {
 	if !ok {
 		return fmt.Errorf("dsim: no recorded message for %s/%s/%d", rec.TaskID, rec.Kind, rec.SubID)
 	}
+	causeCount.Inc()
+	m.Events.Log("subtask.reenqueue",
+		telemetry.F("subtask", rec.Key()),
+		telemetry.F("attempt", rec.Attempts+1),
+		telemetry.F("cause", cause))
 	rec.Status = taskdb.StatusPending
 	rec.Attempts++
 	rec.Worker = ""
@@ -289,11 +363,16 @@ func (m *Master) reenqueue(rec taskdb.Record, cause string) error {
 		return err
 	}
 	msg.Attempt = rec.Attempts
+	sp := m.stampTrace(&msg)
+	sp.SetTag("cause", cause)
 	enc, err := msg.encode()
 	if err != nil {
+		sp.End()
 		return err
 	}
-	if err := m.svc.Queue.Push(Topic, enc); err != nil {
+	err = m.svc.Queue.Push(Topic, enc)
+	sp.End()
+	if err != nil {
 		// Push already retried by the substrate wrapper; the record stays
 		// pending and the lost-pending sweep will re-enqueue it.
 		return nil

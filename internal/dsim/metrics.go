@@ -1,0 +1,129 @@
+package dsim
+
+import (
+	"hoyan/internal/retry"
+	"hoyan/internal/telemetry"
+)
+
+// WorkerMetrics are one worker's pre-registered telemetry instruments. Every
+// field is non-nil (NewWorkerMetrics with a nil registry yields detached
+// instruments), so the hot path is a plain atomic op with no branching.
+type WorkerMetrics struct {
+	// Subtask outcomes.
+	SubtasksRoute   *telemetry.Counter // hoyan_worker_subtasks_total{kind=route}
+	SubtasksTraffic *telemetry.Counter // hoyan_worker_subtasks_total{kind=traffic}
+	Failures        *telemetry.Counter
+	StaleSkipped    *telemetry.Counter
+	Heartbeats      *telemetry.Counter
+	PopEmpty        *telemetry.Counter
+	PopErrors       *telemetry.Counter
+
+	// Cache and transfer counters (the CacheStats compatibility view reads
+	// these).
+	SnapshotHits   *telemetry.Counter
+	SnapshotMisses *telemetry.Counter
+	RIBHits        *telemetry.Counter
+	RIBMisses      *telemetry.Counter
+	BytesFetched   *telemetry.Counter
+	BytesSaved     *telemetry.Counter
+	CacheEvictions *telemetry.Counter
+
+	// Per-stage wall time (the §5-style measurement seam: where does a
+	// subtask spend its time).
+	QueueWaitSeconds *telemetry.Histogram
+	DecodeSeconds    *telemetry.Histogram
+	RestoreSeconds   *telemetry.Histogram
+	EngineSeconds    *telemetry.Histogram
+	EncodeSeconds    *telemetry.Histogram
+	PutSeconds       *telemetry.Histogram
+	SubtaskSeconds   *telemetry.Histogram
+}
+
+// NewWorkerMetrics registers the worker metric set in reg (nil reg = detached
+// instruments, telemetry disabled but all call sites stay valid).
+func NewWorkerMetrics(reg *telemetry.Registry) *WorkerMetrics {
+	stage := func(name string) *telemetry.Histogram {
+		return reg.Histogram("hoyan_worker_stage_seconds",
+			"per-stage wall time of subtask execution",
+			telemetry.DurationBuckets, telemetry.L("stage", name))
+	}
+	return &WorkerMetrics{
+		SubtasksRoute: reg.Counter("hoyan_worker_subtasks_total",
+			"subtasks executed", telemetry.L("kind", "route")),
+		SubtasksTraffic: reg.Counter("hoyan_worker_subtasks_total",
+			"subtasks executed", telemetry.L("kind", "traffic")),
+		Failures:     reg.Counter("hoyan_worker_subtask_failures_total", "subtasks that reported failure"),
+		StaleSkipped: reg.Counter("hoyan_worker_stale_messages_total", "messages skipped because a newer attempt owns the subtask"),
+		Heartbeats:   reg.Counter("hoyan_worker_heartbeats_total", "lease heartbeats sent"),
+		PopEmpty:     reg.Counter("hoyan_worker_pop_empty_total", "queue polls that timed out empty"),
+		PopErrors:    reg.Counter("hoyan_worker_pop_errors_total", "transient queue pop errors ridden out"),
+
+		SnapshotHits:   reg.Counter("hoyan_worker_snapshot_cache_total", "snapshot/engine cache lookups", telemetry.L("result", "hit")),
+		SnapshotMisses: reg.Counter("hoyan_worker_snapshot_cache_total", "snapshot/engine cache lookups", telemetry.L("result", "miss")),
+		RIBHits:        reg.Counter("hoyan_worker_rib_cache_total", "route-RIB file cache lookups", telemetry.L("result", "hit")),
+		RIBMisses:      reg.Counter("hoyan_worker_rib_cache_total", "route-RIB file cache lookups", telemetry.L("result", "miss")),
+		BytesFetched:   reg.Counter("hoyan_worker_store_bytes_fetched_total", "object-store bytes downloaded"),
+		BytesSaved:     reg.Counter("hoyan_worker_store_bytes_saved_total", "encoded RIB bytes served from cache instead of the store"),
+		CacheEvictions: reg.Counter("hoyan_worker_cache_evictions_total", "entries evicted from the worker caches"),
+
+		QueueWaitSeconds: stage("mq_wait"),
+		DecodeSeconds:    stage("decode"),
+		RestoreSeconds:   stage("snapshot_restore"),
+		EngineSeconds:    stage("engine_run"),
+		EncodeSeconds:    stage("result_encode"),
+		PutSeconds:       stage("objstore_put"),
+		SubtaskSeconds: reg.Histogram("hoyan_worker_subtask_seconds",
+			"whole-subtask wall time", telemetry.DurationBuckets),
+	}
+}
+
+// MasterMetrics are the master's pre-registered telemetry instruments.
+type MasterMetrics struct {
+	EnqueuedRoute   *telemetry.Counter // hoyan_master_subtasks_enqueued_total{kind=route}
+	EnqueuedTraffic *telemetry.Counter
+	Done            *telemetry.Counter
+	ReenqueueFailed *telemetry.Counter // hoyan_master_reenqueues_total{cause=...}
+	ReenqueueLease  *telemetry.Counter
+	ReenqueueLost   *telemetry.Counter
+	PollSweeps      *telemetry.Counter
+	UploadBytes     *telemetry.Counter
+	WaitSeconds     *telemetry.Histogram
+}
+
+// NewMasterMetrics registers the master metric set in reg (nil reg = detached
+// instruments).
+func NewMasterMetrics(reg *telemetry.Registry) *MasterMetrics {
+	reenq := func(cause string) *telemetry.Counter {
+		return reg.Counter("hoyan_master_reenqueues_total",
+			"subtasks re-enqueued, by cause", telemetry.L("cause", cause))
+	}
+	return &MasterMetrics{
+		EnqueuedRoute: reg.Counter("hoyan_master_subtasks_enqueued_total",
+			"subtasks enqueued", telemetry.L("kind", "route")),
+		EnqueuedTraffic: reg.Counter("hoyan_master_subtasks_enqueued_total",
+			"subtasks enqueued", telemetry.L("kind", "traffic")),
+		Done:            reg.Counter("hoyan_master_subtasks_done_total", "subtasks observed done"),
+		ReenqueueFailed: reenq("worker_failed"),
+		ReenqueueLease:  reenq("lease_expired"),
+		ReenqueueLost:   reenq("message_lost"),
+		PollSweeps:      reg.Counter("hoyan_master_poll_sweeps_total", "task-DB monitoring sweeps"),
+		UploadBytes:     reg.Counter("hoyan_master_upload_bytes_total", "snapshot and input bytes uploaded to the object store"),
+		WaitSeconds: reg.Histogram("hoyan_master_wait_seconds",
+			"Wait() duration per task kind", telemetry.DurationBuckets),
+	}
+}
+
+// instrumentRetries re-binds the retry policies inside the already-wrapped
+// substrate handles to counters in reg, so per-component retry activity shows
+// up on /metrics. A no-op for handles that were not wrapped by WithRetry.
+func instrumentRetries(svc Services, reg *telemetry.Registry) {
+	if q, ok := svc.Queue.(*retryQueue); ok {
+		q.p.Metrics = retry.NewMetrics(reg, "mq")
+	}
+	if s, ok := svc.Store.(*retryStore); ok {
+		s.p.Metrics = retry.NewMetrics(reg, "objstore")
+	}
+	if t, ok := svc.Tasks.(*retryTasks); ok {
+		t.p.Metrics = retry.NewMetrics(reg, "taskdb")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"hoyan/internal/mq"
 	"hoyan/internal/netmodel"
 	"hoyan/internal/taskdb"
+	"hoyan/internal/telemetry"
 	"hoyan/internal/wire"
 )
 
@@ -61,6 +62,17 @@ type Worker struct {
 	// stale attempts skipped). Nil discards them.
 	Logf func(format string, args ...any)
 
+	// Tracer collects execution spans: one "worker.subtask" span per message
+	// with decode/restore/engine/encode/put children, parented under the
+	// master's enqueue span when the message carries a trace. Nil disables
+	// tracing. Set before Run.
+	Tracer *telemetry.Tracer
+
+	// Events receives structured diagnostics (pop errors, stale skips, cache
+	// evictions, decode failures) as JSON lines. Nil discards them. Set
+	// before Run.
+	Events *telemetry.EventLogger
+
 	// RIBCacheSize bounds the worker's LRU of decoded route-RIB result
 	// files, in entries. 0 uses DefaultRIBCacheSize; negative disables the
 	// cache. Read once, on first use.
@@ -78,9 +90,19 @@ type Worker struct {
 	engines *lru[*core.Engine]
 	ribs    *lru[ribEntry]
 
-	snapshotHits, snapshotMisses atomic.Int64
-	ribHits, ribMisses           atomic.Int64
-	bytesFetched, bytesSaved     atomic.Int64
+	// metrics is the worker's instrument bundle — detached counters until
+	// Instrument binds a registry. Stats() reads it, so it is never nil.
+	metrics *WorkerMetrics
+
+	// lastContact is the unix-nano time of the last successful substrate
+	// round-trip (queue poll or heartbeat); the ops /healthz endpoint judges
+	// liveness from it.
+	lastContact atomic.Int64
+
+	// lastPopAt / lastDecodeDur carry per-message timing from nextMsg to
+	// execute. Run is single-threaded, so plain fields suffice.
+	lastPopAt     time.Time
+	lastDecodeDur time.Duration
 }
 
 // DefaultRIBCacheSize is the route-RIB file cache bound (entries) when
@@ -122,17 +144,65 @@ func (s *CacheStats) Add(o CacheStats) {
 	s.BytesSaved += o.BytesSaved
 }
 
-// Stats returns the worker's cache and transfer counters. Safe to call
-// concurrently with Run.
+// Stats returns the worker's cache and transfer counters — a compatibility
+// view over the telemetry instruments. Safe to call concurrently with Run.
 func (w *Worker) Stats() CacheStats {
+	m := w.metrics
 	return CacheStats{
-		SnapshotHits:   w.snapshotHits.Load(),
-		SnapshotMisses: w.snapshotMisses.Load(),
-		RIBFileHits:    w.ribHits.Load(),
-		RIBFileMisses:  w.ribMisses.Load(),
-		BytesFetched:   w.bytesFetched.Load(),
-		BytesSaved:     w.bytesSaved.Load(),
+		SnapshotHits:   m.SnapshotHits.Value(),
+		SnapshotMisses: m.SnapshotMisses.Value(),
+		RIBFileHits:    m.RIBHits.Value(),
+		RIBFileMisses:  m.RIBMisses.Value(),
+		BytesFetched:   m.BytesFetched.Value(),
+		BytesSaved:     m.BytesSaved.Value(),
 	}
+}
+
+// Instrument registers the worker's metrics in reg and re-binds the retry
+// policies of its substrate handles so retry activity shows per component.
+// Call before Run: the instrument-bundle swap is not synchronized with a
+// running worker.
+func (w *Worker) Instrument(reg *telemetry.Registry) {
+	w.metrics = NewWorkerMetrics(reg)
+	instrumentRetries(w.svc, reg)
+}
+
+// LastContact returns the time of the worker's last successful substrate
+// round-trip (zero before any). /healthz compares it against a staleness
+// threshold.
+func (w *Worker) LastContact() time.Time {
+	ns := w.lastContact.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+func (w *Worker) touch() { w.lastContact.Store(time.Now().UnixNano()) }
+
+// event emits a structured diagnostic with the worker's name attached (no-op
+// without an Events logger).
+func (w *Worker) event(name string, fields ...telemetry.Field) {
+	w.Events.Log(name, append([]telemetry.Field{telemetry.F("worker", w.Name)}, fields...)...)
+}
+
+// noteEvictions counts and logs cache evictions reported by an lru put.
+func (w *Worker) noteEvictions(cache string, keys []string) {
+	for _, k := range keys {
+		w.metrics.CacheEvictions.Inc()
+		w.event("cache.evict", telemetry.F("cache", cache), telemetry.F("key", k))
+	}
+}
+
+// stage runs fn as one named child span of ctx's current span plus one
+// histogram observation.
+func (w *Worker) stage(ctx context.Context, name string, h *telemetry.Histogram, fn func() error) error {
+	_, sp := telemetry.StartSpan(ctx, name)
+	start := time.Now()
+	err := fn()
+	sp.End()
+	h.Observe(time.Since(start).Seconds())
+	return err
 }
 
 // NewWorker creates a worker over the substrate services. The queue, store,
@@ -145,6 +215,7 @@ func NewWorker(name string, svc Services) *Worker {
 		HeartbeatInterval: time.Second,
 		nets:              newLRU[*config.Network](2),
 		engines:           newLRU[*core.Engine](4),
+		metrics:           NewWorkerMetrics(nil),
 	}
 }
 
@@ -201,6 +272,8 @@ func (w *Worker) nextMsg(ctx context.Context) (msg SubtaskMsg, ok, fatal bool) {
 		if errors.Is(err, mq.ErrClosed) || errors.Is(err, context.Canceled) || ctx.Err() != nil {
 			return SubtaskMsg{}, false, true
 		}
+		w.metrics.PopErrors.Inc()
+		w.event("queue.pop.error", telemetry.F("error", err.Error()))
 		w.logf("dsim: worker %s: queue pop: %v (backing off)", w.Name, err)
 		select {
 		case <-ctx.Done():
@@ -209,11 +282,17 @@ func (w *Worker) nextMsg(ctx context.Context) (msg SubtaskMsg, ok, fatal bool) {
 		}
 		return SubtaskMsg{}, false, false
 	}
+	w.touch()
 	if !ok {
+		w.metrics.PopEmpty.Inc()
 		return SubtaskMsg{}, false, false
 	}
+	w.lastPopAt = time.Now()
 	msg, derr := decodeMsg(m)
+	w.lastDecodeDur = time.Since(w.lastPopAt)
+	w.metrics.DecodeSeconds.Observe(w.lastDecodeDur.Seconds())
 	if derr != nil {
+		w.event("message.decode.error", telemetry.F("msg_id", m.ID), telemetry.F("error", derr.Error()))
 		w.logf("dsim: worker %s: %v (dropping message)", w.Name, derr)
 		return SubtaskMsg{}, false, false
 	}
@@ -237,9 +316,36 @@ func (w *Worker) execute(ctx context.Context, msg SubtaskMsg) (crashed bool) {
 	if rec.Attempts > msg.Attempt {
 		// This message belongs to an attempt the master already reclaimed;
 		// the superseding attempt owns the subtask now.
+		w.metrics.StaleSkipped.Inc()
+		w.event("subtask.stale_skip",
+			telemetry.F("subtask", msg.key()),
+			telemetry.F("attempt", msg.Attempt),
+			telemetry.F("current_attempt", rec.Attempts))
 		w.logf("dsim: worker %s: skipping stale attempt %d of %s/%s/%d (current %d)",
 			w.Name, msg.Attempt, msg.TaskID, msg.Kind, msg.SubID, rec.Attempts)
 		return false
+	}
+
+	// Tracing: parent everything under the master's enqueue span when the
+	// message carries one. The mq.wait span is synthetic — its duration is
+	// the gap between the master's enqueue stamp and our pop.
+	parent := telemetry.SpanContext{TraceID: msg.TraceID, SpanID: msg.ParentSpan}
+	if msg.EnqueuedUnixNano > 0 {
+		wait := w.lastPopAt.Sub(time.Unix(0, msg.EnqueuedUnixNano))
+		if wait < 0 {
+			wait = 0
+		}
+		w.metrics.QueueWaitSeconds.Observe(wait.Seconds())
+		w.Tracer.RecordSpan(parent, "mq.wait", w.lastPopAt.Add(-wait), wait)
+	}
+	ctx = telemetry.WithTracer(ctx, w.Tracer)
+	ctx = telemetry.WithRemoteParent(ctx, parent)
+	ctx, span := telemetry.StartSpan(ctx, "worker.subtask")
+	defer span.End()
+	span.SetTag("subtask", msg.key())
+	span.SetTag("attempt", fmt.Sprintf("%d", msg.Attempt))
+	if w.lastDecodeDur > 0 {
+		w.Tracer.RecordSpan(span.Context(), "decode", w.lastPopAt, w.lastDecodeDur)
 	}
 
 	now := time.Now()
@@ -281,10 +387,10 @@ func (w *Worker) execute(ctx context.Context, msg SubtaskMsg) (crashed bool) {
 		}
 		switch msg.Kind {
 		case "route":
-			return w.routeSubtask(msg)
+			return w.routeSubtask(ctx, msg)
 		case "traffic":
 			var err error
-			loadedFiles, err = w.trafficSubtask(msg)
+			loadedFiles, err = w.trafficSubtask(ctx, msg)
 			return err
 		}
 		return fmt.Errorf("unknown subtask kind %q", msg.Kind)
@@ -300,16 +406,30 @@ func (w *Worker) execute(ctx context.Context, msg SubtaskMsg) (crashed bool) {
 	if runErr != nil {
 		rec.Status = taskdb.StatusFailed
 		rec.Error = runErr.Error()
+		w.metrics.Failures.Inc()
+		w.event("subtask.failed",
+			telemetry.F("subtask", msg.key()),
+			telemetry.F("attempt", msg.Attempt),
+			telemetry.F("error", runErr.Error()))
 	} else {
 		rec.Status = taskdb.StatusDone
+		if msg.Kind == "route" {
+			w.metrics.SubtasksRoute.Inc()
+		} else {
+			w.metrics.SubtasksTraffic.Inc()
+		}
 	}
+	w.metrics.SubtaskSeconds.Observe(rec.FinishedAt.Sub(rec.StartedAt).Seconds())
 	// The completion write is retried by the substrate wrapper. If it still
 	// fails, the subtask is NOT reported done: the record stays running with
 	// a stale heartbeat and the master's lease reclaim re-runs it (result
 	// writes are idempotent, so the re-run converges to the same state).
-	if applied, err := w.svc.Tasks.FencedUpsert(rec); err != nil {
+	_, usp := telemetry.StartSpan(ctx, "taskdb.upsert")
+	applied, uerr := w.svc.Tasks.FencedUpsert(rec)
+	usp.End()
+	if uerr != nil {
 		w.logf("dsim: worker %s: completion of %s/%s/%d lost: %v (lease reclaim will re-run)",
-			w.Name, msg.TaskID, msg.Kind, msg.SubID, err)
+			w.Name, msg.TaskID, msg.Kind, msg.SubID, uerr)
 	} else if !applied {
 		w.logf("dsim: worker %s: completion of %s/%s/%d fenced off by newer attempt",
 			w.Name, msg.TaskID, msg.Kind, msg.SubID)
@@ -332,6 +452,9 @@ func (w *Worker) heartbeat(ctx context.Context, msg SubtaskMsg) {
 		case <-t.C:
 			if _, err := w.svc.Tasks.Heartbeat(msg.TaskID, msg.Kind, msg.SubID, msg.Attempt, time.Now()); err != nil {
 				w.logf("dsim: worker %s: heartbeat %s/%s/%d: %v", w.Name, msg.TaskID, msg.Kind, msg.SubID, err)
+			} else {
+				w.metrics.Heartbeats.Inc()
+				w.touch()
 			}
 		}
 	}
@@ -341,7 +464,7 @@ func (w *Worker) heartbeat(ctx context.Context, msg SubtaskMsg) {
 // per (snapshot, options). Beneath it the restored network itself is memoized
 // per (snapshot, parallelism), so switching options — e.g. a strategy sweep
 // over one snapshot — re-runs the IGP but not the download and config parse.
-func (w *Worker) engineFor(snapKey string, opts core.Options) (*core.Engine, error) {
+func (w *Worker) engineFor(ctx context.Context, snapKey string, opts core.Options) (*core.Engine, error) {
 	if w.Parallelism > 0 {
 		opts.Parallelism = w.Parallelism
 	}
@@ -351,48 +474,53 @@ func (w *Worker) engineFor(snapKey string, opts core.Options) (*core.Engine, err
 	eng, ok := w.engines.get(ekey)
 	w.cacheMu.Unlock()
 	if ok {
-		w.snapshotHits.Add(1)
+		w.metrics.SnapshotHits.Inc()
 		return eng, nil
 	}
-	net, err := w.networkFor(snapKey, opts.Parallelism)
+	net, err := w.networkFor(ctx, snapKey, opts.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 	eng = core.NewEngine(net, opts)
 	w.cacheMu.Lock()
-	w.engines.put(ekey, eng)
+	ev := w.engines.put(ekey, eng)
 	w.cacheMu.Unlock()
+	w.noteEvictions("engine", ev)
 	return eng, nil
 }
 
 // networkFor returns the restored network model for a snapshot, memoized per
 // (snapshot key, parallelism). The restored model is read-only to engines.
-func (w *Worker) networkFor(snapKey string, parallelism int) (*config.Network, error) {
+func (w *Worker) networkFor(ctx context.Context, snapKey string, parallelism int) (*config.Network, error) {
 	nkey := fmt.Sprintf("%s|p%d", snapKey, parallelism)
 	w.cacheMu.Lock()
 	net, ok := w.nets.get(nkey)
 	w.cacheMu.Unlock()
 	if ok {
-		w.snapshotHits.Add(1)
+		w.metrics.SnapshotHits.Inc()
 		return net, nil
 	}
-	w.snapshotMisses.Add(1)
-	data, err := w.svc.Store.Get(snapKey)
-	if err != nil {
-		return nil, fmt.Errorf("loading snapshot: %w", err)
-	}
-	w.bytesFetched.Add(int64(len(data)))
-	snap, err := core.DecodeSnapshot(bytes.NewReader(data))
-	if err != nil {
-		return nil, err
-	}
-	net, err = snap.RestoreParallel(parallelism)
+	w.metrics.SnapshotMisses.Inc()
+	err := w.stage(ctx, "snapshot.restore", w.metrics.RestoreSeconds, func() error {
+		data, err := w.svc.Store.Get(snapKey)
+		if err != nil {
+			return fmt.Errorf("loading snapshot: %w", err)
+		}
+		w.metrics.BytesFetched.Add(int64(len(data)))
+		snap, err := core.DecodeSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		net, err = snap.RestoreParallel(parallelism)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	w.cacheMu.Lock()
-	w.nets.put(nkey, net)
+	ev := w.nets.put(nkey, net)
 	w.cacheMu.Unlock()
+	w.noteEvictions("network", ev)
 	return net, nil
 }
 
@@ -406,18 +534,19 @@ func (w *Worker) ribRows(key string) ([]netmodel.Route, error) {
 	ent, ok := w.ribCacheLocked().get(key)
 	w.cacheMu.Unlock()
 	if ok {
-		w.ribHits.Add(1)
-		w.bytesSaved.Add(ent.size)
+		w.metrics.RIBHits.Inc()
+		w.metrics.BytesSaved.Add(ent.size)
 		return ent.rows, nil
 	}
-	w.ribMisses.Add(1)
+	w.metrics.RIBMisses.Inc()
 	data, err := w.svc.Store.Get(key)
 	if err != nil {
 		return nil, err
 	}
-	w.bytesFetched.Add(int64(len(data)))
+	w.metrics.BytesFetched.Add(int64(len(data)))
 	rows, err := core.DecodeRoutes(bytes.NewReader(data))
 	if err != nil {
+		w.event("rib.decode.error", telemetry.F("key", key), telemetry.F("error", err.Error()))
 		return nil, err
 	}
 	w.cacheRIB(key, rows, int64(len(data)))
@@ -427,8 +556,9 @@ func (w *Worker) ribRows(key string) ([]netmodel.Route, error) {
 // cacheRIB inserts one decoded route-RIB file into the LRU.
 func (w *Worker) cacheRIB(key string, rows []netmodel.Route, size int64) {
 	w.cacheMu.Lock()
-	w.ribCacheLocked().put(key, ribEntry{rows: rows, size: size})
+	ev := w.ribCacheLocked().put(key, ribEntry{rows: rows, size: size})
 	w.cacheMu.Unlock()
+	w.noteEvictions("rib", ev)
 }
 
 // ribCacheLocked lazily sizes the RIB cache from the RIBCacheSize knob.
@@ -449,8 +579,8 @@ func (w *Worker) ribCacheLocked() *lru[ribEntry] {
 
 // routeSubtask simulates a subset of input routes and stores the resulting
 // RIB rows.
-func (w *Worker) routeSubtask(msg SubtaskMsg) error {
-	eng, err := w.engineFor(msg.SnapshotKey, msg.Options)
+func (w *Worker) routeSubtask(ctx context.Context, msg SubtaskMsg) error {
+	eng, err := w.engineFor(ctx, msg.SnapshotKey, msg.Options)
 	if err != nil {
 		return err
 	}
@@ -458,18 +588,25 @@ func (w *Worker) routeSubtask(msg SubtaskMsg) error {
 	if err != nil {
 		return fmt.Errorf("loading input: %w", err)
 	}
-	w.bytesFetched.Add(int64(len(data)))
+	w.metrics.BytesFetched.Add(int64(len(data)))
 	inputs, err := core.DecodeRoutes(bytes.NewReader(data))
 	if err != nil {
 		return err
 	}
-	res := eng.RouteSimulation(inputs)
-	rows := res.GlobalRIB().Rows()
+	var rows []netmodel.Route
+	w.stage(ctx, "engine.run", w.metrics.EngineSeconds, func() error {
+		rows = eng.RouteSimulation(inputs).GlobalRIB().Rows()
+		return nil
+	})
 	var buf bytes.Buffer
-	if err := core.EncodeRoutes(&buf, rows); err != nil {
+	if err := w.stage(ctx, "result.encode", w.metrics.EncodeSeconds, func() error {
+		return core.EncodeRoutes(&buf, rows)
+	}); err != nil {
 		return err
 	}
-	if err := w.svc.Store.Put(msg.ResultKey, buf.Bytes()); err != nil {
+	if err := w.stage(ctx, "objstore.put", w.metrics.PutSeconds, func() error {
+		return w.svc.Store.Put(msg.ResultKey, buf.Bytes())
+	}); err != nil {
 		return err
 	}
 	// Seed the RIB cache: this worker's own traffic subtasks often read the
@@ -482,8 +619,8 @@ func (w *Worker) routeSubtask(msg SubtaskMsg) error {
 // subtask result files its destination range can depend on (ordering
 // heuristic) unless the baseline strategy forces loading everything. It
 // returns the number of RIB files loaded.
-func (w *Worker) trafficSubtask(msg SubtaskMsg) (int, error) {
-	eng, err := w.engineFor(msg.SnapshotKey, msg.Options)
+func (w *Worker) trafficSubtask(ctx context.Context, msg SubtaskMsg) (int, error) {
+	eng, err := w.engineFor(ctx, msg.SnapshotKey, msg.Options)
 	if err != nil {
 		return 0, err
 	}
@@ -491,7 +628,7 @@ func (w *Worker) trafficSubtask(msg SubtaskMsg) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("loading input: %w", err)
 	}
-	w.bytesFetched.Add(int64(len(data)))
+	w.metrics.BytesFetched.Add(int64(len(data)))
 	flows, err := core.DecodeFlows(bytes.NewReader(data))
 	if err != nil {
 		return 0, err
@@ -503,16 +640,23 @@ func (w *Worker) trafficSubtask(msg SubtaskMsg) (int, error) {
 	}
 	ribs := netmodel.NewRIBSet(nil)
 	var allRows []netmodel.Route
+	_, lsp := telemetry.StartSpan(ctx, "ribs.load")
 	for _, sub := range needed {
 		rows, err := w.ribRows(resultKey(msg.RouteTaskID, "route", sub))
 		if err != nil {
+			lsp.End()
 			return 0, fmt.Errorf("loading RIB file %d: %w", sub, err)
 		}
 		ribs.AddRows(rows)
 		allRows = append(allRows, rows...)
 	}
+	lsp.End()
 
-	res := eng.TrafficSimulation(ribs, allRows, flows)
+	var res *core.TrafficResult
+	w.stage(ctx, "engine.run", w.metrics.EngineSeconds, func() error {
+		res = eng.TrafficSimulation(ribs, allRows, flows)
+		return nil
+	})
 	file := TrafficResultFile{}
 	ids := make([]netmodel.LinkID, 0, len(res.Traffic.Load))
 	for id := range res.Traffic.Load {
@@ -526,10 +670,14 @@ func (w *Worker) trafficSubtask(msg SubtaskMsg) (int, error) {
 		file.Paths = append(file.Paths, PathEntry{Flow: p.Flow, Path: PathWire{Hops: p.Path.Hops, Exit: p.Path.Exit}})
 	}
 	var buf bytes.Buffer
-	if err := wire.EncodeTrafficResult(&buf, &file); err != nil {
+	if err := w.stage(ctx, "result.encode", w.metrics.EncodeSeconds, func() error {
+		return wire.EncodeTrafficResult(&buf, &file)
+	}); err != nil {
 		return 0, fmt.Errorf("encoding traffic result: %w", err)
 	}
-	if err := w.svc.Store.Put(msg.ResultKey, buf.Bytes()); err != nil {
+	if err := w.stage(ctx, "objstore.put", w.metrics.PutSeconds, func() error {
+		return w.svc.Store.Put(msg.ResultKey, buf.Bytes())
+	}); err != nil {
 		return 0, err
 	}
 	return len(needed), nil

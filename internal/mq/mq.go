@@ -12,6 +12,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"hoyan/internal/telemetry"
 )
 
 // Message is one queue entry. Payload is opaque to the queue (the framework
@@ -36,19 +38,79 @@ type Queue interface {
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("mq: queue closed")
 
+// Stats is a point-in-time copy of a queue's counters: the same
+// StatsProvider shape the object store exposes, so the fleet binaries gather
+// both through one seam.
+type Stats struct {
+	// Pushes counts accepted messages; Pops counts delivered messages (empty
+	// poll timeouts are not pops). Depth is the number of messages currently
+	// queued across all topics.
+	Pushes int64 `json:"pushes"`
+	Pops   int64 `json:"pops"`
+	Depth  int64 `json:"depth"`
+}
+
+// StatsProvider is implemented by queues that track counters.
+type StatsProvider interface {
+	Stats() Stats
+}
+
 // Memory is an in-memory Queue. The zero value is not usable; call NewMemory.
+// Counters are telemetry instruments (detached until Instrument binds them to
+// a registry); Stats() stays as the compatibility view.
 type Memory struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	topics map[string][]Message
 	closed bool
+
+	pushes *telemetry.Counter
+	pops   *telemetry.Counter
+	depth  *telemetry.Gauge
 }
 
 // NewMemory creates an empty in-memory queue.
 func NewMemory() *Memory {
-	m := &Memory{topics: make(map[string][]Message)}
+	m := &Memory{
+		topics: make(map[string][]Message),
+		pushes: &telemetry.Counter{},
+		pops:   &telemetry.Counter{},
+		depth:  &telemetry.Gauge{},
+	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
+}
+
+// Instrument re-binds the queue's counters to registered metrics in reg,
+// carrying over counts accumulated so far. Safe to call while the queue is in
+// use.
+func (q *Memory) Instrument(reg *telemetry.Registry) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	pushes := reg.Counter("hoyan_mq_pushes_total", "messages accepted by the queue")
+	pushes.Add(q.pushes.Value())
+	q.pushes = pushes
+	pops := reg.Counter("hoyan_mq_pops_total", "messages delivered by the queue")
+	pops.Add(q.pops.Value())
+	q.pops = pops
+	depth := reg.Gauge("hoyan_mq_depth", "messages currently queued across all topics")
+	depth.Set(float64(q.depthLocked()))
+	q.depth = depth
+}
+
+func (q *Memory) depthLocked() int64 {
+	var n int64
+	for _, ms := range q.topics {
+		n += int64(len(ms))
+	}
+	return n
+}
+
+// Stats implements StatsProvider.
+func (q *Memory) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{Pushes: q.pushes.Value(), Pops: q.pops.Value(), Depth: q.depthLocked()}
 }
 
 // Push implements Queue.
@@ -59,6 +121,8 @@ func (q *Memory) Push(topic string, m Message) error {
 		return ErrClosed
 	}
 	q.topics[topic] = append(q.topics[topic], m)
+	q.pushes.Inc()
+	q.depth.Add(1)
 	q.cond.Broadcast()
 	return nil
 }
@@ -75,6 +139,8 @@ func (q *Memory) Pop(topic string, wait time.Duration) (Message, bool, error) {
 		if ms := q.topics[topic]; len(ms) > 0 {
 			m := ms[0]
 			q.topics[topic] = ms[1:]
+			q.pops.Inc()
+			q.depth.Add(-1)
 			return m, true, nil
 		}
 		remain := time.Until(deadline)

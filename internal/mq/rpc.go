@@ -7,11 +7,21 @@ import (
 	"time"
 
 	"hoyan/internal/rpcx"
+	"hoyan/internal/telemetry"
 )
 
-// Service exposes a Queue over net/rpc.
+// Service exposes a Queue over net/rpc. It keeps its own RPC-level counters
+// (telemetry instruments, detached unless Serve was given a registry) so
+// Stats works even when the wrapped queue does not track any.
 type Service struct {
 	q Queue
+
+	pushes *telemetry.Counter
+	pops   *telemetry.Counter
+}
+
+func newService(q Queue) *Service {
+	return &Service{q: q, pushes: &telemetry.Counter{}, pops: &telemetry.Counter{}}
 }
 
 // PushArgs are the arguments of MQ.Push.
@@ -22,7 +32,11 @@ type PushArgs struct {
 
 // Push is the RPC form of Queue.Push.
 func (s *Service) Push(args *PushArgs, _ *struct{}) error {
-	return s.q.Push(args.Topic, args.Msg)
+	if err := s.q.Push(args.Topic, args.Msg); err != nil {
+		return err
+	}
+	s.pushes.Inc()
+	return nil
 }
 
 // PopArgs are the arguments of MQ.Pop.
@@ -45,8 +59,23 @@ func (s *Service) Pop(args *PopArgs, reply *PopReply) error {
 		wait = 30 * time.Second
 	}
 	m, ok, err := s.q.Pop(args.Topic, wait)
+	if ok {
+		s.pops.Inc()
+	}
 	reply.Msg, reply.OK = m, ok
 	return err
+}
+
+// Stats is the RPC form of StatsProvider.Stats: the wrapped queue's counters
+// when it tracks them (they include in-process traffic too), otherwise the
+// RPC server's own (with a best-effort depth probe).
+func (s *Service) Stats(_ *struct{}, reply *Stats) error {
+	if sp, ok := s.q.(StatsProvider); ok {
+		*reply = sp.Stats()
+		return nil
+	}
+	*reply = Stats{Pushes: s.pushes.Value(), Pops: s.pops.Value()}
+	return nil
 }
 
 // LenArgs are the arguments of MQ.Len.
@@ -62,9 +91,22 @@ func (s *Service) Len(args *LenArgs, reply *int) error {
 // Serve registers the queue on a fresh rpc server and serves connections on
 // l until the listener is closed. It returns immediately; accept errors end
 // the loop silently (listener closed).
-func Serve(l net.Listener, q Queue) {
+func Serve(l net.Listener, q Queue) { ServeRegistry(l, q, nil) }
+
+// ServeRegistry is Serve with the service's RPC counters registered in reg
+// (nil reg keeps them detached). If q is a *Memory, its own counters are
+// bound to the same registry.
+func ServeRegistry(l net.Listener, q Queue, reg *telemetry.Registry) {
+	sv := newService(q)
+	if reg != nil {
+		sv.pushes = reg.Counter("hoyan_mq_rpc_pushes_total", "push RPCs served")
+		sv.pops = reg.Counter("hoyan_mq_rpc_pops_total", "pop RPCs that delivered a message")
+		if m, ok := q.(*Memory); ok {
+			m.Instrument(reg)
+		}
+	}
 	srv := rpc.NewServer()
-	srv.RegisterName("MQ", &Service{q: q})
+	srv.RegisterName("MQ", sv)
 	go func() {
 		for {
 			conn, err := l.Accept()
@@ -148,6 +190,17 @@ func (c *Client) Len(topic string) (int, error) {
 	var n int
 	err := c.c.Call("MQ.Len", &LenArgs{Topic: topic}, &n)
 	return n, mapErr(err)
+}
+
+// Stats implements StatsProvider against the remote server (errors are
+// swallowed: a stats probe failing should never fail a caller that only
+// wants numbers — zeros are returned instead).
+func (c *Client) Stats() Stats {
+	var st Stats
+	if err := c.c.Call("MQ.Stats", &struct{}{}, &st); err != nil {
+		return Stats{}
+	}
+	return st
 }
 
 // Close closes the client connection.

@@ -14,9 +14,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"hoyan/internal/rpcx"
+	"hoyan/internal/telemetry"
 )
 
 // ErrNotFound is returned by Get for missing keys.
@@ -49,18 +49,63 @@ type StatsProvider interface {
 }
 
 // Memory is an in-memory Store safe for concurrent use. Transfer counters
-// are atomics so Get stays a pure read-lock operation.
+// are telemetry instruments — atomic, so Get stays a pure read-lock
+// operation — detached until Instrument binds them to a registry; Stats()
+// stays as the compatibility view.
 type Memory struct {
 	mu   sync.RWMutex
 	objs map[string][]byte
 
-	puts, gets        atomic.Int64
-	bytesIn, bytesOut atomic.Int64
+	counters storeCounters
+}
+
+// storeCounters is the one counter shape both the in-memory store and the
+// RPC service use (the Figure 5(d) transfer accounting).
+type storeCounters struct {
+	puts, gets        *telemetry.Counter
+	bytesIn, bytesOut *telemetry.Counter
+}
+
+func newStoreCounters() storeCounters {
+	return storeCounters{
+		puts: &telemetry.Counter{}, gets: &telemetry.Counter{},
+		bytesIn: &telemetry.Counter{}, bytesOut: &telemetry.Counter{},
+	}
+}
+
+// bind re-registers the counters in reg under the given name prefix,
+// carrying over accumulated counts.
+func (c *storeCounters) bind(reg *telemetry.Registry, prefix string) {
+	rebind := func(dst **telemetry.Counter, name, help string) {
+		n := reg.Counter(prefix+name, help)
+		n.Add((*dst).Value())
+		*dst = n
+	}
+	rebind(&c.puts, "puts_total", "objects written to the store")
+	rebind(&c.gets, "gets_total", "objects read from the store")
+	rebind(&c.bytesIn, "bytes_in_total", "bytes written to the store")
+	rebind(&c.bytesOut, "bytes_out_total", "bytes read from the store")
+}
+
+func (c *storeCounters) stats() Stats {
+	return Stats{
+		Puts: c.puts.Value(), Gets: c.gets.Value(),
+		BytesIn: c.bytesIn.Value(), BytesOut: c.bytesOut.Value(),
+	}
 }
 
 // NewMemory creates an empty in-memory store.
 func NewMemory() *Memory {
-	return &Memory{objs: make(map[string][]byte)}
+	return &Memory{objs: make(map[string][]byte), counters: newStoreCounters()}
+}
+
+// Instrument re-binds the store's transfer counters to registered metrics in
+// reg, carrying over counts accumulated so far. Call before or during use;
+// counter swaps are guarded by the store's write lock.
+func (s *Memory) Instrument(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.bind(reg, "hoyan_objstore_")
 }
 
 // Put implements Store.
@@ -68,9 +113,10 @@ func (s *Memory) Put(key string, data []byte) error {
 	cp := append([]byte(nil), data...)
 	s.mu.Lock()
 	s.objs[key] = cp
+	c := s.counters
 	s.mu.Unlock()
-	s.puts.Add(1)
-	s.bytesIn.Add(int64(len(data)))
+	c.puts.Inc()
+	c.bytesIn.Add(int64(len(data)))
 	return nil
 }
 
@@ -78,12 +124,13 @@ func (s *Memory) Put(key string, data []byte) error {
 func (s *Memory) Get(key string) ([]byte, error) {
 	s.mu.RLock()
 	data, ok := s.objs[key]
+	c := s.counters
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
 	}
-	s.gets.Add(1)
-	s.bytesOut.Add(int64(len(data)))
+	c.gets.Inc()
+	c.bytesOut.Add(int64(len(data)))
 	return append([]byte(nil), data...), nil
 }
 
@@ -111,12 +158,10 @@ func (s *Memory) Delete(key string) error {
 
 // Stats implements StatsProvider.
 func (s *Memory) Stats() Stats {
-	return Stats{
-		Puts:     s.puts.Load(),
-		Gets:     s.gets.Load(),
-		BytesIn:  s.bytesIn.Load(),
-		BytesOut: s.bytesOut.Load(),
-	}
+	s.mu.RLock()
+	c := s.counters
+	s.mu.RUnlock()
+	return c.stats()
 }
 
 // Transferred returns the cumulative bytes written to and read from the
@@ -127,12 +172,12 @@ func (s *Memory) Transferred() (in, out int64) {
 }
 
 // Service exposes a Store over net/rpc. It keeps its own RPC-level transfer
-// counters so Stats works even when the wrapped store does not track any.
+// counters (the same telemetry-backed shape the in-memory store uses) so
+// Stats works even when the wrapped store does not track any.
 type Service struct {
 	s Store
 
-	puts, gets        atomic.Int64
-	bytesIn, bytesOut atomic.Int64
+	counters storeCounters
 }
 
 // PutArgs are the arguments of Store.Put.
@@ -146,8 +191,8 @@ func (sv *Service) Put(args *PutArgs, _ *struct{}) error {
 	if err := sv.s.Put(args.Key, args.Data); err != nil {
 		return err
 	}
-	sv.puts.Add(1)
-	sv.bytesIn.Add(int64(len(args.Data)))
+	sv.counters.puts.Inc()
+	sv.counters.bytesIn.Add(int64(len(args.Data)))
 	return nil
 }
 
@@ -168,8 +213,8 @@ func (sv *Service) Get(key *string, reply *GetReply) error {
 	if err != nil {
 		return err
 	}
-	sv.gets.Add(1)
-	sv.bytesOut.Add(int64(len(data)))
+	sv.counters.gets.Inc()
+	sv.counters.bytesOut.Add(int64(len(data)))
 	reply.Data, reply.Found = data, true
 	return nil
 }
@@ -182,12 +227,7 @@ func (sv *Service) Stats(_ *struct{}, reply *Stats) error {
 		*reply = sp.Stats()
 		return nil
 	}
-	*reply = Stats{
-		Puts:     sv.puts.Load(),
-		Gets:     sv.gets.Load(),
-		BytesIn:  sv.bytesIn.Load(),
-		BytesOut: sv.bytesOut.Load(),
-	}
+	*reply = sv.counters.stats()
 	return nil
 }
 
@@ -203,9 +243,21 @@ func (sv *Service) Delete(key *string, _ *struct{}) error { return sv.s.Delete(*
 
 // Serve registers the store on a fresh rpc server and serves connections on
 // l until the listener is closed.
-func Serve(l net.Listener, s Store) {
+func Serve(l net.Listener, s Store) { ServeRegistry(l, s, nil) }
+
+// ServeRegistry is Serve with the service's RPC counters registered in reg
+// (nil reg keeps them detached). If s is a *Memory, its own counters are
+// bound to the same registry.
+func ServeRegistry(l net.Listener, s Store, reg *telemetry.Registry) {
+	sv := &Service{s: s, counters: newStoreCounters()}
+	if reg != nil {
+		sv.counters.bind(reg, "hoyan_objstore_rpc_")
+		if m, ok := s.(*Memory); ok {
+			m.Instrument(reg)
+		}
+	}
 	srv := rpc.NewServer()
-	srv.RegisterName("Store", &Service{s: s})
+	srv.RegisterName("Store", sv)
 	go func() {
 		for {
 			conn, err := l.Accept()

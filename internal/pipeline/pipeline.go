@@ -7,6 +7,7 @@ package pipeline
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"hoyan/internal/change"
@@ -14,9 +15,11 @@ import (
 	"hoyan/internal/core"
 	"hoyan/internal/dsim"
 	"hoyan/internal/intent"
+	"hoyan/internal/mq"
 	"hoyan/internal/netmodel"
 	"hoyan/internal/objstore"
 	"hoyan/internal/taskdb"
+	"hoyan/internal/telemetry"
 )
 
 // System is a Hoyan deployment over one base network: it owns the
@@ -45,8 +48,12 @@ type System struct {
 	LeaseTimeout time.Duration
 	MaxAttempts  int
 
-	baseSnap *intent.Snapshot
-	lastIO   RunIO
+	// Telemetry gives each distributed run a metric registry and tracer per
+	// role; the aggregated snapshot and spans land in LastRunReport.
+	Telemetry bool
+
+	baseSnap   *intent.Snapshot
+	lastReport RunReport
 }
 
 // RunIO is the measured substrate I/O of one distributed simulation run:
@@ -56,13 +63,74 @@ type RunIO struct {
 	Cache dsim.CacheStats
 }
 
+// StageReport is one pipeline stage's wall time and object-store bytes moved
+// (in + out deltas across the stage).
+type StageReport struct {
+	Name     string
+	Duration time.Duration
+	Bytes    int64
+}
+
+// RunReport is the full observability record of one distributed simulation
+// run. It supersedes RunIO (kept as a compatibility view via LastRunIO).
+type RunReport struct {
+	TaskID string
+	// Stages is the master-side per-stage breakdown, in execution order.
+	Stages []StageReport
+	Store  objstore.Stats
+	Cache  dsim.CacheStats
+	Queue  mq.Stats
+	// Metrics is the fleet-wide merged metric snapshot and Spans the run's
+	// trace (master + workers); both nil unless Telemetry was set.
+	Metrics telemetry.Snapshot
+	Spans   []telemetry.SpanRecord
+}
+
+// WriteBreakdown renders the per-stage time/bytes table plus substrate
+// totals.
+func (r RunReport) WriteBreakdown(w io.Writer) {
+	fmt.Fprintf(w, "run %s\n", r.TaskID)
+	fmt.Fprintf(w, "  %-18s %12s %14s\n", "stage", "time", "store bytes")
+	var total time.Duration
+	for _, st := range r.Stages {
+		fmt.Fprintf(w, "  %-18s %12s %14d\n", st.Name, st.Duration.Round(time.Microsecond), st.Bytes)
+		total += st.Duration
+	}
+	fmt.Fprintf(w, "  %-18s %12s\n", "total", total.Round(time.Microsecond))
+	fmt.Fprintf(w, "  store: %d puts / %d gets, %d B in / %d B out\n",
+		r.Store.Puts, r.Store.Gets, r.Store.BytesIn, r.Store.BytesOut)
+	fmt.Fprintf(w, "  queue: %d pushed / %d popped\n", r.Queue.Pushes, r.Queue.Pops)
+	fmt.Fprintf(w, "  cache: %d/%d snapshot hits, %d/%d RIB hits, %d B saved\n",
+		r.Cache.SnapshotHits, r.Cache.SnapshotHits+r.Cache.SnapshotMisses,
+		r.Cache.RIBFileHits, r.Cache.RIBFileHits+r.Cache.RIBFileMisses,
+		r.Cache.BytesSaved)
+}
+
+// LastRunReport returns the full report of the most recent distributed
+// simulation this system ran (the zero value if none has).
+func (s *System) LastRunReport() RunReport { return s.lastReport }
+
 // LastRunIO returns the I/O counters of the most recent distributed
 // simulation this system ran (the zero value if none has).
-func (s *System) LastRunIO() RunIO { return s.lastIO }
+func (s *System) LastRunIO() RunIO {
+	return RunIO{Store: s.lastReport.Store, Cache: s.lastReport.Cache}
+}
 
 // New creates a system over the base network.
 func New(base *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, opts core.Options) *System {
 	return &System{Base: base, Inputs: inputs, Flows: flows, Opts: opts, RouteSubtasks: 16, TrafficSubtasks: 16}
+}
+
+// Simulate runs one route + traffic simulation of the base network on the
+// configured deployment — distributed when Workers > 0, centralized
+// otherwise. Distributed runs leave their full observability record in
+// LastRunReport, which makes this the entry point for ops tooling that wants
+// the per-stage breakdown without a change plan.
+func (s *System) Simulate(taskID string) (*intent.Snapshot, error) {
+	if s.Workers > 0 {
+		return s.simulateDistributed(s.Base, s.Inputs, s.Flows, taskID)
+	}
+	return s.simulate(s.Base, s.Inputs, s.Flows), nil
 }
 
 // BaseSnapshot returns the cached base simulation state, computing it on
@@ -89,12 +157,25 @@ func (s *System) simulate(net *config.Network, inputs []netmodel.Route, flows []
 	return snap
 }
 
-// simulateDistributed runs the same pipeline on a local worker cluster.
+// simulateDistributed runs the same pipeline on a local worker cluster,
+// assembling a RunReport (per-stage time and store-byte breakdown, substrate
+// counters, and — with Telemetry set — the merged metric snapshot and trace).
 func (s *System) simulateDistributed(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, taskID string) (*intent.Snapshot, error) {
 	store := objstore.NewMemory()
-	cluster := dsim.StartLocalWithStore(s.Workers, store, taskdb.NewMemory())
+	cluster := dsim.StartLocalOptions(dsim.LocalOptions{
+		Workers: s.Workers, Store: store, Tasks: taskdb.NewMemory(),
+		Telemetry: s.Telemetry,
+	})
+	report := RunReport{TaskID: taskID}
 	defer func() {
-		s.lastIO = RunIO{Store: store.Stats(), Cache: cluster.CacheStats()}
+		report.Store = store.Stats()
+		report.Cache = cluster.CacheStats()
+		if sp, ok := cluster.Svc.Queue.(mq.StatsProvider); ok {
+			report.Queue = sp.Stats()
+		}
+		report.Metrics = cluster.MetricsSnapshot()
+		report.Spans = cluster.TraceSpans()
+		s.lastReport = report
 		cluster.Stop()
 	}()
 	m := cluster.Master
@@ -104,33 +185,68 @@ func (s *System) simulateDistributed(net *config.Network, inputs []netmodel.Rout
 	if s.MaxAttempts > 0 {
 		m.MaxAttempts = s.MaxAttempts
 	}
+	runSpan := m.BeginRun("run " + taskID)
+	defer runSpan.End()
 
-	snapKey, err := m.UploadSnapshot(taskID, net)
-	if err != nil {
+	// stage times fn and attributes the store bytes it moved.
+	stage := func(name string, fn func() error) error {
+		before := store.Stats()
+		start := time.Now()
+		err := fn()
+		after := store.Stats()
+		report.Stages = append(report.Stages, StageReport{
+			Name:     name,
+			Duration: time.Since(start),
+			Bytes:    (after.BytesIn + after.BytesOut) - (before.BytesIn + before.BytesOut),
+		})
+		return err
+	}
+
+	var snapKey string
+	if err := stage("upload_snapshot", func() (err error) {
+		snapKey, err = m.UploadSnapshot(taskID, net)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	rt, err := m.StartRouteSimulation(taskID, snapKey, inputs, s.RouteSubtasks, s.Opts)
-	if err != nil {
+	var rt *dsim.RouteTask
+	if err := stage("route_enqueue", func() (err error) {
+		rt, err = m.StartRouteSimulation(taskID, snapKey, inputs, s.RouteSubtasks, s.Opts)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	if err := m.Wait(taskID, "route", rt.Subtasks); err != nil {
+	if err := stage("route_wait", func() error {
+		return m.Wait(taskID, "route", rt.Subtasks)
+	}); err != nil {
 		return nil, err
 	}
-	rib, err := m.CollectRouteResults(rt)
-	if err != nil {
+	var rib *netmodel.GlobalRIB
+	if err := stage("route_collect", func() (err error) {
+		rib, err = m.CollectRouteResults(rt)
+		return err
+	}); err != nil {
 		return nil, err
 	}
 	snap := &intent.Snapshot{RIB: rib, Bandwidth: bandwidths(net)}
 	if len(flows) > 0 {
-		tt, err := m.StartTrafficSimulation(taskID, rt, flows, s.TrafficSubtasks, dsim.StrategyOrdered, s.Opts)
-		if err != nil {
+		var tt *dsim.TrafficTask
+		if err := stage("traffic_enqueue", func() (err error) {
+			tt, err = m.StartTrafficSimulation(taskID, rt, flows, s.TrafficSubtasks, dsim.StrategyOrdered, s.Opts)
+			return err
+		}); err != nil {
 			return nil, err
 		}
-		if err := m.Wait(taskID, "traffic", tt.Subtasks); err != nil {
+		if err := stage("traffic_wait", func() error {
+			return m.Wait(taskID, "traffic", tt.Subtasks)
+		}); err != nil {
 			return nil, err
 		}
-		sum, err := m.CollectTrafficResults(tt)
-		if err != nil {
+		var sum *dsim.TrafficSummary
+		if err := stage("traffic_collect", func() (err error) {
+			sum, err = m.CollectTrafficResults(tt)
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		snap.Paths = sum.Paths

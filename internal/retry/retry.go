@@ -15,6 +15,8 @@ import (
 	"errors"
 	"math/rand"
 	"time"
+
+	"hoyan/internal/telemetry"
 )
 
 // Policy describes how an operation is retried.
@@ -35,6 +37,30 @@ type Policy struct {
 	Seed int64
 	// Retryable classifies errors; nil uses DefaultRetryable.
 	Retryable func(error) bool
+	// Metrics, when non-nil, counts attempts, retries, and give-ups (see
+	// NewMetrics). Nil disables instrumentation.
+	Metrics *Metrics
+}
+
+// Metrics are a policy's telemetry instruments.
+type Metrics struct {
+	// Attempts counts every op invocation; Retries the subset beyond an op's
+	// first attempt; Giveups ops that returned a final error (retries
+	// exhausted, non-retryable, or context done).
+	Attempts *telemetry.Counter
+	Retries  *telemetry.Counter
+	Giveups  *telemetry.Counter
+}
+
+// NewMetrics registers the standard retry metrics for one component in reg.
+// A nil reg yields detached instruments.
+func NewMetrics(reg *telemetry.Registry, component string) *Metrics {
+	l := telemetry.L("component", component)
+	return &Metrics{
+		Attempts: reg.Counter("hoyan_retry_attempts_total", "substrate operation attempts (first tries included)", l),
+		Retries:  reg.Counter("hoyan_retry_retries_total", "substrate operation attempts beyond the first", l),
+		Giveups:  reg.Counter("hoyan_retry_giveups_total", "substrate operations that failed after all retries", l),
+	}
 }
 
 // Default is a policy suited to loopback/LAN substrate RPCs: five tries over
@@ -99,20 +125,36 @@ func (p Policy) Do(ctx context.Context, op func() error) error {
 	for attempt := 0; attempt < tries; attempt++ {
 		if attempt > 0 {
 			if serr := sleep(ctx, p.backoff(attempt, rng)); serr != nil {
+				p.giveup()
 				return serr
 			}
 		}
 		if ctx.Err() != nil {
+			p.giveup()
 			return ctx.Err()
+		}
+		if m := p.Metrics; m != nil {
+			m.Attempts.Inc()
+			if attempt > 0 {
+				m.Retries.Inc()
+			}
 		}
 		if err = op(); err == nil {
 			return nil
 		}
 		if !retryable(err) {
+			p.giveup()
 			return err
 		}
 	}
+	p.giveup()
 	return err
+}
+
+func (p Policy) giveup() {
+	if p.Metrics != nil {
+		p.Metrics.Giveups.Inc()
+	}
 }
 
 // backoff computes the delay before the given attempt (attempt >= 1).

@@ -14,6 +14,8 @@ import (
 	"net/rpc"
 	"sync"
 	"time"
+
+	"hoyan/internal/telemetry"
 )
 
 // Options tune a Client's timeouts.
@@ -25,6 +27,36 @@ type Options struct {
 	// longest legitimate server-side blocking interval (e.g. an mq long-poll
 	// chunk), since a blocking server sends no bytes while it waits.
 	CallTimeout time.Duration
+	// Metrics, when non-nil, receives per-call latency, error, and redial
+	// counts (see NewMetrics). Nil disables instrumentation.
+	Metrics *Metrics
+}
+
+// Metrics are a client's RPC-level telemetry instruments. Construct with
+// NewMetrics so every substrate client of a process lands in one registry,
+// distinguished by the component label.
+type Metrics struct {
+	// Calls counts completed calls (successful or not); Errors the subset
+	// that returned an error; Redials every re-established connection after
+	// the initial dial.
+	Calls   *telemetry.Counter
+	Errors  *telemetry.Counter
+	Redials *telemetry.Counter
+	// Latency observes per-call wall time in seconds.
+	Latency *telemetry.Histogram
+}
+
+// NewMetrics registers the standard RPC client metrics for one component
+// (e.g. "mq", "objstore", "taskdb") in reg. A nil reg yields detached
+// instruments, so the result is always safe to use.
+func NewMetrics(reg *telemetry.Registry, component string) *Metrics {
+	l := telemetry.L("component", component)
+	return &Metrics{
+		Calls:   reg.Counter("hoyan_rpc_calls_total", "completed substrate RPC calls", l),
+		Errors:  reg.Counter("hoyan_rpc_errors_total", "substrate RPC calls that returned an error", l),
+		Redials: reg.Counter("hoyan_rpc_redials_total", "substrate RPC connections re-established after a failure", l),
+		Latency: reg.Histogram("hoyan_rpc_latency_seconds", "substrate RPC call latency", telemetry.DurationBuckets, l),
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -47,6 +79,7 @@ type Client struct {
 
 	mu     sync.Mutex
 	rc     *rpc.Client
+	dialed bool
 	closed bool
 }
 
@@ -74,6 +107,10 @@ func (c *Client) conn() (*rpc.Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rpcx: dial %s: %w", c.addr, err)
 	}
+	if c.dialed && c.opts.Metrics != nil {
+		c.opts.Metrics.Redials.Inc()
+	}
+	c.dialed = true
 	c.rc = rpc.NewClient(&deadlineConn{Conn: nc, timeout: c.opts.CallTimeout})
 	return c.rc, nil
 }
@@ -95,7 +132,17 @@ func (c *Client) drop(rc *rpc.Client) {
 // surface mid-call (deadline, EOF, resets) drop the connection and are
 // returned to the caller: whether the server executed the request is unknown,
 // so reissuing is the caller's (or a retry policy's) decision.
-func (c *Client) Call(method string, args, reply any) error {
+func (c *Client) Call(method string, args, reply any) (err error) {
+	if m := c.opts.Metrics; m != nil {
+		start := time.Now()
+		defer func() {
+			m.Calls.Inc()
+			m.Latency.Observe(time.Since(start).Seconds())
+			if err != nil {
+				m.Errors.Inc()
+			}
+		}()
+	}
 	for redialed := false; ; redialed = true {
 		rc, err := c.conn()
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"hoyan/internal/rpcx"
+	"hoyan/internal/telemetry"
 )
 
 // Status of a subtask.
@@ -158,15 +159,33 @@ func (db *Memory) List(taskID string) ([]Record, error) {
 	return out, nil
 }
 
-// Service exposes a DB over net/rpc.
-type Service struct{ db DB }
+// Service exposes a DB over net/rpc, counting writes and heartbeats
+// (telemetry instruments, detached unless Serve was given a registry).
+type Service struct {
+	db DB
+
+	upserts    *telemetry.Counter
+	heartbeats *telemetry.Counter
+	fenced     *telemetry.Counter
+}
+
+func newService(db DB) *Service {
+	return &Service{db: db, upserts: &telemetry.Counter{}, heartbeats: &telemetry.Counter{}, fenced: &telemetry.Counter{}}
+}
 
 // Upsert is the RPC form of DB.Upsert.
-func (s *Service) Upsert(rec *Record, _ *struct{}) error { return s.db.Upsert(*rec) }
+func (s *Service) Upsert(rec *Record, _ *struct{}) error {
+	s.upserts.Inc()
+	return s.db.Upsert(*rec)
+}
 
 // FencedUpsert is the RPC form of DB.FencedUpsert.
 func (s *Service) FencedUpsert(rec *Record, applied *bool) error {
+	s.upserts.Inc()
 	ok, err := s.db.FencedUpsert(*rec)
+	if err == nil && !ok {
+		s.fenced.Inc()
+	}
 	*applied = ok
 	return err
 }
@@ -182,6 +201,7 @@ type HeartbeatArgs struct {
 
 // Heartbeat is the RPC form of DB.Heartbeat.
 func (s *Service) Heartbeat(args *HeartbeatArgs, applied *bool) error {
+	s.heartbeats.Inc()
 	ok, err := s.db.Heartbeat(args.TaskID, args.Kind, args.SubID, args.Attempt, args.At)
 	*applied = ok
 	return err
@@ -216,9 +236,19 @@ func (s *Service) List(taskID *string, reply *[]Record) error {
 
 // Serve registers the DB on a fresh rpc server and serves connections on l
 // until the listener is closed.
-func Serve(l net.Listener, db DB) {
+func Serve(l net.Listener, db DB) { ServeRegistry(l, db, nil) }
+
+// ServeRegistry is Serve with the service's RPC counters registered in reg
+// (nil reg keeps them detached).
+func ServeRegistry(l net.Listener, db DB, reg *telemetry.Registry) {
+	sv := newService(db)
+	if reg != nil {
+		sv.upserts = reg.Counter("hoyan_taskdb_upserts_total", "subtask record writes served")
+		sv.heartbeats = reg.Counter("hoyan_taskdb_heartbeats_total", "lease heartbeats served")
+		sv.fenced = reg.Counter("hoyan_taskdb_fenced_writes_total", "writes rejected by the attempt fence")
+	}
 	srv := rpc.NewServer()
-	srv.RegisterName("Tasks", &Service{db: db})
+	srv.RegisterName("Tasks", sv)
 	go func() {
 		for {
 			conn, err := l.Accept()

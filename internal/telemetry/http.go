@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Health reports a component's liveness: nil means healthy, an error carries
+// the reason (rendered into the 503 body). The fleet binaries wire lease /
+// heartbeat freshness checks here.
+type Health func() error
+
+// NewOpsHandler builds the fleet's standard ops mux:
+//
+//	/metrics       Prometheus text exposition of reg
+//	/healthz       200 "ok" or 503 with the health error
+//	/debug/pprof/  the stdlib profiling endpoints
+//
+// gather, when non-nil, overrides the registry as the metrics source (used
+// where /metrics must merge several registries).
+func NewOpsHandler(reg *Registry, health Health, gather func() Snapshot) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := reg.Gather()
+		if gather != nil {
+			snap = gather()
+		}
+		snap.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if health != nil {
+			if err := health(); err != nil {
+				http.Error(w, fmt.Sprintf("unhealthy: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeOps listens on addr and serves the ops mux in a background goroutine.
+// It returns the server (for Shutdown/Close) and the bound address (useful
+// with ":0"). An empty addr is a no-op returning nils.
+func ServeOps(addr string, reg *Registry, health Health, gather func() Snapshot) (*http.Server, net.Addr, error) {
+	if addr == "" {
+		return nil, nil, nil
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("telemetry: ops listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewOpsHandler(reg, health, gather),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(l)
+	return srv, l.Addr(), nil
+}

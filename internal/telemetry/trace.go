@@ -1,0 +1,335 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanContext is the wire-portable identity of a span: it rides inside
+// subtask messages so one simulation run yields a single end-to-end trace
+// across the master and every worker that touched it.
+type SpanContext struct {
+	TraceID string `json:"trace_id,omitempty"`
+	SpanID  string `json:"span_id,omitempty"`
+}
+
+// Valid reports whether the context identifies a live trace.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID != "" }
+
+// SpanRecord is one finished span as collected by a Tracer.
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	TraceID  string        `json:"trace_id"`
+	SpanID   string        `json:"span_id"`
+	ParentID string        `json:"parent_id,omitempty"`
+	Actor    string        `json:"actor,omitempty"` // process/role that emitted it
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	Tags     []Label       `json:"tags,omitempty"`
+}
+
+// Tracer collects finished spans for one actor (the master, one worker). It
+// is safe for concurrent use. A nil *Tracer is valid everywhere and records
+// nothing.
+type Tracer struct {
+	actor string
+
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// ID generation: a process-unique base mixed with a sequence number through
+// splitmix64. IDs only need uniqueness, not secrecy; they never influence
+// simulation results.
+var (
+	idBase = uint64(time.Now().UnixNano())
+	idSeq  atomic.Uint64
+)
+
+func newID() string {
+	x := idBase + idSeq.Add(1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return fmt.Sprintf("%016x", x)
+}
+
+// NewTracer creates a tracer whose spans carry the given actor name.
+func NewTracer(actor string) *Tracer { return &Tracer{actor: actor} }
+
+// Actor returns the tracer's actor name ("" for nil).
+func (t *Tracer) Actor() string {
+	if t == nil {
+		return ""
+	}
+	return t.actor
+}
+
+// Spans returns a copy of the collected spans.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Reset discards the collected spans (between runs sharing one tracer).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = nil
+	t.mu.Unlock()
+}
+
+// Record appends an externally assembled span (used for synthetic spans with
+// explicit timestamps, e.g. the time a message sat in the MQ).
+func (t *Tracer) Record(rec SpanRecord) {
+	if t == nil {
+		return
+	}
+	if rec.Actor == "" {
+		rec.Actor = t.actor
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, rec)
+	t.mu.Unlock()
+}
+
+// Span is one in-flight operation. A nil *Span is valid everywhere and does
+// nothing, so instrumented code never branches on "tracing enabled".
+type Span struct {
+	t     *Tracer
+	name  string
+	sc    SpanContext
+	par   string
+	start time.Time
+
+	mu    sync.Mutex
+	tags  []Label
+	ended bool
+}
+
+// Context returns the span's wire identity (zero for nil spans).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetTag attaches a key/value annotation.
+func (s *Span) SetTag(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.tags = append(s.tags, Label{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// End finishes the span and hands it to the tracer. Ending twice records
+// once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	tags := s.tags
+	s.mu.Unlock()
+	s.t.Record(SpanRecord{
+		Name: s.name, TraceID: s.sc.TraceID, SpanID: s.sc.SpanID, ParentID: s.par,
+		Actor: s.t.Actor(), Start: s.start, Duration: time.Since(s.start), Tags: tags,
+	})
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanCtxKey
+)
+
+// WithTracer returns a context carrying the tracer; StartSpan below finds it
+// there.
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// TracerFrom extracts the context's tracer (nil if absent).
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// WithRemoteParent sets the current span context without starting a local
+// span: the next StartSpan parents to a span that lives in another process
+// (the master's enqueue span, carried by the subtask message).
+func WithRemoteParent(ctx context.Context, sc SpanContext) context.Context {
+	if !sc.Valid() {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey, sc)
+}
+
+// SpanContextFrom returns the context's current span identity (zero if none).
+func SpanContextFrom(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanCtxKey).(SpanContext)
+	return sc
+}
+
+// StartSpan opens a span named name under the context's current span (a new
+// root if there is none), using the context's tracer. It returns a derived
+// context carrying the new span as current. Without a tracer it returns the
+// context unchanged and a nil (no-op) span.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	parent := SpanContextFrom(ctx)
+	sp := &Span{
+		t: t, name: name, start: time.Now(),
+		sc:  SpanContext{TraceID: parent.TraceID, SpanID: newID()},
+		par: parent.SpanID,
+	}
+	if sp.sc.TraceID == "" {
+		sp.sc.TraceID = newID()
+	}
+	return context.WithValue(ctx, spanCtxKey, sp.sc), sp
+}
+
+// StartRoot opens a root span (fresh trace ID) directly on the tracer.
+func (t *Tracer) StartRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{
+		t: t, name: name, start: time.Now(),
+		sc: SpanContext{TraceID: newID(), SpanID: newID()},
+	}
+}
+
+// RecordSpan records an already-finished span with explicit timing under
+// parent, allocating its ID — for synthetic spans whose duration was observed
+// after the fact, like the time a message sat in the MQ. It returns the new
+// span's context (zero for nil tracers).
+func (t *Tracer) RecordSpan(parent SpanContext, name string, start time.Time, d time.Duration, tags ...Label) SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	sc := SpanContext{TraceID: parent.TraceID, SpanID: newID()}
+	if sc.TraceID == "" {
+		sc.TraceID = newID()
+	}
+	t.Record(SpanRecord{
+		Name: name, TraceID: sc.TraceID, SpanID: sc.SpanID, ParentID: parent.SpanID,
+		Start: start, Duration: d, Tags: tags,
+	})
+	return sc
+}
+
+// StartChild opens a span under an explicit parent context (used where a
+// context.Context is not threaded, e.g. the master's per-subtask enqueue
+// spans under the run root).
+func (t *Tracer) StartChild(parent SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{
+		t: t, name: name, start: time.Now(),
+		sc:  SpanContext{TraceID: parent.TraceID, SpanID: newID()},
+		par: parent.SpanID,
+	}
+	if sp.sc.TraceID == "" {
+		sp.sc.TraceID = newID()
+	}
+	return sp
+}
+
+// chromeEvent is one entry of the Chrome trace_event format (ph "X" =
+// complete event, "M" = metadata), viewable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders spans as a Chrome trace_event JSON document. Each
+// actor gets its own named thread row, so the master's enqueue spans and
+// every worker's execution spans line up on one timeline.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	actors := map[string]int{}
+	var order []string
+	for _, s := range spans {
+		if _, ok := actors[s.Actor]; !ok {
+			actors[s.Actor] = len(actors) + 1
+			order = append(order, s.Actor)
+		}
+	}
+	sort.Strings(order)
+	for i, a := range order {
+		actors[a] = i + 1
+	}
+
+	var events []chromeEvent
+	for _, a := range order {
+		name := a
+		if name == "" {
+			name = "(unknown)"
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: actors[a],
+			Args: map[string]string{"name": name},
+		})
+	}
+	for _, s := range spans {
+		args := map[string]string{
+			"trace_id": s.TraceID,
+			"span_id":  s.SpanID,
+		}
+		if s.ParentID != "" {
+			args["parent_id"] = s.ParentID
+		}
+		for _, tag := range s.Tags {
+			args[tag.Key] = tag.Value
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: "hoyan", Ph: "X",
+			TS:  float64(s.Start.UnixNano()) / 1e3,
+			Dur: float64(s.Duration.Nanoseconds()) / 1e3,
+			PID: 1, TID: actors[s.Actor], Args: args,
+		})
+	}
+
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
