@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench-wire chaos trace check
+.PHONY: all build test vet race bench-smoke bench-wire bench-incr chaos trace check
 
 all: check
 
@@ -32,6 +32,15 @@ bench-wire:
 	WIRE_BENCH_JSON=BENCH_wire.json $(GO) test -run '^TestWireCompactness$$' -v .
 	$(GO) test -run '^$$' -bench '^BenchmarkWire' -benchtime 1x .
 
+# Incremental what-if engine measurement: the warm-started k=1 link-failure
+# sweep vs from-scratch re-simulation of every scenario on the gen.WAN(1)
+# fixture. Asserts the >=3x scenario-throughput floor and writes the
+# measured numbers (plus work-avoidance counters) to BENCH_incremental.json;
+# the one-shot BenchmarkKFail* pass catches bench bit-rot.
+bench-incr:
+	INCR_BENCH_JSON=BENCH_incremental.json $(GO) test -run '^TestIncrementalSpeedup$$' -v .
+	$(GO) test -run '^$$' -bench '^BenchmarkKFail' -benchtime 1x .
+
 # Fault-tolerance pass: the chaos harness (crashed workers, >=10% injected
 # substrate error rates) plus the resilience tests, under the race detector.
 chaos:
@@ -44,4 +53,4 @@ chaos:
 trace:
 	$(GO) run ./cmd/hoyan-exp -scale 1 -trace trace.json report
 
-check: vet build race bench-smoke bench-wire chaos
+check: vet build race bench-smoke bench-wire bench-incr chaos

@@ -40,10 +40,12 @@ func main() {
 	rclSpec := flag.String("rcl", "", "route change intent in RCL")
 	workers := flag.Int("workers", 0, "simulate on a local cluster with N workers (0 = centralized)")
 	parallelism := flag.Int("parallelism", 0, "intra-engine parallelism: 0 = all cores, 1 = sequential, N = N workers")
+	incremental := flag.Bool("incremental", true, "verify pure-delta plans (up/down toggles, input changes) as warm-started forks of the base run; false re-simulates every plan from scratch (results are identical)")
 	doLocalize := flag.Bool("localize", false, "on violation, delta-debug the plan to a minimal culprit stanza set")
 	flag.Parse()
 	localizeWanted = *doLocalize
 	parallelismFlag = *parallelism
+	disableIncremental = !*incremental
 
 	switch {
 	case *scenarioName != "":
@@ -57,9 +59,14 @@ func main() {
 }
 
 var (
-	localizeWanted  bool
-	parallelismFlag int
+	localizeWanted     bool
+	parallelismFlag    int
+	disableIncremental bool
 )
+
+func engineOptions() core.Options {
+	return core.Options{Parallelism: parallelismFlag, DisableIncremental: disableIncremental}
+}
 
 func runScenario(name string, workers int) {
 	var sc *scenario.Scenario
@@ -73,7 +80,7 @@ func runScenario(name string, workers int) {
 		os.Exit(2)
 	}
 	fmt.Printf("scenario: %s\n%s\n\n", sc.Name, sc.Description)
-	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, core.Options{Parallelism: parallelismFlag})
+	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, engineOptions())
 	sys.Workers = workers
 	out, err := sys.Verify(sc.Plan, sc.Intents)
 	if err != nil {
@@ -146,7 +153,7 @@ func runConfigs(dir, planFile, rclSpec string, workers int) {
 	if rclSpec != "" {
 		intents = append(intents, intent.RouteIntent{Spec: rclSpec})
 	}
-	sys := pipeline.New(net, nil, nil, core.Options{Parallelism: parallelismFlag})
+	sys := pipeline.New(net, nil, nil, engineOptions())
 	sys.Workers = workers
 	out, err := sys.Verify(plan, intents)
 	if err != nil {

@@ -16,6 +16,7 @@ func (s *sim) updateAggregates(k tableKey, p netip.Prefix) []msg {
 	if d == nil || len(d.Aggregates) == 0 {
 		return nil
 	}
+	s.own(k)
 	var out []msg
 	for _, a := range d.Aggregates {
 		if a.VRF != k.vrf {
@@ -51,6 +52,7 @@ func (s *sim) updateAggregates(k tableKey, p netip.Prefix) []msg {
 // information. It reports whether the local candidate for the aggregate
 // changed.
 func (s *sim) refreshAggregate(k tableKey, a aggregateOf) bool {
+	s.own(k)
 	rib := s.ribs[k]
 	contributors := s.contributors(rib, a.Prefix)
 	active := len(contributors) > 0

@@ -1,10 +1,9 @@
 package bgp
 
 import (
-	"fmt"
 	"net/netip"
 	"sort"
-	"strings"
+	"strconv"
 
 	"hoyan/internal/config"
 	"hoyan/internal/netmodel"
@@ -16,6 +15,12 @@ import (
 // returns the advertisements for the next round.
 func (s *sim) decideAndAdvertise(dirty map[tableKey]map[netip.Prefix]bool) []msg {
 	var out []msg
+
+	if s.dirtyDevs != nil {
+		for k := range dirty {
+			s.dirtyDevs[k.dev] = true
+		}
+	}
 
 	// Deterministic iteration order.
 	keys := make([]tableKey, 0, len(dirty))
@@ -30,6 +35,7 @@ func (s *sim) decideAndAdvertise(dirty map[tableKey]map[netip.Prefix]bool) []msg
 	})
 
 	for _, k := range keys {
+		s.own(k)
 		prefixes := make([]netip.Prefix, 0, len(dirty[k]))
 		for p := range dirty[k] {
 			prefixes = append(prefixes, p)
@@ -302,19 +308,67 @@ func (s *sim) peerRouterID(peer string) netip.Addr {
 }
 
 // advSignature fingerprints a best-route set so unchanged results are not
-// re-advertised (this is what drives the fixpoint to termination).
+// re-advertised (this is what drives the fixpoint to termination). It must
+// cover every field that influences what peers receive — warm restarts rely
+// on a changed decision always producing a changed signature.
 func advSignature(best []cand) string {
 	if len(best) == 0 {
 		return ""
 	}
-	var b strings.Builder
+	// Hand-rolled formatting: this runs once per (table, prefix) decision and
+	// dominates fixpoint bookkeeping cost under fmt.
+	b := make([]byte, 0, 96*len(best))
+	appendBool := func(v bool) {
+		if v {
+			b = append(b, 'T')
+		} else {
+			b = append(b, 'F')
+		}
+	}
 	for _, c := range best {
 		r := c.route
-		fmt.Fprintf(&b, "%s|%s|%s|%d|%d|%d|%s|%s|%v|%d;",
-			r.Prefix, r.NextHop, r.Communities, r.LocalPref, r.MED, r.Weight,
-			r.ASPath, r.Origin, c.ebgp, c.igpCost)
+		b = r.Prefix.AppendTo(b)
+		b = append(b, '|')
+		if r.NextHop.IsValid() {
+			b = r.NextHop.AppendTo(b)
+		}
+		b = append(b, '|')
+		for _, cm := range r.Communities.All() {
+			b = strconv.AppendUint(b, uint64(cm), 10)
+			b = append(b, ',')
+		}
+		b = append(b, '|')
+		b = strconv.AppendUint(b, uint64(r.LocalPref), 10)
+		b = append(b, '|')
+		b = strconv.AppendUint(b, uint64(r.MED), 10)
+		b = append(b, '|')
+		b = strconv.AppendUint(b, uint64(r.Weight), 10)
+		b = append(b, '|')
+		for _, a := range r.ASPath.Seq {
+			b = strconv.AppendUint(b, uint64(a), 10)
+			b = append(b, ',')
+		}
+		b = append(b, '/')
+		for _, a := range r.ASPath.Set {
+			b = strconv.AppendUint(b, uint64(a), 10)
+			b = append(b, ',')
+		}
+		b = append(b, '|')
+		b = strconv.AppendUint(b, uint64(r.Origin), 10)
+		b = append(b, '|')
+		appendBool(c.ebgp)
+		b = append(b, '|')
+		b = strconv.AppendUint(b, uint64(c.igpCost), 10)
+		b = append(b, '|')
+		b = strconv.AppendUint(b, uint64(r.Protocol), 10)
+		b = append(b, '|')
+		b = append(b, r.Source...)
+		b = append(b, '|')
+		appendBool(c.local)
+		appendBool(c.direct32)
+		b = append(b, ';')
 	}
-	return b.String()
+	return string(b)
 }
 
 // advertise builds the outgoing messages for one table/prefix after its best

@@ -83,6 +83,13 @@ func (r *Result) Tables() []struct{ Device, VRF string } {
 	return out
 }
 
+// SetRIB installs a table, replacing any existing one. The incremental
+// engine uses it to share unchanged, already-expanded tables with the base
+// result instead of re-expanding them per fork.
+func (r *Result) SetRIB(device, vrf string, t *netmodel.RIB) {
+	r.ribs[tableKey{device, vrf}] = t
+}
+
 // GlobalRIB flattens every table into the paper's global RIB abstraction.
 func (r *Result) GlobalRIB() *netmodel.GlobalRIB {
 	var rows []netmodel.Route
@@ -133,17 +140,32 @@ type sim struct {
 	// aggOn tracks whether each aggregate is currently active.
 	aggOn map[tableKey]map[netip.Prefix]bool
 
+	// dirtyDevs, when non-nil, accumulates every device whose table was ever
+	// re-decided (warm restarts use it to bound traffic re-simulation).
+	dirtyDevs map[string]bool
+
+	// shared, when non-nil, marks tables whose inner maps are still shared
+	// with a captured State (see Resimulate); sim.own privatizes a table
+	// before its first write.
+	shared map[tableKey]bool
+
 	messages int
 }
 
 // Simulate runs the BGP fixpoint over the network with the given IGP result
 // and input routes, returning per-table RIBs.
 func Simulate(net *config.Network, igp *isis.Result, inputs []netmodel.Route, opts Options) *Result {
-	opts = opts.withDefaults()
+	s := newSim(net, igp, opts)
+	s.originateLocals(inputs)
+	return s.run(s.allDirty())
+}
+
+// newSim builds an empty simulation with its session graph.
+func newSim(net *config.Network, igp *isis.Result, opts Options) *sim {
 	s := &sim{
 		net:     net,
 		igp:     igp,
-		opts:    opts,
+		opts:    opts.withDefaults(),
 		adjIn:   make(map[tableKey]map[netip.Prefix]map[string][]cand),
 		locals:  make(map[tableKey]map[netip.Prefix][]cand),
 		ribs:    make(map[tableKey]*netmodel.RIB),
@@ -153,12 +175,13 @@ func Simulate(net *config.Network, igp *isis.Result, inputs []netmodel.Route, op
 	s.sessions = buildSessions(net, igp, func(dev string) bool {
 		return !s.profileOf(dev).IsolationViaPolicy
 	})
+	return s
+}
 
-	s.originateLocals(inputs)
-
-	// Initial decision for every table/prefix with candidates.
+// allDirty marks every table/prefix with candidates dirty (cold start).
+func (s *sim) allDirty() map[tableKey]map[netip.Prefix]bool {
 	dirty := make(map[tableKey]map[netip.Prefix]bool)
-	markAll := func(k tableKey, p netip.Prefix) {
+	mark := func(k tableKey, p netip.Prefix) {
 		if dirty[k] == nil {
 			dirty[k] = make(map[netip.Prefix]bool)
 		}
@@ -166,19 +189,24 @@ func Simulate(net *config.Network, igp *isis.Result, inputs []netmodel.Route, op
 	}
 	for k, m := range s.locals {
 		for p := range m {
-			markAll(k, p)
+			mark(k, p)
 		}
 	}
 	for k, m := range s.adjIn {
 		for p := range m {
-			markAll(k, p)
+			mark(k, p)
 		}
 	}
+	return dirty
+}
 
+// run iterates the fixpoint from an initial dirty set until convergence or
+// MaxRounds.
+func (s *sim) run(dirty map[tableKey]map[netip.Prefix]bool) *Result {
 	rounds := 0
 	converged := false
 	pending := s.decideAndAdvertise(dirty)
-	for rounds = 0; rounds < opts.MaxRounds; rounds++ {
+	for rounds = 0; rounds < s.opts.MaxRounds; rounds++ {
 		if len(pending) == 0 {
 			converged = true
 			break
@@ -205,6 +233,7 @@ func (s *sim) envOf(d *config.Device) policy.Env {
 }
 
 func (s *sim) localsOf(k tableKey) map[netip.Prefix][]cand {
+	s.own(k)
 	m, ok := s.locals[k]
 	if !ok {
 		m = make(map[netip.Prefix][]cand)
@@ -450,6 +479,7 @@ func (s *sim) deliver(msgs []msg) map[tableKey]map[netip.Prefix]bool {
 			accepted = append(accepted, cand{route: r, ebgp: m.ebgp})
 		}
 
+		s.own(k)
 		if s.adjIn[k] == nil {
 			s.adjIn[k] = make(map[netip.Prefix]map[string][]cand)
 		}

@@ -10,6 +10,7 @@ import (
 	"net/netip"
 
 	"hoyan/internal/config"
+	"hoyan/internal/core"
 	"hoyan/internal/netmodel"
 )
 
@@ -213,6 +214,36 @@ func registerLinkInterfaces(net *config.Network, l *netmodel.Link) {
 			d.Interfaces[l.BIface] = &config.Interface{Name: l.BIface, Addr: prefixFor(l.BAddr, l.BNet), ISISCost: l.CostBA, Bandwidth: l.Bandwidth}
 		}
 	}
+}
+
+// Delta expresses the plan as an engine fork delta when it consists purely
+// of up/down toggles and input-route changes. Plans with configuration
+// commands, new devices, or structural topology edits (anything that alters
+// the parsed models) return ok=false and must go through Apply plus a full
+// simulation.
+func (p *Plan) Delta() (core.Delta, bool) {
+	if len(p.Commands) > 0 || len(p.NewConfigs) > 0 || len(p.AddNodes) > 0 ||
+		len(p.AddLinks) > 0 || len(p.RemoveLinks) > 0 || len(p.RemoveNodes) > 0 {
+		return core.Delta{}, false
+	}
+	var d core.Delta
+	for _, s := range p.SetLinks {
+		if s.Up {
+			d.LinksUp = append(d.LinksUp, s.ID)
+		} else {
+			d.LinksDown = append(d.LinksDown, s.ID)
+		}
+	}
+	for _, s := range p.SetNodes {
+		if s.Up {
+			d.NodesUp = append(d.NodesUp, s.Name)
+		} else {
+			d.NodesDown = append(d.NodesDown, s.Name)
+		}
+	}
+	d.AddInputs = p.NewInputs
+	d.DropInputs = p.DropInputs
+	return d, true
 }
 
 // ApplyInputs adjusts the input route set per the plan: reclaimed prefixes

@@ -37,6 +37,12 @@ type Options struct {
 	// MaxRounds bounds the BGP fixpoint.
 	MaxRounds int
 
+	// DisableIncremental forces Engine.Fork to re-simulate every scenario
+	// from scratch instead of warm-starting from the base run — the
+	// sequential reference path for the incremental what-if engine.
+	// Results are byte-identical either way.
+	DisableIncremental bool
+
 	// Parallelism bounds the worker pools behind the engine's data-parallel
 	// hot paths — per-source SPF, per-flow forwarding, EC classification, and
 	// config parsing when restoring snapshots. 0 (the default) uses
@@ -50,6 +56,9 @@ type Engine struct {
 	net  *config.Network
 	igp  *isis.Result
 	opts Options
+
+	// base holds the state captured by BaseRun for incremental Fork runs.
+	base *baseCapture
 }
 
 // NewEngine prepares an engine: it computes the IGP SPF once (the paper's
@@ -76,13 +85,29 @@ type RouteResult struct {
 	BGP *bgp.Result
 	// ECStats reports the route-EC reduction applied (nil with ECs off).
 	ECStats *ec.RouteECs
+
+	// global memoizes the flattened global RIB. globalFn, when set, builds it
+	// on first use (forks install a merge against the base global RIB there,
+	// so scenarios whose intents never read the global RIB skip the merge).
+	global   *netmodel.GlobalRIB
+	globalFn func() *netmodel.GlobalRIB
 }
 
 // RIB implements traffic.RIBSource.
 func (r *RouteResult) RIB(device, vrf string) *netmodel.RIB { return r.BGP.RIB(device, vrf) }
 
-// GlobalRIB returns the flattened global RIB.
-func (r *RouteResult) GlobalRIB() *netmodel.GlobalRIB { return r.BGP.GlobalRIB() }
+// GlobalRIB returns the flattened global RIB. The first call materializes it
+// (after any RIB expansion); later calls return the same value.
+func (r *RouteResult) GlobalRIB() *netmodel.GlobalRIB {
+	if r.global == nil {
+		if r.globalFn != nil {
+			r.global = r.globalFn()
+		} else {
+			r.global = r.BGP.GlobalRIB()
+		}
+	}
+	return r.global
+}
 
 // RouteSimulation simulates the propagation of the input routes and returns
 // the RIBs of all routers. With route ECs enabled, one representative per EC

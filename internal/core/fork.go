@@ -1,0 +1,480 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+
+	"hoyan/internal/bgp"
+	"hoyan/internal/config"
+	"hoyan/internal/ec"
+	"hoyan/internal/isis"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/traffic"
+)
+
+// Delta describes a what-if scenario relative to the engine's base snapshot:
+// link and node up/down flips plus input-route changes. Configuration changes
+// are out of scope — callers with config deltas build a fresh engine.
+type Delta struct {
+	LinksDown []netmodel.LinkID
+	LinksUp   []netmodel.LinkID
+	NodesDown []string
+	NodesUp   []string
+
+	// AddInputs / DropInputs adjust the input route set (DropInputs matches
+	// by route key, exactly like change.Plan.ApplyInputs).
+	AddInputs  []netmodel.Route
+	DropInputs []netmodel.Route
+}
+
+func (d Delta) inputsChanged() bool {
+	return len(d.AddInputs) > 0 || len(d.DropInputs) > 0
+}
+
+// links returns every link whose Up state the delta flips.
+func (d Delta) links() []netmodel.LinkID {
+	out := make([]netmodel.LinkID, 0, len(d.LinksDown)+len(d.LinksUp))
+	out = append(out, d.LinksDown...)
+	out = append(out, d.LinksUp...)
+	return out
+}
+
+// ForkStats reports how much work an incremental Fork avoided.
+type ForkStats struct {
+	// Full is set when the fork fell back to a from-scratch simulation
+	// (DisableIncremental, no BaseRun capture, or nodes coming up).
+	Full bool
+
+	SPFSources int // up sources in the scenario topology
+	SPFReused  int // sources whose base SPF result was reused
+
+	BGPTablesTotal int // tables in the base converged state
+	BGPTablesDirty int // tables seeded dirty in the warm restart
+	BGPRounds      int // fixpoint rounds the warm restart ran
+
+	FlowsTotal  int // representative flows forwarded
+	FlowsReused int // flows whose base path/load was reused
+}
+
+// baseCapture is everything BaseRun saves so Fork can warm-start: the inputs
+// and flows, the EC partitions, the converged BGP state (pre-expansion), the
+// base global-RIB prefix set, and the traced traffic result.
+type baseCapture struct {
+	inputs []netmodel.Route
+	flows  []netmodel.Flow
+
+	routeECs *ec.RouteECs     // nil with route ECs off
+	reps     []netmodel.Route // what BGP actually simulated
+
+	bgpState *bgp.State
+
+	// routes is the base run's result: its expanded tables are shared into
+	// forks verbatim for unchanged devices, and its global RIB is the merge
+	// base for fork global RIBs.
+	routes *RouteResult
+
+	// basePrefixCount maps each prefix of the base global RIB to the number
+	// of (device, vrf) tables holding it, so forks can decide whether their
+	// distinct-prefix set matches the base from per-table diffs alone.
+	basePrefixCount map[netip.Prefix]int
+	flowECs      *ec.FlowECs           // nil with flow ECs off
+	repFlows     []netmodel.Flow       // what the forwarder actually simulated
+	traffic      *traffic.Result
+	traces       []traffic.Trace
+}
+
+// BaseRun executes the full pipeline like Run and captures the converged
+// state so subsequent Fork calls can re-simulate incrementally. The returned
+// result is byte-identical to Run's.
+func (e *Engine) BaseRun(inputs []netmodel.Route, flows []netmodel.Flow) *Result {
+	bc := &baseCapture{inputs: inputs, flows: flows}
+	e.base = bc
+	if e.opts.DisableIncremental {
+		return e.Run(inputs, flows)
+	}
+
+	bgpOpts := bgp.Options{
+		Profiles:          e.opts.Profiles,
+		MaxRounds:         e.opts.MaxRounds,
+		FlawedASPathRegex: e.opts.FlawedASPathRegex,
+		UseTEMetric:       e.opts.UseTEMetric,
+	}
+	reps := inputs
+	if !e.opts.DisableRouteECs {
+		bc.routeECs = ec.ComputeRouteECs(e.net, e.opts.Profiles, inputs, e.opts.Parallelism)
+		reps = bc.routeECs.Representatives()
+	}
+	bc.reps = reps
+	bres, st := bgp.SimulateWithState(e.net, e.igp, reps, bgpOpts)
+	bc.bgpState = st
+	if bc.routeECs != nil {
+		for _, t := range bres.Tables() {
+			bc.routeECs.ExpandRIB(bres.RIB(t.Device, t.VRF))
+		}
+	}
+	routes := &RouteResult{BGP: bres, ECStats: bc.routeECs}
+	bc.routes = routes
+	// Materialize the global RIB now: forks (possibly concurrent) merge
+	// against it.
+	routes.GlobalRIB()
+
+	var tr *TrafficResult
+	if len(flows) > 0 {
+		bc.basePrefixCount = make(map[netip.Prefix]int)
+		for _, t := range bres.Tables() {
+			for _, p := range bres.RIB(t.Device, t.VRF).Prefixes() {
+				bc.basePrefixCount[p]++
+			}
+		}
+		repFlows := flows
+		if !e.opts.DisableFlowECs {
+			bc.flowECs = ec.ComputeFlowECs(e.net, ec.RIBPrefixes(routes.GlobalRIB().Rows()), flows, e.opts.Parallelism)
+			repFlows = bc.flowECs.Representatives()
+		}
+		bc.repFlows = repFlows
+		fw := e.forwarder(e.net, e.igp, routes)
+		trr, traces := fw.SimulateTraced(repFlows)
+		bc.traffic, bc.traces = trr, traces
+		tr = &TrafficResult{Traffic: trr, ECStats: bc.flowECs}
+	}
+	return &Result{Routes: routes, Traffic: tr}
+}
+
+// Fork simulates a what-if scenario derived from the base run. net must be
+// the engine's network already mutated to reflect d (toggled links/nodes) —
+// it may be the engine's own network temporarily toggled, or a clone.
+//
+// With incrementality enabled (and BaseRun called first), the fork recomputes
+// SPF only for touched sources, warm-starts the BGP fixpoint from the base
+// converged state, and re-forwards only the flows whose traced devices
+// changed. The result is byte-identical to building a fresh engine on net and
+// running it on the delta-adjusted inputs — Options.DisableIncremental takes
+// exactly that reference path.
+func (e *Engine) Fork(net *config.Network, d Delta) (*Result, ForkStats) {
+	if e.base == nil {
+		panic("core: Engine.Fork requires a prior BaseRun")
+	}
+	var stats ForkStats
+	inputs := applyInputDelta(e.base.inputs, d)
+	flows := e.base.flows
+
+	// Nodes coming up invalidate every per-source SPF bound and (transitively)
+	// most BGP state; it is not a hot path, so take the reference route.
+	if e.opts.DisableIncremental || e.base.bgpState == nil || len(d.NodesUp) > 0 {
+		stats.Full = true
+		return NewEngine(net, e.opts).Run(inputs, flows), stats
+	}
+
+	igp, touched, spfStats := isis.Recompute(net.Topo, e.igp, isis.Delta{
+		Links:     d.links(),
+		NodesDown: d.NodesDown,
+		NodesUp:   d.NodesUp,
+	}, isis.Options{UseTEMetric: e.opts.UseTEMetric, Parallelism: e.opts.Parallelism})
+	stats.SPFSources = spfStats.Sources
+	stats.SPFReused = spfStats.Reused
+
+	// Per-destination IGP diffs for each recomputed source: distance changes
+	// drive BGP re-decisions, first-hop changes drive flow invalidation. Most
+	// touched sources change only a handful of destinations, so both consumers
+	// get far smaller dirty sets than "everything at a touched source".
+	distChanged := make(map[string]map[string]bool)
+	hopsChanged := make(map[string]map[string]bool)
+	for src, t := range touched {
+		if !t {
+			continue
+		}
+		dc, hc := isis.Diff(e.igp, igp, src)
+		if len(dc) > 0 {
+			distChanged[src] = dc
+		}
+		if len(hc) > 0 {
+			hopsChanged[src] = hc
+		}
+	}
+
+	// The route-EC partition depends only on configurations and inputs, so it
+	// survives any pure topology delta.
+	reps := e.base.reps
+	routeECs := e.base.routeECs
+	if d.inputsChanged() {
+		if e.opts.DisableRouteECs {
+			reps = inputs
+		} else {
+			routeECs = ec.ComputeRouteECs(net, e.opts.Profiles, inputs, e.opts.Parallelism)
+			reps = routeECs.Representatives()
+		}
+	}
+
+	bres, rstats := e.base.bgpState.Resimulate(net, igp, reps, bgp.Delta{
+		DistChanged:  distChanged,
+		ChangedLinks: d.links(),
+		NodesDown:    d.NodesDown,
+	})
+	stats.BGPTablesTotal = rstats.TablesTotal
+	stats.BGPTablesDirty = rstats.TablesDirty
+	stats.BGPRounds = rstats.Rounds
+	// With an unchanged input set the EC partition — and therefore the
+	// expansion of an unchanged table — matches the base run exactly, so
+	// unchanged devices share the base's already-expanded tables and only
+	// changed ones expand. The fork's global RIB then comes from a sorted
+	// merge against the base instead of a full rebuild.
+	share := !d.inputsChanged() && e.base.routes != nil
+	for _, t := range bres.Tables() {
+		if share && !rstats.ChangedDevices[t.Device] {
+			bres.SetRIB(t.Device, t.VRF, e.base.routes.BGP.RIB(t.Device, t.VRF))
+			continue
+		}
+		if routeECs == nil {
+			continue
+		}
+		rt := bres.RIB(t.Device, t.VRF)
+		if !rstats.ChangedDevices[t.Device] {
+			// The warm restart's unchanged tables may alias the captured base
+			// state (copy-on-write); clone before expanding in place.
+			rt = rt.ShallowClone()
+			bres.SetRIB(t.Device, t.VRF, rt)
+		}
+		routeECs.ExpandRIB(rt)
+	}
+	routes := &RouteResult{BGP: bres, ECStats: routeECs}
+	// ribDiff narrows flow invalidation from "visited a changed device" to
+	// "a changed prefix at a visited device covers the flow's destination":
+	// per changed device, the prefixes whose expanded rows differ from base.
+	// countDelta tracks per-prefix table-count changes so the flow-EC
+	// partition check below needs no materialized global RIB — the global RIB
+	// itself is built lazily, only for intents that actually read it.
+	var ribDiff map[string][]netip.Prefix
+	var countDelta map[netip.Prefix]int
+	if share {
+		routes.globalFn = func() *netmodel.GlobalRIB {
+			return e.mergedGlobalRIB(bres, rstats.ChangedDevices)
+		}
+		ribDiff = make(map[string][]netip.Prefix, len(rstats.ChangedDevices))
+		countDelta = make(map[netip.Prefix]int)
+		for _, t := range bres.Tables() {
+			if !rstats.ChangedDevices[t.Device] {
+				continue
+			}
+			baseRIB := e.base.routes.BGP.RIB(t.Device, t.VRF)
+			diff, added, removed := bres.RIB(t.Device, t.VRF).DiffPrefixes(baseRIB)
+			if len(diff) > 0 {
+				ribDiff[t.Device] = append(ribDiff[t.Device], diff...)
+			}
+			for _, p := range added {
+				countDelta[p]++
+			}
+			for _, p := range removed {
+				countDelta[p]--
+			}
+		}
+		// Purged devices' tables are gone from the fork result entirely, so
+		// the loop above never sees them; retire their prefixes here.
+		if len(d.NodesDown) > 0 {
+			downSet := make(map[string]bool, len(d.NodesDown))
+			for _, n := range d.NodesDown {
+				downSet[n] = true
+			}
+			for _, t := range e.base.routes.BGP.Tables() {
+				if !downSet[t.Device] {
+					continue
+				}
+				for _, p := range e.base.routes.BGP.RIB(t.Device, t.VRF).Prefixes() {
+					countDelta[p]--
+				}
+			}
+		}
+	}
+
+	var tr *TrafficResult
+	if len(flows) > 0 {
+		// The flow-EC partition is a function of configurations, flows, and
+		// the distinct-prefix set of the global RIB; reuse it when that set is
+		// unchanged (and with it, the traced base forwarding).
+		var samePartition bool
+		if countDelta != nil {
+			samePartition = partitionUnchanged(e.base.basePrefixCount, countDelta)
+		} else {
+			samePartition = prefixSetMatchesCount(prefixSet(routes.GlobalRIB().Rows()), e.base.basePrefixCount)
+		}
+		flowECs := e.base.flowECs
+		repFlows := e.base.repFlows
+		if !samePartition && !e.opts.DisableFlowECs {
+			rows := routes.GlobalRIB().Rows()
+			flowECs = ec.ComputeFlowECs(net, ec.RIBPrefixes(rows), flows, e.opts.Parallelism)
+			repFlows = flowECs.Representatives()
+		}
+		fw := e.forwarder(net, igp, routes)
+		var trr *traffic.Result
+		if samePartition && e.base.traffic != nil {
+			// With a per-prefix RIB diff available, a changed BGP table alone
+			// no longer condemns every flow through its device; only the
+			// structural delta (flipped links, downed nodes) does.
+			var changed map[string]bool
+			if ribDiff != nil {
+				changed = structuralDeviceSet(d)
+			} else {
+				changed = changedDeviceSet(rstats.ChangedDevices, d)
+			}
+			var reused int
+			trr, _, reused = fw.Resimulate(repFlows, e.base.traffic, e.base.traces, changed, hopsChanged, ribDiff)
+			stats.FlowsReused = reused
+		} else {
+			trr = fw.Simulate(repFlows)
+		}
+		stats.FlowsTotal = len(repFlows)
+		tr = &TrafficResult{Traffic: trr, ECStats: flowECs}
+	}
+	return &Result{Routes: routes, Traffic: tr}, stats
+}
+
+// mergedGlobalRIB builds a fork's global RIB by merging the changed tables'
+// rows into the base global RIB. CompareRoutes orders by device first, so
+// rows group per device and the merge reproduces a full re-sort exactly:
+// every device's block is taken wholesale from either the base rows or the
+// freshly sorted changed rows.
+func (e *Engine) mergedGlobalRIB(bres *bgp.Result, changed map[string]bool) *netmodel.GlobalRIB {
+	byDev := make(map[string][]netmodel.Route, len(changed))
+	total := 0
+	for _, t := range bres.Tables() {
+		if changed[t.Device] {
+			rows := bres.RIB(t.Device, t.VRF).All()
+			byDev[t.Device] = append(byDev[t.Device], rows...)
+			total += len(rows)
+		}
+	}
+	names := make([]string, 0, len(changed))
+	for dev := range changed {
+		names = append(names, dev)
+	}
+	sort.Strings(names)
+	for _, dev := range names {
+		if rows := byDev[dev]; len(rows) > 0 {
+			sort.Slice(rows, func(i, j int) bool {
+				return netmodel.CompareRoutes(rows[i], rows[j]) < 0
+			})
+		}
+	}
+	baseRows := e.base.routes.GlobalRIB().Rows()
+	out := make([]netmodel.Route, 0, len(baseRows)+total)
+	ci := 0
+	i := 0
+	for i < len(baseRows) {
+		dev := baseRows[i].Device
+		j := i + 1
+		for j < len(baseRows) && baseRows[j].Device == dev {
+			j++
+		}
+		if changed[dev] {
+			// This device's block is replaced by its fork rows (emitted below
+			// in name order; a purged device simply contributes nothing).
+			i = j
+			continue
+		}
+		for ci < len(names) && names[ci] < dev {
+			out = append(out, byDev[names[ci]]...)
+			ci++
+		}
+		out = append(out, baseRows[i:j]...)
+		i = j
+	}
+	for ; ci < len(names); ci++ {
+		out = append(out, byDev[names[ci]]...)
+	}
+	return netmodel.NewGlobalRIBFromSorted(out)
+}
+
+// forwarder builds a traffic forwarder over an arbitrary snapshot/IGP pair.
+func (e *Engine) forwarder(net *config.Network, igp *isis.Result, ribs traffic.RIBSource) *traffic.Forwarder {
+	return traffic.NewForwarder(net, igp, ribs, traffic.Options{
+		Profiles:    e.opts.Profiles,
+		IgnoreACLs:  e.opts.IgnoreACLs,
+		IgnorePBR:   e.opts.IgnorePBR,
+		Parallelism: e.opts.Parallelism,
+	})
+}
+
+// changedDeviceSet is the set of devices whose forwarding-relevant state
+// differs from base in ways a flow trace's device set captures: changed BGP
+// tables and the endpoints of every flipped element. Changed IGP first hops
+// are matched per (device, target) against the trace's recorded IGP queries
+// instead — see traffic.Trace.Touches.
+func changedDeviceSet(bgpChanged map[string]bool, d Delta) map[string]bool {
+	out := structuralDeviceSet(d)
+	for dev := range bgpChanged {
+		out[dev] = true
+	}
+	return out
+}
+
+// structuralDeviceSet is the devices whose adjacency or existence the delta
+// touches: endpoints of flipped links plus flipped nodes. Forwarding consults
+// their link state and local delivery directly, outside RIB and IGP lookups.
+func structuralDeviceSet(d Delta) map[string]bool {
+	out := make(map[string]bool, 2*len(d.LinksDown)+2*len(d.LinksUp))
+	for _, id := range d.links() {
+		out[id.A] = true
+		out[id.B] = true
+	}
+	for _, n := range d.NodesDown {
+		out[n] = true
+	}
+	for _, n := range d.NodesUp {
+		out[n] = true
+	}
+	return out
+}
+
+// applyInputDelta mirrors change.Plan.ApplyInputs: drops by route key, then
+// appends.
+func applyInputDelta(inputs []netmodel.Route, d Delta) []netmodel.Route {
+	if !d.inputsChanged() {
+		return inputs
+	}
+	drop := make(map[netmodel.RouteKey]bool, len(d.DropInputs))
+	for _, r := range d.DropInputs {
+		drop[r.Key()] = true
+	}
+	var out []netmodel.Route
+	for _, r := range inputs {
+		if !drop[r.Key()] {
+			out = append(out, r)
+		}
+	}
+	return append(out, d.AddInputs...)
+}
+
+func prefixSet(rows []netmodel.Route) map[netip.Prefix]bool {
+	out := make(map[netip.Prefix]bool)
+	for _, r := range rows {
+		out[r.Prefix] = true
+	}
+	return out
+}
+
+// partitionUnchanged reports whether applying the per-prefix table-count
+// delta to the base counts leaves the distinct-prefix set unchanged (no
+// prefix's count crosses zero in either direction).
+func partitionUnchanged(baseCount, delta map[netip.Prefix]int) bool {
+	for p, dlt := range delta {
+		if dlt == 0 {
+			continue
+		}
+		n := baseCount[p]
+		if (n+dlt > 0) != (n > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func prefixSetMatchesCount(set map[netip.Prefix]bool, count map[netip.Prefix]int) bool {
+	if len(set) != len(count) {
+		return false
+	}
+	for p := range set {
+		if count[p] == 0 {
+			return false
+		}
+	}
+	return true
+}

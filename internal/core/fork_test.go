@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"hoyan/internal/config"
+	"hoyan/internal/gen"
+	"hoyan/internal/netmodel"
+)
+
+// applyDelta toggles a network to reflect a delta (the callers of Fork do
+// this themselves; tests mirror it).
+func applyDelta(net *config.Network, d Delta) {
+	for _, id := range d.LinksDown {
+		net.Topo.SetLinkUp(id, false)
+	}
+	for _, id := range d.LinksUp {
+		net.Topo.SetLinkUp(id, true)
+	}
+	for _, n := range d.NodesDown {
+		net.Topo.SetNodeUp(n, false)
+	}
+	for _, n := range d.NodesUp {
+		net.Topo.SetNodeUp(n, true)
+	}
+}
+
+// assertIdentical fails unless the incremental and reference results agree
+// byte-for-byte on RIBs, representative paths, and link loads.
+func assertIdentical(t *testing.T, label string, inc, ref *Result) {
+	t.Helper()
+	incRIB, refRIB := inc.Routes.GlobalRIB(), ref.Routes.GlobalRIB()
+	if !incRIB.Equal(refRIB) {
+		onlyInc, onlyRef := incRIB.Diff(refRIB)
+		t.Fatalf("%s: RIB mismatch: %d rows only incremental (e.g. %v), %d rows only reference (e.g. %v)",
+			label, len(onlyInc), first(onlyInc), len(onlyRef), first(onlyRef))
+	}
+	if (inc.Traffic == nil) != (ref.Traffic == nil) {
+		t.Fatalf("%s: traffic presence mismatch", label)
+	}
+	if inc.Traffic == nil {
+		return
+	}
+	if !reflect.DeepEqual(inc.Traffic.Traffic.Paths, ref.Traffic.Traffic.Paths) {
+		t.Fatalf("%s: representative paths differ", label)
+	}
+	if !reflect.DeepEqual(inc.Traffic.Traffic.Load, ref.Traffic.Traffic.Load) {
+		t.Fatalf("%s: link loads differ", label)
+	}
+}
+
+func first(rs []netmodel.Route) any {
+	if len(rs) == 0 {
+		return "-"
+	}
+	return rs[0]
+}
+
+// checkFork runs one delta both ways — incremental fork and from-scratch
+// reference — and asserts byte-identity.
+func checkFork(t *testing.T, eng *Engine, base *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, d Delta, label string) ForkStats {
+	t.Helper()
+	scratch := base.Clone()
+	applyDelta(scratch, d)
+	inc, stats := eng.Fork(scratch, d)
+	ref := NewEngine(scratch, eng.opts).Run(applyInputDelta(inputs, d), flows)
+	assertIdentical(t, label, inc, ref)
+	return stats
+}
+
+func TestForkLinkFailureIdentity(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	eng := NewEngine(out.Net, Options{})
+	eng.BaseRun(out.Inputs, out.Flows)
+	links := out.Net.Topo.Links()
+	step := len(links)/12 + 1
+	for i := 0; i < len(links); i += step {
+		id := links[i].ID()
+		stats := checkFork(t, eng, out.Net, out.Inputs, out.Flows,
+			Delta{LinksDown: []netmodel.LinkID{id}}, "link down "+id.String())
+		if stats.Full {
+			t.Errorf("link %s: fork fell back to full simulation", id)
+		}
+	}
+}
+
+func TestForkNodeFailureIdentity(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	eng := NewEngine(out.Net, Options{})
+	eng.BaseRun(out.Inputs, out.Flows)
+	names := out.Net.Topo.NodeNames()
+	step := len(names)/8 + 1
+	for i := 0; i < len(names); i += step {
+		checkFork(t, eng, out.Net, out.Inputs, out.Flows,
+			Delta{NodesDown: []string{names[i]}}, "node down "+names[i])
+	}
+}
+
+func TestForkMultiElementIdentity(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	eng := NewEngine(out.Net, Options{})
+	eng.BaseRun(out.Inputs, out.Flows)
+	links := out.Net.Topo.Links()
+	names := out.Net.Topo.NodeNames()
+	d := Delta{
+		LinksDown: []netmodel.LinkID{links[0].ID(), links[len(links)/2].ID()},
+		NodesDown: []string{names[len(names)/3]},
+	}
+	checkFork(t, eng, out.Net, out.Inputs, out.Flows, d, "multi-element")
+}
+
+func TestForkLinkRestoreIdentity(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	// Base network with two links already down; the fork restores one.
+	links := out.Net.Topo.Links()
+	downA, downB := links[1].ID(), links[len(links)-2].ID()
+	out.Net.Topo.SetLinkUp(downA, false)
+	out.Net.Topo.SetLinkUp(downB, false)
+	eng := NewEngine(out.Net, Options{})
+	eng.BaseRun(out.Inputs, out.Flows)
+	checkFork(t, eng, out.Net, out.Inputs, out.Flows,
+		Delta{LinksUp: []netmodel.LinkID{downA}}, "link restore")
+	checkFork(t, eng, out.Net, out.Inputs, out.Flows,
+		Delta{LinksUp: []netmodel.LinkID{downB}, LinksDown: []netmodel.LinkID{links[0].ID()}}, "restore+fail")
+}
+
+func TestForkInputDeltaIdentity(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	eng := NewEngine(out.Net, Options{})
+	eng.BaseRun(out.Inputs, out.Flows)
+
+	// Drop the first input and inject a new prefix at the same device.
+	add := out.Inputs[0]
+	add.Prefix = netip.MustParsePrefix("203.0.113.0/24")
+	d := Delta{
+		DropInputs: []netmodel.Route{out.Inputs[0]},
+		AddInputs:  []netmodel.Route{add},
+	}
+	checkFork(t, eng, out.Net, out.Inputs, out.Flows, d, "input delta")
+
+	// Combined topology + input delta.
+	links := out.Net.Topo.Links()
+	d.LinksDown = []netmodel.LinkID{links[3].ID()}
+	checkFork(t, eng, out.Net, out.Inputs, out.Flows, d, "input+link delta")
+}
+
+func TestForkNodeUpFallsBackToFull(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	names := out.Net.Topo.NodeNames()
+	out.Net.Topo.SetNodeUp(names[0], false)
+	eng := NewEngine(out.Net, Options{})
+	eng.BaseRun(out.Inputs, out.Flows)
+	stats := checkFork(t, eng, out.Net, out.Inputs, out.Flows,
+		Delta{NodesUp: []string{names[0]}}, "node up")
+	if !stats.Full {
+		t.Error("restoring a node must take the full-simulation path")
+	}
+}
+
+func TestForkDisableIncremental(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	eng := NewEngine(out.Net, Options{DisableIncremental: true})
+	eng.BaseRun(out.Inputs, out.Flows)
+	id := out.Net.Topo.Links()[0].ID()
+	stats := checkFork(t, eng, out.Net, out.Inputs, out.Flows,
+		Delta{LinksDown: []netmodel.LinkID{id}}, "disabled")
+	if !stats.Full {
+		t.Error("DisableIncremental must force the from-scratch path")
+	}
+}
+
+// TestForkRandomizedDeltas throws seeded random deltas (multiple links and
+// nodes at once, with and without input changes) at the incremental engine
+// and checks byte-identity against the reference on every one.
+func TestForkRandomizedDeltas(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	eng := NewEngine(out.Net, Options{})
+	eng.BaseRun(out.Inputs, out.Flows)
+	links := out.Net.Topo.Links()
+	names := out.Net.Topo.NodeNames()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		var d Delta
+		nLinks := 1 + rng.Intn(3)
+		for j := 0; j < nLinks; j++ {
+			d.LinksDown = append(d.LinksDown, links[rng.Intn(len(links))].ID())
+		}
+		if rng.Intn(3) == 0 {
+			d.NodesDown = append(d.NodesDown, names[rng.Intn(len(names))])
+		}
+		if rng.Intn(3) == 0 {
+			d.DropInputs = append(d.DropInputs, out.Inputs[rng.Intn(len(out.Inputs))])
+		}
+		checkFork(t, eng, out.Net, out.Inputs, out.Flows, d, "random trial")
+	}
+}
+
+// TestForkECsDisabledIdentity exercises the fork with both EC reductions off
+// (the expansion-free paths).
+func TestForkECsDisabledIdentity(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	opts := Options{DisableRouteECs: true, DisableFlowECs: true}
+	eng := NewEngine(out.Net, opts)
+	eng.BaseRun(out.Inputs, out.Flows)
+	links := out.Net.Topo.Links()
+	checkFork(t, eng, out.Net, out.Inputs, out.Flows,
+		Delta{LinksDown: []netmodel.LinkID{links[2].ID()}}, "ECs off")
+}

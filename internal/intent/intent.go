@@ -24,11 +24,23 @@ import (
 
 // Snapshot is one simulated network state an intent is checked against.
 type Snapshot struct {
-	RIB   *netmodel.GlobalRIB
+	RIB *netmodel.GlobalRIB
+	// RIBFn lazily builds the global RIB when RIB is nil. Callers that check
+	// only path and load intents then never pay for the flattened table.
+	RIBFn func() *netmodel.GlobalRIB
 	Paths []traffic.FlowPath
 	Load  netmodel.LinkLoad
 	// Bandwidth maps links to capacity (bits/second) for load intents.
 	Bandwidth map[netmodel.LinkID]float64
+}
+
+// GlobalRIB returns the snapshot's global RIB, materializing it on first use
+// when the snapshot was built lazily.
+func (s *Snapshot) GlobalRIB() *netmodel.GlobalRIB {
+	if s.RIB == nil && s.RIBFn != nil {
+		s.RIB = s.RIBFn()
+	}
+	return s.RIB
 }
 
 // Context carries the base (pre-change) and updated (post-change) states.
@@ -85,7 +97,7 @@ func (i RouteIntent) Check(ctx *Context) Report {
 		rep.Violations = []string{"specification error: " + err.Error()}
 		return rep
 	}
-	res, err := rcl.Check(g, ctx.Base.RIB, ctx.Updated.RIB)
+	res, err := rcl.Check(g, ctx.Base.GlobalRIB(), ctx.Updated.GlobalRIB())
 	if err != nil {
 		rep.Violations = []string{"evaluation error: " + err.Error()}
 		return rep
@@ -129,7 +141,7 @@ func (i ReachIntent) Check(ctx *Context) Report {
 	devices := i.Devices
 	if len(devices) == 0 {
 		seen := map[string]bool{}
-		for _, r := range ctx.Updated.RIB.Rows() {
+		for _, r := range ctx.Updated.GlobalRIB().Rows() {
 			if !seen[r.Device] {
 				seen[r.Device] = true
 				devices = append(devices, r.Device)
@@ -137,7 +149,7 @@ func (i ReachIntent) Check(ctx *Context) Report {
 		}
 	}
 	has := map[string]bool{}
-	for _, r := range ctx.Updated.RIB.Rows() {
+	for _, r := range ctx.Updated.GlobalRIB().Rows() {
 		if r.Prefix == i.Prefix && r.RouteType == netmodel.RouteBest {
 			has[r.Device] = true
 		}

@@ -1,0 +1,190 @@
+package isis
+
+import (
+	"hoyan/internal/netmodel"
+	"hoyan/internal/par"
+)
+
+// Delta describes a topology change relative to the base SPF result: links
+// whose Up flag flipped plus nodes that went down or came up. The topology
+// passed to Recompute must already reflect the new state.
+type Delta struct {
+	// Links are the IDs of links whose Up state changed (either direction).
+	Links []netmodel.LinkID
+	// NodesDown / NodesUp are routers whose Up state flipped.
+	NodesDown []string
+	NodesUp   []string
+}
+
+// ReuseStats reports how much of the base result an incremental recompute
+// could keep.
+type ReuseStats struct {
+	Sources    int // up sources in the new topology
+	Reused     int // sources whose base per-source result was copied
+	Recomputed int // sources re-run from scratch
+}
+
+// Diff compares one source's view between two results. distChanged holds
+// destinations whose distance differs (including appearing or disappearing) —
+// the only IGP input to BGP next-hop resolution. hopsChanged holds those
+// whose ECMP first-hop set differs — the only IGP input to forwarding.
+func Diff(base, cur *Result, src string) (distChanged, hopsChanged map[string]bool) {
+	bd, cd := base.dist[src], cur.dist[src]
+	for x, v := range bd {
+		if cv, ok := cd[x]; !ok || cv != v {
+			if distChanged == nil {
+				distChanged = make(map[string]bool)
+			}
+			distChanged[x] = true
+		}
+	}
+	for x := range cd {
+		if _, ok := bd[x]; !ok {
+			if distChanged == nil {
+				distChanged = make(map[string]bool)
+			}
+			distChanged[x] = true
+		}
+	}
+	bh, ch := base.hops[src], cur.hops[src]
+	for x, v := range bh {
+		if !hopsEqual(ch[x], v) {
+			if hopsChanged == nil {
+				hopsChanged = make(map[string]bool)
+			}
+			hopsChanged[x] = true
+		}
+	}
+	for x := range ch {
+		if _, ok := bh[x]; !ok {
+			if hopsChanged == nil {
+				hopsChanged = make(map[string]bool)
+			}
+			hopsChanged[x] = true
+		}
+	}
+	return distChanged, hopsChanged
+}
+
+func hopsEqual(a, b []FirstHop) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Recompute derives the SPF result of the changed topology from a base
+// result, re-running Dijkstra only for sources whose shortest-path DAG the
+// delta can touch and sharing the base per-source maps for everyone else
+// (the Result accessors are read-only, so sharing is safe).
+//
+// The touched test is conservative but exact in the failure direction: a
+// removed edge changes a source's distances or ECMP first-hop sets only if it
+// was tight (dist[s][A] + cost(A→B) == dist[s][B] in either direction), and a
+// restored edge only if it creates an equal-or-better path to one endpoint.
+// Any node coming up falls back to a full recompute — new sources invalidate
+// every DAG bound through them only rarely, and change plans that re-enable
+// routers are not a hot path.
+//
+// It returns the new result, the set of touched sources (every source whose
+// per-source maps were recomputed), and the reuse statistics.
+func Recompute(topo *netmodel.Topology, base *Result, d Delta, opts Options) (*Result, map[string]bool, ReuseStats) {
+	var srcs []string
+	for _, n := range topo.Nodes() {
+		if n.Up {
+			srcs = append(srcs, n.Name)
+		}
+	}
+
+	if base == nil || len(d.NodesUp) > 0 {
+		full := Compute(topo, opts)
+		touched := make(map[string]bool, len(srcs))
+		for _, s := range srcs {
+			touched[s] = true
+		}
+		return full, touched, ReuseStats{Sources: len(srcs), Recomputed: len(srcs)}
+	}
+
+	touched := make(map[string]bool)
+	// A downed node touches every source that could reach it (their DAGs may
+	// route through it, and its disappearance as a destination matters to
+	// consumers either way).
+	for _, x := range d.NodesDown {
+		for s, dist := range base.dist {
+			if _, ok := dist[x]; ok {
+				touched[s] = true
+			}
+		}
+	}
+	for _, id := range d.Links {
+		l := topo.Link(id)
+		if l == nil {
+			continue
+		}
+		cAB := l.DirCost(l.A, opts.UseTEMetric)
+		cBA := l.DirCost(l.B, opts.UseTEMetric)
+		for s, dist := range base.dist {
+			if touched[s] {
+				continue
+			}
+			dA, okA := dist[l.A]
+			dB, okB := dist[l.B]
+			if l.Up {
+				// Link restored: it matters when it offers an equal-or-better
+				// path to either endpoint (equal matters too — ECMP first-hop
+				// sets grow on ties) or reaches a previously cut-off endpoint.
+				if okA && (!okB || dA+cAB <= dB) {
+					touched[s] = true
+				} else if okB && (!okA || dB+cBA <= dA) {
+					touched[s] = true
+				}
+			} else {
+				// Link failed: only tight edges appear in any shortest-path
+				// DAG; removing a slack edge changes nothing.
+				if okA && okB && (dA+cAB == dB || dB+cBA == dA) {
+					touched[s] = true
+				}
+			}
+		}
+	}
+
+	r := &Result{
+		dist: make(map[string]map[string]uint32, len(srcs)),
+		hops: make(map[string]map[string][]FirstHop, len(srcs)),
+	}
+	var redo []string
+	stats := ReuseStats{Sources: len(srcs)}
+	for _, s := range srcs {
+		if !touched[s] {
+			if bd, ok := base.dist[s]; ok {
+				r.dist[s] = bd
+				r.hops[s] = base.hops[s]
+				stats.Reused++
+				continue
+			}
+			// Unknown to the base (shouldn't happen without NodesUp): treat
+			// as touched.
+			touched[s] = true
+		}
+		redo = append(redo, s)
+	}
+	type perSrc struct {
+		dist map[string]uint32
+		hops map[string][]FirstHop
+	}
+	slots := par.Map(opts.Parallelism, len(redo), func(i int) perSrc {
+		dist, hops := sssp(topo, redo[i], opts)
+		return perSrc{dist: dist, hops: hops}
+	})
+	for i, s := range redo {
+		r.dist[s] = slots[i].dist
+		r.hops[s] = slots[i].hops
+		stats.Recomputed++
+	}
+	return r, touched, stats
+}

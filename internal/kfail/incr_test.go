@@ -1,0 +1,132 @@
+package kfail
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"hoyan/internal/core"
+	"hoyan/internal/gen"
+	"hoyan/internal/intent"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/telemetry"
+)
+
+// wanCheckInputs builds a check over every link of the generated WAN with a
+// property that some double failures violate, so result comparisons exercise
+// both outcomes.
+func wanCheckInputs() (*gen.Output, []intent.Intent) {
+	out := gen.Generate(gen.WAN(1))
+	reach := intent.ReachIntent{
+		Prefix:  netip.MustParsePrefix("10.0.0.0/24"),
+		Devices: []string{"rr-1-0"},
+		Want:    true,
+	}
+	return out, []intent.Intent{reach}
+}
+
+func sameResult(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if a.Scenarios != b.Scenarios {
+		t.Fatalf("%s: scenario counts differ: %d vs %d", label, a.Scenarios, b.Scenarios)
+	}
+	if !reflect.DeepEqual(a.Violations, b.Violations) {
+		t.Fatalf("%s: violations differ:\n%+v\nvs\n%+v", label, a.Violations, b.Violations)
+	}
+}
+
+// TestIncrementalMatchesFromScratch pins the correctness bar: the incremental
+// fork path and the DisableIncremental reference path must return identical
+// violations over a K=2 sweep that mixes link and node failures.
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	out, intents := wanCheckInputs()
+	elems := []Element{{Node: "dc-0-0"}}
+	for _, l := range out.Net.Topo.LinksOf("dc-0-0") {
+		elems = append(elems, Element{Link: l.ID()})
+	}
+	for _, l := range out.Net.Topo.LinksOf("rr-1-0") {
+		elems = append(elems, Element{Link: l.ID()})
+	}
+	opts := Options{K: 2, Elements: elems}
+	inc, err := Check(out.Net, out.Inputs, out.Flows, intents, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Sim.DisableIncremental = true
+	ref, err := Check(out.Net, out.Inputs, out.Flows, intents, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "incremental vs from-scratch", inc, ref)
+	if inc.OK() {
+		t.Error("sweep should find at least one violation (double uplink cut)")
+	}
+}
+
+// TestParallelMatchesSequential pins determinism: scenario-level parallelism
+// must not change the result or the violation order.
+func TestParallelMatchesSequential(t *testing.T) {
+	out, intents := wanCheckInputs()
+	opts := Options{K: 2, MaxScenarios: 60, Parallelism: 1}
+	seq, err := Check(out.Net, out.Inputs, out.Flows, intents, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 4
+	parRes, err := Check(out.Net, out.Inputs, out.Flows, intents, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "parallel vs sequential", seq, parRes)
+}
+
+// TestEnumerateCombosEarlyExit is the MaxScenarios regression test: hitting
+// the cap must unwind the DFS outright, doing work proportional to the cap
+// rather than walking all C(n, k) combinations.
+func TestEnumerateCombosEarlyExit(t *testing.T) {
+	combos, visited := enumerateCombos(200, 3, 10)
+	if len(combos) != 10 {
+		t.Fatalf("combos = %d, want 10", len(combos))
+	}
+	// C(200,1)+C(200,2)+C(200,3) is ~1.3M; a pre-order DFS that stops cold
+	// visits barely more nodes than it emits.
+	if visited > 2*10+3 {
+		t.Errorf("visited %d enumeration nodes for a cap of 10 — early exit broken", visited)
+	}
+	// Uncapped enumeration still yields the full count.
+	combos, _ = enumerateCombos(6, 2, 0)
+	if want := 6 + 15; len(combos) != want { // C(6,1)+C(6,2)
+		t.Errorf("uncapped combos = %d, want %d", len(combos), want)
+	}
+}
+
+// TestWorkAvoidanceCounters asserts the telemetry a k-failure sweep exports:
+// exact scenario counts and non-trivial reuse on the incremental path.
+func TestWorkAvoidanceCounters(t *testing.T) {
+	out, intents := wanCheckInputs()
+	reg := telemetry.NewRegistry()
+	tr := telemetry.NewTracer("kfail-test")
+	res, err := Check(out.Net, out.Inputs, out.Flows, intents,
+		Options{K: 1, MaxScenarios: 8, Registry: reg, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("kfail_scenarios_total", "").Value(); got != int64(res.Scenarios) {
+		t.Errorf("kfail_scenarios_total = %d, want %d", got, res.Scenarios)
+	}
+	if got := reg.Counter("incr_full_fallbacks_total", "").Value(); got != 0 {
+		t.Errorf("incr_full_fallbacks_total = %d, want 0 (pure link-down deltas)", got)
+	}
+	if got := reg.Counter("incr_spf_sources_reused", "").Value(); got == 0 {
+		t.Error("incr_spf_sources_reused stayed 0 across a sweep of single link failures")
+	}
+	if got := reg.Counter("incr_warm_rounds", "").Value(); got == 0 {
+		t.Error("incr_warm_rounds stayed 0 — warm restarts should still run rounds")
+	}
+	if spans := tr.Spans(); len(spans) != res.Scenarios {
+		t.Errorf("spans = %d, want one per scenario (%d)", len(spans), res.Scenarios)
+	}
+}
+
+var _ = netmodel.DefaultVRF
+var _ core.Options

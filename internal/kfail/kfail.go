@@ -1,18 +1,24 @@
 // Package kfail implements Hoyan's k-failure verification (§6.2): checking
 // that a property still holds when no more than k routers/links have failed.
-// Scenarios are enumerated exhaustively over a candidate element set and
-// simulated one by one — the production system's approach with the
-// scenario-pruning of [27] replaced by a hard scenario cap suited to the
-// repository's scales.
+// Scenarios are enumerated exhaustively over a candidate element set (with a
+// hard cap suited to the repository's scales) and simulated as incremental
+// forks of the base run: each scenario toggles the failed elements on a
+// reusable topology, warm-starts SPF/BGP/forwarding from the converged base
+// state, and reverts the toggles — instead of cloning the network and
+// recomputing from zero per combination.
 package kfail
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"hoyan/internal/config"
 	"hoyan/internal/core"
 	"hoyan/internal/intent"
 	"hoyan/internal/netmodel"
+	"hoyan/internal/par"
+	"hoyan/internal/telemetry"
 )
 
 // Element is one failable component.
@@ -37,8 +43,21 @@ type Options struct {
 	Elements []Element
 	// MaxScenarios bounds the enumeration (0 = unlimited).
 	MaxScenarios int
-	// Engine options for the simulations.
+	// Sim holds the engine options for the simulations. Set
+	// Sim.DisableIncremental to re-simulate every scenario from scratch (the
+	// reference path; results are byte-identical).
 	Sim core.Options
+	// Parallelism fans scenarios over a worker pool (par conventions: 0 =
+	// GOMAXPROCS, 1 = sequential). Each worker gets its own cloned topology;
+	// per-scenario engine parallelism is forced to 1 so the machine is not
+	// oversubscribed. Violation order is deterministic at any setting.
+	Parallelism int
+	// Registry receives work-avoidance counters (kfail_scenarios_total,
+	// incr_spf_sources_reused, incr_bgp_tables_dirty, incr_warm_rounds,
+	// incr_flows_reused). Nil disables metrics at zero cost.
+	Registry *telemetry.Registry
+	// Tracer records one span per scenario. Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // Violation is one failure scenario under which an intent fails.
@@ -68,61 +87,167 @@ func Check(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, 
 			elements = append(elements, Element{Link: l.ID()})
 		}
 	}
+	combos, _ := enumerateCombos(len(elements), o.K, o.MaxScenarios)
 
-	base := snapshotOf(net, inputs, flows, o.Sim)
-	res := &Result{}
+	workers := par.Workers(o.Parallelism)
+	innerOpts := o.Sim
+	if workers > 1 {
+		// One engine per scenario worker: keep the inner simulation
+		// sequential so scenario-level parallelism owns the cores.
+		innerOpts.Parallelism = 1
+	}
 
-	var combo []int
-	var enumerate func(start, remaining int) error
-	enumerate = func(start, remaining int) error {
-		if len(combo) > 0 {
-			if o.MaxScenarios > 0 && res.Scenarios >= o.MaxScenarios {
-				return nil
-			}
-			res.Scenarios++
-			failed := make([]Element, len(combo))
-			damaged := net.Clone()
-			for i, idx := range combo {
-				e := elements[idx]
-				failed[i] = e
-				if e.Node != "" {
-					damaged.Topo.SetNodeUp(e.Node, false)
-				} else {
-					damaged.Topo.SetLinkUp(e.Link, false)
+	scenarios := o.Registry.Counter("kfail_scenarios_total", "k-failure scenarios simulated")
+	spfReused := o.Registry.Counter("incr_spf_sources_reused", "SPF sources reused from the base run across incremental forks")
+	bgpDirty := o.Registry.Counter("incr_bgp_tables_dirty", "BGP tables seeded dirty across warm-started fixpoints")
+	warmRounds := o.Registry.Counter("incr_warm_rounds", "fixpoint rounds run by warm-started BGP re-simulations")
+	flowsReused := o.Registry.Counter("incr_flows_reused", "flows whose base path and load were reused across incremental forks")
+	fullFallbacks := o.Registry.Counter("incr_full_fallbacks_total", "scenario forks that fell back to from-scratch simulation")
+
+	eng := core.NewEngine(net, innerOpts)
+	baseRes := eng.BaseRun(inputs, flows)
+
+	// Bandwidths never change under up/down toggles: share one map across
+	// every snapshot.
+	bw := make(map[netmodel.LinkID]float64, len(net.Topo.Links()))
+	for _, l := range net.Topo.Links() {
+		bw[l.ID()] = l.Bandwidth
+	}
+	base := snapshotFrom(baseRes, bw)
+
+	// scratch topologies: the sequential path toggles the caller's network
+	// in place (reverting after each scenario); parallel workers draw cloned
+	// networks from a pool. Engine.Fork reads the passed network for all new
+	// state and only ever reads the shared base capture, so concurrent forks
+	// off one engine are safe.
+	pool := sync.Pool{New: func() any { return net.Clone() }}
+
+	type outcome struct {
+		reports []intent.Report
+		ok      bool
+	}
+	outcomes := make([]outcome, len(combos))
+
+	evalScenario := func(scratch *config.Network, combo []int, slot int) {
+		var delta core.Delta
+		var revertLinks []netmodel.LinkID
+		var revertNodes []string
+		for _, idx := range combo {
+			el := elements[idx]
+			if el.Node != "" {
+				if n := scratch.Topo.Node(el.Node); n != nil && n.Up {
+					scratch.Topo.SetNodeUp(el.Node, false)
+					delta.NodesDown = append(delta.NodesDown, el.Node)
+					revertNodes = append(revertNodes, el.Node)
+				}
+			} else {
+				if l := scratch.Topo.Link(el.Link); l != nil && l.Up {
+					scratch.Topo.SetLinkUp(el.Link, false)
+					delta.LinksDown = append(delta.LinksDown, el.Link)
+					revertLinks = append(revertLinks, el.Link)
 				}
 			}
-			snap := snapshotOf(damaged, inputs, flows, o.Sim)
-			ctx := &intent.Context{Base: *base, Updated: *snap}
-			reports, ok := intent.Verify(ctx, intents)
-			if !ok {
-				res.Violations = append(res.Violations, Violation{Failed: failed, Reports: reports})
-			}
 		}
-		if remaining == 0 {
-			return nil
+
+		span := o.Tracer.StartRoot("kfail.scenario")
+		res, stats := eng.Fork(scratch, delta)
+		span.SetTag("failed", elementNames(elements, combo))
+		if stats.Full {
+			fullFallbacks.Inc()
+			span.SetTag("mode", "full")
+		} else {
+			span.SetTag("mode", "incremental")
+			span.SetTag("bgp_tables_dirty", fmt.Sprintf("%d/%d", stats.BGPTablesDirty, stats.BGPTablesTotal))
 		}
-		for i := start; i < len(elements); i++ {
-			combo = append(combo, i)
-			if err := enumerate(i+1, remaining-1); err != nil {
-				return err
-			}
-			combo = combo[:len(combo)-1]
+		span.End()
+
+		for _, id := range revertLinks {
+			scratch.Topo.SetLinkUp(id, true)
 		}
-		return nil
+		for _, n := range revertNodes {
+			scratch.Topo.SetNodeUp(n, true)
+		}
+
+		scenarios.Inc()
+		spfReused.Add(int64(stats.SPFReused))
+		bgpDirty.Add(int64(stats.BGPTablesDirty))
+		warmRounds.Add(int64(stats.BGPRounds))
+		flowsReused.Add(int64(stats.FlowsReused))
+
+		snap := snapshotFrom(res, bw)
+		ctx := &intent.Context{Base: *base, Updated: *snap}
+		reports, ok := intent.Verify(ctx, intents)
+		outcomes[slot] = outcome{reports: reports, ok: ok}
 	}
-	if err := enumerate(0, o.K); err != nil {
-		return nil, err
+
+	if workers <= 1 {
+		for i, combo := range combos {
+			evalScenario(net, combo, i)
+		}
+	} else {
+		par.ForEach(o.Parallelism, len(combos), func(i int) {
+			scratch := pool.Get().(*config.Network)
+			evalScenario(scratch, combos[i], i)
+			pool.Put(scratch)
+		})
+	}
+
+	res := &Result{Scenarios: len(combos)}
+	for i, combo := range combos {
+		if outcomes[i].ok {
+			continue
+		}
+		failed := make([]Element, len(combo))
+		for j, idx := range combo {
+			failed[j] = elements[idx]
+		}
+		res.Violations = append(res.Violations, Violation{Failed: failed, Reports: outcomes[i].reports})
 	}
 	return res, nil
 }
 
-func snapshotOf(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, opts core.Options) *intent.Snapshot {
-	eng := core.NewEngine(net, opts)
-	r := eng.Run(inputs, flows)
-	snap := &intent.Snapshot{RIB: r.Routes.GlobalRIB(), Bandwidth: map[netmodel.LinkID]float64{}}
-	for _, l := range net.Topo.Links() {
-		snap.Bandwidth[l.ID()] = l.Bandwidth
+// enumerateCombos lists, in DFS pre-order, every combination of 1..k indices
+// out of n, stopping the recursion outright once max combos are collected
+// (max 0 = unlimited). visited counts loop expansions — the early-exit
+// regression test asserts it stays proportional to max, not to C(n, k).
+func enumerateCombos(n, k, max int) (combos [][]int, visited int) {
+	var combo []int
+	var rec func(start, remaining int) bool
+	rec = func(start, remaining int) bool {
+		if len(combo) > 0 {
+			if max > 0 && len(combos) >= max {
+				return false
+			}
+			combos = append(combos, append([]int(nil), combo...))
+		}
+		if remaining == 0 {
+			return true
+		}
+		for i := start; i < n; i++ {
+			visited++
+			combo = append(combo, i)
+			cont := rec(i+1, remaining-1)
+			combo = combo[:len(combo)-1]
+			if !cont {
+				return false
+			}
+		}
+		return true
 	}
+	rec(0, k)
+	return combos, visited
+}
+
+func elementNames(elements []Element, combo []int) string {
+	names := make([]string, len(combo))
+	for i, idx := range combo {
+		names[i] = elements[idx].String()
+	}
+	return strings.Join(names, ",")
+}
+
+func snapshotFrom(r *core.Result, bw map[netmodel.LinkID]float64) *intent.Snapshot {
+	snap := &intent.Snapshot{RIBFn: r.Routes.GlobalRIB, Bandwidth: bw}
 	if r.Traffic != nil {
 		snap.Paths = r.Traffic.Traffic.Paths
 		snap.Load = r.Traffic.Traffic.Load

@@ -39,6 +39,71 @@ func (t *RIB) Replace(prefix netip.Prefix, rs []Route) {
 	t.byPrefix[prefix] = rows
 }
 
+// ShallowClone returns a RIB with a fresh prefix map sharing the row slices.
+// Safe as long as every writer installs fresh slices (Replace does); used by
+// warm-started re-simulation to branch a converged table cheaply.
+// EqualContent reports whether two tables hold exactly the same rows
+// (Route.Identical, per prefix, in order).
+func (t *RIB) EqualContent(o *RIB) bool {
+	if t == o {
+		return true
+	}
+	if len(t.byPrefix) != len(o.byPrefix) {
+		return false
+	}
+	for p, rows := range t.byPrefix {
+		if !rowsIdentical(rows, o.byPrefix[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DiffPrefixes returns every prefix whose row set differs between t and o
+// (diff: present in only one of them, or in both with different rows), plus
+// the subsets present only in t (onlyT) and only in o (onlyO).
+func (t *RIB) DiffPrefixes(o *RIB) (diff, onlyT, onlyO []netip.Prefix) {
+	if t == o {
+		return nil, nil, nil
+	}
+	for p, rows := range t.byPrefix {
+		orows, ok := o.byPrefix[p]
+		if !ok {
+			diff = append(diff, p)
+			onlyT = append(onlyT, p)
+		} else if !rowsIdentical(rows, orows) {
+			diff = append(diff, p)
+		}
+	}
+	for p := range o.byPrefix {
+		if _, ok := t.byPrefix[p]; !ok {
+			diff = append(diff, p)
+			onlyO = append(onlyO, p)
+		}
+	}
+	return diff, onlyT, onlyO
+}
+
+func rowsIdentical(a, b []Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Identical(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *RIB) ShallowClone() *RIB {
+	cp := &RIB{Device: t.Device, VRF: t.VRF, byPrefix: make(map[netip.Prefix][]Route, len(t.byPrefix))}
+	for p, rows := range t.byPrefix {
+		cp.byPrefix[p] = rows
+	}
+	return cp
+}
+
 // Routes returns the rows for prefix (shared slice; callers must not modify).
 func (t *RIB) Routes(prefix netip.Prefix) []Route {
 	return t.byPrefix[prefix]
@@ -125,6 +190,12 @@ func NewGlobalRIB(rows []Route) *GlobalRIB {
 	out := append([]Route(nil), rows...)
 	sort.Slice(out, func(i, j int) bool { return CompareRoutes(out[i], out[j]) < 0 })
 	return &GlobalRIB{rows: out}
+}
+
+// NewGlobalRIBFromSorted wraps rows already in CompareRoutes order, without
+// copying or re-sorting. Callers must not modify rows afterwards.
+func NewGlobalRIBFromSorted(rows []Route) *GlobalRIB {
+	return &GlobalRIB{rows: rows}
 }
 
 // Merge combines per-device RIBs into one global RIB.

@@ -74,6 +74,17 @@ func (r Route) AttrsEqual(o Route) bool {
 		r.RouteType == o.RouteType
 }
 
+// Identical reports full structural equality: AttrsEqual plus the selection
+// state and provenance fields. Two identical rows are interchangeable for
+// every downstream consumer (forwarding, intents, diagnosis).
+func (r Route) Identical(o Route) bool {
+	return r.AttrsEqual(o) &&
+		r.IGPCost == o.IGPCost &&
+		r.ViaSR == o.ViaSR &&
+		r.Peer == o.Peer &&
+		r.Source == o.Source
+}
+
 func (r Route) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s/%s %s via %s proto=%s lp=%d med=%d comm=[%s] aspath=[%s] %s",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
 )
 
 // Node is a router in the topology graph. Routing configuration lives in the
@@ -68,6 +69,12 @@ type Topology struct {
 	links []*Link
 	// byDevice indexes links touching each device.
 	byDevice map[string][]*Link
+
+	// addrMu guards addrIdx, the lazily built address→owner index behind
+	// AddrOwner. Up/down toggles never move addresses, so the index survives
+	// SetLinkUp/SetNodeUp; structural mutations invalidate it.
+	addrMu  sync.RWMutex
+	addrIdx map[netip.Addr]string
 }
 
 // NewTopology creates an empty topology.
@@ -80,6 +87,7 @@ func (t *Topology) AddNode(n Node) {
 	n.Up = true
 	cp := n
 	t.nodes[n.Name] = &cp
+	t.invalidateAddrIdx()
 }
 
 // RemoveNode deletes a router and every link touching it.
@@ -94,6 +102,7 @@ func (t *Topology) RemoveNode(name string) {
 	}
 	t.links = kept
 	t.reindex()
+	t.invalidateAddrIdx()
 }
 
 // Node returns the named router, or nil.
@@ -134,6 +143,7 @@ func (t *Topology) AddLink(l Link) *Link {
 	t.links = append(t.links, &cp)
 	t.byDevice[cp.A] = append(t.byDevice[cp.A], &cp)
 	t.byDevice[cp.B] = append(t.byDevice[cp.B], &cp)
+	t.invalidateAddrIdx()
 	return &cp
 }
 
@@ -144,6 +154,7 @@ func (t *Topology) RemoveLink(id LinkID) bool {
 		if l.ID() == id {
 			t.links = append(t.links[:i], t.links[i+1:]...)
 			t.reindex()
+			t.invalidateAddrIdx()
 			return true
 		}
 	}
@@ -263,20 +274,59 @@ func (t *Topology) reindex() {
 }
 
 // AddrOwner returns the device owning addr on one of its link interfaces or
-// loopback, or "" if none.
+// loopback, or "" if none. Lookups go through a lazily built index (addresses
+// are queried once per BGP candidate and per forwarded flow hop, so the
+// linear scan used to dominate large simulations); the index is safe for
+// concurrent readers and is rebuilt after structural topology mutations.
 func (t *Topology) AddrOwner(addr netip.Addr) string {
-	for _, n := range t.nodes {
-		if n.Loopback == addr {
-			return n.Name
-		}
+	t.addrMu.RLock()
+	idx := t.addrIdx
+	t.addrMu.RUnlock()
+	if idx == nil {
+		idx = t.buildAddrIdx()
 	}
+	return idx[addr]
+}
+
+// buildAddrIdx (re)builds the address index: loopbacks take precedence over
+// link addresses, matching the scan order of the original implementation.
+func (t *Topology) buildAddrIdx() map[netip.Addr]string {
+	t.addrMu.Lock()
+	defer t.addrMu.Unlock()
+	if t.addrIdx != nil {
+		return t.addrIdx
+	}
+	idx := make(map[netip.Addr]string, len(t.nodes)+2*len(t.links))
 	for _, l := range t.links {
-		if l.AAddr == addr {
-			return l.A
+		if l.AAddr.IsValid() {
+			if _, ok := idx[l.AAddr]; !ok {
+				idx[l.AAddr] = l.A
+			}
 		}
-		if l.BAddr == addr {
-			return l.B
+		if l.BAddr.IsValid() {
+			if _, ok := idx[l.BAddr]; !ok {
+				idx[l.BAddr] = l.B
+			}
 		}
 	}
-	return ""
+	names := make([]string, 0, len(t.nodes))
+	for name := range t.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	loSeen := make(map[netip.Addr]bool, len(names))
+	for _, name := range names {
+		if lo := t.nodes[name].Loopback; lo.IsValid() && !loSeen[lo] {
+			loSeen[lo] = true
+			idx[lo] = name
+		}
+	}
+	t.addrIdx = idx
+	return idx
+}
+
+func (t *Topology) invalidateAddrIdx() {
+	t.addrMu.Lock()
+	t.addrIdx = nil
+	t.addrMu.Unlock()
 }

@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"hoyan/internal/core"
+	"hoyan/internal/gen"
+	"hoyan/internal/intent"
+	"hoyan/internal/scenario"
+)
+
+// verifyBothModes runs one scenario's plan through Verify with incremental
+// forking on and off and asserts the outcomes agree on everything an operator
+// sees: verdict, reports, and the updated snapshot.
+func verifyBothModes(t *testing.T, sc *scenario.Scenario) {
+	t.Helper()
+	inc := New(sc.Net, sc.Inputs, sc.Flows, core.Options{})
+	ref := New(sc.Net, sc.Inputs, sc.Flows, core.Options{DisableIncremental: true})
+
+	got, errInc := inc.Verify(sc.Plan, sc.Intents)
+	want, errRef := ref.Verify(sc.Plan, sc.Intents)
+	if (errInc == nil) != (errRef == nil) {
+		t.Fatalf("%s: error mismatch: incremental %v, reference %v", sc.Name, errInc, errRef)
+	}
+	if errInc != nil {
+		if !sc.WantApplyError {
+			t.Fatalf("%s: unexpected apply error %v", sc.Name, errInc)
+		}
+		return
+	}
+	if got.OK != want.OK {
+		t.Fatalf("%s: verdict mismatch: incremental %v, reference %v\nincremental reports: %+v\nreference reports: %+v",
+			sc.Name, got.OK, want.OK, got.Reports, want.Reports)
+	}
+	if !reflect.DeepEqual(got.Reports, want.Reports) {
+		t.Fatalf("%s: reports differ:\n%+v\nvs\n%+v", sc.Name, got.Reports, want.Reports)
+	}
+	if !got.UpdateSnap.RIB.Equal(want.UpdateSnap.RIB) {
+		t.Fatalf("%s: updated RIBs differ", sc.Name)
+	}
+	if !reflect.DeepEqual(got.UpdateSnap.Paths, want.UpdateSnap.Paths) {
+		t.Fatalf("%s: updated paths differ", sc.Name)
+	}
+	if !reflect.DeepEqual(got.UpdateSnap.Load, want.UpdateSnap.Load) {
+		t.Fatalf("%s: updated loads differ", sc.Name)
+	}
+	if got.OK != sc.WantOK {
+		t.Errorf("%s: verdict %v, scenario expects %v", sc.Name, got.OK, sc.WantOK)
+	}
+}
+
+// TestVerifyIncrementalMatchesFullOnCatalog runs every Table 2 change type
+// through Verify with and without DisableIncremental. Pure-delta types
+// (topology-adjust, new-prefix, prefix-reclamation) take the fork path;
+// command-carrying types fall back to full simulation — either way the
+// outcomes must match byte for byte.
+func TestVerifyIncrementalMatchesFullOnCatalog(t *testing.T) {
+	for _, sc := range scenario.Table2Catalog() {
+		t.Run(string(sc.Type), func(t *testing.T) { verifyBothModes(t, sc) })
+	}
+}
+
+func TestVerifyIncrementalMatchesFullOnCaseStudies(t *testing.T) {
+	for _, sc := range []*scenario.Scenario{scenario.Fig10a(), scenario.Fig10b()} {
+		t.Run(sc.Name, func(t *testing.T) { verifyBothModes(t, sc) })
+	}
+}
+
+// TestVerifyPureDeltaTakesForkPath asserts the routing decision itself: a
+// toggles-only plan must verify as an incremental fork (visible through
+// LastForkStats), while a command-carrying plan must not.
+func TestVerifyPureDeltaTakesForkPath(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	sys := New(out.Net, out.Inputs, out.Flows, core.Options{})
+
+	plan := scenario.LinkFailurePlan(out.Net.Topo.Links()[0].ID())
+	if _, err := sys.Verify(plan, nil); err != nil {
+		t.Fatal(err)
+	}
+	stats, forked := sys.LastForkStats()
+	if !forked {
+		t.Fatal("pure-delta plan must take the fork path")
+	}
+	if stats.Full {
+		t.Error("link-down fork fell back to full simulation")
+	}
+	if stats.SPFReused == 0 {
+		t.Error("fork reused no SPF sources")
+	}
+
+	if d, pure := plan.Delta(); !pure || len(d.LinksDown) != 1 {
+		t.Errorf("LinkFailurePlan must convert to a pure one-link delta, got %+v pure=%v", d, pure)
+	}
+	if _, pure := scenario.Table2Catalog()[0].Plan.Delta(); pure {
+		t.Error("a command-carrying plan must not convert to a pure delta")
+	}
+}
+
+// TestVerifyLinkFailureSweepIncremental sweeps a handful of single-link
+// failures through the pipeline both ways and checks load intents agree.
+func TestVerifyLinkFailureSweepIncremental(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	intents := []intent.Intent{intent.LoadIntent{MaxUtilization: 1.0}}
+	inc := New(out.Net, out.Inputs, out.Flows, core.Options{})
+	ref := New(out.Net, out.Inputs, out.Flows, core.Options{DisableIncremental: true})
+	plans := scenario.LinkFailureSweep(out.Net)
+	step := len(plans)/6 + 1
+	for i := 0; i < len(plans); i += step {
+		got, err := inc.Verify(plans[i], intents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Verify(plans[i], intents)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.OK != want.OK || !reflect.DeepEqual(got.Reports, want.Reports) {
+			t.Fatalf("%s: sweep outcome mismatch", plans[i].ID)
+		}
+		if !reflect.DeepEqual(got.UpdateSnap.Load, want.UpdateSnap.Load) {
+			t.Fatalf("%s: sweep loads differ", plans[i].ID)
+		}
+	}
+}

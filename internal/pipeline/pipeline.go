@@ -52,8 +52,11 @@ type System struct {
 	// role; the aggregated snapshot and spans land in LastRunReport.
 	Telemetry bool
 
+	baseEng    *core.Engine
 	baseSnap   *intent.Snapshot
 	lastReport RunReport
+	lastFork   core.ForkStats
+	forked     bool
 }
 
 // RunIO is the measured substrate I/O of one distributed simulation run:
@@ -134,18 +137,36 @@ func (s *System) Simulate(taskID string) (*intent.Snapshot, error) {
 }
 
 // BaseSnapshot returns the cached base simulation state, computing it on
-// first use (the daily pre-processing phase).
+// first use (the daily pre-processing phase). The base engine captures its
+// converged state, so later pure-delta change plans verify as incremental
+// forks instead of from-scratch simulations.
 func (s *System) BaseSnapshot() *intent.Snapshot {
 	if s.baseSnap == nil {
-		s.baseSnap = s.simulate(s.Base, s.Inputs, s.Flows)
+		res := s.baseEngine().BaseRun(s.Inputs, s.Flows)
+		s.baseSnap = snapshotOf(res, s.Base)
 	}
 	return s.baseSnap
 }
 
+// baseEngine returns the cached engine over the base network.
+func (s *System) baseEngine() *core.Engine {
+	if s.baseEng == nil {
+		s.baseEng = core.NewEngine(s.Base, s.Opts)
+	}
+	return s.baseEng
+}
+
+// LastForkStats reports the work avoided by the most recent incremental
+// verification; ok is false when no Verify has taken the fork path yet.
+func (s *System) LastForkStats() (core.ForkStats, bool) { return s.lastFork, s.forked }
+
 // simulate runs route + traffic simulation centralized.
 func (s *System) simulate(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow) *intent.Snapshot {
 	eng := core.NewEngine(net, s.Opts)
-	res := eng.Run(inputs, flows)
+	return snapshotOf(eng.Run(inputs, flows), net)
+}
+
+func snapshotOf(res *core.Result, net *config.Network) *intent.Snapshot {
 	snap := &intent.Snapshot{
 		RIB:       res.Routes.GlobalRIB(),
 		Bandwidth: bandwidths(net),
@@ -290,6 +311,14 @@ func (s *System) Verify(plan *change.Plan, intents []intent.Intent) (*Outcome, e
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: distributed simulation: %w", err)
 		}
+	} else if d, pure := plan.Delta(); pure && !s.Opts.DisableIncremental {
+		// Pure-delta plans (up/down toggles, input changes) re-simulate as
+		// warm-started forks of the cached base run — byte-identical to the
+		// full path, recomputing only what the delta touched.
+		s.BaseSnapshot()
+		res, stats := s.baseEngine().Fork(updated, d)
+		s.lastFork, s.forked = stats, true
+		upSnap = snapshotOf(res, updated)
 	} else {
 		upSnap = s.simulate(updated, inputs, s.Flows)
 	}

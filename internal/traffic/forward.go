@@ -111,6 +111,12 @@ func (f *Forwarder) Simulate(flows []netmodel.Flow) *Result {
 // Path computes the representative forwarding path of one flow, choosing one
 // ECMP branch per hop by 5-tuple hash.
 func (f *Forwarder) Path(fl netmodel.Flow) netmodel.Path {
+	return f.path(fl, nil)
+}
+
+// path is Path with optional trace recording: rec accumulates every device
+// whose forwarding state the walk consulted.
+func (f *Forwarder) path(fl netmodel.Flow, rec *Trace) netmodel.Path {
 	var path netmodel.Path
 	cur := fl.Ingress
 	inIface := ""
@@ -124,7 +130,8 @@ func (f *Forwarder) Path(fl netmodel.Flow) netmodel.Path {
 		}
 		visited[cur] = true
 
-		step := f.step(cur, inIface, fl)
+		rec.see(cur)
+		step := f.step(cur, inIface, fl, rec)
 		if step.exit != exitNone {
 			path.Hops = append(path.Hops, netmodel.Hop{Device: cur})
 			path.Exit = exitReason(step.exit)
@@ -152,6 +159,10 @@ type linkShare struct {
 // loadContribs walks the flow's ECMP fan-out and returns the volume share it
 // places on every traversed link, splitting evenly at each branch point.
 func (f *Forwarder) loadContribs(fl netmodel.Flow) []linkShare {
+	return f.loadContribsTraced(fl, nil)
+}
+
+func (f *Forwarder) loadContribsTraced(fl netmodel.Flow, rec *Trace) []linkShare {
 	type state struct {
 		device  string
 		inIface string
@@ -169,7 +180,8 @@ func (f *Forwarder) loadContribs(fl netmodel.Flow) []linkShare {
 		if st.depth >= f.opts.MaxHops {
 			continue
 		}
-		step := f.step(st.device, st.inIface, fl)
+		rec.see(st.device)
+		step := f.step(st.device, st.inIface, fl, rec)
 		if step.exit != exitNone {
 			continue
 		}
@@ -219,8 +231,9 @@ type stepResult struct {
 }
 
 // step decides what device dev does with the flow: terminate or forward
-// along one or more equal-cost branches.
-func (f *Forwarder) step(dev, inIface string, fl netmodel.Flow) stepResult {
+// along one or more equal-cost branches. rec (optional) accumulates the IGP
+// first-hop queries the step makes.
+func (f *Forwarder) step(dev, inIface string, fl netmodel.Flow, rec *Trace) stepResult {
 	d := f.net.Devices[dev]
 	if d == nil {
 		return stepResult{exit: exitNoRoute}
@@ -240,7 +253,7 @@ func (f *Forwarder) step(dev, inIface string, fl netmodel.Flow) stepResult {
 	// PBR bound to the ingress interface (or any interface at injection).
 	if !f.opts.IgnorePBR {
 		if nh, ok := f.pbrNextHop(d, inIface, fl); ok {
-			return f.applyEgressACL(d, fl, f.toward(d, nh, fl))
+			return f.applyEgressACL(d, fl, f.toward(d, nh, fl, rec))
 		}
 	}
 	// Longest prefix match over best routes. When the RIB has no match the
@@ -249,7 +262,7 @@ func (f *Forwarder) step(dev, inIface string, fl netmodel.Flow) stepResult {
 	rib := f.ribs.RIB(dev, netmodel.DefaultVRF)
 	_, best, ok := rib.LongestMatch(fl.Dst)
 	if !ok {
-		return f.toward(d, fl.Dst, fl)
+		return f.toward(d, fl.Dst, fl, rec)
 	}
 	// Direct route: destination is on-subnet but not ours — the flow leaves
 	// the modelled network here (e.g. toward an un-modelled server).
@@ -259,7 +272,7 @@ func (f *Forwarder) step(dev, inIface string, fl netmodel.Flow) stepResult {
 	var out stepResult
 	exitSeen := exitNoRoute
 	for _, r := range best {
-		br := f.toward(d, r.NextHop, fl)
+		br := f.toward(d, r.NextHop, fl, rec)
 		if br.exit != exitNone {
 			if exitSeen == exitNoRoute {
 				exitSeen = br.exit
@@ -307,7 +320,7 @@ func (f *Forwarder) applyEgressACL(d *config.Device, fl netmodel.Flow, sr stepRe
 }
 
 // toward resolves a next-hop address into concrete branches (or an exit).
-func (f *Forwarder) toward(d *config.Device, nh netip.Addr, fl netmodel.Flow) stepResult {
+func (f *Forwarder) toward(d *config.Device, nh netip.Addr, fl netmodel.Flow, rec *Trace) stepResult {
 	if !nh.IsValid() {
 		return stepResult{exit: exitNoRoute}
 	}
@@ -348,6 +361,7 @@ func (f *Forwarder) toward(d *config.Device, nh netip.Addr, fl netmodel.Flow) st
 		}
 	}
 	// Recursive resolution through the IGP.
+	rec.dep(d.Name, target)
 	fhs := f.igp.FirstHops(d.Name, target)
 	if len(fhs) == 0 {
 		return stepResult{exit: exitNoRoute}
