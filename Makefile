@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench-wire bench-incr chaos trace check
+.PHONY: all build test vet race bench-smoke bench-core bench-wire bench-incr chaos trace check
 
 all: check
 
@@ -23,6 +23,16 @@ race:
 # (including the BenchmarkParallel* scaling sweeps) without timing anything.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Index-based core measurement: the dense-ID route simulation vs the
+# preserved string-keyed reference (core.Options.DisableIndex) on the
+# gen.WAN(1) fixture. Asserts the >=3x route-sim floor and writes the
+# measured ratio, per-run allocation profile, and interner stats to
+# BENCH_core.json; the one-shot Benchmark{Core,RouteSim}* pass catches
+# bench bit-rot.
+bench-core:
+	CORE_BENCH_JSON=BENCH_core.json $(GO) test -run '^TestCoreSpeedup$$' -v .
+	$(GO) test -run '^$$' -bench '^Benchmark(Core|RouteSim)' -benchtime 1x .
 
 # Wire-codec size/speed measurement: binary format vs the legacy JSON
 # encoding on the gen.WAN(2) fixture. Asserts the >=3x size / >=2x decode
@@ -53,4 +63,4 @@ chaos:
 trace:
 	$(GO) run ./cmd/hoyan-exp -scale 1 -trace trace.json report
 
-check: vet build race bench-smoke bench-wire bench-incr chaos
+check: vet build race bench-smoke bench-core bench-wire bench-incr chaos

@@ -1,0 +1,193 @@
+// Index-based core benchmarks: the dense-ID engine (interned devices, links,
+// and prefixes; CSR topology; struct-of-array SPF/RIB hot paths) versus the
+// original string-keyed implementation preserved behind
+// core.Options.DisableIndex. `make bench-core` runs these and writes the
+// measured ratio plus allocation counts to BENCH_core.json; TestCoreSpeedup
+// pins the acceptance floor (>=3x on the centralized route-sim benchmark at
+// gen.WAN(1)).
+package hoyan
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"hoyan/internal/core"
+	"hoyan/internal/gen"
+)
+
+// coreFixture is the run under measurement on the gen.WAN(1) fixture.
+// Parallelism is pinned to 1 on both sides so the ratio isolates the indexing
+// effect rather than scheduler noise.
+type coreFixture struct {
+	g *gen.Output
+}
+
+func coreFixtures(tb testing.TB) *coreFixture {
+	g := gen.Generate(gen.WAN(1))
+	if len(g.Inputs) == 0 || len(g.Flows) == 0 {
+		tb.Fatal("fixture produced no inputs or flows")
+	}
+	return &coreFixture{g: g}
+}
+
+// run executes one cold engine run (IGP + route + traffic simulation), the
+// per-subtask unit of work the distributed fleet repeats.
+func (f *coreFixture) run(legacy bool) *core.Result {
+	opts := core.Options{Parallelism: 1, DisableIndex: legacy}
+	return core.NewEngine(f.g.Net, opts).Run(f.g.Inputs, f.g.Flows)
+}
+
+// routeSim executes the centralized route simulation only (IGP + BGP fixpoint
+// + RIB expansion, no traffic sweep). This is the unit TestCoreSpeedup pins:
+// route simulation is where the interned IDs replace string-keyed maps.
+func (f *coreFixture) routeSim(legacy bool) {
+	opts := core.Options{Parallelism: 1, DisableIndex: legacy}
+	core.NewEngine(f.g.Net, opts).RouteSimulation(f.g.Inputs)
+}
+
+// BenchmarkCoreIndexed times the dense-ID engine end to end.
+func BenchmarkCoreIndexed(b *testing.B) {
+	f := coreFixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.run(false)
+	}
+}
+
+// BenchmarkCoreLegacy times the preserved string-keyed reference path.
+func BenchmarkCoreLegacy(b *testing.B) {
+	f := coreFixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.run(true)
+	}
+}
+
+// BenchmarkRouteSimIndexed times the dense-ID route simulation alone.
+func BenchmarkRouteSimIndexed(b *testing.B) {
+	f := coreFixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.routeSim(false)
+	}
+}
+
+// BenchmarkRouteSimLegacy times the string-keyed route simulation alone.
+func BenchmarkRouteSimLegacy(b *testing.B) {
+	f := coreFixtures(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.routeSim(true)
+	}
+}
+
+// coreBenchReport is the BENCH_core.json schema (`make bench-core`).
+type coreBenchReport struct {
+	Devices int `json:"devices"`
+	Inputs  int `json:"inputs"`
+	Flows   int `json:"flows"`
+
+	// Route-simulation-only timings: the pinned ratio.
+	IndexedNs int64   `json:"indexed_ns"`
+	LegacyNs  int64   `json:"legacy_ns"`
+	Speedup   float64 `json:"speedup"`
+
+	// Per-run allocation profile of the route simulation.
+	IndexedAllocs     uint64 `json:"indexed_allocs"`
+	LegacyAllocs      uint64 `json:"legacy_allocs"`
+	IndexedAllocBytes uint64 `json:"indexed_alloc_bytes"`
+	LegacyAllocBytes  uint64 `json:"legacy_alloc_bytes"`
+
+	InternDevices    int   `json:"intern_devices"`
+	InternLinks      int   `json:"intern_links"`
+	InternPrefixes   int   `json:"intern_prefixes"`
+	InternTableBytes int64 `json:"intern_table_bytes"`
+}
+
+// allocsDuring runs f once and returns the heap allocation count and bytes it
+// performed (single-goroutine measurement; the fixture pins Parallelism 1).
+func allocsDuring(f func()) (allocs, bytes uint64) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+}
+
+// TestCoreSpeedup pins the indexed core's acceptance floor: the dense-ID
+// engine must run the gen.WAN(1) centralized route simulation at least 3x
+// faster than the preserved string-keyed implementation
+// (core.Options.DisableIndex). Measurements are paired per trial (like
+// TestWireCompactness) so a background spike on a loaded host lands on both
+// sides of a trial instead of biasing the ratio. With CORE_BENCH_JSON set it
+// also writes the measured numbers to that path (used by `make bench-core` to
+// produce BENCH_core.json).
+func TestCoreSpeedup(t *testing.T) {
+	f := coreFixtures(t)
+
+	// Warm both paths once (page cache, lazily built indices) and collect the
+	// per-run allocation profile outside the timed trials.
+	idxAllocs, idxBytes := allocsDuring(func() { f.routeSim(false) })
+	legAllocs, legBytes := allocsDuring(func() { f.routeSim(true) })
+
+	const trials, iters = 5, 1
+	idxNs, legNs := measurePair(trials, iters,
+		func() { f.routeSim(false) },
+		func() { f.routeSim(true) })
+
+	eng := core.NewEngine(f.g.Net, core.Options{Parallelism: 1})
+	eng.RouteSimulation(f.g.Inputs)
+	st := eng.InternStats()
+	if st == nil {
+		t.Fatal("indexed engine reported no intern stats")
+	}
+
+	rep := coreBenchReport{
+		Devices:           len(f.g.Net.Devices),
+		Inputs:            len(f.g.Inputs),
+		Flows:             len(f.g.Flows),
+		IndexedNs:         idxNs,
+		LegacyNs:          legNs,
+		Speedup:           float64(legNs) / float64(idxNs),
+		IndexedAllocs:     idxAllocs,
+		LegacyAllocs:      legAllocs,
+		IndexedAllocBytes: idxBytes,
+		LegacyAllocBytes:  legBytes,
+		InternDevices:     st.Devices,
+		InternLinks:       st.Links,
+		InternPrefixes:    st.Prefixes,
+		InternTableBytes:  st.TableBytes,
+	}
+
+	t.Logf("%d devices / %d inputs: route sim indexed %.2fms vs legacy %.2fms (%.2fx)",
+		rep.Devices, rep.Inputs, float64(rep.IndexedNs)/1e6, float64(rep.LegacyNs)/1e6, rep.Speedup)
+	t.Logf("allocs per run: indexed %d (%d B) vs legacy %d (%d B); interned %d devices, %d links, %d prefixes (%d B tables)",
+		rep.IndexedAllocs, rep.IndexedAllocBytes, rep.LegacyAllocs, rep.LegacyAllocBytes,
+		rep.InternDevices, rep.InternLinks, rep.InternPrefixes, rep.InternTableBytes)
+
+	// The race detector instruments the two paths unevenly (the indexed
+	// arenas are pointer-dense), so the ratio is only meaningful uninstrumented;
+	// `make bench-core` and the plain `go test` tier enforce the floor.
+	if rep.Speedup < 3 && !raceEnabled {
+		t.Errorf("indexed route sim only %.2fx faster than string-keyed reference, want >=3x", rep.Speedup)
+	}
+
+	if path := os.Getenv("CORE_BENCH_JSON"); path != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

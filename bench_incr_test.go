@@ -56,6 +56,7 @@ func (f *incrFixture) sweep(tb testing.TB, incremental bool, reg *telemetry.Regi
 // touched-source SPF, warm BGP fixpoint, trace-invalidated forwarding.
 func BenchmarkKFailIncremental(b *testing.B) {
 	f := incrFixtures(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.sweep(b, true, nil)
@@ -67,6 +68,7 @@ func BenchmarkKFailIncremental(b *testing.B) {
 // identity tests compare against).
 func BenchmarkKFailFromScratch(b *testing.B) {
 	f := incrFixtures(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.sweep(b, false, nil)

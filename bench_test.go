@@ -53,6 +53,7 @@ func fixtures() (*gen.Output, *gen.Output, *core.Engine, *core.RouteResult) {
 func BenchmarkCentralizedRouteSim(b *testing.B) {
 	wan, _, _, _ := fixtures()
 	b.ReportMetric(float64(len(wan.Inputs)), "inputs")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.NewEngine(wan.Net, core.Options{}).RouteSimulation(wan.Inputs)
@@ -63,6 +64,7 @@ func BenchmarkCentralizedRouteSim(b *testing.B) {
 // complete.
 func BenchmarkCentralizedRouteSimWANDCN(b *testing.B) {
 	_, dcn, _, _ := fixtures()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.NewEngine(dcn.Net, core.Options{}).RouteSimulation(dcn.Inputs)
@@ -72,6 +74,7 @@ func BenchmarkCentralizedRouteSimWANDCN(b *testing.B) {
 // §3.1 ablation: centralized route simulation without the EC technique.
 func BenchmarkCentralizedRouteSimNoECs(b *testing.B) {
 	wan, _, _, _ := fixtures()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		core.NewEngine(wan.Net, core.Options{DisableRouteECs: true}).RouteSimulation(wan.Inputs)
@@ -82,6 +85,7 @@ func BenchmarkCentralizedRouteSimNoECs(b *testing.B) {
 // queue, execute, collect) on an in-process cluster.
 func BenchmarkDistributedRouteSim(b *testing.B) {
 	wan, _, _, _ := fixtures()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := dsim.StartLocal(2)
@@ -120,6 +124,7 @@ func benchDistributedTraffic(b *testing.B, strategy dsim.Strategy) {
 	if err := c.Master.Wait("bench-t", "route", rt.Subtasks); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		taskID := "bench-t" + string(strategy) + strconv.Itoa(i)
@@ -144,6 +149,7 @@ func BenchmarkDistributedTrafficSimBaseline(b *testing.B) {
 // §3.1: route equivalence-class computation (~4x reduction claim).
 func BenchmarkRouteECs(b *testing.B) {
 	wan, _, _, _ := fixtures()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ecs := ec.ComputeRouteECs(wan.Net, nil, wan.Inputs, 1)
@@ -157,6 +163,7 @@ func BenchmarkRouteECs(b *testing.B) {
 func BenchmarkFlowECs(b *testing.B) {
 	wan, _, _, ribs := fixtures()
 	prefixes := ec.RIBPrefixes(ribs.GlobalRIB().Rows())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ec.ComputeFlowECs(wan.Net, prefixes, wan.Flows, 1)
@@ -167,6 +174,7 @@ func BenchmarkFlowECs(b *testing.B) {
 func BenchmarkTrafficSimulation(b *testing.B) {
 	wan, _, eng, ribs := fixtures()
 	fw := traffic.NewForwarder(wan.Net, eng.IGP(), ribs, traffic.Options{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		fw.Simulate(wan.Flows)
@@ -181,6 +189,7 @@ func BenchmarkRCLParse(b *testing.B) {
 		[]string{"65000:0", "65000:999"},
 		[]string{"100.64.3.1", "100.65.3.1"},
 	)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, s := range specs {
@@ -205,6 +214,7 @@ func BenchmarkRCLVerify(b *testing.B) {
 	for i, s := range specs {
 		parsed[i] = rcl.MustParse(s)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, g := range parsed {
@@ -228,6 +238,7 @@ func BenchmarkConfigParse(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(lines), "config-lines")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := config.BuildNetwork(texts, nil); err != nil {
@@ -239,6 +250,7 @@ func BenchmarkConfigParse(b *testing.B) {
 // Table 5: the full VSB differential-testing campaign.
 func BenchmarkVSBCampaign(b *testing.B) {
 	probe := diagnosis.BuildProbe()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		diagnosis.VSBCampaign(probe)
@@ -251,6 +263,7 @@ func BenchmarkChangeVerification(b *testing.B) {
 	sc := scenario.Fig10a()
 	sys := pipeline.New(sc.Net, sc.Inputs, sc.Flows, core.Options{})
 	sys.BaseSnapshot() // pre-processing outside the timed loop
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.Verify(sc.Plan, sc.Intents); err != nil {
@@ -267,6 +280,7 @@ func BenchmarkKFailureCheck(b *testing.B) {
 		elems = append(elems, kfail.Element{Link: l.ID()})
 	}
 	reach := intent.ReachIntent{Prefix: wan.Inputs[0].Prefix, Devices: []string{"rr-1-0"}, Want: true}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := kfail.Check(wan.Net, wan.Inputs, nil, []intent.Intent{reach}, kfail.Options{K: 1, Elements: elems}); err != nil {
@@ -290,6 +304,7 @@ router bgp
 !
 `},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := plan.Apply(wan.Net); err != nil {
@@ -308,7 +323,10 @@ func parallelismSweep(b *testing.B, fn func(b *testing.B, parallelism int)) {
 			continue
 		}
 		seen[p] = true
-		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) { fn(b, p) })
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b, p)
+		})
 	}
 }
 
@@ -328,6 +346,7 @@ func BenchmarkParallelTrafficSimulation(b *testing.B) {
 	wan, _, eng, ribs := fixtures()
 	parallelismSweep(b, func(b *testing.B, p int) {
 		fw := traffic.NewForwarder(wan.Net, eng.IGP(), ribs, traffic.Options{Parallelism: p})
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			fw.Simulate(wan.Flows)
@@ -375,6 +394,7 @@ func BenchmarkMakespanModel(b *testing.B) {
 	for i := range durs {
 		durs[i] = time.Duration(1+i%17) * time.Millisecond
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for w := 1; w <= 10; w++ {

@@ -2,7 +2,7 @@ package bgp
 
 import (
 	"net/netip"
-	"sort"
+	"slices"
 
 	"hoyan/internal/netmodel"
 )
@@ -103,7 +103,7 @@ func (s *sim) refreshAggregate(k tableKey, a aggregateOf) bool {
 		for asn := range set {
 			asPath.Set = append(asPath.Set, asn)
 		}
-		sort.Slice(asPath.Set, func(i, j int) bool { return asPath.Set[i] < asPath.Set[j] })
+		slices.Sort(asPath.Set)
 	} else if prof.AggregateKeepsCommonASPrefix {
 		// VSB: without as-set, some vendors keep the contributors' common
 		// leading AS sequence; others emit an empty path.

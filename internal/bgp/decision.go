@@ -2,8 +2,7 @@ package bgp
 
 import (
 	"net/netip"
-	"sort"
-	"strconv"
+	"slices"
 
 	"hoyan/internal/config"
 	"hoyan/internal/netmodel"
@@ -13,184 +12,276 @@ import (
 // decideAndAdvertise reruns the decision process for every dirty
 // (table, prefix), updates the RIBs, maintains aggregates and VRF leaks, and
 // returns the advertisements for the next round.
-func (s *sim) decideAndAdvertise(dirty map[tableKey]map[netip.Prefix]bool) []msg {
-	var out []msg
+//
+// This is the indexed/allocation-lean loop: the dirty set arrives as the
+// dense per-table bitset deliver maintained (dense.go), iteration order
+// comes from precomputed rank arrays over interned IDs instead of sorting
+// strings and prefixes every round, per-table configuration (device,
+// profile, policy env, sessions with resolved export policies, leak
+// targets, aggregates) is read from the cached tableInfo, and the
+// advertisement signature is compared byte-wise against the stored string
+// before anything is allocated. The message buffer and route arena are
+// reused across rounds — a returned batch is fully consumed by deliver
+// before the next call. The original implementation is
+// legacyDecideAndAdvertise.
+func (s *sim) decideAndAdvertise() []msg {
+	if s.msgScratch == nil {
+		// Presized once per sim: the first round's batch is the largest, and
+		// growing there doubles through several copies of a large msg slice.
+		s.msgScratch = make([]msg, 0, 1024)
+	}
+	out := s.msgScratch[:0]
+	s.advUsed = 0 // last round's messages were consumed; recycle the arena
 
-	if s.dirtyDevs != nil {
-		for k := range dirty {
+	// Deterministic iteration order: tables in (device, vrf) lexical order
+	// via the interned rank array, prefixes in LastAddr order via the
+	// per-pid LastAddr cache (ties broken by prefix length then address,
+	// making the order total — the legacy sort leaves LastAddr ties in map
+	// order, which the fixpoint result does not depend on).
+	trank := s.tableRank()
+	tids := s.dirtyTids
+	slices.SortFunc(tids, func(a, b int32) int { return int(trank[a]) - int(trank[b]) })
+
+	for _, tid := range tids {
+		ti := s.tinfo[tid]
+		k := ti.k
+		if s.dirtyDevs != nil {
 			s.dirtyDevs[k.dev] = true
 		}
-	}
-
-	// Deterministic iteration order.
-	keys := make([]tableKey, 0, len(dirty))
-	for k := range dirty {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].dev != keys[j].dev {
-			return keys[i].dev < keys[j].dev
-		}
-		return keys[i].vrf < keys[j].vrf
-	})
-
-	for _, k := range keys {
 		s.own(k)
-		prefixes := make([]netip.Prefix, 0, len(dirty[k]))
-		for p := range dirty[k] {
-			prefixes = append(prefixes, p)
-		}
-		sort.Slice(prefixes, func(i, j int) bool {
-			return netmodel.LastAddr(prefixes[i]).Compare(netmodel.LastAddr(prefixes[j])) < 0
-		})
-		for _, p := range prefixes {
-			best, sorted := s.decide(k, p)
-			sig := advSignature(sorted)
-			if s.lastAdv[k] == nil {
-				s.lastAdv[k] = make(map[netip.Prefix]string)
+		pids := s.dirtyPids[tid]
+		slices.SortFunc(pids, func(a, b int32) int {
+			if c := s.lastAddrs[a].Compare(s.lastAddrs[b]); c != 0 {
+				return c
 			}
-			if s.lastAdv[k][p] == sig {
+			pa, pb := s.pfxs[a], s.pfxs[b]
+			if ba, bb := pa.Bits(), pb.Bits(); ba != bb {
+				return ba - bb
+			}
+			return pa.Addr().Compare(pb.Addr())
+		})
+		// Hoist the table's maps out of the prefix loop: one tableKey hash
+		// each instead of one per decision. own() ran above, so none of these
+		// are replaced for the rest of the round.
+		// Size hint: default-VRF tables converge to roughly every prefix
+		// the run has seen; non-default VRFs carry only their leaked/local
+		// slice, where a full-size presize wastes more than it saves.
+		hint := 0
+		if k.vrf == netmodel.DefaultVRF {
+			hint = len(s.pfxs)
+		}
+		la := s.lastAdv[k]
+		if la == nil {
+			la = make(map[netip.Prefix]string, hint)
+			s.lastAdv[k] = la
+		}
+		lk := s.locals[k]
+		ai := s.adjIn[k]
+		rib := s.ribs[k]
+		if rib == nil {
+			rib = netmodel.NewRIBSized(k.dev, k.vrf, hint)
+			s.ribs[k] = rib
+		}
+		for _, pid := range pids {
+			p := s.pfxs[pid]
+			best, sorted := s.decide(ti, lk, ai, rib, p)
+			sig := appendAdvSignature(s.sigScratch[:0], sorted)
+			s.sigScratch = sig
+			if la[p] == string(sig) { // alloc-free comparison
 				continue // steady state for this prefix
 			}
-			s.lastAdv[k][p] = sig
-			out = append(out, s.advertise(k, p, best, sorted)...)
-			out = append(out, s.leak(k, p, best)...)
-			out = append(out, s.updateAggregates(k, p)...)
+			la[p] = string(sig)
+			out = s.advertiseInto(out, ti, p, pid, best, sorted)
+			out = s.leakInto(out, ti, p, pid, best)
+			out = s.updateAggregatesInto(out, ti, tid, p)
 		}
+		// Clear this table's dirty marks for the next round.
+		mark := s.dirtyMark[tid]
+		for _, pid := range pids {
+			mark[pid] = false
+		}
+		s.dirtyPids[tid] = pids[:0]
 	}
+	s.dirtyTids = tids[:0]
+	s.msgScratch = out
 	return out
 }
 
 // decide runs best-path selection for one (table, prefix) and installs the
 // result into the RIB. It returns the best (possibly ECMP) candidates and
-// the full resolved candidate list in preference order (for add-path).
-func (s *sim) decide(k tableKey, p netip.Prefix) (best, sorted []cand) {
-	var cands []cand
-	for _, c := range s.locals[k][p] {
-		cands = append(cands, c)
+// the full resolved candidate list in preference order (for add-path); both
+// point into sim scratch buffers that the next decide call overwrites.
+func (s *sim) decide(ti *tableInfo, lk map[netip.Prefix][]cand, ai map[netip.Prefix]map[string][]cand, rib *netmodel.RIB, p netip.Prefix) (best, sorted []cand) {
+	cands := s.candScratch[:0]
+	cands = append(cands, lk[p]...)
+	byFrom := ai[p]
+	froms := s.fromScratch[:0]
+	for from := range byFrom {
+		froms = append(froms, from)
 	}
-	fromKeys := make([]string, 0)
-	for from := range s.adjIn[k][p] {
-		fromKeys = append(fromKeys, from)
-	}
-	sort.Strings(fromKeys)
-	for _, from := range fromKeys {
-		cands = append(cands, s.adjIn[k][p][from]...)
+	slices.Sort(froms)
+	s.fromScratch = froms
+	for _, from := range froms {
+		cands = append(cands, byFrom[from]...)
 	}
 
-	// Resolve next hops and compute IGP costs.
-	resolved := cands[:0]
-	var unresolved []cand
-	for _, c := range cands {
-		c = s.resolve(k.dev, c)
-		if c.resolved {
-			resolved = append(resolved, c)
+	// Resolve next hops and compute IGP costs, mutating the scratch copies in
+	// place (a cand embeds a full Route, so by-value resolve cost three big
+	// copies per candidate). The stable compaction keeps the resolved
+	// candidates in arrival order, matching the legacy partition.
+	unresolved := s.unresScratch[:0]
+	w := 0
+	for i := range cands {
+		s.resolve(ti, &cands[i])
+		if cands[i].resolved {
+			if w != i {
+				cands[w] = cands[i]
+			}
+			w++
 		} else {
-			unresolved = append(unresolved, c)
+			unresolved = append(unresolved, cands[i])
 		}
 	}
-	cands = resolved
+	cands = cands[:w]
+	s.unresScratch = unresolved
+	s.candScratch = cands[:0]
 
-	d := s.net.Devices[k.dev]
-	sort.SliceStable(cands, func(i, j int) bool { return s.better(cands[i], cands[j]) })
+	// Sort an index permutation instead of the candidates themselves: the
+	// comparator then shuffles int32s rather than copying a ~200-byte struct
+	// pair per comparison. A stable sort of indices initialized in slice order
+	// is equivalent to a stable sort of the elements.
+	ord := s.ordScratch[:0]
+	for i := range cands {
+		ord = append(ord, int32(i))
+	}
+	if len(cands) > 1 {
+		slices.SortStableFunc(ord, func(x, y int32) int { return s.cmpCand(&cands[x], &cands[y]) })
+	}
+	s.ordScratch = ord
+	identity := true
+	for i, ix := range ord {
+		if ix != int32(i) {
+			identity = false
+			break
+		}
+	}
+	if identity {
+		// Arrival order was already preference order (the common steady
+		// state): skip materializing the permutation.
+		sorted = cands
+	} else {
+		sorted = s.sortScratch[:0]
+		for _, ix := range ord {
+			sorted = append(sorted, cands[ix])
+		}
+		s.sortScratch = sorted
+	}
 
 	// Mark best + ECMP. Non-BGP protocols win on Preference alone: the
 	// comparator sorts by preference first, so the top candidate's protocol
 	// group takes the table.
-	rib := s.ribs[k]
-	if rib == nil {
-		rib = netmodel.NewRIB(k.dev, k.vrf)
-		s.ribs[k] = rib
-	}
-	maxPaths := 1
-	if d != nil && d.MaxPaths > 1 {
-		maxPaths = d.MaxPaths
-	}
+	maxPaths := ti.maxPaths
+	best = s.bestScratch[:0]
+	// Exact-size carve from the grow-only row arena; the RIB adopts it in
+	// place of Replace's copy (ReplaceOwned).
 	var rows []netmodel.Route
-	for i := range cands {
-		c := cands[i]
+	if n := len(sorted) + len(unresolved); n > 0 {
+		rows = s.takeRows(n)
+	}
+	for i := range sorted {
+		c := &sorted[i]
 		r := c.route
 		r.IGPCost = c.igpCost
 		r.ViaSR = c.viaSR
 		if i == 0 {
 			r.RouteType = netmodel.RouteBest
-			best = append(best, c)
-		} else if len(best) < maxPaths && s.equalCost(cands[0], c) && distinctNextHop(best, c) {
+			best = append(best, *c)
+		} else if len(best) < maxPaths && s.equalCostPtr(&sorted[0], c) && distinctNextHopPtr(best, c) {
 			r.RouteType = netmodel.RouteBest
-			best = append(best, c)
+			best = append(best, *c)
 		} else {
 			r.RouteType = netmodel.RouteCandidate
 		}
 		rows = append(rows, r)
 	}
+	s.bestScratch = best
 	// Unresolved candidates stay visible as candidates for diagnosis.
-	for _, c := range unresolved {
-		r := c.route
+	for i := range unresolved {
+		r := unresolved[i].route
 		r.RouteType = netmodel.RouteCandidate
 		rows = append(rows, r)
 	}
-	rib.Replace(p, rows)
-	return best, cands
+	rib.ReplaceOwned(p, rows)
+	return best, sorted
 }
 
 // resolve fills in next-hop reachability, IGP cost, and SR tunnel state.
-func (s *sim) resolve(dev string, c cand) cand {
+// The table's dense device ID (cached in ti) feeds the flat-array IGP cost
+// lookup and the address-ownership table; string lookups remain only for the
+// fallback when the IGP result was not computed against this topology index.
+// The original implementation is legacyResolve.
+func (s *sim) resolve(ti *tableInfo, c *cand) {
+	dev, devID := ti.k.dev, ti.devID
 	c.resolved = false
-	r := c.route
+	nh := c.route.NextHop
 	if c.local {
 		// Locally originated candidates resolve trivially, except statics
 		// whose next hop must be reachable.
-		if r.Protocol == netmodel.ProtoStatic {
-			if !s.nextHopUsable(dev, r.NextHop) {
-				return c
+		if c.route.Protocol == netmodel.ProtoStatic {
+			if !s.nextHopUsable(dev, nh) {
+				return
 			}
 		}
 		c.resolved, c.igpCost = true, 0
-		return c
+		return
 	}
-	if !r.NextHop.IsValid() {
-		return c
+	if !nh.IsValid() {
+		return
 	}
-	owner := s.net.Topo.AddrOwner(r.NextHop)
-	if owner == dev {
-		c.resolved, c.igpCost = true, 0
-		return c
-	}
-	prof := s.profileOf(dev)
-	if owner == "" {
+	ownerID := s.topoIdx.AddrOwnerID(nh)
+	if ownerID == netmodel.NoDev {
 		// Unknown owner: usable only when on a directly connected subnet
 		// (e.g. an un-modelled external peer address).
-		if s.onDirectSubnet(dev, r.NextHop) {
+		if s.onDirectSubnet(dev, nh) {
 			c.resolved, c.igpCost = true, 0
 		}
-		return c
+		return
 	}
-	cost, ok := s.igp.Cost(dev, owner)
+	if ownerID == devID {
+		c.resolved, c.igpCost = true, 0
+		return
+	}
+	var cost uint32
+	var ok bool
+	if s.igpIdxOK && devID != netmodel.NoDev {
+		cost, ok = s.igp.CostID(devID, ownerID)
+	} else {
+		cost, ok = s.igp.Cost(dev, s.topoIdx.DevName(ownerID))
+	}
 	if !ok {
-		if l := s.net.Topo.FindLink(dev, owner); l != nil {
+		if l := s.net.Topo.FindLink(dev, s.topoIdx.DevName(ownerID)); l != nil {
 			cost, ok = l.DirCost(dev, s.opts.UseTEMetric), true
 		}
 	}
 	if !ok {
-		return c
+		return
 	}
 	// SR tunnel: if the device configures an SR policy whose endpoint is the
 	// next hop (or the owner's loopback), traffic rides the tunnel. The VSB
 	// decides whether the IGP cost is zeroed (Figure 9 root cause).
-	if d := s.net.Devices[dev]; d != nil {
+	if d := ti.dev; d != nil {
 		for _, sp := range d.SRPolicies {
-			epOwner := s.net.Topo.AddrOwner(sp.Endpoint)
-			if sp.Endpoint == r.NextHop || (epOwner != "" && epOwner == owner) {
+			epOwner := s.topoIdx.AddrOwnerID(sp.Endpoint)
+			if sp.Endpoint == nh || (epOwner != netmodel.NoDev && epOwner == ownerID) {
 				c.viaSR = true
 				break
 			}
 		}
 	}
-	if c.viaSR && prof.SRTunnelIGPCostZero {
+	if c.viaSR && ti.prof.SRTunnelIGPCostZero {
 		cost = 0
 	}
 	c.resolved, c.igpCost = true, cost
-	return c
 }
 
 func (s *sim) onDirectSubnet(dev string, nh netip.Addr) bool {
@@ -291,9 +382,35 @@ func (s *sim) equalCost(a, b cand) bool {
 		a.igpCost == b.igpCost
 }
 
+// equalCostPtr is the copy-free form of equalCost used by the indexed
+// decision loop (a cand embeds a full Route, so the by-value form copies two
+// large structs per ECMP check).
+func (s *sim) equalCostPtr(a, b *cand) bool {
+	ra, rb := &a.route, &b.route
+	return ra.Preference == rb.Preference &&
+		ra.Protocol == rb.Protocol &&
+		ra.Weight == rb.Weight &&
+		ra.LocalPref == rb.LocalPref &&
+		ra.ASPath.Len() == rb.ASPath.Len() &&
+		ra.Origin == rb.Origin &&
+		ra.MED == rb.MED &&
+		a.ebgp == b.ebgp &&
+		a.igpCost == b.igpCost
+}
+
 func distinctNextHop(best []cand, c cand) bool {
 	for _, b := range best {
 		if b.route.NextHop == c.route.NextHop {
+			return false
+		}
+	}
+	return true
+}
+
+// distinctNextHopPtr is the copy-free form of distinctNextHop.
+func distinctNextHopPtr(best []cand, c *cand) bool {
+	for i := range best {
+		if best[i].route.NextHop == c.route.NextHop {
 			return false
 		}
 	}
@@ -312,95 +429,110 @@ func (s *sim) peerRouterID(peer string) netip.Addr {
 // cover every field that influences what peers receive — warm restarts rely
 // on a changed decision always producing a changed signature.
 func advSignature(best []cand) string {
-	if len(best) == 0 {
-		return ""
-	}
-	// Hand-rolled formatting: this runs once per (table, prefix) decision and
-	// dominates fixpoint bookkeeping cost under fmt.
-	b := make([]byte, 0, 96*len(best))
-	appendBool := func(v bool) {
-		if v {
-			b = append(b, 'T')
-		} else {
-			b = append(b, 'F')
-		}
-	}
-	for _, c := range best {
-		r := c.route
-		b = r.Prefix.AppendTo(b)
-		b = append(b, '|')
-		if r.NextHop.IsValid() {
-			b = r.NextHop.AppendTo(b)
-		}
-		b = append(b, '|')
-		for _, cm := range r.Communities.All() {
-			b = strconv.AppendUint(b, uint64(cm), 10)
-			b = append(b, ',')
-		}
-		b = append(b, '|')
-		b = strconv.AppendUint(b, uint64(r.LocalPref), 10)
-		b = append(b, '|')
-		b = strconv.AppendUint(b, uint64(r.MED), 10)
-		b = append(b, '|')
-		b = strconv.AppendUint(b, uint64(r.Weight), 10)
-		b = append(b, '|')
-		for _, a := range r.ASPath.Seq {
-			b = strconv.AppendUint(b, uint64(a), 10)
-			b = append(b, ',')
-		}
-		b = append(b, '/')
-		for _, a := range r.ASPath.Set {
-			b = strconv.AppendUint(b, uint64(a), 10)
-			b = append(b, ',')
-		}
-		b = append(b, '|')
-		b = strconv.AppendUint(b, uint64(r.Origin), 10)
-		b = append(b, '|')
-		appendBool(c.ebgp)
-		b = append(b, '|')
-		b = strconv.AppendUint(b, uint64(c.igpCost), 10)
-		b = append(b, '|')
-		b = strconv.AppendUint(b, uint64(r.Protocol), 10)
-		b = append(b, '|')
-		b = append(b, r.Source...)
-		b = append(b, '|')
-		appendBool(c.local)
-		appendBool(c.direct32)
-		b = append(b, ';')
-	}
-	return string(b)
+	return string(appendAdvSignature(nil, best))
 }
 
-// advertise builds the outgoing messages for one table/prefix after its best
-// set changed. Sessions with add-path draw from the full sorted candidate
-// list; plain sessions advertise only the best route.
-func (s *sim) advertise(k tableKey, p netip.Prefix, best, sorted []cand) []msg {
-	d := s.net.Devices[k.dev]
-	if d == nil {
-		return nil
+// appendAdvSignature is the append-flavoured form of advSignature: it writes
+// the fingerprint into dst (byte-identical to the string advSignature
+// returns) so the optimized decision loop can reuse one buffer across
+// prefixes and only allocate when the signature actually changed.
+func appendAdvSignature(dst []byte, best []cand) []byte {
+	if len(best) == 0 {
+		return dst
 	}
-	prof := s.profileOf(k.dev)
-	// VSB: policy-isolated devices keep learning but stop advertising.
-	if d.Isolated && prof.IsolationViaPolicy {
-		return nil
+	// Binary encoding with fixed-width integers and length-prefixed variable
+	// fields: only injectivity matters (a changed decision must always produce
+	// a changed signature, and an unchanged one never may), not readability,
+	// and decimal formatting dominated fixpoint bookkeeping cost. This runs
+	// once per (table, prefix) decision.
+	b := dst
+	if cap(b)-len(b) < 96*len(best) {
+		grown := make([]byte, len(b), len(b)+96*len(best))
+		copy(grown, b)
+		b = grown
 	}
-	env := s.envOf(d)
-	isRR := false
-	for _, sess := range s.sessions[k.dev] {
-		if sess.nb.RRClient {
-			isRR = true
-			break
+	appendU32 := func(v uint32) {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	appendAddr := func(a netip.Addr) {
+		// As16 maps v4 into the v4-in-v6 space; the Is4 flag keeps the two
+		// forms distinct so the encoding stays injective.
+		flags := byte(0)
+		if a.IsValid() {
+			flags |= 1
+		}
+		if a.Is4() {
+			flags |= 2
+		}
+		b = append(b, flags)
+		a16 := a.As16()
+		b = append(b, a16[:]...)
+	}
+	appendBool := func(v bool) {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
 		}
 	}
+	for ci := range best {
+		c := &best[ci]
+		r := &c.route
+		appendAddr(r.Prefix.Addr())
+		b = append(b, byte(r.Prefix.Bits()))
+		appendAddr(r.NextHop)
+		comms := r.Communities.All()
+		appendU32(uint32(len(comms)))
+		for _, cm := range comms {
+			appendU32(uint32(cm))
+		}
+		appendU32(r.LocalPref)
+		appendU32(r.MED)
+		appendU32(r.Weight)
+		appendU32(uint32(len(r.ASPath.Seq)))
+		for _, a := range r.ASPath.Seq {
+			appendU32(uint32(a))
+		}
+		appendU32(uint32(len(r.ASPath.Set)))
+		for _, a := range r.ASPath.Set {
+			appendU32(uint32(a))
+		}
+		b = append(b, byte(r.Origin))
+		appendBool(c.ebgp)
+		appendU32(c.igpCost)
+		b = append(b, byte(r.Protocol))
+		appendU32(uint32(len(r.Source)))
+		b = append(b, r.Source...)
+		appendBool(c.local)
+		appendBool(c.direct32)
+	}
+	return b
+}
 
-	var out []msg
-	for _, sess := range s.sessions[k.dev] {
-		if sess.vrf != k.vrf {
+// advertiseInto builds the outgoing messages for one table/prefix after its
+// best set changed, appending them to out. Sessions with add-path draw from
+// the full sorted candidate list; plain sessions advertise only the best
+// route. The table's sessions (pre-filtered to its VRF, with export policies
+// resolved once per run) come from the cached tableInfo; per-session
+// advertisement slices are carved from the per-round route arena, and a
+// withdrawal (empty adv) allocates nothing. The original is legacyAdvertise.
+func (s *sim) advertiseInto(out []msg, ti *tableInfo, p netip.Prefix, pid int32, best, sorted []cand) []msg {
+	d := ti.dev
+	// VSB: policy-isolated devices keep learning but stop advertising.
+	if d == nil || !ti.advertise {
+		return out
+	}
+	prof := ti.prof
+	hasAggs := len(ti.aggs) > 0
+
+	for i := range ti.sessions {
+		si := &ti.sessions[i]
+		if !si.ok {
 			continue
 		}
-		pol, ok := s.exportPolicy(d, sess.nb, sess.remote, prof)
-		if !ok {
-			continue
+		sess, pol := si.sess, si.pol
+		if si.toTID1 == 0 {
+			si.toTID1 = s.tidOf(tableKey{sess.remote, sess.vrf}) + 1
 		}
 		limit := 1
 		pool := best[:min(1, len(best))]
@@ -409,7 +541,8 @@ func (s *sim) advertise(k tableKey, p netip.Prefix, best, sorted []cand) []msg {
 			pool = sorted
 		}
 		var adv []netmodel.Route
-		for _, c := range pool {
+		for ci := range pool {
+			c := &pool[ci]
 			if len(adv) >= limit {
 				break
 			}
@@ -419,12 +552,13 @@ func (s *sim) advertise(k tableKey, p netip.Prefix, best, sorted []cand) []msg {
 			if c.route.Protocol != netmodel.ProtoBGP && c.route.Protocol != netmodel.ProtoAggregate {
 				continue
 			}
-			if !s.shouldPropagate(d, sess, c, isRR) {
+			if !s.shouldPropagatePtr(d, sess, c, ti.isRR) {
 				continue
 			}
 			r := c.route
-			// Suppress more-specifics covered by a summary-only aggregate.
-			if s.suppressedByAggregate(d, k.vrf, r.Prefix) {
+			// Suppress more-specifics covered by a summary-only aggregate
+			// (only tables that configure aggregates can suppress).
+			if hasAggs && s.suppressedByAggregate(d, ti.k.vrf, r.Prefix) {
 				continue
 			}
 			// VSB: /32 direct host routes may not be advertised to peers.
@@ -433,7 +567,7 @@ func (s *sim) advertise(k tableKey, p netip.Prefix, best, sorted []cand) []msg {
 			}
 			if pol != nil {
 				var disp policy.Disposition
-				r, disp = env.Apply(pol, r, sess.remoteAddr, d.ASN)
+				r, disp = ti.env.Apply(pol, r, sess.remoteAddr, d.ASN)
 				if disp == policy.Reject {
 					continue
 				}
@@ -450,14 +584,85 @@ func (s *sim) advertise(k tableKey, p netip.Prefix, best, sorted []cand) []msg {
 			r.IGPCost = 0
 			r.ViaSR = false
 			r.RouteType = netmodel.RouteCandidate
+			if adv == nil {
+				adv = s.takeAdv(min(limit, len(pool)))
+			}
 			adv = append(adv, r)
 		}
 		out = append(out, msg{
-			to: sess.remote, vrf: sess.vrf, from: k.dev,
+			to: sess.remote, vrf: sess.vrf, from: ti.k.dev,
 			prefix: p, routes: adv, ebgp: sess.ebgp, fromAddr: sess.localAddr,
+			tid1: si.toTID1, pid1: pid + 1,
 		})
 	}
 	return out
+}
+
+// cmpCand is the three-way form of better, used by the optimized decision
+// sort (slices.SortStableFunc). It is written out independently rather than
+// derived from better so a divergence between the two shows up as a
+// legacy-vs-indexed mismatch in the equivalence suite.
+func (s *sim) cmpCand(a, b *cand) int {
+	ra, rb := &a.route, &b.route
+	if ra.Preference != rb.Preference {
+		if ra.Preference < rb.Preference {
+			return -1
+		}
+		return 1
+	}
+	if ra.Protocol != netmodel.ProtoBGP || rb.Protocol != netmodel.ProtoBGP {
+		return netmodel.CompareRoutes(*ra, *rb)
+	}
+	if ra.Weight != rb.Weight {
+		if ra.Weight > rb.Weight {
+			return -1
+		}
+		return 1
+	}
+	if ra.LocalPref != rb.LocalPref {
+		if ra.LocalPref > rb.LocalPref {
+			return -1
+		}
+		return 1
+	}
+	if la, lb := ra.ASPath.Len(), rb.ASPath.Len(); la != lb {
+		if la < lb {
+			return -1
+		}
+		return 1
+	}
+	if ra.Origin != rb.Origin {
+		if ra.Origin < rb.Origin {
+			return -1
+		}
+		return 1
+	}
+	if ra.MED != rb.MED {
+		if ra.MED < rb.MED {
+			return -1
+		}
+		return 1
+	}
+	if a.ebgp != b.ebgp {
+		if a.ebgp {
+			return -1
+		}
+		return 1
+	}
+	if a.igpCost != b.igpCost {
+		if a.igpCost < b.igpCost {
+			return -1
+		}
+		return 1
+	}
+	ia, ib := s.peerRouterID(ra.Peer), s.peerRouterID(rb.Peer)
+	if ia != ib {
+		if ia.Less(ib) {
+			return -1
+		}
+		return 1
+	}
+	return netmodel.CompareRoutes(*ra, *rb)
 }
 
 // shouldPropagate implements BGP propagation rules including route
@@ -489,6 +694,34 @@ func (s *sim) shouldPropagate(d *config.Device, sess *session, c cand, isRR bool
 		return true // reflect to all
 	}
 	return sess.nb.RRClient // from non-client: reflect only to clients
+}
+
+// shouldPropagatePtr is the copy-free form of shouldPropagate used by the
+// indexed advertisement loop.
+func (s *sim) shouldPropagatePtr(d *config.Device, sess *session, c *cand, isRR bool) bool {
+	if c.route.Peer == sess.remote {
+		return false
+	}
+	if sess.ebgp {
+		return true
+	}
+	if c.local || c.ebgp {
+		return true
+	}
+	if !isRR {
+		return false
+	}
+	learnedFromClient := false
+	for _, other := range s.sessions[sess.local] {
+		if other.remote == c.route.Peer && other.nb.RRClient {
+			learnedFromClient = true
+			break
+		}
+	}
+	if learnedFromClient {
+		return true
+	}
+	return sess.nb.RRClient
 }
 
 func (s *sim) suppressedByAggregate(d *config.Device, vrf string, p netip.Prefix) bool {

@@ -2,7 +2,7 @@ package bgp
 
 import (
 	"net/netip"
-	"sort"
+	"slices"
 	"strings"
 
 	"hoyan/internal/config"
@@ -100,7 +100,7 @@ func leakTargets(d *config.Device, srcVRF string, exportRTs []string) []string {
 	for name := range d.VRFs {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, name := range names {
 		if name == srcVRF {
 			continue

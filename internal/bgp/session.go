@@ -6,7 +6,8 @@ package bgp
 
 import (
 	"net/netip"
-	"sort"
+	"slices"
+	"strings"
 
 	"hoyan/internal/config"
 	"hoyan/internal/isis"
@@ -79,12 +80,11 @@ func buildSessions(net *config.Network, igp *isis.Result, isoSessionDown func(de
 				nb:         nb,
 			})
 		}
-		sort.Slice(out[name], func(i, j int) bool {
-			a, b := out[name][i], out[name][j]
+		slices.SortFunc(out[name], func(a, b *session) int {
 			if a.remote != b.remote {
-				return a.remote < b.remote
+				return strings.Compare(a.remote, b.remote)
 			}
-			return a.vrf < b.vrf
+			return strings.Compare(a.vrf, b.vrf)
 		})
 	}
 	return out

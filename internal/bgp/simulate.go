@@ -2,7 +2,7 @@ package bgp
 
 import (
 	"net/netip"
-	"sort"
+	"slices"
 	"strings"
 
 	"hoyan/internal/config"
@@ -29,6 +29,12 @@ type Options struct {
 	// UseTEMetric is recorded for provenance; the IGP result passed to
 	// Simulate must already reflect it.
 	UseTEMetric bool
+
+	// Legacy selects the original string-keyed fixpoint (legacy.go) instead
+	// of the indexed, allocation-lean one. The two produce identical results;
+	// the legacy path is the reference for speedup measurement and
+	// equivalence tests. Captured States carry it into warm restarts.
+	Legacy bool
 }
 
 func (o Options) withDefaults() Options {
@@ -70,11 +76,11 @@ func (r *Result) Tables() []struct{ Device, VRF string } {
 	for k := range r.ribs {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].dev != keys[j].dev {
-			return keys[i].dev < keys[j].dev
+	slices.SortFunc(keys, func(a, b tableKey) int {
+		if a.dev != b.dev {
+			return strings.Compare(a.dev, b.dev)
 		}
-		return keys[i].vrf < keys[j].vrf
+		return strings.Compare(a.vrf, b.vrf)
 	})
 	out := make([]struct{ Device, VRF string }, len(keys))
 	for i, k := range keys {
@@ -120,6 +126,13 @@ type msg struct {
 	routes   []netmodel.Route
 	ebgp     bool
 	fromAddr netip.Addr
+
+	// tid1/pid1 are the interned destination-table and prefix IDs plus one
+	// (zero = unknown, resolved by deliver); the indexed path fills them at
+	// the advertisement site so delivery needs no map hashing. The legacy
+	// path leaves them zero and never reads them.
+	tid1 int32
+	pid1 int32
 }
 
 type sim struct {
@@ -150,6 +163,57 @@ type sim struct {
 	shared map[tableKey]bool
 
 	messages int
+
+	// topoIdx is the dense-ID topology index backing the optimized decision
+	// path (nil under Options.Legacy); igpIdxOK records whether the IGP
+	// result was computed against this same index, enabling flat-array cost
+	// lookups in resolve.
+	topoIdx  *netmodel.TopoIndex
+	igpIdxOK bool
+
+	// Scratch buffers reused across rounds by the optimized path. Each is
+	// fully consumed before its next reuse: decide's outputs feed advertise
+	// within the same prefix iteration, and a round's message batch is
+	// drained by deliver before the next decideAndAdvertise call.
+	candScratch  []cand
+	unresScratch []cand
+	bestScratch  []cand
+	sortScratch  []cand
+	ordScratch   []int32
+	fromScratch  []string
+	sigScratch   []byte
+	msgScratch   []msg
+
+	// Dense table/prefix interning for the indexed fixpoint (dense.go): every
+	// (device, vrf) table and every prefix the run touches gets a small
+	// integer ID; per-table configuration derivations are cached in tinfo;
+	// the round-local dirty set is a per-table bitset over prefix IDs. All of
+	// this is sim-local — captured States never see it.
+	tids      map[tableKey]int32
+	tinfo     []*tableInfo
+	tidRank   []int32 // lexical (dev, vrf) rank per tid; rebuilt on growth
+	pids      map[netip.Prefix]int32
+	pfxs      []netip.Prefix
+	lastAddrs []netip.Addr // LastAddr per pid, for dirty-prefix ordering
+	dirtyMark [][]bool
+	dirtyPids [][]int32
+	dirtyTids []int32
+
+	// advArena backs msg route slices for one round (see takeAdv).
+	advArena []netmodel.Route
+	advUsed  int
+
+	// candArena backs the adj-RIB-in candidate slices deliver installs. It
+	// grows monotonically and is never reset during a run: installed slices
+	// stay referenced by adjIn (and by captured States), so the arena only
+	// amortizes allocation count, it never reuses memory (see takeCands).
+	candArena []cand
+	candUsed  int
+
+	// rowsArena likewise backs the RIB row slices decide installs
+	// (see takeRows).
+	rowsArena []netmodel.Route
+	rowsUsed  int
 }
 
 // Simulate runs the BGP fixpoint over the network with the given IGP result
@@ -157,7 +221,24 @@ type sim struct {
 func Simulate(net *config.Network, igp *isis.Result, inputs []netmodel.Route, opts Options) *Result {
 	s := newSim(net, igp, opts)
 	s.originateLocals(inputs)
-	return s.run(s.allDirty())
+	if s.opts.Legacy {
+		return s.run(s.allDirty())
+	}
+	// Indexed path: seed the dense dirty set straight from the originated
+	// state instead of materializing the nested legacy dirty maps.
+	for k, m := range s.locals {
+		tid := s.tidOf(k)
+		for p := range m {
+			s.markDirty(tid, s.pidOf(p))
+		}
+	}
+	for k, m := range s.adjIn {
+		tid := s.tidOf(k)
+		for p := range m {
+			s.markDirty(tid, s.pidOf(p))
+		}
+	}
+	return s.runDense()
 }
 
 // newSim builds an empty simulation with its session graph.
@@ -175,6 +256,10 @@ func newSim(net *config.Network, igp *isis.Result, opts Options) *sim {
 	s.sessions = buildSessions(net, igp, func(dev string) bool {
 		return !s.profileOf(dev).IsolationViaPolicy
 	})
+	if !s.opts.Legacy {
+		s.topoIdx = net.Topo.Index()
+		s.igpIdxOK = igp != nil && igp.EdgeIndex() == s.topoIdx
+	}
 	return s
 }
 
@@ -203,16 +288,44 @@ func (s *sim) allDirty() map[tableKey]map[netip.Prefix]bool {
 // run iterates the fixpoint from an initial dirty set until convergence or
 // MaxRounds.
 func (s *sim) run(dirty map[tableKey]map[netip.Prefix]bool) *Result {
+	if s.opts.Legacy {
+		rounds := 0
+		converged := false
+		pending := s.legacyDecideAndAdvertise(dirty)
+		for rounds = 0; rounds < s.opts.MaxRounds; rounds++ {
+			if len(pending) == 0 {
+				converged = true
+				break
+			}
+			dirty = s.legacyDeliver(pending)
+			pending = s.legacyDecideAndAdvertise(dirty)
+		}
+		return &Result{ribs: s.ribs, Rounds: rounds, Converged: converged, Messages: s.messages}
+	}
+	// Indexed path: convert the seed dirty set into the dense representation
+	// once; rounds then track dirtiness with interned IDs only.
+	for k, ps := range dirty {
+		tid := s.tidOf(k)
+		for p := range ps {
+			s.markDirty(tid, s.pidOf(p))
+		}
+	}
+	return s.runDense()
+}
+
+// runDense iterates the indexed fixpoint from the already-seeded dense dirty
+// set until convergence or MaxRounds.
+func (s *sim) runDense() *Result {
 	rounds := 0
 	converged := false
-	pending := s.decideAndAdvertise(dirty)
+	pending := s.decideAndAdvertise()
 	for rounds = 0; rounds < s.opts.MaxRounds; rounds++ {
 		if len(pending) == 0 {
 			converged = true
 			break
 		}
-		dirty = s.deliver(pending)
-		pending = s.decideAndAdvertise(dirty)
+		s.deliver(pending)
+		pending = s.decideAndAdvertise()
 	}
 	return &Result{ribs: s.ribs, Rounds: rounds, Converged: converged, Messages: s.messages}
 }
@@ -389,7 +502,7 @@ func (s *sim) directRoutes(d *config.Device, prof vsb.Profile, forRedist bool) [
 	for n := range d.Interfaces {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, n := range names {
 		i := d.Interfaces[n]
 		if !i.Addr.IsValid() {
@@ -429,81 +542,143 @@ func (s *sim) directRoutes(d *config.Device, prof vsb.Profile, forRedist bool) [
 }
 
 // deliver processes a batch of messages: ingress policy, loop prevention,
-// adj-RIB-in update. It returns the set of dirty (table, prefix) pairs.
-func (s *sim) deliver(msgs []msg) map[tableKey]map[netip.Prefix]bool {
-	dirty := make(map[tableKey]map[netip.Prefix]bool)
-	for _, m := range msgs {
+// adj-RIB-in update. Dirty (table, prefix) pairs are recorded in the dense
+// round-local set (dense.go). Allocation-lean variant: the accepted slice is
+// sized exactly once per message, withdrawals allocate nothing (not even the
+// inner adj-RIB-in map the legacy path creates eagerly), the per-device
+// profile/env/session lookups come from the interned tableInfo, and the
+// import policy is resolved once per message instead of once per route. The
+// original is legacyDeliver.
+func (s *sim) deliver(msgs []msg) {
+	for i := range msgs {
+		m := &msgs[i]
 		s.messages++
-		d := s.net.Devices[m.to]
+		tid := m.tid1 - 1
+		if tid < 0 {
+			tid = s.tidOf(tableKey{m.to, m.vrf})
+		}
+		ti := s.tinfo[tid]
+		d := ti.dev
 		if d == nil {
 			continue
 		}
-		k := tableKey{m.to, m.vrf}
-		prof := s.profileOf(m.to)
-		env := s.envOf(d)
+		k := ti.k
+		prof := ti.prof
 
 		var accepted []cand
-		for _, r := range m.routes {
-			r.Device, r.VRF = m.to, m.vrf
-			r.Peer = m.from
-			// eBGP AS-loop prevention.
-			if m.ebgp && r.ASPath.Contains(d.ASN) {
-				continue
-			}
-			// Session-type defaults, applied before the import policy so the
-			// policy can override them.
-			if m.ebgp {
-				r.LocalPref = 100
-				r.Preference = prof.EBGPPreference
-			} else if r.Preference == 0 {
-				r.Preference = prof.IBGPPreference
-			}
-			r.Weight = 0
-			r.IGPCost = 0
-			r.RouteType = netmodel.RouteCandidate
-
+		if len(m.routes) > 0 {
+			// The import policy depends only on the session, not the route.
+			var pol *policy.RouteMap
+			ok := true
 			if !strings.HasPrefix(m.from, "leak:") {
-				nb := s.neighborConfigFor(d, m)
-				pol, ok := s.importPolicy(d, nb, m.from, prof, m.ebgp)
-				if !ok {
-					continue // rejected by a VSB on missing/undefined policy
-				}
-				if pol != nil {
-					var disp policy.Disposition
-					r, disp = env.Apply(pol, r, m.fromAddr, d.ASN)
-					if disp == policy.Reject {
+				nb := s.neighborConfigFor(d, m.from, m.vrf)
+				pol, ok = s.importPolicy(d, nb, m.from, prof, m.ebgp)
+			}
+			if ok {
+				accepted = s.takeCands(len(m.routes))
+				for _, r := range m.routes {
+					r.Device, r.VRF = m.to, m.vrf
+					r.Peer = m.from
+					// eBGP AS-loop prevention.
+					if m.ebgp && r.ASPath.Contains(d.ASN) {
 						continue
 					}
+					// Session-type defaults, applied before the import policy
+					// so the policy can override them.
+					if m.ebgp {
+						r.LocalPref = 100
+						r.Preference = prof.EBGPPreference
+					} else if r.Preference == 0 {
+						r.Preference = prof.IBGPPreference
+					}
+					r.Weight = 0
+					r.IGPCost = 0
+					r.RouteType = netmodel.RouteCandidate
+
+					if pol != nil {
+						var disp policy.Disposition
+						r, disp = ti.env.Apply(pol, r, m.fromAddr, d.ASN)
+						if disp == policy.Reject {
+							continue
+						}
+					}
+					accepted = append(accepted, cand{route: r, ebgp: m.ebgp})
 				}
 			}
-			accepted = append(accepted, cand{route: r, ebgp: m.ebgp})
 		}
 
 		s.own(k)
-		if s.adjIn[k] == nil {
-			s.adjIn[k] = make(map[netip.Prefix]map[string][]cand)
-		}
-		if s.adjIn[k][m.prefix] == nil {
-			s.adjIn[k][m.prefix] = make(map[string][]cand)
-		}
+		ai := s.adjIn[k]
+		// A message that does not change the adj-RIB-in cell leaves the
+		// decision inputs untouched: re-deciding would reproduce the same
+		// rows and signature, so the (table, prefix) is not marked dirty.
+		// The one exception is the synthetic "agg:refresh" signal, whose
+		// whole purpose is to force a re-decision after the local candidate
+		// set was mutated in place.
+		changed := m.from == "agg:refresh"
 		if len(accepted) == 0 {
-			delete(s.adjIn[k][m.prefix], m.from)
+			if cap(accepted) > 0 {
+				s.giveBackCands(cap(accepted))
+			}
+			// Withdrawal: only touch maps that already exist.
+			if byFrom := ai[m.prefix]; byFrom != nil {
+				if _, had := byFrom[m.from]; had {
+					delete(byFrom, m.from)
+					changed = true
+				}
+			}
 		} else {
-			s.adjIn[k][m.prefix][m.from] = accepted
+			if ai == nil {
+				hint := 0
+				if k.vrf == netmodel.DefaultVRF {
+					hint = len(s.pfxs)
+				}
+				ai = make(map[netip.Prefix]map[string][]cand, hint)
+				s.adjIn[k] = ai
+			}
+			byFrom := ai[m.prefix]
+			if byFrom == nil {
+				byFrom = make(map[string][]cand, 1)
+				ai[m.prefix] = byFrom
+			}
+			if old, had := byFrom[m.from]; !had || !candsSame(old, accepted) {
+				byFrom[m.from] = accepted
+				changed = true
+			} else {
+				s.giveBackCands(cap(accepted))
+			}
 		}
-		if dirty[k] == nil {
-			dirty[k] = make(map[netip.Prefix]bool)
+		if changed {
+			pid := m.pid1 - 1
+			if pid < 0 {
+				pid = s.pidOf(m.prefix)
+			}
+			s.markDirty(tid, pid)
 		}
-		dirty[k][m.prefix] = true
 	}
-	return dirty
+}
+
+// candsSame reports whether two adj-RIB-in cells hold identical candidates.
+// Deliver-installed cands carry only the route and the ebgp flag (resolution
+// state is filled on scratch copies during decide), so those two fields are
+// the entire comparison.
+func candsSame(a, b []cand) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ebgp != b[i].ebgp || !a[i].route.Identical(b[i].route) {
+			return false
+		}
+	}
+	return true
 }
 
 // neighborConfigFor finds the local neighbor configuration matching an
 // incoming message's sender.
-func (s *sim) neighborConfigFor(d *config.Device, m msg) *config.Neighbor {
+func (s *sim) neighborConfigFor(d *config.Device, from, vrf string) *config.Neighbor {
 	for _, sess := range s.sessions[d.Name] {
-		if sess.remote == m.from && sess.vrf == m.vrf {
+		if sess.remote == from && sess.vrf == vrf {
 			return sess.nb
 		}
 	}

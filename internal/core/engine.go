@@ -49,6 +49,13 @@ type Options struct {
 	// runtime.GOMAXPROCS(0) workers; 1 forces the sequential reference path;
 	// results are byte-identical at every setting.
 	Parallelism int
+
+	// DisableIndex switches every subsystem to its original string-keyed
+	// implementation (isis/bgp/traffic Legacy plus per-call RIB expansion)
+	// instead of the dense-ID indexed hot paths. Results are byte-identical
+	// either way; the legacy mode is the reference that TestCoreSpeedup and
+	// the equivalence suite compare against.
+	DisableIndex bool
 }
 
 // Engine runs simulations over one network snapshot.
@@ -56,6 +63,12 @@ type Engine struct {
 	net  *config.Network
 	igp  *isis.Result
 	opts Options
+
+	// interner holds the dense ID tables of the indexed mode (nil under
+	// DisableIndex): every device and link is interned at engine construction
+	// and input-route prefixes are interned per route simulation, so its
+	// stats describe the ID-table footprint of the run.
+	interner *netmodel.Interner
 
 	// base holds the state captured by BaseRun for incremental Fork runs.
 	base *baseCapture
@@ -67,11 +80,30 @@ func NewEngine(net *config.Network, opts Options) *Engine {
 	if opts.Profiles == nil {
 		opts.Profiles = vsb.Defaults()
 	}
-	return &Engine{
-		net:  net,
-		igp:  isis.Compute(net.Topo, isis.Options{UseTEMetric: opts.UseTEMetric, Parallelism: opts.Parallelism}),
+	e := &Engine{
+		net: net,
+		igp: isis.Compute(net.Topo, isis.Options{
+			UseTEMetric: opts.UseTEMetric,
+			Parallelism: opts.Parallelism,
+			Legacy:      opts.DisableIndex,
+		}),
 		opts: opts,
 	}
+	if !opts.DisableIndex {
+		e.interner = netmodel.NewInterner()
+		e.interner.InternTopology(net.Topo)
+	}
+	return e
+}
+
+// InternStats reports the interning tables' sizes (devices, links, prefixes,
+// approximate ID-table bytes), or nil when the index is disabled.
+func (e *Engine) InternStats() *netmodel.InternStats {
+	if e.interner == nil {
+		return nil
+	}
+	st := e.interner.Stats()
+	return &st
 }
 
 // Network returns the engine's network snapshot.
@@ -118,6 +150,12 @@ func (e *Engine) RouteSimulation(inputs []netmodel.Route) *RouteResult {
 		MaxRounds:         e.opts.MaxRounds,
 		FlawedASPathRegex: e.opts.FlawedASPathRegex,
 		UseTEMetric:       e.opts.UseTEMetric,
+		Legacy:            e.opts.DisableIndex,
+	}
+	if e.interner != nil {
+		for i := range inputs {
+			e.interner.InternPrefix(inputs[i].Prefix)
+		}
 	}
 	if e.opts.DisableRouteECs {
 		return &RouteResult{BGP: bgp.Simulate(e.net, e.igp, inputs, bgpOpts)}
@@ -125,7 +163,11 @@ func (e *Engine) RouteSimulation(inputs []netmodel.Route) *RouteResult {
 	ecs := ec.ComputeRouteECs(e.net, e.opts.Profiles, inputs, e.opts.Parallelism)
 	res := bgp.Simulate(e.net, e.igp, ecs.Representatives(), bgpOpts)
 	for _, t := range res.Tables() {
-		ecs.ExpandRIB(res.RIB(t.Device, t.VRF))
+		if e.opts.DisableIndex {
+			ecs.ExpandRIBLegacy(res.RIB(t.Device, t.VRF))
+		} else {
+			ecs.ExpandRIB(res.RIB(t.Device, t.VRF))
+		}
 	}
 	return &RouteResult{BGP: res, ECStats: ecs}
 }
@@ -146,6 +188,7 @@ func (e *Engine) TrafficSimulation(ribs traffic.RIBSource, routeRows []netmodel.
 		IgnoreACLs:  e.opts.IgnoreACLs,
 		IgnorePBR:   e.opts.IgnorePBR,
 		Parallelism: e.opts.Parallelism,
+		Legacy:      e.opts.DisableIndex,
 	})
 	if e.opts.DisableFlowECs {
 		return &TrafficResult{Traffic: fw.Simulate(flows)}

@@ -2,7 +2,7 @@ package core
 
 import (
 	"net/netip"
-	"sort"
+	"slices"
 
 	"hoyan/internal/bgp"
 	"hoyan/internal/config"
@@ -98,6 +98,7 @@ func (e *Engine) BaseRun(inputs []netmodel.Route, flows []netmodel.Flow) *Result
 		MaxRounds:         e.opts.MaxRounds,
 		FlawedASPathRegex: e.opts.FlawedASPathRegex,
 		UseTEMetric:       e.opts.UseTEMetric,
+		Legacy:            e.opts.DisableIndex,
 	}
 	reps := inputs
 	if !e.opts.DisableRouteECs {
@@ -109,7 +110,7 @@ func (e *Engine) BaseRun(inputs []netmodel.Route, flows []netmodel.Flow) *Result
 	bc.bgpState = st
 	if bc.routeECs != nil {
 		for _, t := range bres.Tables() {
-			bc.routeECs.ExpandRIB(bres.RIB(t.Device, t.VRF))
+			e.expandRIB(bc.routeECs, bres.RIB(t.Device, t.VRF))
 		}
 	}
 	routes := &RouteResult{BGP: bres, ECStats: bc.routeECs}
@@ -169,7 +170,7 @@ func (e *Engine) Fork(net *config.Network, d Delta) (*Result, ForkStats) {
 		Links:     d.links(),
 		NodesDown: d.NodesDown,
 		NodesUp:   d.NodesUp,
-	}, isis.Options{UseTEMetric: e.opts.UseTEMetric, Parallelism: e.opts.Parallelism})
+	}, isis.Options{UseTEMetric: e.opts.UseTEMetric, Parallelism: e.opts.Parallelism, Legacy: e.opts.DisableIndex})
 	stats.SPFSources = spfStats.Sources
 	stats.SPFReused = spfStats.Reused
 
@@ -234,7 +235,7 @@ func (e *Engine) Fork(net *config.Network, d Delta) (*Result, ForkStats) {
 			rt = rt.ShallowClone()
 			bres.SetRIB(t.Device, t.VRF, rt)
 		}
-		routeECs.ExpandRIB(rt)
+		e.expandRIB(routeECs, rt)
 	}
 	routes := &RouteResult{BGP: bres, ECStats: routeECs}
 	// ribDiff narrows flow invalidation from "visited a changed device" to
@@ -346,12 +347,10 @@ func (e *Engine) mergedGlobalRIB(bres *bgp.Result, changed map[string]bool) *net
 	for dev := range changed {
 		names = append(names, dev)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, dev := range names {
 		if rows := byDev[dev]; len(rows) > 0 {
-			sort.Slice(rows, func(i, j int) bool {
-				return netmodel.CompareRoutes(rows[i], rows[j]) < 0
-			})
+			slices.SortFunc(rows, netmodel.CompareRoutes)
 		}
 	}
 	baseRows := e.base.routes.GlobalRIB().Rows()
@@ -390,7 +389,17 @@ func (e *Engine) forwarder(net *config.Network, igp *isis.Result, ribs traffic.R
 		IgnoreACLs:  e.opts.IgnoreACLs,
 		IgnorePBR:   e.opts.IgnorePBR,
 		Parallelism: e.opts.Parallelism,
+		Legacy:      e.opts.DisableIndex,
 	})
+}
+
+// expandRIB applies the route-EC expansion through the engine's index mode.
+func (e *Engine) expandRIB(ecs *ec.RouteECs, rib *netmodel.RIB) {
+	if e.opts.DisableIndex {
+		ecs.ExpandRIBLegacy(rib)
+	} else {
+		ecs.ExpandRIB(rib)
+	}
 }
 
 // changedDeviceSet is the set of devices whose forwarding-relevant state

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hoyan/internal/config"
+	"hoyan/internal/gen"
+	"hoyan/internal/netmodel"
+)
+
+// runBoth executes the same run through the indexed engine and the preserved
+// string-keyed reference (Options.DisableIndex) and asserts byte-identity on
+// RIBs, representative paths, and link loads.
+func runBoth(t *testing.T, label string, net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow) {
+	t.Helper()
+	indexed := NewEngine(net, Options{Parallelism: 1}).Run(inputs, flows)
+	legacy := NewEngine(net, Options{Parallelism: 1, DisableIndex: true}).Run(inputs, flows)
+	assertIdentical(t, label, indexed, legacy)
+}
+
+// TestIndexLegacyEquivalence pins the tentpole acceptance criterion: on the
+// gen.WAN(1) fixture the dense-ID engine and the string-keyed reference
+// produce identical results.
+func TestIndexLegacyEquivalence(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	runBoth(t, "wan1", out.Net, out.Inputs, out.Flows)
+}
+
+// TestIndexLegacyEquivalenceRandomized re-checks the identity on randomized
+// degradations of the fixture: seeded subsets of links and nodes taken down,
+// which exercises partitioned topologies, dead sessions, withdrawn routes,
+// and rerouted traffic through both code paths.
+func TestIndexLegacyEquivalenceRandomized(t *testing.T) {
+	base := gen.Generate(gen.WAN(1))
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net := base.Net.Clone()
+		links := net.Topo.Links()
+		downLinks := 1 + rng.Intn(3)
+		for i := 0; i < downLinks; i++ {
+			net.Topo.SetLinkUp(links[rng.Intn(len(links))].ID(), false)
+		}
+		if rng.Intn(2) == 0 {
+			names := net.Topo.NodeNames()
+			net.Topo.SetNodeUp(names[rng.Intn(len(names))], false)
+		}
+		runBoth(t, "randomized", net, base.Inputs, base.Flows)
+	}
+}

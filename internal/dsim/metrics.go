@@ -1,6 +1,7 @@
 package dsim
 
 import (
+	"hoyan/internal/netmodel"
 	"hoyan/internal/retry"
 	"hoyan/internal/telemetry"
 )
@@ -27,6 +28,13 @@ type WorkerMetrics struct {
 	BytesFetched   *telemetry.Counter
 	BytesSaved     *telemetry.Counter
 	CacheEvictions *telemetry.Counter
+
+	// Interner table sizes of the worker's cached engines (gauges: the
+	// indexed core's ID-table footprint, refreshed after every subtask).
+	InternDevices    *telemetry.Gauge
+	InternLinks      *telemetry.Gauge
+	InternPrefixes   *telemetry.Gauge
+	InternTableBytes *telemetry.Gauge
 
 	// Per-stage wall time (the §5-style measurement seam: where does a
 	// subtask spend its time).
@@ -65,6 +73,11 @@ func NewWorkerMetrics(reg *telemetry.Registry) *WorkerMetrics {
 		BytesFetched:   reg.Counter("hoyan_worker_store_bytes_fetched_total", "object-store bytes downloaded"),
 		BytesSaved:     reg.Counter("hoyan_worker_store_bytes_saved_total", "encoded RIB bytes served from cache instead of the store"),
 		CacheEvictions: reg.Counter("hoyan_worker_cache_evictions_total", "entries evicted from the worker caches"),
+
+		InternDevices:    reg.Gauge("hoyan_intern_devices", "devices interned into dense IDs"),
+		InternLinks:      reg.Gauge("hoyan_intern_links", "links interned into dense IDs"),
+		InternPrefixes:   reg.Gauge("hoyan_intern_prefixes", "prefixes interned into dense IDs"),
+		InternTableBytes: reg.Gauge("hoyan_intern_table_bytes", "approximate bytes held by the interner's two-way ID tables"),
 
 		QueueWaitSeconds: stage("mq_wait"),
 		DecodeSeconds:    stage("decode"),
@@ -111,6 +124,18 @@ func NewMasterMetrics(reg *telemetry.Registry) *MasterMetrics {
 		WaitSeconds: reg.Histogram("hoyan_master_wait_seconds",
 			"Wait() duration per task kind", telemetry.DurationBuckets),
 	}
+}
+
+// RecordIntern refreshes the interner-size gauges from one engine's stats.
+// A nil st (index disabled) is a no-op, so call sites need no branching.
+func (m *WorkerMetrics) RecordIntern(st *netmodel.InternStats) {
+	if st == nil {
+		return
+	}
+	m.InternDevices.Set(float64(st.Devices))
+	m.InternLinks.Set(float64(st.Links))
+	m.InternPrefixes.Set(float64(st.Prefixes))
+	m.InternTableBytes.Set(float64(st.TableBytes))
 }
 
 // instrumentRetries re-binds the retry policies inside the already-wrapped

@@ -598,6 +598,7 @@ func (w *Worker) routeSubtask(ctx context.Context, msg SubtaskMsg) error {
 		rows = eng.RouteSimulation(inputs).GlobalRIB().Rows()
 		return nil
 	})
+	w.metrics.RecordIntern(eng.InternStats())
 	var buf bytes.Buffer
 	if err := w.stage(ctx, "result.encode", w.metrics.EncodeSeconds, func() error {
 		return core.EncodeRoutes(&buf, rows)
@@ -657,6 +658,7 @@ func (w *Worker) trafficSubtask(ctx context.Context, msg SubtaskMsg) (int, error
 		res = eng.TrafficSimulation(ribs, allRows, flows)
 		return nil
 	})
+	w.metrics.RecordIntern(eng.InternStats())
 	file := TrafficResultFile{}
 	ids := make([]netmodel.LinkID, 0, len(res.Traffic.Load))
 	for id := range res.Traffic.Load {

@@ -2,7 +2,7 @@ package ec
 
 import (
 	"net/netip"
-	"sort"
+	"slices"
 
 	"hoyan/internal/config"
 	"hoyan/internal/netmodel"
@@ -46,8 +46,8 @@ func NewAtoms(prefixes []netip.Prefix) *Atoms {
 	for b := range seen6 {
 		a.v6 = append(a.v6, b)
 	}
-	sort.Slice(a.v4, func(i, j int) bool { return a.v4[i].Compare(a.v4[j]) < 0 })
-	sort.Slice(a.v6, func(i, j int) bool { return a.v6[i].Compare(a.v6[j]) < 0 })
+	slices.SortFunc(a.v4, netip.Addr.Compare)
+	slices.SortFunc(a.v6, netip.Addr.Compare)
 	return a
 }
 
@@ -221,7 +221,7 @@ func portBuckets(b map[uint16]bool) []uint16 {
 	for p := range b {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -14,8 +14,9 @@ package ec
 import (
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"hoyan/internal/config"
 	"hoyan/internal/netmodel"
@@ -37,6 +38,17 @@ type RouteECs struct {
 	Classes []RouteClass
 	// Inputs is the total number of input routes partitioned.
 	Inputs int
+
+	// UniquePrefixes counts the distinct input prefixes interned during
+	// classification (0 on a zero-valued RouteECs).
+	UniquePrefixes int
+
+	// Memoized expansion in deterministic (class-order) form: ExpandRIB is
+	// called once per (device, vrf) table, so the rep→members walk is computed
+	// once and reused.
+	expOnce    sync.Once
+	expReps    []netip.Prefix
+	expMembers [][]netip.Prefix
 }
 
 // Reduction returns the input-count reduction factor (inputs / classes).
@@ -84,38 +96,57 @@ func ComputeRouteECs(net *config.Network, profiles vsb.Profiles, inputs []netmod
 		}
 	}
 
-	sigOf := func(r netmodel.Route) string {
-		var b strings.Builder
-		// (1) same injection router and VRF.
-		fmt.Fprintf(&b, "%s|%s|", r.Device, r.VRF)
+	// The prefix-list sweep — the dominating cost — depends only on the
+	// route's prefix, and many inputs share a prefix. Intern prefixes into
+	// dense IDs and compute the match-bit row once per unique prefix; the
+	// per-input signature then just splices the memoized row in.
+	interner := netmodel.NewInterner()
+	inputPID := make([]netmodel.PrefixID, len(inputs))
+	for i := range inputs {
+		inputPID[i] = interner.InternPrefix(inputs[i].Prefix)
+	}
+	nPrefixes := interner.NumPrefixes()
+	rows := par.Map(parallelism, nPrefixes, func(pi int) string {
+		p, _ := interner.Prefix(netmodel.PrefixID(pi))
+		row := make([]byte, 0, len(lists)+len(aggs)+1)
 		// (2) same matching results across all prefix sets and aggregates.
 		for _, lr := range lists {
 			d := net.Devices[lr.dev]
-			match := d.PrefixLists[lr.name].Match(r.Prefix, profiles.For(d.Vendor))
-			if match {
-				b.WriteByte('1')
+			if d.PrefixLists[lr.name].Match(p, profiles.For(d.Vendor)) {
+				row = append(row, '1')
 			} else {
-				b.WriteByte('0')
+				row = append(row, '0')
 			}
 		}
-		b.WriteByte('|')
+		row = append(row, '|')
 		for _, a := range aggs {
-			if a.Bits() < r.Prefix.Bits() && a.Contains(r.Prefix.Addr()) {
-				b.WriteByte('1')
+			if a.Bits() < p.Bits() && a.Contains(p.Addr()) {
+				row = append(row, '1')
 			} else {
-				b.WriteByte('0')
+				row = append(row, '0')
 			}
 		}
+		return string(row)
+	})
+
+	sigs := par.Map(parallelism, len(inputs), func(i int) string {
+		r := inputs[i]
+		var b strings.Builder
+		b.Grow(len(rows[inputPID[i]]) + 64)
+		// (1) same injection router and VRF.
+		b.WriteString(r.Device)
+		b.WriteByte('|')
+		b.WriteString(r.VRF)
+		b.WriteByte('|')
+		b.WriteString(rows[inputPID[i]])
 		// (3) same values for all BGP attributes.
 		fmt.Fprintf(&b, "|%s|%d|%d|%d|%s|%s|%s",
 			r.NextHop, r.LocalPref, r.MED, r.Weight, r.Communities, r.ASPath, r.Origin)
 		return b.String()
-	}
-
-	sigs := par.Map(parallelism, len(inputs), func(i int) string { return sigOf(inputs[i]) })
+	})
 
 	bySig := make(map[string]int)
-	out := &RouteECs{Inputs: len(inputs)}
+	out := &RouteECs{Inputs: len(inputs), UniquePrefixes: nPrefixes}
 	for i, r := range inputs {
 		sig := sigs[i]
 		idx, ok := bySig[sig]
@@ -132,23 +163,71 @@ func ComputeRouteECs(net *config.Network, profiles vsb.Profiles, inputs []netmod
 // Expansion maps each representative prefix to the member prefixes whose RIB
 // rows should be cloned from it (excluding the representative itself).
 func (e *RouteECs) Expansion() map[netip.Prefix][]netip.Prefix {
-	out := make(map[netip.Prefix][]netip.Prefix)
-	for i := range e.Classes {
-		c := &e.Classes[i]
-		rep := c.Rep().Prefix
-		for _, r := range c.Routes[1:] {
-			if r.Prefix != rep {
-				out[rep] = append(out[rep], r.Prefix)
-			}
-		}
+	reps, members := e.expansion()
+	out := make(map[netip.Prefix][]netip.Prefix, len(reps))
+	for i, rep := range reps {
+		out[rep] = append(out[rep], members[i]...)
 	}
 	return out
+}
+
+// expansion returns the memoized rep→members pairs in class order. Distinct
+// classes can share a representative prefix (same prefix, different
+// attributes), so reps may repeat; walking the pairs in order is equivalent
+// to walking the Expansion map.
+func (e *RouteECs) expansion() ([]netip.Prefix, [][]netip.Prefix) {
+	e.expOnce.Do(func() {
+		for i := range e.Classes {
+			c := &e.Classes[i]
+			rep := c.Rep().Prefix
+			var ms []netip.Prefix
+			for _, r := range c.Routes[1:] {
+				if r.Prefix != rep {
+					ms = append(ms, r.Prefix)
+				}
+			}
+			if len(ms) > 0 {
+				e.expReps = append(e.expReps, rep)
+				e.expMembers = append(e.expMembers, ms)
+			}
+		}
+	})
+	return e.expReps, e.expMembers
 }
 
 // ExpandRIB replicates the representative prefixes' rows onto the member
 // prefixes of their classes, realizing the EC speedup: simulate one route
 // per EC, then clone results.
+//
+// The expansion walk is memoized across tables (ExpandRIB runs once per
+// (device, vrf)), and each member gets exactly one merged slice that the RIB
+// adopts in place of copying (ReplaceOwned). The original per-call behaviour
+// is preserved in ExpandRIBLegacy.
 func (e *RouteECs) ExpandRIB(rib *netmodel.RIB) {
+	reps, members := e.expansion()
+	for ri, rep := range reps {
+		rows := rib.Routes(rep)
+		if len(rows) == 0 {
+			continue
+		}
+		for _, m := range members[ri] {
+			existing := rib.Routes(m)
+			merged := make([]netmodel.Route, 0, len(existing)+len(rows))
+			merged = append(merged, existing...)
+			for _, r := range rows {
+				r.Prefix = m
+				merged = append(merged, r)
+			}
+			rib.ReplaceOwned(m, merged)
+		}
+	}
+}
+
+// ExpandRIBLegacy is the original expansion: it rebuilds the rep→member map
+// per call and copies each member's rows twice. Kept as the reference behind
+// the engine's index opt-out so speedup measurements compare against the
+// seed implementation.
+func (e *RouteECs) ExpandRIBLegacy(rib *netmodel.RIB) {
 	for rep, members := range e.Expansion() {
 		rows := rib.Routes(rep)
 		if len(rows) == 0 {
@@ -171,6 +250,6 @@ func sortedListNames(d *config.Device) []string {
 	for name := range d.PrefixLists {
 		out = append(out, name)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }

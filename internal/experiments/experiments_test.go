@@ -25,27 +25,35 @@ func TestTable1ShapeHolds(t *testing.T) {
 }
 
 func TestFig1ShapeHolds(t *testing.T) {
-	pts := Fig1(QuickScale())
 	// Time grows with prefix fraction on WAN; WAN+DCN hits the emulated
-	// memory cliff above 30%.
+	// memory cliff above 30%. The points are single wall-clock measurements
+	// of a now-fast engine, so a background spike (packages test in
+	// parallel) can invert the shape — retry a couple of times before
+	// calling it a failure.
 	var wan []Fig1Point
-	oomSeen := false
-	for _, p := range pts {
-		if p.Profile == "WAN" {
-			wan = append(wan, p)
-		} else if p.OOM {
-			oomSeen = true
+	for attempt := 0; attempt < 3; attempt++ {
+		pts := Fig1(QuickScale())
+		wan = wan[:0]
+		oomSeen := false
+		for _, p := range pts {
+			if p.Profile == "WAN" {
+				wan = append(wan, p)
+			} else if p.OOM {
+				oomSeen = true
+			}
 		}
+		if len(wan) != 4 {
+			t.Fatalf("wan points = %d", len(wan))
+		}
+		if !oomSeen {
+			t.Fatal("WAN+DCN must hit the emulated OOM cliff")
+		}
+		if wan[3].Elapsed >= wan[0].Elapsed {
+			return
+		}
+		t.Logf("attempt %d: shape inverted (%v vs %v), retrying", attempt, wan[0].Elapsed, wan[3].Elapsed)
 	}
-	if len(wan) != 4 {
-		t.Fatalf("wan points = %d", len(wan))
-	}
-	if wan[3].Elapsed < wan[0].Elapsed {
-		t.Errorf("time must grow with fraction: %v vs %v", wan[0].Elapsed, wan[3].Elapsed)
-	}
-	if !oomSeen {
-		t.Error("WAN+DCN must hit the emulated OOM cliff")
-	}
+	t.Errorf("time must grow with fraction: %v vs %v", wan[0].Elapsed, wan[3].Elapsed)
 }
 
 func TestFig5aSpeedupShape(t *testing.T) {

@@ -1,0 +1,459 @@
+package isis
+
+import (
+	"slices"
+
+	"hoyan/internal/netmodel"
+	"hoyan/internal/par"
+)
+
+// infCost is the unreachable sentinel in flat distance rows.
+const infCost = ^uint32(0)
+
+// computeIdx is Compute over the CSR topology index: per-source rows are flat
+// []uint32 distances and [][]int32 first-hop edge-position sets instead of
+// nested string maps. DevID order equals sorted-name order and CSR edge order
+// equals Neighbors order, so the indexed run visits nodes and edges in
+// exactly the same sequence as the string implementation and produces the
+// same distances and first-hop sets.
+func computeIdx(topo *netmodel.Topology, opts Options) *Result {
+	ix := topo.Index()
+	n := ix.NumDevices()
+	var srcs []netmodel.DevID
+	for i := 0; i < n; i++ {
+		if ix.Node(netmodel.DevID(i)).Up {
+			srcs = append(srcs, netmodel.DevID(i))
+		}
+	}
+	type perSrc struct {
+		dist []uint32
+		hops [][]int32
+	}
+	slots := par.Map(opts.Parallelism, len(srcs), func(i int) perSrc {
+		dist, hops := ssspIdx(ix, srcs[i], opts)
+		return perSrc{dist: dist, hops: hops}
+	})
+	r := &Result{idx: ix, fdist: make([][]uint32, n), fhops: make([][][]int32, n)}
+	for i, sid := range srcs {
+		r.fdist[sid] = slots[i].dist
+		r.fhops[sid] = slots[i].hops
+	}
+	return r
+}
+
+// ipqItem / ipq is a hand-rolled binary heap over dense IDs; container/heap
+// boxes every push through an interface, which shows up at WAN scale.
+// Tie-break by DevID == tie-break by device name.
+type ipqItem struct {
+	dev  netmodel.DevID
+	dist uint32
+}
+
+type ipq []ipqItem
+
+func (q ipq) less(i, j int) bool {
+	if q[i].dist != q[j].dist {
+		return q[i].dist < q[j].dist
+	}
+	return q[i].dev < q[j].dev
+}
+
+func (q *ipq) push(it ipqItem) {
+	*q = append(*q, it)
+	i := len(*q) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(i, p) {
+			break
+		}
+		(*q)[i], (*q)[p] = (*q)[p], (*q)[i]
+		i = p
+	}
+}
+
+func (q *ipq) pop() ipqItem {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	*q = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && (*q).less(l, s) {
+			s = l
+		}
+		if r < n && (*q).less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return top
+}
+
+// ssspIdx is single-source shortest paths with ECMP first-hop tracking over
+// the CSR index. First hops are stored as CSR edge positions of the source's
+// own adjacency row, kept sorted ascending at the end — ascending position
+// order is exactly the (neighbor name, link string) order of the string
+// implementation's sortHops.
+func ssspIdx(ix *netmodel.TopoIndex, src netmodel.DevID, opts Options) ([]uint32, [][]int32) {
+	n := ix.NumDevices()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = infCost
+	}
+	hops := make([][]int32, n)
+	done := make([]bool, n)
+
+	dist[src] = 0
+	q := ipq{{dev: src}}
+	for len(q) > 0 {
+		it := q.pop()
+		if done[it.dev] || it.dist != dist[it.dev] {
+			continue
+		}
+		done[it.dev] = true
+		lo, hi := ix.EdgeRange(it.dev)
+		for pos := lo; pos < hi; pos++ {
+			if !ix.EdgeUp(pos) {
+				continue
+			}
+			nb := ix.EdgeDev(pos)
+			nd := it.dist + ix.EdgeCost(pos, opts.UseTEMetric)
+			old := dist[nb]
+			switch {
+			case nd < old: // infCost is the max uint32, so "unseen" folds in
+				dist[nb] = nd
+				hops[nb] = hopsViaIdx(src, it.dev, pos, hops, nil)
+				q.push(ipqItem{dev: nb, dist: nd})
+			case nd == old && old != infCost:
+				hops[nb] = hopsViaIdx(src, it.dev, pos, hops, hops[nb])
+			}
+		}
+	}
+	for d := range hops {
+		slices.Sort(hops[d])
+	}
+	return dist, hops
+}
+
+// hopsViaIdx merges the first hops for reaching a neighbor through `via`
+// (edge position pos when via is the source itself, otherwise via's own
+// first-hop set) into cur, deduplicating with a linear scan — hop sets are
+// tiny, so this beats a map.
+func hopsViaIdx(src, via netmodel.DevID, pos int32, hops [][]int32, cur []int32) []int32 {
+	if via == src {
+		if cur == nil {
+			return []int32{pos}
+		}
+		if !slices.Contains(cur, pos) {
+			cur = append(cur, pos)
+		}
+		return cur
+	}
+	if cur == nil {
+		return append([]int32(nil), hops[via]...)
+	}
+	for _, p := range hops[via] {
+		if !slices.Contains(cur, p) {
+			cur = append(cur, p)
+		}
+	}
+	return cur
+}
+
+// EdgeIndex returns the topology index an indexed result was computed
+// against, or nil for a string-keyed result.
+func (r *Result) EdgeIndex() *netmodel.TopoIndex { return r.idx }
+
+// CostID is Cost over dense IDs, for hot paths that already hold them.
+func (r *Result) CostID(src, dst netmodel.DevID) (uint32, bool) {
+	if src == dst {
+		return 0, true
+	}
+	row := r.fdist[src]
+	if row == nil {
+		return 0, false
+	}
+	d := row[dst]
+	return d, d != infCost
+}
+
+// FirstHopEdges returns the ECMP first hops from src toward dst as CSR edge
+// positions of src's adjacency row, sorted ascending (nil when unreachable or
+// src == dst). The slice is shared; callers must not modify it.
+func (r *Result) FirstHopEdges(src, dst netmodel.DevID) []int32 {
+	rows := r.fhops[src]
+	if rows == nil {
+		return nil
+	}
+	return rows[dst]
+}
+
+// distMap materializes one source's distance map. For a string-keyed result
+// this is the internal map itself (zero cost); for an indexed result it is
+// built on demand — only mixed-representation diffs pay for it.
+func (r *Result) distMap(src string) map[string]uint32 {
+	if r.idx == nil {
+		return r.dist[src]
+	}
+	sid, ok := r.idx.DevID(src)
+	if !ok || r.fdist[sid] == nil {
+		return nil
+	}
+	m := make(map[string]uint32)
+	for did, v := range r.fdist[sid] {
+		if v != infCost {
+			m[r.idx.DevName(netmodel.DevID(did))] = v
+		}
+	}
+	return m
+}
+
+// hopsMap materializes one source's first-hop map; see distMap.
+func (r *Result) hopsMap(src string) map[string][]FirstHop {
+	if r.idx == nil {
+		return r.hops[src]
+	}
+	sid, ok := r.idx.DevID(src)
+	if !ok || r.fhops[sid] == nil {
+		return nil
+	}
+	m := make(map[string][]FirstHop)
+	for did, ps := range r.fhops[sid] {
+		if len(ps) > 0 {
+			m[r.idx.DevName(netmodel.DevID(did))] = r.materializeHops(ps)
+		}
+	}
+	return m
+}
+
+func (r *Result) materializeHops(ps []int32) []FirstHop {
+	out := make([]FirstHop, len(ps))
+	for i, p := range ps {
+		out[i] = FirstHop{
+			Device: r.idx.DevName(r.idx.EdgeDev(p)),
+			Link:   r.idx.LinkIDAt(r.idx.EdgeLinkIdx(p)),
+		}
+	}
+	return out
+}
+
+// routesIdx is Routes over the index: destinations iterate in ascending
+// DevID order, which is sorted-name order, and next-hop addresses come
+// straight off the first-hop edge's link pointer.
+func (r *Result) routesIdx(src string) []netmodel.Route {
+	ix := r.idx
+	sid, ok := ix.DevID(src)
+	if !ok || r.fdist[sid] == nil {
+		return nil
+	}
+	var out []netmodel.Route
+	row := r.fdist[sid]
+	for did := 0; did < ix.NumDevices(); did++ {
+		if netmodel.DevID(did) == sid || row[did] == infCost {
+			continue
+		}
+		dn := ix.Node(netmodel.DevID(did))
+		if !dn.Loopback.IsValid() {
+			continue
+		}
+		bits := 32
+		if dn.Loopback.Is6() {
+			bits = 128
+		}
+		p, err := dn.Loopback.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		for _, pos := range r.fhops[sid][did] {
+			l := ix.EdgeLink(pos)
+			nh := l.AAddr
+			if ix.EdgeFromA(pos) {
+				nh = l.BAddr
+			}
+			out = append(out, netmodel.Route{
+				Device:     src,
+				VRF:        netmodel.DefaultVRF,
+				Prefix:     p,
+				Protocol:   netmodel.ProtoISIS,
+				NextHop:    nh,
+				IGPCost:    row[did],
+				Preference: 15,
+				RouteType:  netmodel.RouteBest,
+				Peer:       ix.DevName(ix.EdgeDev(pos)),
+				Source:     dn.Name,
+			})
+		}
+	}
+	return out
+}
+
+// diffIdx is Diff over two indexed results. The indexes may be distinct
+// instances (forked topologies), but Up-flag deltas never change the device
+// or link sets, so dense IDs and CSR edge positions are directly comparable.
+func diffIdx(base, cur *Result, src string) (distChanged, hopsChanged map[string]bool) {
+	nameOf := func(i int) string {
+		if i < cur.idx.NumDevices() {
+			return cur.idx.DevName(netmodel.DevID(i))
+		}
+		return base.idx.DevName(netmodel.DevID(i))
+	}
+	var brow, crow []uint32
+	if sid, ok := base.idx.DevID(src); ok {
+		brow = base.fdist[sid]
+	}
+	if sid, ok := cur.idx.DevID(src); ok {
+		crow = cur.fdist[sid]
+	}
+	n := len(brow)
+	if len(crow) > n {
+		n = len(crow)
+	}
+	at := func(row []uint32, i int) uint32 {
+		if i < len(row) {
+			return row[i]
+		}
+		return infCost
+	}
+	for i := 0; i < n; i++ {
+		if at(brow, i) != at(crow, i) {
+			if distChanged == nil {
+				distChanged = make(map[string]bool)
+			}
+			distChanged[nameOf(i)] = true
+		}
+	}
+	var bh, ch [][]int32
+	if sid, ok := base.idx.DevID(src); ok {
+		bh = base.fhops[sid]
+	}
+	if sid, ok := cur.idx.DevID(src); ok {
+		ch = cur.fhops[sid]
+	}
+	n = len(bh)
+	if len(ch) > n {
+		n = len(ch)
+	}
+	hat := func(rows [][]int32, i int) []int32 {
+		if i < len(rows) {
+			return rows[i]
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if !slices.Equal(hat(bh, i), hat(ch, i)) {
+			if hopsChanged == nil {
+				hopsChanged = make(map[string]bool)
+			}
+			hopsChanged[nameOf(i)] = true
+		}
+	}
+	return distChanged, hopsChanged
+}
+
+// recomputeIdx is Recompute over indexed results: the touched tests read the
+// flat distance rows directly and untouched sources share their base rows.
+func recomputeIdx(topo *netmodel.Topology, base *Result, d Delta, opts Options) (*Result, map[string]bool, ReuseStats) {
+	ix := topo.Index()
+	n := ix.NumDevices()
+	var srcs []netmodel.DevID
+	for i := 0; i < n; i++ {
+		if ix.Node(netmodel.DevID(i)).Up {
+			srcs = append(srcs, netmodel.DevID(i))
+		}
+	}
+
+	touched := make(map[netmodel.DevID]bool)
+	// A downed node touches every source that could reach it.
+	for _, x := range d.NodesDown {
+		xid, ok := ix.DevID(x)
+		if !ok {
+			continue
+		}
+		for s := 0; s < len(base.fdist); s++ {
+			row := base.fdist[s]
+			if row != nil && int(xid) < len(row) && row[xid] != infCost {
+				touched[netmodel.DevID(s)] = true
+			}
+		}
+	}
+	for _, id := range d.Links {
+		l := topo.Link(id)
+		if l == nil {
+			continue
+		}
+		aid, aok := ix.DevID(l.A)
+		bid, bok := ix.DevID(l.B)
+		if !aok || !bok {
+			continue
+		}
+		cAB := l.DirCost(l.A, opts.UseTEMetric)
+		cBA := l.DirCost(l.B, opts.UseTEMetric)
+		for s := 0; s < len(base.fdist); s++ {
+			sid := netmodel.DevID(s)
+			row := base.fdist[s]
+			if row == nil || touched[sid] {
+				continue
+			}
+			dA, dB := row[aid], row[bid]
+			okA, okB := dA != infCost, dB != infCost
+			if l.Up {
+				// Link restored: equal-or-better path to either endpoint, or
+				// a previously cut-off endpoint becomes reachable.
+				if okA && (!okB || dA+cAB <= dB) {
+					touched[sid] = true
+				} else if okB && (!okA || dB+cBA <= dA) {
+					touched[sid] = true
+				}
+			} else if okA && okB && (dA+cAB == dB || dB+cBA == dA) {
+				// Link failed: only tight edges appear in any DAG.
+				touched[sid] = true
+			}
+		}
+	}
+
+	r := &Result{idx: ix, fdist: make([][]uint32, n), fhops: make([][][]int32, n)}
+	var redo []netmodel.DevID
+	stats := ReuseStats{Sources: len(srcs)}
+	for _, sid := range srcs {
+		if !touched[sid] {
+			if int(sid) < len(base.fdist) && base.fdist[sid] != nil {
+				r.fdist[sid] = base.fdist[sid]
+				r.fhops[sid] = base.fhops[sid]
+				stats.Reused++
+				continue
+			}
+			touched[sid] = true
+		}
+		redo = append(redo, sid)
+	}
+	// The returned touched set mirrors the string implementation: everything
+	// the delta tests flagged (including sources that are themselves down
+	// now) plus up sources absent from the base.
+	touchedNames := make(map[string]bool, len(touched))
+	for sid := range touched {
+		if int(sid) < n {
+			touchedNames[ix.DevName(sid)] = true
+		}
+	}
+	type perSrc struct {
+		dist []uint32
+		hops [][]int32
+	}
+	slots := par.Map(opts.Parallelism, len(redo), func(i int) perSrc {
+		dist, hops := ssspIdx(ix, redo[i], opts)
+		return perSrc{dist: dist, hops: hops}
+	})
+	for i, sid := range redo {
+		r.fdist[sid] = slots[i].dist
+		r.fhops[sid] = slots[i].hops
+		stats.Recomputed++
+	}
+	return r, touchedNames, stats
+}

@@ -29,7 +29,10 @@ type ReuseStats struct {
 // the only IGP input to BGP next-hop resolution. hopsChanged holds those
 // whose ECMP first-hop set differs — the only IGP input to forwarding.
 func Diff(base, cur *Result, src string) (distChanged, hopsChanged map[string]bool) {
-	bd, cd := base.dist[src], cur.dist[src]
+	if base.idx != nil && cur.idx != nil {
+		return diffIdx(base, cur, src)
+	}
+	bd, cd := base.distMap(src), cur.distMap(src)
 	for x, v := range bd {
 		if cv, ok := cd[x]; !ok || cv != v {
 			if distChanged == nil {
@@ -46,7 +49,7 @@ func Diff(base, cur *Result, src string) (distChanged, hopsChanged map[string]bo
 			distChanged[x] = true
 		}
 	}
-	bh, ch := base.hops[src], cur.hops[src]
+	bh, ch := base.hopsMap(src), cur.hopsMap(src)
 	for x, v := range bh {
 		if !hopsEqual(ch[x], v) {
 			if hopsChanged == nil {
@@ -108,6 +111,10 @@ func Recompute(topo *netmodel.Topology, base *Result, d Delta, opts Options) (*R
 			touched[s] = true
 		}
 		return full, touched, ReuseStats{Sources: len(srcs), Recomputed: len(srcs)}
+	}
+
+	if !opts.Legacy && base.idx != nil {
+		return recomputeIdx(topo, base, d, opts)
 	}
 
 	touched := make(map[string]bool)

@@ -10,7 +10,8 @@ package isis
 import (
 	"container/heap"
 	"net/netip"
-	"sort"
+	"slices"
+	"strings"
 
 	"hoyan/internal/netmodel"
 	"hoyan/internal/par"
@@ -26,6 +27,11 @@ type Options struct {
 	// Parallelism bounds the worker pool running per-source Dijkstra
 	// (par conventions: 0 = GOMAXPROCS, 1 = sequential).
 	Parallelism int
+
+	// Legacy selects the original string-keyed implementation instead of the
+	// CSR-indexed one. The two produce identical results; the legacy path is
+	// kept as the reference for speedup measurement and equivalence tests.
+	Legacy bool
 }
 
 // FirstHop is one equal-cost first hop from a source toward a destination.
@@ -34,10 +40,21 @@ type FirstHop struct {
 	Link   netmodel.LinkID // link from the source to Device
 }
 
-// Result holds the all-pairs SPF outcome.
+// Result holds the all-pairs SPF outcome in one of two representations: the
+// original nested string maps (Options.Legacy) or flat per-DevID rows over
+// the topology's CSR index. The string accessors work on either; the *ID
+// accessors (CostID, FirstHopEdges) require the indexed form.
 type Result struct {
+	// string-keyed representation (idx == nil)
 	dist map[string]map[string]uint32
 	hops map[string]map[string][]FirstHop
+
+	// indexed representation (idx != nil): fdist[src][dst] is the distance
+	// (infCost = unreachable, nil row = source down/unknown) and
+	// fhops[src][dst] the sorted CSR edge positions of the ECMP first hops.
+	idx   *netmodel.TopoIndex
+	fdist [][]uint32
+	fhops [][][]int32
 }
 
 // Compute runs Dijkstra from every up node of the topology. Sources are
@@ -45,6 +62,9 @@ type Result struct {
 // writes only its own pre-sized slot and the source→result maps are filled
 // sequentially afterwards, so the outcome is identical at any parallelism.
 func Compute(topo *netmodel.Topology, opts Options) *Result {
+	if !opts.Legacy {
+		return computeIdx(topo, opts)
+	}
 	var srcs []string
 	for _, n := range topo.Nodes() {
 		if n.Up {
@@ -151,11 +171,11 @@ func mergeHops(a, b []FirstHop) []FirstHop {
 }
 
 func sortHops(hs []FirstHop) {
-	sort.Slice(hs, func(i, j int) bool {
-		if hs[i].Device != hs[j].Device {
-			return hs[i].Device < hs[j].Device
+	slices.SortFunc(hs, func(a, b FirstHop) int {
+		if a.Device != b.Device {
+			return strings.Compare(a.Device, b.Device)
 		}
-		return hs[i].Link.String() < hs[j].Link.String()
+		return strings.Compare(a.Link.String(), b.Link.String())
 	})
 }
 
@@ -165,6 +185,17 @@ func (r *Result) Cost(src, dst string) (uint32, bool) {
 	if src == dst {
 		return 0, true
 	}
+	if r.idx != nil {
+		sid, ok := r.idx.DevID(src)
+		if !ok {
+			return 0, false
+		}
+		did, ok := r.idx.DevID(dst)
+		if !ok {
+			return 0, false
+		}
+		return r.CostID(sid, did)
+	}
 	d, ok := r.dist[src][dst]
 	return d, ok
 }
@@ -172,6 +203,21 @@ func (r *Result) Cost(src, dst string) (uint32, bool) {
 // FirstHops returns the ECMP first hops from src toward dst (nil when
 // unreachable or src == dst).
 func (r *Result) FirstHops(src, dst string) []FirstHop {
+	if r.idx != nil {
+		sid, ok := r.idx.DevID(src)
+		if !ok {
+			return nil
+		}
+		did, ok := r.idx.DevID(dst)
+		if !ok {
+			return nil
+		}
+		ps := r.FirstHopEdges(sid, did)
+		if len(ps) == 0 {
+			return nil
+		}
+		return r.materializeHops(ps)
+	}
 	return r.hops[src][dst]
 }
 
@@ -200,7 +246,11 @@ func (r *Result) Path(src, dst string) []string {
 		}
 		cur = fhs[0].Device
 		path = append(path, cur)
-		if len(path) > len(r.dist)+1 {
+		bound := len(r.dist)
+		if r.idx != nil {
+			bound = r.idx.NumDevices()
+		}
+		if len(path) > bound+1 {
 			return nil // defensive: must not happen on a consistent result
 		}
 	}
@@ -216,13 +266,16 @@ func (r *Result) Routes(topo *netmodel.Topology, src string) []netmodel.Route {
 	if node == nil {
 		return nil
 	}
+	if r.idx != nil {
+		return r.routesIdx(src)
+	}
 	dsts := make([]string, 0, len(r.dist[src]))
 	for d := range r.dist[src] {
 		if d != src {
 			dsts = append(dsts, d)
 		}
 	}
-	sort.Strings(dsts)
+	slices.Sort(dsts)
 	for _, d := range dsts {
 		dn := topo.Node(d)
 		if dn == nil || !dn.Loopback.IsValid() {

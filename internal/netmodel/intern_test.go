@@ -1,0 +1,310 @@
+package netmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"slices"
+	"testing"
+)
+
+// TestInternerRoundTrip pins the basic interner contract: every interned
+// value round-trips through its dense ID, re-interning is idempotent, and
+// IDs are assigned densely in first-sight order.
+func TestInternerRoundTrip(t *testing.T) {
+	in := NewInterner()
+
+	devs := []string{"border-0-0", "rr-1-0", "dc-0-1", "isp-0"}
+	for i, d := range devs {
+		id := in.InternDevice(d)
+		if id != DevID(i) {
+			t.Errorf("InternDevice(%q) = %d, want dense %d", d, id, i)
+		}
+		if again := in.InternDevice(d); again != id {
+			t.Errorf("re-interning %q gave %d, want %d", d, again, id)
+		}
+		name, ok := in.DeviceName(id)
+		if !ok || name != d {
+			t.Errorf("DeviceName(%d) = %q,%v, want %q", id, name, ok, d)
+		}
+	}
+
+	links := []LinkID{
+		{A: "a", B: "b", AIface: "eth0", BIface: "eth1"},
+		{A: "a", B: "b", AIface: "eth2", BIface: "eth3"}, // parallel link
+		{A: "b", B: "c", AIface: "eth0", BIface: "eth0"},
+	}
+	for i, l := range links {
+		idx := in.InternLink(l)
+		if idx != LinkIdx(i) {
+			t.Errorf("InternLink(%v) = %d, want dense %d", l, idx, i)
+		}
+		if again := in.InternLink(l); again != idx {
+			t.Errorf("re-interning %v gave %d, want %d", l, again, idx)
+		}
+		got, ok := in.Link(idx)
+		if !ok || got != l {
+			t.Errorf("Link(%d) = %v,%v, want %v", idx, got, ok, l)
+		}
+	}
+
+	prefixes := []netip.Prefix{
+		netip.MustParsePrefix("10.0.0.0/24"),
+		netip.MustParsePrefix("10.0.0.0/16"), // same addr, different length
+		netip.MustParsePrefix("2001:db8::/32"),
+		netip.MustParsePrefix("0.0.0.0/0"),
+	}
+	for i, p := range prefixes {
+		id := in.InternPrefix(p)
+		if id != PrefixID(i) {
+			t.Errorf("InternPrefix(%v) = %d, want dense %d", p, id, i)
+		}
+		if again := in.InternPrefix(p); again != id {
+			t.Errorf("re-interning %v gave %d, want %d", p, again, id)
+		}
+		got, ok := in.Prefix(id)
+		if !ok || got != p {
+			t.Errorf("Prefix(%d) = %v,%v, want %v", id, got, ok, p)
+		}
+	}
+	if in.NumPrefixes() != len(prefixes) {
+		t.Errorf("NumPrefixes = %d, want %d", in.NumPrefixes(), len(prefixes))
+	}
+
+	// Out-of-range and sentinel IDs must report !ok, not panic.
+	if _, ok := in.DeviceName(NoDev); ok {
+		t.Error("DeviceName(NoDev) reported ok")
+	}
+	if _, ok := in.DeviceName(DevID(len(devs))); ok {
+		t.Error("DeviceName past end reported ok")
+	}
+	if _, ok := in.Link(NoLink); ok {
+		t.Error("Link(NoLink) reported ok")
+	}
+	if _, ok := in.Prefix(NoPrefix); ok {
+		t.Error("Prefix(NoPrefix) reported ok")
+	}
+
+	st := in.Stats()
+	if st.Devices != len(devs) || st.Links != len(links) || st.Prefixes != len(prefixes) {
+		t.Errorf("Stats = %+v, want %d/%d/%d", st, len(devs), len(links), len(prefixes))
+	}
+	if st.TableBytes <= 0 {
+		t.Errorf("Stats.TableBytes = %d, want > 0", st.TableBytes)
+	}
+}
+
+// internRandomTopo builds a seeded random connected topology with parallel
+// links, loopbacks, and a minority of down nodes/links.
+func internRandomTopo(rng *rand.Rand, n int) *Topology {
+	topo := NewTopology()
+	for i := 0; i < n; i++ {
+		topo.AddNode(Node{
+			Name:     fmt.Sprintf("r%02d", i),
+			Loopback: netip.AddrFrom4([4]byte{10, 254, byte(i), 1}),
+			Up:       rng.Intn(8) != 0,
+		})
+	}
+	link := 0
+	addLink := func(a, b int) {
+		topo.AddLink(Link{
+			A: fmt.Sprintf("r%02d", a), B: fmt.Sprintf("r%02d", b),
+			AIface: fmt.Sprintf("eth%d", link), BIface: fmt.Sprintf("eth%d", link),
+			CostAB: uint32(1 + rng.Intn(9)), CostBA: uint32(1 + rng.Intn(9)),
+			Up:     rng.Intn(8) != 0,
+		})
+		link++
+	}
+	for i := 0; i < n; i++ {
+		addLink(i, (i+1)%n)
+	}
+	for i := 0; i < n; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			addLink(a, b)
+		}
+	}
+	return topo
+}
+
+// TestTopoIndexMatchesTopology is the CSR equivalence property: on seeded
+// random topologies, the index's dense view must agree with the string-keyed
+// Topology API — device table, link table, per-device adjacency (neighbors,
+// costs, up state), and address ownership.
+func TestTopoIndexMatchesTopology(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		topo := internRandomTopo(rng, 4+rng.Intn(20))
+		ix := topo.Index()
+
+		names := topo.NodeNames()
+		if !slices.IsSorted(names) {
+			t.Fatalf("seed %d: NodeNames not sorted", seed)
+		}
+		if ix.NumDevices() != len(names) {
+			t.Fatalf("seed %d: NumDevices = %d, want %d", seed, ix.NumDevices(), len(names))
+		}
+		for i, name := range names {
+			id, ok := ix.DevID(name)
+			if !ok || id != DevID(i) {
+				t.Fatalf("seed %d: DevID(%q) = %d,%v, want %d", seed, name, id, ok, i)
+			}
+			if ix.DevName(id) != name {
+				t.Fatalf("seed %d: DevName(%d) = %q, want %q", seed, id, ix.DevName(id), name)
+			}
+			if ix.Node(id).Name != name {
+				t.Fatalf("seed %d: Node(%d) is %q, want %q", seed, id, ix.Node(id).Name, name)
+			}
+		}
+
+		if ix.NumLinks() != len(topo.Links()) {
+			t.Fatalf("seed %d: NumLinks = %d, want %d", seed, ix.NumLinks(), len(topo.Links()))
+		}
+		for _, l := range topo.Links() {
+			li, ok := ix.LinkIdxOf(l.ID())
+			if !ok {
+				t.Fatalf("seed %d: link %v not indexed", seed, l.ID())
+			}
+			if ix.LinkAt(li) != l {
+				t.Fatalf("seed %d: LinkAt(%d) is not the live link for %v", seed, li, l.ID())
+			}
+			if ix.LinkIDAt(li) != l.ID() {
+				t.Fatalf("seed %d: LinkIDAt(%d) = %v, want %v", seed, li, ix.LinkIDAt(li), l.ID())
+			}
+		}
+		// LinkIdx order is LinkID.String() order.
+		for i := 1; i < ix.NumLinks(); i++ {
+			if ix.LinkIDAt(LinkIdx(i-1)).String() > ix.LinkIDAt(LinkIdx(i)).String() {
+				t.Fatalf("seed %d: link order broken at %d", seed, i)
+			}
+		}
+
+		// Per-device CSR adjacency vs Topology.Neighbors. Neighbors filters
+		// down neighbor nodes and skips dead links only in its callers, so
+		// compare against the up-edge subset of the CSR row.
+		for _, name := range names {
+			id, _ := ix.DevID(name)
+			want := topo.Neighbors(name)
+			var got []Neighbor
+			lo, hi := ix.EdgeRange(id)
+			for pos := lo; pos < hi; pos++ {
+				nb := ix.Node(ix.EdgeDev(pos))
+				if !nb.Up {
+					continue
+				}
+				got = append(got, Neighbor{
+					Device: nb.Name,
+					Link:   ix.EdgeLink(pos),
+					Cost:   ix.EdgeCost(pos, false),
+				})
+				if up := ix.EdgeUp(pos); up != (ix.EdgeLink(pos).Up && nb.Up) {
+					t.Fatalf("seed %d: EdgeUp(%d) = %v inconsistent", seed, pos, up)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d dev %s: %d CSR neighbors, want %d", seed, name, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].Device != want[i].Device || got[i].Link != want[i].Link || got[i].Cost != want[i].Cost {
+					t.Fatalf("seed %d dev %s edge %d: got %+v, want %+v", seed, name, i, got[i], want[i])
+				}
+			}
+		}
+
+		// Address ownership: loopbacks and every link interface address.
+		check := func(addr netip.Addr) {
+			if !addr.IsValid() {
+				return
+			}
+			wantOwner := topo.AddrOwner(addr)
+			gotID := ix.AddrOwnerID(addr)
+			if wantOwner == "" {
+				if gotID != NoDev {
+					t.Fatalf("seed %d: AddrOwnerID(%v) = %d, want NoDev", seed, addr, gotID)
+				}
+				return
+			}
+			if gotID == NoDev || ix.DevName(gotID) != wantOwner {
+				t.Fatalf("seed %d: AddrOwnerID(%v) = %d, want owner %q", seed, addr, gotID, wantOwner)
+			}
+		}
+		for _, n := range topo.Nodes() {
+			check(n.Loopback)
+		}
+		for _, l := range topo.Links() {
+			check(l.AAddr)
+			check(l.BAddr)
+		}
+		check(netip.MustParseAddr("192.0.2.254")) // unowned
+
+		if ix.TableBytes() <= 0 {
+			t.Fatalf("seed %d: TableBytes = %d", seed, ix.TableBytes())
+		}
+	}
+}
+
+// TestInternTopology pins that InternTopology assigns the same dense IDs the
+// TopoIndex uses, so interner IDs and index IDs are interchangeable.
+func TestInternTopology(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	topo := internRandomTopo(rng, 12)
+	in := NewInterner()
+	ix := in.InternTopology(topo)
+
+	for i := 0; i < ix.NumDevices(); i++ {
+		name, ok := in.DeviceName(DevID(i))
+		if !ok || name != ix.DevName(DevID(i)) {
+			t.Fatalf("device %d: interner %q,%v vs index %q", i, name, ok, ix.DevName(DevID(i)))
+		}
+	}
+	for i := 0; i < ix.NumLinks(); i++ {
+		id, ok := in.Link(LinkIdx(i))
+		if !ok || id != ix.LinkIDAt(LinkIdx(i)) {
+			t.Fatalf("link %d: interner %v,%v vs index %v", i, id, ok, ix.LinkIDAt(LinkIdx(i)))
+		}
+	}
+}
+
+// FuzzInternPrefix fuzzes the prefix interning round trip: any valid prefix
+// must intern to a stable dense ID that maps back to the identical prefix,
+// and distinct prefixes must never share an ID.
+func FuzzInternPrefix(f *testing.F) {
+	f.Add([]byte{10, 0, 0, 0}, uint8(24), false)
+	f.Add([]byte{0, 0, 0, 0}, uint8(0), false)
+	f.Add([]byte{0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(32), true)
+	f.Add([]byte{255, 255, 255, 255}, uint8(32), false)
+
+	in := NewInterner()
+	seen := map[PrefixID]netip.Prefix{}
+	f.Fuzz(func(t *testing.T, addrBytes []byte, bits uint8, v6 bool) {
+		var addr netip.Addr
+		if v6 {
+			var b [16]byte
+			copy(b[:], addrBytes)
+			addr = netip.AddrFrom16(b)
+		} else {
+			var b [4]byte
+			copy(b[:], addrBytes)
+			addr = netip.AddrFrom4(b)
+		}
+		p := netip.PrefixFrom(addr, int(bits))
+		if !p.IsValid() {
+			t.Skip()
+		}
+		id := in.InternPrefix(p)
+		if id < 0 || int(id) >= in.NumPrefixes() {
+			t.Fatalf("InternPrefix(%v) = %d out of range [0,%d)", p, id, in.NumPrefixes())
+		}
+		if again := in.InternPrefix(p); again != id {
+			t.Fatalf("re-interning %v gave %d, want %d", p, again, id)
+		}
+		got, ok := in.Prefix(id)
+		if !ok || got != p {
+			t.Fatalf("Prefix(%d) = %v,%v, want %v", id, got, ok, p)
+		}
+		if prev, dup := seen[id]; dup && prev != p {
+			t.Fatalf("ID %d shared by %v and %v", id, prev, p)
+		}
+		seen[id] = p
+	})
+}

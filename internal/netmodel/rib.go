@@ -2,7 +2,9 @@ package netmodel
 
 import (
 	"net/netip"
-	"sort"
+	"slices"
+	"strings"
+	"sync/atomic"
 )
 
 // RIB is the routing table of a single (device, vrf) pair: all candidate and
@@ -12,6 +14,10 @@ type RIB struct {
 	VRF    string
 	// byPrefix holds route rows per prefix in deterministic order.
 	byPrefix map[netip.Prefix][]Route
+	// lpm is the lazily built longest-prefix-match index. Any mutation clears
+	// it; LongestMatch rebuilds on first use. Safe for concurrent readers
+	// (traffic simulation looks up flows in parallel against converged RIBs).
+	lpm atomic.Pointer[lpmIndex]
 }
 
 // NewRIB creates an empty RIB for device/vrf.
@@ -19,16 +25,26 @@ func NewRIB(device, vrf string) *RIB {
 	return &RIB{Device: device, VRF: vrf, byPrefix: make(map[netip.Prefix][]Route)}
 }
 
+// NewRIBSized is NewRIB with a capacity hint for the expected number of
+// prefixes, avoiding incremental map growth when the caller already knows
+// roughly how many prefixes the table will hold (the indexed BGP decision
+// loop passes its prefix-interner size).
+func NewRIBSized(device, vrf string, hint int) *RIB {
+	return &RIB{Device: device, VRF: vrf, byPrefix: make(map[netip.Prefix][]Route, hint)}
+}
+
 // Add installs a route row. The row's Device/VRF are forced to the RIB's.
 func (t *RIB) Add(r Route) {
 	r.Device, r.VRF = t.Device, t.VRF
 	t.byPrefix[r.Prefix] = append(t.byPrefix[r.Prefix], r)
+	t.invalidateLPM()
 }
 
 // Replace substitutes all rows for prefix with rs.
 func (t *RIB) Replace(prefix netip.Prefix, rs []Route) {
 	if len(rs) == 0 {
 		delete(t.byPrefix, prefix)
+		t.invalidateLPM()
 		return
 	}
 	rows := make([]Route, len(rs))
@@ -37,6 +53,24 @@ func (t *RIB) Replace(prefix netip.Prefix, rs []Route) {
 		rows[i] = r
 	}
 	t.byPrefix[prefix] = rows
+	t.invalidateLPM()
+}
+
+// ReplaceOwned is Replace for callers that hand over ownership of rs: the
+// slice is installed as-is (Device/VRF forced in place) instead of being
+// copied. The caller must not retain or modify rs afterwards. This is the
+// allocation-free install path of the indexed BGP decision loop.
+func (t *RIB) ReplaceOwned(prefix netip.Prefix, rs []Route) {
+	if len(rs) == 0 {
+		delete(t.byPrefix, prefix)
+		t.invalidateLPM()
+		return
+	}
+	for i := range rs {
+		rs[i].Device, rs[i].VRF = t.Device, t.VRF
+	}
+	t.byPrefix[prefix] = rs
+	t.invalidateLPM()
 }
 
 // ShallowClone returns a RIB with a fresh prefix map sharing the row slices.
@@ -127,7 +161,7 @@ func (t *RIB) Prefixes() []netip.Prefix {
 	for p := range t.byPrefix {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return comparePrefix(out[i], out[j]) < 0 })
+	slices.SortFunc(out, comparePrefix)
 	return out
 }
 
@@ -145,15 +179,115 @@ func (t *RIB) All() []Route {
 	out := make([]Route, 0, t.Len())
 	for _, p := range t.Prefixes() {
 		rows := append([]Route(nil), t.byPrefix[p]...)
-		sort.Slice(rows, func(i, j int) bool { return CompareRoutes(rows[i], rows[j]) < 0 })
+		slices.SortFunc(rows, CompareRoutes)
 		out = append(out, rows...)
 	}
 	return out
 }
 
+// lpmIndex is the longest-prefix-match index over a RIB's best routes:
+// prefixes with at least one RouteBest row, bucketed by (address family,
+// prefix length) with lengths kept in descending order, mapping the masked
+// network address to the presorted best rows. A lookup probes each length of
+// the address's family from longest to shortest and returns the first hit —
+// identical semantics to the original full-table scan, since two distinct
+// prefixes of the same length cannot both cover one address.
+type lpmIndex struct {
+	v4bits []int
+	v6bits []int
+	v4     map[int]map[netip.Addr]lpmEntry
+	v6     map[int]map[netip.Addr]lpmEntry
+}
+
+type lpmEntry struct {
+	prefix netip.Prefix
+	best   []Route
+}
+
+// invalidateLPM drops the memoized longest-prefix-match index after a write.
+// The nil check matters: during route simulation every decision writes the
+// RIB and nothing queries LPM, so skipping the atomic store (and its write
+// barrier) on an already-nil index keeps the hot install path cheap.
+func (t *RIB) invalidateLPM() {
+	if t.lpm.Load() != nil {
+		t.lpm.Store(nil)
+	}
+}
+
+func (t *RIB) buildLPM() *lpmIndex {
+	ix := &lpmIndex{
+		v4: make(map[int]map[netip.Addr]lpmEntry),
+		v6: make(map[int]map[netip.Addr]lpmEntry),
+	}
+	for p, rows := range t.byPrefix {
+		if !p.IsValid() {
+			continue
+		}
+		var sel []Route
+		for _, r := range rows {
+			if r.RouteType == RouteBest {
+				sel = append(sel, r)
+			}
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		slices.SortFunc(sel, CompareRoutes)
+		m := ix.v6
+		if p.Addr().Is4() {
+			m = ix.v4
+		}
+		bm := m[p.Bits()]
+		if bm == nil {
+			bm = make(map[netip.Addr]lpmEntry)
+			m[p.Bits()] = bm
+		}
+		key := p.Masked().Addr()
+		// Distinct unmasked keys can collapse onto one network; keep the
+		// lexically smaller prefix deterministically.
+		if prev, dup := bm[key]; dup && comparePrefix(prev.prefix, p) <= 0 {
+			continue
+		}
+		bm[key] = lpmEntry{prefix: p, best: sel}
+	}
+	for bits := range ix.v4 {
+		ix.v4bits = append(ix.v4bits, bits)
+	}
+	for bits := range ix.v6 {
+		ix.v6bits = append(ix.v6bits, bits)
+	}
+	slices.SortFunc(ix.v4bits, func(a, b int) int { return b - a })
+	slices.SortFunc(ix.v6bits, func(a, b int) int { return b - a })
+	return ix
+}
+
 // LongestMatch returns the best routes of the longest prefix covering addr,
 // together with the matched prefix. ok is false if no prefix covers addr.
+// Lookups go through a lazily built per-length index; the returned slice is
+// shared and must not be modified by the caller.
 func (t *RIB) LongestMatch(addr netip.Addr) (prefix netip.Prefix, best []Route, ok bool) {
+	ix := t.lpm.Load()
+	if ix == nil {
+		ix = t.buildLPM()
+		t.lpm.Store(ix)
+	}
+	bits, m := ix.v6bits, ix.v6
+	if addr.Is4() {
+		bits, m = ix.v4bits, ix.v4
+	}
+	for _, b := range bits {
+		key := netip.PrefixFrom(addr, b).Masked().Addr()
+		if e, hit := m[b][key]; hit {
+			return e.prefix, e.best, true
+		}
+	}
+	return netip.Prefix{}, nil, false
+}
+
+// LongestMatchScan is the original index-free longest-prefix match: a full
+// scan over every prefix. Kept as the reference implementation for the
+// legacy (string-keyed) engine path and for equivalence tests.
+func (t *RIB) LongestMatchScan(addr netip.Addr) (prefix netip.Prefix, best []Route, ok bool) {
 	bestBits := -1
 	for p, rows := range t.byPrefix {
 		if !p.Contains(addr) || p.Bits() <= bestBits {
@@ -174,7 +308,7 @@ func (t *RIB) LongestMatch(addr netip.Addr) (prefix netip.Prefix, best []Route, 
 	if bestBits < 0 {
 		return netip.Prefix{}, nil, false
 	}
-	sort.Slice(best, func(i, j int) bool { return CompareRoutes(best[i], best[j]) < 0 })
+	slices.SortFunc(best, CompareRoutes)
 	return prefix, best, true
 }
 
@@ -188,7 +322,7 @@ type GlobalRIB struct {
 // kept in deterministic order.
 func NewGlobalRIB(rows []Route) *GlobalRIB {
 	out := append([]Route(nil), rows...)
-	sort.Slice(out, func(i, j int) bool { return CompareRoutes(out[i], out[j]) < 0 })
+	slices.SortFunc(out, CompareRoutes)
 	return &GlobalRIB{rows: out}
 }
 
@@ -320,11 +454,11 @@ func (s *RIBSet) Rows() []Route {
 	for k := range s.m {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
+	slices.SortFunc(keys, func(a, b [2]string) int {
+		if a[0] != b[0] {
+			return strings.Compare(a[0], b[0])
 		}
-		return keys[i][1] < keys[j][1]
+		return strings.Compare(a[1], b[1])
 	})
 	var out []Route
 	for _, k := range keys {

@@ -3,7 +3,8 @@ package netmodel
 import (
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 )
 
@@ -70,11 +71,13 @@ type Topology struct {
 	// byDevice indexes links touching each device.
 	byDevice map[string][]*Link
 
-	// addrMu guards addrIdx, the lazily built address→owner index behind
-	// AddrOwner. Up/down toggles never move addresses, so the index survives
-	// SetLinkUp/SetNodeUp; structural mutations invalidate it.
+	// addrMu guards addrIdx and topoIdx, the lazily built indexes behind
+	// AddrOwner and Index. Up/down toggles never move addresses or change the
+	// graph shape, so both survive SetLinkUp/SetNodeUp; structural mutations
+	// invalidate them.
 	addrMu  sync.RWMutex
 	addrIdx map[netip.Addr]string
+	topoIdx *TopoIndex
 }
 
 // NewTopology creates an empty topology.
@@ -114,7 +117,7 @@ func (t *Topology) Nodes() []*Node {
 	for _, n := range t.nodes {
 		out = append(out, n)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b *Node) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }
 
@@ -124,7 +127,7 @@ func (t *Topology) NodeNames() []string {
 	for name := range t.nodes {
 		out = append(out, name)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -161,12 +164,13 @@ func (t *Topology) RemoveLink(id LinkID) bool {
 	return false
 }
 
-// Link returns the link with the given ID, or nil.
+// Link returns the link with the given ID, or nil. The lookup goes through
+// the CSR index (links are queried per forwarded branch, so the linear scan
+// used to dominate traffic simulation).
 func (t *Topology) Link(id LinkID) *Link {
-	for _, l := range t.links {
-		if l.ID() == id {
-			return l
-		}
+	ix := t.Index()
+	if i, ok := ix.linkIdx[id]; ok {
+		return ix.links[i]
 	}
 	return nil
 }
@@ -213,11 +217,11 @@ func (t *Topology) Neighbors(device string) []Neighbor {
 		}
 		out = append(out, Neighbor{Device: other, Link: l, Cost: cost})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Device != out[j].Device {
-			return out[i].Device < out[j].Device
+	slices.SortFunc(out, func(a, b Neighbor) int {
+		if a.Device != b.Device {
+			return strings.Compare(a.Device, b.Device)
 		}
-		return out[i].Link.ID().String() < out[j].Link.ID().String()
+		return strings.Compare(a.Link.ID().String(), b.Link.ID().String())
 	})
 	return out
 }
@@ -313,7 +317,7 @@ func (t *Topology) buildAddrIdx() map[netip.Addr]string {
 	for name := range t.nodes {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	loSeen := make(map[netip.Addr]bool, len(names))
 	for _, name := range names {
 		if lo := t.nodes[name].Loopback; lo.IsValid() && !loSeen[lo] {
@@ -328,5 +332,6 @@ func (t *Topology) buildAddrIdx() map[netip.Addr]string {
 func (t *Topology) invalidateAddrIdx() {
 	t.addrMu.Lock()
 	t.addrIdx = nil
+	t.topoIdx = nil
 	t.addrMu.Unlock()
 }

@@ -11,6 +11,7 @@ package netmodel
 import (
 	"encoding/json"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -225,8 +226,8 @@ func (p ASPath) Equal(q ASPath) bool {
 	}
 	ps := append([]ASN(nil), p.Set...)
 	qs := append([]ASN(nil), q.Set...)
-	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
-	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	slices.Sort(ps)
+	slices.Sort(qs)
 	for i := range ps {
 		if ps[i] != qs[i] {
 			return false
@@ -250,7 +251,7 @@ func (p ASPath) String() string {
 		}
 		b.WriteByte('{')
 		set := append([]ASN(nil), p.Set...)
-		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		slices.Sort(set)
 		for i, a := range set {
 			if i > 0 {
 				b.WriteByte(',')

@@ -87,6 +87,10 @@ type RunReport struct {
 	// trace (master + workers); both nil unless Telemetry was set.
 	Metrics telemetry.Snapshot
 	Spans   []telemetry.SpanRecord
+	// Intern is the indexed core's ID-table footprint for the run — devices,
+	// links, and input prefixes interned into dense IDs — nil when the run
+	// had the index disabled (core.Options.DisableIndex).
+	Intern *netmodel.InternStats
 }
 
 // WriteBreakdown renders the per-stage time/bytes table plus substrate
@@ -107,6 +111,10 @@ func (r RunReport) WriteBreakdown(w io.Writer) {
 		r.Cache.SnapshotHits, r.Cache.SnapshotHits+r.Cache.SnapshotMisses,
 		r.Cache.RIBFileHits, r.Cache.RIBFileHits+r.Cache.RIBFileMisses,
 		r.Cache.BytesSaved)
+	if r.Intern != nil {
+		fmt.Fprintf(w, "  intern: %d devices, %d links, %d prefixes, %d B ID tables\n",
+			r.Intern.Devices, r.Intern.Links, r.Intern.Prefixes, r.Intern.TableBytes)
+	}
 }
 
 // LastRunReport returns the full report of the most recent distributed
@@ -144,6 +152,7 @@ func (s *System) BaseSnapshot() *intent.Snapshot {
 	if s.baseSnap == nil {
 		res := s.baseEngine().BaseRun(s.Inputs, s.Flows)
 		s.baseSnap = snapshotOf(res, s.Base)
+		s.lastReport.Intern = s.baseEng.InternStats()
 	}
 	return s.baseSnap
 }
@@ -163,7 +172,9 @@ func (s *System) LastForkStats() (core.ForkStats, bool) { return s.lastFork, s.f
 // simulate runs route + traffic simulation centralized.
 func (s *System) simulate(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow) *intent.Snapshot {
 	eng := core.NewEngine(net, s.Opts)
-	return snapshotOf(eng.Run(inputs, flows), net)
+	snap := snapshotOf(eng.Run(inputs, flows), net)
+	s.lastReport.Intern = eng.InternStats()
+	return snap
 }
 
 func snapshotOf(res *core.Result, net *config.Network) *intent.Snapshot {
@@ -188,6 +199,18 @@ func (s *System) simulateDistributed(net *config.Network, inputs []netmodel.Rout
 		Telemetry: s.Telemetry,
 	})
 	report := RunReport{TaskID: taskID}
+	if !s.Opts.DisableIndex {
+		// The master-side view of the run's ID-table footprint: every worker
+		// interns the full topology plus its input subset, so the whole-input
+		// interner describes what the fleet holds in aggregate per engine.
+		in := netmodel.NewInterner()
+		in.InternTopology(net.Topo)
+		for i := range inputs {
+			in.InternPrefix(inputs[i].Prefix)
+		}
+		st := in.Stats()
+		report.Intern = &st
+	}
 	defer func() {
 		report.Store = store.Stats()
 		report.Cache = cluster.CacheStats()

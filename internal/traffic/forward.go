@@ -10,9 +10,9 @@
 package traffic
 
 import (
-	"hash/fnv"
 	"net/netip"
-	"sort"
+	"slices"
+	"strings"
 
 	"hoyan/internal/config"
 	"hoyan/internal/isis"
@@ -42,6 +42,13 @@ type Options struct {
 	// (par conventions: 0 = GOMAXPROCS, 1 = sequential). Every per-flow walk
 	// is read-only over the snapshot, IGP, and RIBs.
 	Parallelism int
+
+	// Legacy disables the dense-ID fast paths (CSR neighbor scans, slice
+	// visited sets, indexed load merging) and walks the string-keyed topology
+	// exactly as the original implementation did. The two produce identical
+	// results; the legacy path is the reference for speedup measurement and
+	// equivalence tests.
+	Legacy bool
 }
 
 func (o Options) withDefaults() Options {
@@ -60,11 +67,42 @@ type Forwarder struct {
 	igp  *isis.Result
 	ribs RIBSource
 	opts Options
+
+	// idx is the dense-ID topology index (nil under Options.Legacy); igpIdx
+	// records whether the IGP result was computed against the same index, so
+	// recursive resolution can walk first-hop edge positions directly.
+	idx    *netmodel.TopoIndex
+	igpIdx bool
+
+	// owned holds each device's locally terminated addresses (loopbacks and
+	// interface addresses), replacing the per-hop interface scan of ownsAddr.
+	owned map[string]map[netip.Addr]bool
 }
 
 // NewForwarder builds a forwarder over the given snapshot.
 func NewForwarder(net *config.Network, igp *isis.Result, ribs RIBSource, opts Options) *Forwarder {
-	return &Forwarder{net: net, igp: igp, ribs: ribs, opts: opts.withDefaults()}
+	f := &Forwarder{net: net, igp: igp, ribs: ribs, opts: opts.withDefaults()}
+	if !f.opts.Legacy {
+		f.idx = net.Topo.Index()
+		f.igpIdx = igp != nil && igp.EdgeIndex() == f.idx
+		f.owned = make(map[string]map[netip.Addr]bool, len(net.Devices))
+		for name, d := range net.Devices {
+			set := make(map[netip.Addr]bool, len(d.Interfaces)+2)
+			if d.Loopback.IsValid() {
+				set[d.Loopback] = true
+			}
+			if node := net.Topo.Node(name); node != nil && node.Loopback.IsValid() {
+				set[node.Loopback] = true
+			}
+			for _, i := range d.Interfaces {
+				if i.Addr.IsValid() {
+					set[i.Addr.Addr()] = true
+				}
+			}
+			f.owned[name] = set
+		}
+	}
+	return f
 }
 
 // Result of a traffic simulation.
@@ -100,6 +138,29 @@ func (f *Forwarder) Simulate(flows []netmodel.Flow) *Result {
 		contribs[i] = f.loadContribs(fl)
 	})
 	res := &Result{Paths: paths, Load: make(netmodel.LinkLoad)}
+	if f.idx != nil {
+		// Accumulate into a flat per-LinkIdx array: per-link additions happen
+		// in the same order as the map merge below, so the floating-point sums
+		// are byte-identical; only the per-share map hashing is gone.
+		acc := make([]float64, f.idx.NumLinks())
+		touched := make([]bool, f.idx.NumLinks())
+		for _, cs := range contribs {
+			for _, c := range cs {
+				if c.lidx >= 0 {
+					acc[c.lidx] += c.volume
+					touched[c.lidx] = true
+				} else {
+					res.Load[c.link] += c.volume
+				}
+			}
+		}
+		for li, t := range touched {
+			if t {
+				res.Load[f.idx.LinkIDAt(netmodel.LinkIdx(li))] += acc[li]
+			}
+		}
+		return res
+	}
 	for _, cs := range contribs {
 		for _, c := range cs {
 			res.Load[c.link] += c.volume
@@ -120,15 +181,41 @@ func (f *Forwarder) path(fl netmodel.Flow, rec *Trace) netmodel.Path {
 	var path netmodel.Path
 	cur := fl.Ingress
 	inIface := ""
-	visited := map[string]bool{}
+	// Visited set: a flat per-DevID slice on the indexed path, with a lazy
+	// map fallback for names outside the topology index.
+	var visited []bool
+	var visitedM map[string]bool
+	if f.idx != nil {
+		visited = make([]bool, f.idx.NumDevices())
+	} else {
+		visitedM = map[string]bool{}
+	}
+	wasVisited := func(dev string) bool {
+		if visited != nil {
+			if id, ok := f.idx.DevID(dev); ok {
+				if visited[id] {
+					return true
+				}
+				visited[id] = true
+				return false
+			}
+		}
+		if visitedM == nil {
+			visitedM = map[string]bool{}
+		}
+		if visitedM[dev] {
+			return true
+		}
+		visitedM[dev] = true
+		return false
+	}
 	h := flowHash(fl)
 	for hop := 0; hop < f.opts.MaxHops; hop++ {
-		if visited[cur] {
+		if wasVisited(cur) {
 			path.Hops = append(path.Hops, netmodel.Hop{Device: cur})
 			path.Exit = netmodel.ExitLoop
 			return path
 		}
-		visited[cur] = true
 
 		rec.see(cur)
 		step := f.step(cur, inIface, fl, rec)
@@ -150,9 +237,11 @@ func (f *Forwarder) path(fl netmodel.Flow, rec *Trace) netmodel.Path {
 
 // linkShare is one link's slice of a flow's volume, in the order the BFS
 // visits it — replaying a flow's shares in order reproduces the sequential
-// accumulation exactly.
+// accumulation exactly. lidx carries the link's dense index when the walk
+// ran on the topology index (netmodel.NoLink otherwise).
 type linkShare struct {
 	link   netmodel.LinkID
+	lidx   netmodel.LinkIdx
 	volume float64
 }
 
@@ -187,7 +276,7 @@ func (f *Forwarder) loadContribsTraced(fl netmodel.Flow, rec *Trace) []linkShare
 		}
 		share := st.volume / float64(len(step.branches))
 		for _, br := range step.branches {
-			out = append(out, linkShare{link: br.link, volume: share})
+			out = append(out, linkShare{link: br.link, lidx: br.lidx, volume: share})
 			queue = append(queue, state{device: br.device, inIface: br.remoteIface, volume: share, depth: st.depth + 1})
 		}
 	}
@@ -197,7 +286,8 @@ func (f *Forwarder) loadContribsTraced(fl netmodel.Flow, rec *Trace) []linkShare
 type branch struct {
 	device      string // next device
 	link        netmodel.LinkID
-	remoteIface string // interface name on the next device (for its ACL-in)
+	lidx        netmodel.LinkIdx // dense link index (NoLink on the legacy path)
+	remoteIface string           // interface name on the next device (for its ACL-in)
 }
 
 type stepExit uint8
@@ -285,7 +375,7 @@ func (f *Forwarder) step(dev, inIface string, fl netmodel.Flow, rec *Trace) step
 		out.exit = exitSeen
 		return out
 	}
-	dedupeBranches(&out.branches)
+	f.dedupeBranches(&out.branches)
 	return f.applyEgressACL(d, fl, out)
 }
 
@@ -349,39 +439,107 @@ func (f *Forwarder) toward(d *config.Device, nh netip.Addr, fl netmodel.Flow, re
 		}
 	}
 	// Directly connected to the target through the link holding nh?
-	for _, l := range f.net.Topo.LinksOf(d.Name) {
-		if !l.Up {
-			continue
+	if f.idx != nil {
+		if devID, ok := f.idx.DevID(d.Name); ok {
+			// CSR scan in place of the LinksOf walk; on a (degenerate)
+			// duplicate-address tie the seed picked the first link in
+			// insertion order, so the earliest insertion position wins.
+			bestPos, bestIns := int32(-1), int32(0)
+			lo, hi := f.idx.EdgeRange(devID)
+			for pos := lo; pos < hi; pos++ {
+				l := f.idx.EdgeLink(pos)
+				if !l.Up {
+					continue
+				}
+				nbAddr := l.AAddr
+				if f.idx.EdgeFromA(pos) {
+					nbAddr = l.BAddr
+				}
+				if nbAddr != nh || f.idx.DevName(f.idx.EdgeDev(pos)) != target {
+					continue
+				}
+				ins := f.idx.InsertionOrder(f.idx.EdgeLinkIdx(pos))
+				if bestPos < 0 || ins < bestIns {
+					bestPos, bestIns = pos, ins
+				}
+			}
+			if bestPos >= 0 {
+				l := f.idx.EdgeLink(bestPos)
+				iface := l.AIface
+				if f.idx.EdgeFromA(bestPos) {
+					iface = l.BIface
+				}
+				return stepResult{branches: []branch{{
+					device:      f.idx.DevName(f.idx.EdgeDev(bestPos)),
+					link:        f.idx.LinkIDAt(f.idx.EdgeLinkIdx(bestPos)),
+					lidx:        f.idx.EdgeLinkIdx(bestPos),
+					remoteIface: iface,
+				}}}
+			}
 		}
-		if l.A == d.Name && l.BAddr == nh && l.B == target {
-			return stepResult{branches: []branch{{device: l.B, link: l.ID(), remoteIface: l.BIface}}}
-		}
-		if l.B == d.Name && l.AAddr == nh && l.A == target {
-			return stepResult{branches: []branch{{device: l.A, link: l.ID(), remoteIface: l.AIface}}}
+	} else {
+		for _, l := range f.net.Topo.LinksOf(d.Name) {
+			if !l.Up {
+				continue
+			}
+			if l.A == d.Name && l.BAddr == nh && l.B == target {
+				return stepResult{branches: []branch{{device: l.B, link: l.ID(), lidx: netmodel.NoLink, remoteIface: l.BIface}}}
+			}
+			if l.B == d.Name && l.AAddr == nh && l.A == target {
+				return stepResult{branches: []branch{{device: l.A, link: l.ID(), lidx: netmodel.NoLink, remoteIface: l.AIface}}}
+			}
 		}
 	}
 	// Recursive resolution through the IGP.
 	rec.dep(d.Name, target)
-	fhs := f.igp.FirstHops(d.Name, target)
-	if len(fhs) == 0 {
-		return stepResult{exit: exitNoRoute}
-	}
 	var out stepResult
-	for _, fh := range fhs {
-		l := f.net.Topo.Link(fh.Link)
-		if l == nil || !l.Up {
-			continue
+	if f.idx != nil && f.igpIdx {
+		devID, okD := f.idx.DevID(d.Name)
+		tgtID, okT := f.idx.DevID(target)
+		if !okD || !okT {
+			return stepResult{exit: exitNoRoute}
 		}
-		iface := l.AIface
-		if l.A == d.Name {
-			iface = l.BIface
+		poss := f.igp.FirstHopEdges(devID, tgtID)
+		if len(poss) == 0 {
+			return stepResult{exit: exitNoRoute}
 		}
-		out.branches = append(out.branches, branch{device: fh.Device, link: fh.Link, remoteIface: iface})
+		for _, pos := range poss {
+			l := f.idx.EdgeLink(pos)
+			if l == nil || !l.Up {
+				continue
+			}
+			iface := l.AIface
+			if f.idx.EdgeFromA(pos) {
+				iface = l.BIface
+			}
+			out.branches = append(out.branches, branch{
+				device:      f.idx.DevName(f.idx.EdgeDev(pos)),
+				link:        f.idx.LinkIDAt(f.idx.EdgeLinkIdx(pos)),
+				lidx:        f.idx.EdgeLinkIdx(pos),
+				remoteIface: iface,
+			})
+		}
+	} else {
+		fhs := f.igp.FirstHops(d.Name, target)
+		if len(fhs) == 0 {
+			return stepResult{exit: exitNoRoute}
+		}
+		for _, fh := range fhs {
+			l := f.net.Topo.Link(fh.Link)
+			if l == nil || !l.Up {
+				continue
+			}
+			iface := l.AIface
+			if l.A == d.Name {
+				iface = l.BIface
+			}
+			out.branches = append(out.branches, branch{device: fh.Device, link: fh.Link, lidx: netmodel.NoLink, remoteIface: iface})
+		}
 	}
 	if len(out.branches) == 0 {
 		return stepResult{exit: exitLinkDown}
 	}
-	dedupeBranches(&out.branches)
+	f.dedupeBranches(&out.branches)
 	return out
 }
 
@@ -412,7 +570,7 @@ func (f *Forwarder) pbrNextHop(d *config.Device, inIface string, fl netmodel.Flo
 				seen[i.PBR] = true
 			}
 		}
-		sort.Strings(names)
+		slices.Sort(names)
 	}
 	for _, name := range names {
 		for _, rule := range d.PBRPolicies[name] {
@@ -424,8 +582,13 @@ func (f *Forwarder) pbrNextHop(d *config.Device, inIface string, fl netmodel.Flo
 	return netip.Addr{}, false
 }
 
-// ownsAddr reports whether the device terminates the address locally.
+// ownsAddr reports whether the device terminates the address locally. The
+// indexed path answers from the prebuilt owned-address set; the legacy path
+// scans the interfaces per hop.
 func (f *Forwarder) ownsAddr(d *config.Device, a netip.Addr) bool {
+	if f.owned != nil && a.IsValid() {
+		return f.owned[d.Name][a]
+	}
 	if d.Loopback == a {
 		return true
 	}
@@ -441,14 +604,32 @@ func (f *Forwarder) ownsAddr(d *config.Device, a netip.Addr) bool {
 	return false
 }
 
-func dedupeBranches(bs *[]branch) {
-	sort.Slice(*bs, func(i, j int) bool {
-		a, b := (*bs)[i], (*bs)[j]
-		if a.device != b.device {
-			return a.device < b.device
-		}
-		return a.link.String() < b.link.String()
-	})
+// dedupeBranches sorts branches into (device, link) order and removes exact
+// duplicates. On the indexed path the link order comes from the dense link
+// index, which is assigned in LinkID-string order — the same order the
+// legacy string sort produces.
+func (f *Forwarder) dedupeBranches(bs *[]branch) {
+	if f.idx != nil {
+		slices.SortFunc(*bs, func(a, b branch) int {
+			if a.device != b.device {
+				return strings.Compare(a.device, b.device)
+			}
+			if a.lidx != b.lidx {
+				if a.lidx < b.lidx {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+	} else {
+		slices.SortFunc(*bs, func(a, b branch) int {
+			if a.device != b.device {
+				return strings.Compare(a.device, b.device)
+			}
+			return strings.Compare(a.link.String(), b.link.String())
+		})
+	}
 	out := (*bs)[:0]
 	var last branch
 	for i, b := range *bs {
@@ -460,10 +641,30 @@ func dedupeBranches(bs *[]branch) {
 	*bs = out
 }
 
+// flowHash is FNV-1a over the 5-tuple, computed inline (byte-identical to
+// hash/fnv over AsSlice bytes) so per-flow hashing does not allocate.
 func flowHash(fl netmodel.Flow) uint32 {
-	h := fnv.New32a()
-	h.Write(fl.Src.AsSlice())
-	h.Write(fl.Dst.AsSlice())
-	h.Write([]byte{byte(fl.SrcPort >> 8), byte(fl.SrcPort), byte(fl.DstPort >> 8), byte(fl.DstPort), byte(fl.Proto)})
-	return h.Sum32()
+	const prime = 16777619
+	h := uint32(2166136261)
+	mixAddr := func(a netip.Addr) {
+		switch {
+		case !a.IsValid():
+		case a.Is4():
+			b := a.As4()
+			for _, x := range b {
+				h = (h ^ uint32(x)) * prime
+			}
+		default:
+			b := a.As16()
+			for _, x := range b {
+				h = (h ^ uint32(x)) * prime
+			}
+		}
+	}
+	mixAddr(fl.Src)
+	mixAddr(fl.Dst)
+	for _, x := range [5]byte{byte(fl.SrcPort >> 8), byte(fl.SrcPort), byte(fl.DstPort >> 8), byte(fl.DstPort), byte(fl.Proto)} {
+		h = (h ^ uint32(x)) * prime
+	}
+	return h
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package hoyan
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+// Performance-floor assertions are skipped under it: instrumentation skews
+// the two sides of a ratio differently, so the measured speedup says nothing
+// about the real one.
+const raceEnabled = true
