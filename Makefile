@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench-core bench-wire bench-incr chaos trace check
+.PHONY: all build test vet race bench-smoke bench-core bench-wire bench-incr bench-durable chaos chaos-restart trace check
 
 all: check
 
@@ -51,11 +51,27 @@ bench-incr:
 	INCR_BENCH_JSON=BENCH_incremental.json $(GO) test -run '^TestIncrementalSpeedup$$' -v .
 	$(GO) test -run '^$$' -bench '^BenchmarkKFail' -benchtime 1x .
 
+# Durable-substrate measurement: the distributed pipeline over WAL-backed
+# disk substrates vs in-memory ones. Asserts the <=1.25x fsync=interval
+# overhead floor and writes the measured wall times to BENCH_durable.json;
+# the one-shot BenchmarkDurable* pass catches bench bit-rot.
+bench-durable:
+	DURABLE_BENCH_JSON=BENCH_durable.json $(GO) test -run '^TestDurableOverhead$$' -v .
+	$(GO) test -run '^$$' -bench '^BenchmarkDurable' -benchtime 1x .
+
 # Fault-tolerance pass: the chaos harness (crashed workers, >=10% injected
 # substrate error rates) plus the resilience tests, under the race detector.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestWorker|TestStale' -v ./internal/dsim/
 	$(GO) test -race ./internal/faults/ ./internal/retry/ ./internal/rpcx/
+
+# Crash-restart pass: kill-and-recover chaos for the durable substrates and
+# the master (torn WAL tails, mid-run substrate restarts, Master.Resume),
+# plus the WAL recovery and restart-wrapper unit tests, under the race
+# detector.
+chaos-restart:
+	$(GO) test -race -run 'TestRestart|TestResume' -v ./internal/dsim/
+	$(GO) test -race ./internal/durable/ ./internal/objstore/ ./internal/taskdb/ ./internal/mq/ ./internal/faults/
 
 # Observability demo: one instrumented distributed run; prints the per-stage
 # breakdown and writes the end-to-end trace to trace.json (view it in
@@ -63,4 +79,4 @@ chaos:
 trace:
 	$(GO) run ./cmd/hoyan-exp -scale 1 -trace trace.json report
 
-check: vet build race bench-smoke bench-core bench-wire bench-incr chaos
+check: vet build race bench-smoke bench-core bench-wire bench-incr bench-durable chaos chaos-restart

@@ -9,6 +9,8 @@
 //	hoyan-master                               # just host the substrates
 //	hoyan-master -run -scale 2 -subtasks 40    # host and drive a simulation
 //	hoyan-master -run -http :7100              # + /metrics /healthz /debug/pprof
+//	hoyan-master -data-dir /var/hoyan          # WAL-backed substrates
+//	hoyan-master -data-dir /var/hoyan -resume cli-task -scale 2 -subtasks 40
 package main
 
 import (
@@ -17,10 +19,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"hoyan/internal/core"
 	"hoyan/internal/dsim"
+	"hoyan/internal/durable"
 	"hoyan/internal/gen"
 	"hoyan/internal/mq"
 	"hoyan/internal/objstore"
@@ -34,6 +38,9 @@ func main() {
 	storeAddr := flag.String("store", "127.0.0.1:7102", "object store listen address")
 	tasksAddr := flag.String("tasks", "127.0.0.1:7103", "task DB listen address")
 	httpAddr := flag.String("http", "", "ops HTTP listen address for /metrics, /healthz, /debug/pprof (empty = off)")
+	dataDir := flag.String("data-dir", "", "back the hosted substrates with WALs under this directory (empty = in-memory)")
+	fsyncMode := flag.String("fsync", "interval", "WAL durability with -data-dir: always, interval, or never")
+	resumeID := flag.String("resume", "", "resume this task from the -data-dir substrates instead of starting a new one (implies -run)")
 	traceOut := flag.String("trace", "", "write the run's Chrome trace_event JSON here (with -run)")
 	runSim := flag.Bool("run", false, "drive a distributed simulation after serving")
 	scale := flag.Int("scale", 2, "gen.WAN scale for -run")
@@ -43,28 +50,78 @@ func main() {
 	maxAttempts := flag.Int("max-attempts", 3, "attempts per subtask before the task fails permanently")
 	flag.Parse()
 
+	fsync, err := durable.ParsePolicy(*fsyncMode)
+	if err != nil {
+		fatal(err)
+	}
+	if *resumeID != "" && *dataDir == "" {
+		fatal(fmt.Errorf("-resume needs -data-dir: there is nothing to recover from in-memory substrates"))
+	}
+
 	// One registry carries everything master-side: the hosted substrates'
 	// server counters, the dialed clients' RPC metrics, and the master's own
 	// scheduling metrics.
 	reg := telemetry.NewRegistry()
 	events := telemetry.NewEventLogger(os.Stderr, telemetry.F("role", "master"))
 
+	// The hosted substrates: in-memory by default, WAL-backed under -data-dir.
+	// Durable substrates report write health on /healthz — persistent append
+	// failures degrade the process to 503 instead of crashing it.
+	var (
+		qsrv   mq.Queue       = mq.NewMemory()
+		ssrv   objstore.Store = objstore.NewMemory()
+		tsrv   taskdb.DB      = taskdb.NewMemory()
+		health telemetry.Health
+	)
+	if *dataDir != "" {
+		dopts := durable.Options{Fsync: fsync}
+		disk, err := objstore.OpenDisk(filepath.Join(*dataDir, "objstore"), dopts)
+		if err != nil {
+			fatal(err)
+		}
+		db, err := taskdb.OpenDurable(filepath.Join(*dataDir, "taskdb.wal"), dopts)
+		if err != nil {
+			fatal(err)
+		}
+		dq, err := mq.OpenDurable(filepath.Join(*dataDir, "mq.wal"), dopts)
+		if err != nil {
+			fatal(err)
+		}
+		disk.Instrument(reg)
+		db.Instrument(reg)
+		dq.Instrument(reg)
+		defer disk.Close()
+		defer db.Close()
+		defer dq.Close()
+		checks := []func() error{disk.Healthy, db.Healthy, dq.Healthy}
+		health = func() error {
+			for _, c := range checks {
+				if err := c(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		qsrv, ssrv, tsrv = dq, disk, db
+		fmt.Printf("durable substrates under %s (fsync=%s)\n", *dataDir, fsync)
+	}
+
 	lq := listen(*mqAddr)
 	ls := listen(*storeAddr)
 	lt := listen(*tasksAddr)
-	mq.ServeRegistry(lq, mq.NewMemory(), reg)
-	objstore.ServeRegistry(ls, objstore.NewMemory(), reg)
-	taskdb.ServeRegistry(lt, taskdb.NewMemory(), reg)
+	mq.ServeRegistry(lq, qsrv, reg)
+	objstore.ServeRegistry(ls, ssrv, reg)
+	taskdb.ServeRegistry(lt, tsrv, reg)
 	fmt.Printf("substrates: mq=%s store=%s tasks=%s\n", lq.Addr(), ls.Addr(), lt.Addr())
 
-	if srv, addr, err := telemetry.ServeOps(*httpAddr, reg, nil, nil); err != nil {
+	if srv, addr, err := telemetry.ServeOps(*httpAddr, reg, health, nil); err != nil {
 		fatal(err)
 	} else if srv != nil {
 		defer srv.Close()
 		fmt.Printf("ops: http://%s/metrics /healthz /debug/pprof\n", addr)
 	}
 
-	if !*runSim {
+	if !*runSim && *resumeID == "" {
 		fmt.Println("serving; start hoyan-worker processes and press Ctrl-C to stop")
 		wait()
 		return
@@ -90,21 +147,42 @@ func main() {
 	master.Events = events
 	master.Instrument(reg)
 
+	taskID := "cli-task"
+	if *resumeID != "" {
+		taskID = *resumeID
+	}
 	g := gen.Generate(gen.WAN(*scale))
 	fmt.Printf("generated WAN: %d devices, %d input routes, %d flows\n",
 		len(g.Net.Devices), len(g.Inputs), len(g.Flows))
-	runSpan := master.BeginRun("cli-task")
-	snapKey, err := master.UploadSnapshot("cli-task", g.Net)
-	if err != nil {
-		fatal(err)
-	}
+	runSpan := master.BeginRun(taskID)
 	start := time.Now()
-	task, err := master.StartRouteSimulation("cli-task", snapKey, g.Inputs, *subtasks, core.Options{})
-	if err != nil {
-		fatal(err)
+	var task *dsim.RouteTask
+	var tt *dsim.TrafficTask
+	if *resumeID != "" {
+		// Re-enqueue whatever the previous incarnation left unfinished; the
+		// traffic phase (if on record) resumes below, otherwise it starts
+		// fresh off the regenerated flows (same -scale, same deterministic
+		// generator).
+		info, err := master.Resume(taskID)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("resumed task %s: %d route / %d traffic subtasks (%d done, %d re-enqueued)\n",
+			taskID, info.RouteSubtasks, info.TrafficSubtasks, info.Done, info.Reenqueued)
+		task = info.RouteTask()
+		tt = info.TrafficTask()
+	} else {
+		snapKey, err := master.UploadSnapshot(taskID, g.Net)
+		if err != nil {
+			fatal(err)
+		}
+		task, err = master.StartRouteSimulation(taskID, snapKey, g.Inputs, *subtasks, core.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("enqueued %d route subtasks; waiting for workers...\n", task.Subtasks)
 	}
-	fmt.Printf("enqueued %d route subtasks; waiting for workers...\n", task.Subtasks)
-	if err := master.Wait("cli-task", "route", task.Subtasks); err != nil {
+	if err := master.Wait(taskID, "route", task.Subtasks); err != nil {
 		fatal(err)
 	}
 	rib, err := master.CollectRouteResults(task)
@@ -114,11 +192,13 @@ func main() {
 	fmt.Printf("route simulation done in %s: %d RIB rows\n",
 		time.Since(start).Round(time.Millisecond), rib.Len())
 
-	tt, err := master.StartTrafficSimulation("cli-task", task, g.Flows, *subtasks, dsim.StrategyOrdered, core.Options{})
-	if err != nil {
-		fatal(err)
+	if tt == nil {
+		tt, err = master.StartTrafficSimulation(taskID, task, g.Flows, *subtasks, dsim.StrategyOrdered, core.Options{})
+		if err != nil {
+			fatal(err)
+		}
 	}
-	if err := master.Wait("cli-task", "traffic", tt.Subtasks); err != nil {
+	if err := master.Wait(taskID, "traffic", tt.Subtasks); err != nil {
 		fatal(err)
 	}
 	sum, err := master.CollectTrafficResults(tt)

@@ -10,7 +10,8 @@
 // Diagnostics are structured JSON lines on stderr (one object per event with
 // worker/subtask/attempt fields), so chaos runs are machine-greppable.
 // /healthz reports 503 once the worker has gone -stale without a successful
-// substrate round-trip (queue poll or lease heartbeat).
+// substrate round-trip (queue poll or lease heartbeat), or once its last
+// several result writes to the object store all failed (degraded storage).
 package main
 
 import (
@@ -73,6 +74,11 @@ func main() {
 	w.Instrument(reg)
 
 	health := func() error {
+		// Degraded, not dead: persistent result-write failures flip /healthz
+		// to 503 while the worker keeps retrying.
+		if err := w.WriteHealth(); err != nil {
+			return err
+		}
 		last := w.LastContact()
 		if last.IsZero() {
 			return nil // not started consuming yet

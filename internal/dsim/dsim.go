@@ -115,6 +115,13 @@ func resultKey(taskID, kind string, sub int) string {
 	return fmt.Sprintf("tasks/%s/%s/%d/result", taskID, kind, sub)
 }
 
+// msgKey is where the master persists each subtask's message payload, so a
+// restarted master can reconstruct and re-enqueue in-flight subtasks
+// (Master.Resume) without re-deriving inputs it no longer holds in memory.
+func msgKey(taskID, kind string, sub int) string {
+	return fmt.Sprintf("tasks/%s/%s/%d/msg", taskID, kind, sub)
+}
+
 // splitRoutes orders input routes by the last address of their prefix and
 // cuts them into n contiguous subsets, keeping routes with the same prefix
 // in the same subset. It returns the subsets with their covered ranges.

@@ -3,8 +3,10 @@ package dsim
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 
+	"hoyan/internal/durable"
 	"hoyan/internal/mq"
 	"hoyan/internal/objstore"
 	"hoyan/internal/taskdb"
@@ -29,7 +31,9 @@ type LocalCluster struct {
 
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
-	mem    *mq.Memory
+	// closeSubstrates shuts down whatever substrates the cluster owns (the
+	// queue always; disk-backed store and task DB when durable).
+	closeSubstrates func()
 }
 
 // LocalOptions configures StartLocalOptions.
@@ -41,9 +45,19 @@ type LocalOptions struct {
 	Store objstore.Store
 	Tasks taskdb.DB
 	// Telemetry gives the master and every worker a registry and a tracer,
-	// instruments the in-memory substrates, and enables span collection —
-	// gather the results with MetricsSnapshot and TraceSpans.
+	// instruments the substrates, and enables span collection — gather the
+	// results with MetricsSnapshot and TraceSpans.
 	Telemetry bool
+
+	// DataDir, when set (StartLocalDurable only), backs all three substrates
+	// with WAL-based disk persistence rooted there: the object store under
+	// <DataDir>/objstore, the task DB at <DataDir>/taskdb.wal, the queue at
+	// <DataDir>/mq.wal. Explicit Store/Tasks handles still win over the
+	// disk-backed defaults.
+	DataDir string
+	// Fsync is the durability policy for DataDir-backed substrates (zero
+	// value durable.SyncInterval).
+	Fsync durable.Policy
 }
 
 // StartLocal creates in-memory services and starts n workers.
@@ -59,7 +73,9 @@ func StartLocalWithStore(n int, store objstore.Store, tasks taskdb.DB) *LocalClu
 	return StartLocalOptions(LocalOptions{Workers: n, Store: store, Tasks: tasks})
 }
 
-// StartLocalOptions starts a cluster described by opts.
+// StartLocalOptions starts a cluster described by opts over in-memory
+// substrates (opts.DataDir is ignored here; use StartLocalDurable for
+// disk-backed clusters).
 func StartLocalOptions(opts LocalOptions) *LocalCluster {
 	if opts.Store == nil {
 		opts.Store = objstore.NewMemory()
@@ -73,15 +89,72 @@ func StartLocalOptions(opts LocalOptions) *LocalCluster {
 		Store: opts.Store,
 		Tasks: opts.Tasks,
 	}
+	return startCluster(opts, svc, memq.Close)
+}
+
+// StartLocalDurable starts a cluster whose substrates persist under
+// opts.DataDir: a restart-safe single-process deployment. With an empty
+// DataDir it falls back to StartLocalOptions. The returned cluster's Stop
+// closes the substrates cleanly (WALs flushed); state survives and a later
+// StartLocalDurable over the same directory recovers it.
+func StartLocalDurable(opts LocalOptions) (*LocalCluster, error) {
+	if opts.DataDir == "" {
+		return StartLocalOptions(opts), nil
+	}
+	dopts := durable.Options{Fsync: opts.Fsync}
+	var closers []func()
+	if opts.Store == nil {
+		disk, err := objstore.OpenDisk(filepath.Join(opts.DataDir, "objstore"), dopts)
+		if err != nil {
+			return nil, err
+		}
+		opts.Store = disk
+		closers = append(closers, func() { disk.Close() })
+	}
+	if opts.Tasks == nil {
+		db, err := taskdb.OpenDurable(filepath.Join(opts.DataDir, "taskdb.wal"), dopts)
+		if err != nil {
+			return nil, err
+		}
+		opts.Tasks = db
+		closers = append(closers, func() { db.Close() })
+	}
+	q, err := mq.OpenDurable(filepath.Join(opts.DataDir, "mq.wal"), dopts)
+	if err != nil {
+		for _, c := range closers {
+			c()
+		}
+		return nil, err
+	}
+	svc := Services{Queue: q, Store: opts.Store, Tasks: opts.Tasks}
+	return startCluster(opts, svc, func() {
+		q.Close()
+		for _, c := range closers {
+			c()
+		}
+	}), nil
+}
+
+// registryInstrumenter is implemented by every substrate that can re-bind
+// its counters to a telemetry registry (mq.Memory, mq.Durable,
+// objstore.Memory, objstore.Disk, taskdb.Durable).
+type registryInstrumenter interface {
+	Instrument(reg *telemetry.Registry)
+}
+
+// startCluster is the common tail of StartLocalOptions/StartLocalDurable:
+// telemetry wiring and the worker pool.
+func startCluster(opts LocalOptions, svc Services, closeSubstrates func()) *LocalCluster {
 	ctx, cancel := context.WithCancel(context.Background())
-	c := &LocalCluster{Svc: svc, Master: NewMaster(svc), cancel: cancel, mem: memq}
+	c := &LocalCluster{Svc: svc, Master: NewMaster(svc), cancel: cancel, closeSubstrates: closeSubstrates}
 	if opts.Telemetry {
 		c.MasterReg = telemetry.NewRegistry()
 		c.Master.Tracer = telemetry.NewTracer("master")
 		c.Master.Instrument(c.MasterReg)
-		memq.Instrument(c.MasterReg)
-		if ms, ok := opts.Store.(*objstore.Memory); ok {
-			ms.Instrument(c.MasterReg)
+		for _, sub := range []any{svc.Queue, svc.Store, svc.Tasks} {
+			if ri, ok := sub.(registryInstrumenter); ok {
+				ri.Instrument(c.MasterReg)
+			}
 		}
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -137,9 +210,13 @@ func (c *LocalCluster) TraceSpans() []telemetry.SpanRecord {
 	return out
 }
 
-// Stop terminates the workers and waits for them to exit.
+// Stop terminates the workers and waits for them to exit, then shuts down
+// the substrates the cluster owns (durable ones flush their WALs, so state
+// survives for a later StartLocalDurable over the same directory).
 func (c *LocalCluster) Stop() {
 	c.cancel()
-	c.mem.Close()
+	if c.closeSubstrates != nil {
+		c.closeSubstrates()
+	}
 	c.wg.Wait()
 }

@@ -151,6 +151,18 @@ func (m *Master) StartRouteSimulation(taskID, snapKey string, inputs []netmodel.
 		if err := m.svc.Store.Put(ik, buf.Bytes()); err != nil {
 			return nil, err
 		}
+		msg := SubtaskMsg{
+			TaskID: taskID, Kind: "route", SubID: i,
+			SnapshotKey: snapKey, InputKey: ik,
+			ResultKey: resultKey(taskID, "route", i),
+			Options:   opts,
+		}
+		// Persist the message before the record becomes visible: every record
+		// a restarted master finds in the task DB then has a recoverable
+		// message for Resume (trace stamps are re-applied per enqueue).
+		if err := m.persistMsg(msg); err != nil {
+			return nil, err
+		}
 		rec := taskdb.Record{
 			TaskID: taskID, Kind: "route", SubID: i, Status: taskdb.StatusPending,
 			RangeLo: sub.Lo.String(), RangeHi: sub.Hi.String(),
@@ -158,12 +170,6 @@ func (m *Master) StartRouteSimulation(taskID, snapKey string, inputs []netmodel.
 		}
 		if err := m.svc.Tasks.Upsert(rec); err != nil {
 			return nil, err
-		}
-		msg := SubtaskMsg{
-			TaskID: taskID, Kind: "route", SubID: i,
-			SnapshotKey: snapKey, InputKey: ik,
-			ResultKey: resultKey(taskID, "route", i),
-			Options:   opts,
 		}
 		m.metrics.UploadBytes.Add(int64(buf.Len()))
 		sp := m.stampTrace(&msg)
@@ -203,14 +209,6 @@ func (m *Master) StartTrafficSimulation(taskID string, route *RouteTask, flows [
 		if err := m.svc.Store.Put(ik, buf.Bytes()); err != nil {
 			return nil, err
 		}
-		rec := taskdb.Record{
-			TaskID: taskID, Kind: "traffic", SubID: i, Status: taskdb.StatusPending,
-			RangeLo: sub.Lo.String(), RangeHi: sub.Hi.String(),
-			EnqueuedAt: time.Now(),
-		}
-		if err := m.svc.Tasks.Upsert(rec); err != nil {
-			return nil, err
-		}
 		msg := SubtaskMsg{
 			TaskID: taskID, Kind: "traffic", SubID: i,
 			SnapshotKey: route.SnapshotKey, InputKey: ik,
@@ -219,6 +217,17 @@ func (m *Master) StartTrafficSimulation(taskID string, route *RouteTask, flows [
 			RouteTaskID:   route.ID,
 			RouteSubtasks: route.Subtasks,
 			Strategy:      strategy,
+		}
+		if err := m.persistMsg(msg); err != nil {
+			return nil, err
+		}
+		rec := taskdb.Record{
+			TaskID: taskID, Kind: "traffic", SubID: i, Status: taskdb.StatusPending,
+			RangeLo: sub.Lo.String(), RangeHi: sub.Hi.String(),
+			EnqueuedAt: time.Now(),
+		}
+		if err := m.svc.Tasks.Upsert(rec); err != nil {
+			return nil, err
 		}
 		m.metrics.UploadBytes.Add(int64(buf.Len()))
 		sp := m.stampTrace(&msg)

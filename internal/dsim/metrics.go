@@ -98,6 +98,7 @@ type MasterMetrics struct {
 	ReenqueueFailed *telemetry.Counter // hoyan_master_reenqueues_total{cause=...}
 	ReenqueueLease  *telemetry.Counter
 	ReenqueueLost   *telemetry.Counter
+	ReenqueueResume *telemetry.Counter
 	PollSweeps      *telemetry.Counter
 	UploadBytes     *telemetry.Counter
 	WaitSeconds     *telemetry.Histogram
@@ -119,6 +120,7 @@ func NewMasterMetrics(reg *telemetry.Registry) *MasterMetrics {
 		ReenqueueFailed: reenq("worker_failed"),
 		ReenqueueLease:  reenq("lease_expired"),
 		ReenqueueLost:   reenq("message_lost"),
+		ReenqueueResume: reenq("master_resume"),
 		PollSweeps:      reg.Counter("hoyan_master_poll_sweeps_total", "task-DB monitoring sweeps"),
 		UploadBytes:     reg.Counter("hoyan_master_upload_bytes_total", "snapshot and input bytes uploaded to the object store"),
 		WaitSeconds: reg.Histogram("hoyan_master_wait_seconds",

@@ -149,6 +149,9 @@ func TestMixedVersionJSONBlobs(t *testing.T) {
 		}
 		var legacy []byte
 		switch {
+		case strings.HasSuffix(key, "/msg"):
+			// Persisted subtask messages are already plain JSON.
+			continue
 		case strings.HasSuffix(key, "/snapshot"):
 			snap, err := core.DecodeSnapshot(bytes.NewReader(data))
 			if err != nil {

@@ -14,6 +14,7 @@ import (
 
 	"hoyan/internal/config"
 	"hoyan/internal/core"
+	"hoyan/internal/durable"
 	"hoyan/internal/mq"
 	"hoyan/internal/netmodel"
 	"hoyan/internal/taskdb"
@@ -99,6 +100,11 @@ type Worker struct {
 	// liveness from it.
 	lastContact atomic.Int64
 
+	// writeFails counts consecutive failed result-file writes (the
+	// objstore.put stage, after its retry envelope is exhausted); WriteHealth
+	// turns it into a degraded /healthz signal alongside contact staleness.
+	writeFails atomic.Int32
+
 	// lastPopAt / lastDecodeDur carry per-message timing from nextMsg to
 	// execute. Run is single-threaded, so plain fields suffice.
 	lastPopAt     time.Time
@@ -179,6 +185,27 @@ func (w *Worker) LastContact() time.Time {
 }
 
 func (w *Worker) touch() { w.lastContact.Store(time.Now().UnixNano()) }
+
+// noteResultWrite records one result-file write outcome for WriteHealth.
+func (w *Worker) noteResultWrite(err error) {
+	if err == nil {
+		w.writeFails.Store(0)
+		return
+	}
+	w.writeFails.Add(1)
+}
+
+// WriteHealth returns nil while result-file writes are landing, and an error
+// once durable.HealthFailureThreshold consecutive writes have failed (each
+// already retried by the substrate wrapper) — the signal the ops /healthz
+// endpoint degrades on, so a worker on a full or read-only disk reports
+// unhealthy instead of silently burning attempts.
+func (w *Worker) WriteHealth() error {
+	if n := w.writeFails.Load(); n >= durable.HealthFailureThreshold {
+		return fmt.Errorf("dsim: worker %s: last %d result writes failed", w.Name, n)
+	}
+	return nil
+}
 
 // event emits a structured diagnostic with the worker's name attached (no-op
 // without an Events logger).
@@ -605,9 +632,11 @@ func (w *Worker) routeSubtask(ctx context.Context, msg SubtaskMsg) error {
 	}); err != nil {
 		return err
 	}
-	if err := w.stage(ctx, "objstore.put", w.metrics.PutSeconds, func() error {
+	err = w.stage(ctx, "objstore.put", w.metrics.PutSeconds, func() error {
 		return w.svc.Store.Put(msg.ResultKey, buf.Bytes())
-	}); err != nil {
+	})
+	w.noteResultWrite(err)
+	if err != nil {
 		return err
 	}
 	// Seed the RIB cache: this worker's own traffic subtasks often read the
@@ -677,9 +706,11 @@ func (w *Worker) trafficSubtask(ctx context.Context, msg SubtaskMsg) (int, error
 	}); err != nil {
 		return 0, fmt.Errorf("encoding traffic result: %w", err)
 	}
-	if err := w.stage(ctx, "objstore.put", w.metrics.PutSeconds, func() error {
+	err = w.stage(ctx, "objstore.put", w.metrics.PutSeconds, func() error {
 		return w.svc.Store.Put(msg.ResultKey, buf.Bytes())
-	}); err != nil {
+	})
+	w.noteResultWrite(err)
+	if err != nil {
 		return 0, err
 	}
 	return len(needed), nil

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hoyan/internal/mq"
+	"hoyan/internal/objstore"
+	"hoyan/internal/taskdb"
+)
+
+// TestRestartableDownWindow checks the three wrappers fail every operation
+// with ErrDown while crashed and come back after Reopen — with state served
+// by whatever the reopen hook recovered.
+func TestRestartableDownWindow(t *testing.T) {
+	store := NewRestartableStore(objstore.NewMemory(), func() (objstore.Store, error) {
+		s := objstore.NewMemory()
+		if err := s.Put("recovered", []byte("x")); err != nil {
+			return nil, err
+		}
+		return s, nil
+	})
+	if err := store.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	store.Crash()
+	if err := store.Put("a", []byte("2")); !errors.Is(err, ErrDown) {
+		t.Fatalf("Put while down: %v, want ErrDown", err)
+	}
+	if _, err := store.Get("a"); !errors.Is(err, ErrDown) {
+		t.Fatalf("Get while down: %v, want ErrDown", err)
+	}
+	if _, err := store.List(""); !errors.Is(err, ErrDown) {
+		t.Fatalf("List while down: %v, want ErrDown", err)
+	}
+	if err := store.Delete("a"); !errors.Is(err, ErrDown) {
+		t.Fatalf("Delete while down: %v, want ErrDown", err)
+	}
+	if err := store.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get("recovered"); err != nil {
+		t.Fatalf("Get after reopen: %v", err)
+	}
+	if crashes, downOps := store.Crashes(); crashes != 1 || downOps != 4 {
+		t.Errorf("Crashes() = %d, %d; want 1, 4", crashes, downOps)
+	}
+
+	q := NewRestartableQueue(mq.NewMemory(), func() (mq.Queue, error) {
+		return mq.NewMemory(), nil
+	})
+	q.Crash()
+	if err := q.Push("t", mq.Message{ID: "m"}); !errors.Is(err, ErrDown) {
+		t.Fatalf("Push while down: %v, want ErrDown", err)
+	}
+	if _, _, err := q.Pop("t", time.Millisecond); !errors.Is(err, ErrDown) {
+		t.Fatalf("Pop while down: %v, want ErrDown", err)
+	}
+	if _, err := q.Len("t"); !errors.Is(err, ErrDown) {
+		t.Fatalf("Len while down: %v, want ErrDown", err)
+	}
+	if err := q.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Push("t", mq.Message{ID: "m"}); err != nil {
+		t.Fatalf("Push after reopen: %v", err)
+	}
+
+	db := NewRestartableTasks(taskdb.NewMemory(), func() (taskdb.DB, error) {
+		return taskdb.NewMemory(), nil
+	})
+	db.Crash()
+	if err := db.Upsert(taskdb.Record{TaskID: "t"}); !errors.Is(err, ErrDown) {
+		t.Fatalf("Upsert while down: %v, want ErrDown", err)
+	}
+	if _, err := db.FencedUpsert(taskdb.Record{TaskID: "t"}); !errors.Is(err, ErrDown) {
+		t.Fatalf("FencedUpsert while down: %v, want ErrDown", err)
+	}
+	if _, err := db.Heartbeat("t", "route", 0, 0, time.Now()); !errors.Is(err, ErrDown) {
+		t.Fatalf("Heartbeat while down: %v, want ErrDown", err)
+	}
+	if _, _, err := db.Get("t", "route", 0); !errors.Is(err, ErrDown) {
+		t.Fatalf("Get while down: %v, want ErrDown", err)
+	}
+	if _, err := db.List("t"); !errors.Is(err, ErrDown) {
+		t.Fatalf("List while down: %v, want ErrDown", err)
+	}
+	if err := db.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Upsert(taskdb.Record{TaskID: "t"}); err != nil {
+		t.Fatalf("Upsert after reopen: %v", err)
+	}
+}
+
+// TestTearTailAndFlipByte pins the file-corruption helpers the restart chaos
+// tests build on.
+func TestTearTailAndFlipByte(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TearTail(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "0123456" {
+		t.Fatalf("after TearTail(3): %q", got)
+	}
+	if err := TearTail(path, 100); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = os.ReadFile(path); len(got) != 0 {
+		t.Fatalf("TearTail past start left %q", got)
+	}
+
+	if err := os.WriteFile(path, []byte{0x00, 0x10, 0x20}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipByte(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipByte(path, -1); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if got[0] != 0x00 || got[1] != 0xEF || got[2] != 0xDF {
+		t.Fatalf("after flips: %x", got)
+	}
+}

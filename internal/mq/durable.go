@@ -1,0 +1,257 @@
+package mq
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"hoyan/internal/durable"
+	"hoyan/internal/telemetry"
+)
+
+// Durable is a disk-backed Queue: every push and pop is logged to a WAL
+// before it takes effect, so a restart replays the log and recovers exactly
+// the undelivered messages — a message pushed but never popped survives the
+// queue process dying. Safe for concurrent use.
+//
+// Delivery is at-least-once across a crash window (a pop whose log record
+// was lost is re-delivered after recovery); the framework's attempt fencing
+// makes duplicate delivery harmless.
+type Durable struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	topics  map[string][]Message
+	wal     *durable.WAL
+	opts    durable.Options
+	appends int
+	closed  bool
+	crashed bool
+
+	pushes *telemetry.Counter
+	pops   *telemetry.Counter
+	depth  *telemetry.Gauge
+}
+
+// mqRec is one WAL record: an accepted push or a delivered pop.
+type mqRec struct {
+	Op    string   `json:"op"` // "push" or "pop"
+	Topic string   `json:"topic"`
+	Msg   *Message `json:"msg,omitempty"` // push only
+}
+
+// OpenDurable opens (creating if necessary) a WAL-backed queue persisted at
+// path, replaying any existing log to rebuild the undelivered messages.
+func OpenDurable(path string, opts durable.Options) (*Durable, error) {
+	q := &Durable{
+		topics: make(map[string][]Message),
+		opts:   opts,
+		pushes: &telemetry.Counter{},
+		pops:   &telemetry.Counter{},
+		depth:  &telemetry.Gauge{},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	wal, _, err := durable.Open(path, opts, func(p []byte) error {
+		var rec mqRec
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return fmt.Errorf("bad mq record: %w", err)
+		}
+		switch rec.Op {
+		case "push":
+			if rec.Msg == nil {
+				return fmt.Errorf("mq push record without message")
+			}
+			q.topics[rec.Topic] = append(q.topics[rec.Topic], *rec.Msg)
+		case "pop":
+			if ms := q.topics[rec.Topic]; len(ms) > 0 {
+				q.topics[rec.Topic] = ms[1:]
+			}
+		default:
+			return fmt.Errorf("bad mq op %q", rec.Op)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	q.wal = wal
+	q.depth.Set(float64(q.depthLocked()))
+	return q, nil
+}
+
+// Instrument re-binds the queue's counters and durability metrics to
+// registered metrics in reg, carrying over counts accumulated so far.
+func (q *Durable) Instrument(reg *telemetry.Registry) {
+	q.mu.Lock()
+	pushes := reg.Counter("hoyan_mq_pushes_total", "messages accepted by the queue")
+	pushes.Add(q.pushes.Value())
+	q.pushes = pushes
+	pops := reg.Counter("hoyan_mq_pops_total", "messages delivered by the queue")
+	pops.Add(q.pops.Value())
+	q.pops = pops
+	depth := reg.Gauge("hoyan_mq_depth", "messages currently queued across all topics")
+	depth.Set(float64(q.depthLocked()))
+	q.depth = depth
+	q.mu.Unlock()
+	q.wal.Instrument(reg, "mq")
+}
+
+func (q *Durable) depthLocked() int64 {
+	var n int64
+	for _, ms := range q.topics {
+		n += int64(len(ms))
+	}
+	return n
+}
+
+// Stats implements StatsProvider.
+func (q *Durable) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{Pushes: q.pushes.Value(), Pops: q.pops.Value(), Depth: q.depthLocked()}
+}
+
+// logLocked appends one WAL record, compacting the log down to the
+// undelivered messages every CompactEvery appends.
+func (q *Durable) logLocked(rec mqRec) error {
+	p, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := q.wal.Append(p); err != nil {
+		return err
+	}
+	q.appends++
+	every := q.opts.CompactEvery
+	if every <= 0 {
+		every = durable.DefaultCompactEvery
+	}
+	if q.appends >= every {
+		if err := q.compactLocked(rec); err != nil {
+			return err
+		}
+		q.appends = 0
+	}
+	return nil
+}
+
+// compactLocked rewrites the WAL as push records of every queued message,
+// plus the just-logged mutation (applied by the caller after logging).
+func (q *Durable) compactLocked(tail mqRec) error {
+	var snap [][]byte
+	for topic, ms := range q.topics {
+		for i := range ms {
+			p, err := json.Marshal(mqRec{Op: "push", Topic: topic, Msg: &ms[i]})
+			if err != nil {
+				return err
+			}
+			snap = append(snap, p)
+		}
+	}
+	tp, err := json.Marshal(tail)
+	if err != nil {
+		return err
+	}
+	snap = append(snap, tp)
+	return q.wal.Compact(snap)
+}
+
+// Push implements Queue.
+func (q *Durable) Push(topic string, m Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.crashed {
+		return durable.ErrCrashed
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	if err := q.logLocked(mqRec{Op: "push", Topic: topic, Msg: &m}); err != nil {
+		return err
+	}
+	q.topics[topic] = append(q.topics[topic], m)
+	q.pushes.Inc()
+	q.depth.Add(1)
+	q.cond.Broadcast()
+	return nil
+}
+
+// Pop implements Queue: the pop is logged before the message is handed out,
+// so a delivered message is never re-delivered after a clean restart (an
+// unlogged delivery — crash between log and hand-off — errs on the safe side
+// and re-delivers).
+func (q *Durable) Pop(topic string, wait time.Duration) (Message, bool, error) {
+	deadline := time.Now().Add(wait)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.crashed {
+			return Message{}, false, durable.ErrCrashed
+		}
+		if q.closed {
+			return Message{}, false, ErrClosed
+		}
+		if ms := q.topics[topic]; len(ms) > 0 {
+			if err := q.logLocked(mqRec{Op: "pop", Topic: topic}); err != nil {
+				return Message{}, false, err
+			}
+			m := ms[0]
+			q.topics[topic] = q.topics[topic][1:]
+			q.pops.Inc()
+			q.depth.Add(-1)
+			return m, true, nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return Message{}, false, nil
+		}
+		waker := time.AfterFunc(remain, q.cond.Broadcast)
+		q.cond.Wait()
+		waker.Stop()
+	}
+}
+
+// Len implements Queue.
+func (q *Durable) Len(topic string) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.crashed {
+		return 0, durable.ErrCrashed
+	}
+	if q.closed {
+		return 0, ErrClosed
+	}
+	return len(q.topics[topic]), nil
+}
+
+// Healthy reports nil while durable writes are landing.
+func (q *Durable) Healthy() error { return q.wal.Healthy() }
+
+// Close wakes all waiters, flushes the WAL, and rejects further operations
+// with ErrClosed (fatal to workers — this is orderly shutdown).
+func (q *Durable) Close() {
+	q.mu.Lock()
+	if q.closed || q.crashed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.wal.Close()
+}
+
+// CrashClose simulates the queue process dying: waiters wake and every
+// subsequent operation fails with durable.ErrCrashed — transient, unlike
+// ErrClosed, so workers keep retrying until a reopened queue takes over.
+func (q *Durable) CrashClose() {
+	q.mu.Lock()
+	if q.closed || q.crashed {
+		q.mu.Unlock()
+		return
+	}
+	q.crashed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.wal.CrashClose()
+}

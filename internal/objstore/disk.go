@@ -1,0 +1,292 @@
+package objstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"sync"
+
+	"hoyan/internal/durable"
+	"hoyan/internal/telemetry"
+)
+
+// Disk is a disk-backed Store: each object lives in its own file (written
+// atomically via tmp+rename), and a WAL manifest records which keys exist so
+// a restart recovers the exact acknowledged key set without scanning and
+// trusting stray files. Safe for concurrent use.
+//
+// Layout under the data directory:
+//
+//	<dir>/manifest.wal           durable.WAL of {op, key} records
+//	<dir>/objects/<escaped key>  one file per object (url.PathEscape'd key)
+type Disk struct {
+	mu      sync.Mutex
+	dir     string
+	keys    map[string]struct{}
+	wal     *durable.WAL
+	opts    durable.Options
+	appends int // manifest records since the last compaction
+	crashed bool
+
+	counters storeCounters
+}
+
+// manifestRec is one manifest WAL record.
+type manifestRec struct {
+	Op  string `json:"op"` // "put" or "del"
+	Key string `json:"key"`
+}
+
+// OpenDisk opens (creating if necessary) a disk-backed store rooted at dir,
+// replaying the manifest and dropping any key whose object file did not make
+// it to disk. Orphaned object and temp files (writes that crashed before
+// their manifest record) are removed.
+func OpenDisk(dir string, opts durable.Options) (*Disk, error) {
+	objDir := filepath.Join(dir, "objects")
+	if err := os.MkdirAll(objDir, 0o755); err != nil {
+		return nil, fmt.Errorf("objstore: creating %s: %w", objDir, err)
+	}
+	d := &Disk{dir: dir, keys: make(map[string]struct{}), opts: opts, counters: newStoreCounters()}
+	wal, _, err := durable.Open(filepath.Join(dir, "manifest.wal"), opts, func(p []byte) error {
+		var rec manifestRec
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return fmt.Errorf("bad manifest record: %w", err)
+		}
+		switch rec.Op {
+		case "put":
+			d.keys[rec.Key] = struct{}{}
+		case "del":
+			delete(d.keys, rec.Key)
+		default:
+			return fmt.Errorf("bad manifest op %q", rec.Op)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d.wal = wal
+
+	// Reconcile the manifest against the object files: a manifest entry
+	// whose file vanished (machine crash before the data blocks landed) is
+	// dropped — the fleet re-executes the subtask that produced it — and
+	// files the manifest doesn't acknowledge are orphans from torn writes.
+	ents, err := os.ReadDir(objDir)
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("objstore: scanning %s: %w", objDir, err)
+	}
+	onDisk := make(map[string]struct{}, len(ents))
+	for _, e := range ents {
+		key, uerr := url.PathUnescape(e.Name())
+		if uerr != nil || strings.Contains(e.Name(), ".tmp-") {
+			os.Remove(filepath.Join(objDir, e.Name()))
+			continue
+		}
+		if _, ok := d.keys[key]; !ok {
+			os.Remove(filepath.Join(objDir, e.Name()))
+			continue
+		}
+		onDisk[key] = struct{}{}
+	}
+	for key := range d.keys {
+		if _, ok := onDisk[key]; !ok {
+			delete(d.keys, key)
+		}
+	}
+	return d, nil
+}
+
+// objPath maps a key to its object file.
+func (d *Disk) objPath(key string) string {
+	return filepath.Join(d.dir, "objects", url.PathEscape(key))
+}
+
+// Instrument re-binds the store's transfer counters and durability metrics to
+// registered metrics in reg, carrying over counts accumulated so far.
+func (d *Disk) Instrument(reg *telemetry.Registry) {
+	d.mu.Lock()
+	d.counters.bind(reg, "hoyan_objstore_")
+	d.mu.Unlock()
+	d.wal.Instrument(reg, "objstore")
+}
+
+// Put implements Store: the object file is written to a temp file and
+// renamed into place (readers never observe a partial object), then the key
+// is acknowledged in the manifest.
+func (d *Disk) Put(key string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return durable.ErrCrashed
+	}
+	path := d.objPath(key)
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		d.wal.NoteExternalWrite(err)
+		return fmt.Errorf("objstore: put %s: %w", key, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		d.wal.NoteExternalWrite(err)
+		return fmt.Errorf("objstore: put %s: %w", key, err)
+	}
+	if d.opts.Fsync == durable.SyncAlways {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			d.wal.NoteExternalWrite(err)
+			return fmt.Errorf("objstore: put %s: %w", key, err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		d.wal.NoteExternalWrite(err)
+		return fmt.Errorf("objstore: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		d.wal.NoteExternalWrite(err)
+		return fmt.Errorf("objstore: put %s: %w", key, err)
+	}
+	if err := d.logLocked(manifestRec{Op: "put", Key: key}); err != nil {
+		return err
+	}
+	d.keys[key] = struct{}{}
+	d.counters.puts.Inc()
+	d.counters.bytesIn.Add(int64(len(data)))
+	return nil
+}
+
+// Get implements Store.
+func (d *Disk) Get(key string) ([]byte, error) {
+	d.mu.Lock()
+	if d.crashed {
+		d.mu.Unlock()
+		return nil, durable.ErrCrashed
+	}
+	_, ok := d.keys[key]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	data, err := os.ReadFile(d.objPath(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return nil, fmt.Errorf("objstore: get %s: %w", key, err)
+	}
+	d.counters.gets.Inc()
+	d.counters.bytesOut.Add(int64(len(data)))
+	return data, nil
+}
+
+// List implements Store.
+func (d *Disk) List(prefix string) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return nil, durable.ErrCrashed
+	}
+	var out []string
+	for k := range d.keys {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	slices.Sort(out)
+	return out, nil
+}
+
+// Delete implements Store: the manifest forgets the key first, so a crash
+// mid-delete leaves an orphan file (cleaned at next open), never a manifest
+// entry pointing at nothing.
+func (d *Disk) Delete(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.crashed {
+		return durable.ErrCrashed
+	}
+	if _, ok := d.keys[key]; !ok {
+		return nil
+	}
+	if err := d.logLocked(manifestRec{Op: "del", Key: key}); err != nil {
+		return err
+	}
+	delete(d.keys, key)
+	os.Remove(d.objPath(key))
+	return nil
+}
+
+// logLocked appends one manifest record, compacting the manifest down to the
+// live key set every CompactEvery appends.
+func (d *Disk) logLocked(rec manifestRec) error {
+	p, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := d.wal.Append(p); err != nil {
+		return err
+	}
+	d.appends++
+	every := d.opts.CompactEvery
+	if every <= 0 {
+		every = durable.DefaultCompactEvery
+	}
+	if d.appends >= every {
+		keys := make([]string, 0, len(d.keys))
+		for k := range d.keys {
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		snap := make([][]byte, 0, len(keys)+1)
+		for _, k := range keys {
+			kp, err := json.Marshal(manifestRec{Op: "put", Key: k})
+			if err != nil {
+				return err
+			}
+			snap = append(snap, kp)
+		}
+		// The record that triggered compaction is part of d.keys by the time
+		// callers observe it, but the caller applies its mutation after
+		// logLocked returns — include it explicitly.
+		snap = append(snap, p)
+		if err := d.wal.Compact(snap); err != nil {
+			return err
+		}
+		d.appends = 0
+	}
+	return nil
+}
+
+// Stats implements StatsProvider.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	c := d.counters
+	d.mu.Unlock()
+	return c.stats()
+}
+
+// Healthy reports nil while durable writes are landing (see durable.WAL.Healthy).
+func (d *Disk) Healthy() error { return d.wal.Healthy() }
+
+// Close flushes the manifest and closes the store.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.wal.Close()
+}
+
+// CrashClose simulates the store process dying: the manifest handle is
+// dropped without flushing and every subsequent operation fails with
+// durable.ErrCrashed (transient — callers retry until a reopened store takes
+// over).
+func (d *Disk) CrashClose() {
+	d.mu.Lock()
+	d.crashed = true
+	d.mu.Unlock()
+	d.wal.CrashClose()
+}

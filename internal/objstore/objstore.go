@@ -11,7 +11,7 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 
@@ -144,7 +144,7 @@ func (s *Memory) List(prefix string) ([]string, error) {
 			out = append(out, k)
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out, nil
 }
 

@@ -8,12 +8,14 @@ package pipeline
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"time"
 
 	"hoyan/internal/change"
 	"hoyan/internal/config"
 	"hoyan/internal/core"
 	"hoyan/internal/dsim"
+	"hoyan/internal/durable"
 	"hoyan/internal/intent"
 	"hoyan/internal/mq"
 	"hoyan/internal/netmodel"
@@ -51,6 +53,13 @@ type System struct {
 	// Telemetry gives each distributed run a metric registry and tracer per
 	// role; the aggregated snapshot and spans land in LastRunReport.
 	Telemetry bool
+
+	// DataDir, when set, backs each distributed run's substrates with
+	// WAL-based disk persistence under <DataDir>/<taskID> (restart-safe runs;
+	// see dsim.StartLocalDurable). Empty keeps the in-memory substrates.
+	DataDir string
+	// Fsync is the durability policy for DataDir-backed runs.
+	Fsync durable.Policy
 
 	baseEng    *core.Engine
 	baseSnap   *intent.Snapshot
@@ -193,11 +202,26 @@ func snapshotOf(res *core.Result, net *config.Network) *intent.Snapshot {
 // assembling a RunReport (per-stage time and store-byte breakdown, substrate
 // counters, and — with Telemetry set — the merged metric snapshot and trace).
 func (s *System) simulateDistributed(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, taskID string) (*intent.Snapshot, error) {
-	store := objstore.NewMemory()
-	cluster := dsim.StartLocalOptions(dsim.LocalOptions{
-		Workers: s.Workers, Store: store, Tasks: taskdb.NewMemory(),
-		Telemetry: s.Telemetry,
-	})
+	opts := dsim.LocalOptions{Workers: s.Workers, Telemetry: s.Telemetry}
+	if s.DataDir != "" {
+		// Disk-backed substrates, one directory per run: the run survives a
+		// process restart (hoyan-master -resume picks it back up).
+		opts.DataDir = filepath.Join(s.DataDir, taskID)
+		opts.Fsync = s.Fsync
+	} else {
+		opts.Store = objstore.NewMemory()
+		opts.Tasks = taskdb.NewMemory()
+	}
+	cluster, err := dsim.StartLocalDurable(opts)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: opening durable substrates: %w", err)
+	}
+	storeStats := func() objstore.Stats {
+		if sp, ok := cluster.Svc.Store.(objstore.StatsProvider); ok {
+			return sp.Stats()
+		}
+		return objstore.Stats{}
+	}
 	report := RunReport{TaskID: taskID}
 	if !s.Opts.DisableIndex {
 		// The master-side view of the run's ID-table footprint: every worker
@@ -212,7 +236,7 @@ func (s *System) simulateDistributed(net *config.Network, inputs []netmodel.Rout
 		report.Intern = &st
 	}
 	defer func() {
-		report.Store = store.Stats()
+		report.Store = storeStats()
 		report.Cache = cluster.CacheStats()
 		if sp, ok := cluster.Svc.Queue.(mq.StatsProvider); ok {
 			report.Queue = sp.Stats()
@@ -234,10 +258,10 @@ func (s *System) simulateDistributed(net *config.Network, inputs []netmodel.Rout
 
 	// stage times fn and attributes the store bytes it moved.
 	stage := func(name string, fn func() error) error {
-		before := store.Stats()
+		before := storeStats()
 		start := time.Now()
 		err := fn()
-		after := store.Stats()
+		after := storeStats()
 		report.Stages = append(report.Stages, StageReport{
 			Name:     name,
 			Duration: time.Since(start),

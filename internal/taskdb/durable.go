@@ -1,0 +1,252 @@
+package taskdb
+
+import (
+	"cmp"
+	"encoding/json"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"hoyan/internal/durable"
+	"hoyan/internal/telemetry"
+)
+
+// Durable is a disk-backed DB: the authoritative record map lives in memory
+// and every applied mutation is logged to a WAL first, so a restart replays
+// the log and recovers exactly the acknowledged state. Fencing semantics are
+// preserved across restarts — the fence check runs against the recovered map
+// and only applied writes are ever logged, so replay needs no re-checking.
+// Safe for concurrent use.
+type Durable struct {
+	mu      sync.Mutex
+	recs    map[string]Record
+	wal     *durable.WAL
+	opts    durable.Options
+	appends int
+	crashed bool
+}
+
+// taskdbRec is one WAL record: an applied upsert or heartbeat.
+type taskdbRec struct {
+	Op  string  `json:"op"` // "up" or "hb"
+	Rec *Record `json:"rec,omitempty"`
+
+	// Heartbeat fields ("hb").
+	TaskID  string    `json:"task,omitempty"`
+	Kind    string    `json:"kind,omitempty"`
+	SubID   int       `json:"sub,omitempty"`
+	Attempt int       `json:"attempt,omitempty"`
+	At      time.Time `json:"at,omitempty"`
+}
+
+// OpenDurable opens (creating if necessary) a WAL-backed task DB persisted at
+// path, replaying any existing log. Recovery stats are visible through the
+// wal_records_replayed metric after Instrument.
+func OpenDurable(path string, opts durable.Options) (*Durable, error) {
+	db := &Durable{recs: make(map[string]Record), opts: opts}
+	wal, _, err := durable.Open(path, opts, func(p []byte) error {
+		var rec taskdbRec
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return fmt.Errorf("bad taskdb record: %w", err)
+		}
+		switch rec.Op {
+		case "up":
+			if rec.Rec == nil {
+				return fmt.Errorf("taskdb upsert record without payload")
+			}
+			db.recs[rec.Rec.Key()] = *rec.Rec
+		case "hb":
+			key := Record{TaskID: rec.TaskID, Kind: rec.Kind, SubID: rec.SubID}.Key()
+			if r, ok := db.recs[key]; ok && r.Attempts == rec.Attempt && r.Status == StatusRunning {
+				r.HeartbeatAt = rec.At
+				db.recs[key] = r
+			}
+		default:
+			return fmt.Errorf("bad taskdb op %q", rec.Op)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.wal = wal
+	return db, nil
+}
+
+// Instrument binds the DB's durability metrics to reg under the taskdb
+// component label.
+func (db *Durable) Instrument(reg *telemetry.Registry) { db.wal.Instrument(reg, "taskdb") }
+
+// logLocked appends one WAL record and compacts the log down to a snapshot
+// of the record map every CompactEvery appends.
+func (db *Durable) logLocked(rec taskdbRec) error {
+	p, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if err := db.wal.Append(p); err != nil {
+		return err
+	}
+	db.appends++
+	every := db.opts.CompactEvery
+	if every <= 0 {
+		every = durable.DefaultCompactEvery
+	}
+	if db.appends >= every {
+		if err := db.compactLocked(rec); err != nil {
+			return err
+		}
+		db.appends = 0
+	}
+	return nil
+}
+
+// compactLocked rewrites the WAL as a snapshot of every record, plus the
+// just-logged mutation (the caller applies it to the map after logging).
+func (db *Durable) compactLocked(tail taskdbRec) error {
+	keys := make([]string, 0, len(db.recs))
+	for k := range db.recs {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	snap := make([][]byte, 0, len(keys)+1)
+	for _, k := range keys {
+		rec := db.recs[k]
+		p, err := json.Marshal(taskdbRec{Op: "up", Rec: &rec})
+		if err != nil {
+			return err
+		}
+		snap = append(snap, p)
+	}
+	tp, err := json.Marshal(tail)
+	if err != nil {
+		return err
+	}
+	snap = append(snap, tp)
+	return db.wal.Compact(snap)
+}
+
+// Upsert implements DB.
+func (db *Durable) Upsert(rec Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return durable.ErrCrashed
+	}
+	if err := db.logLocked(taskdbRec{Op: "up", Rec: &rec}); err != nil {
+		return err
+	}
+	db.recs[rec.Key()] = rec
+	return nil
+}
+
+// FencedUpsert implements DB: the fence check runs against the recovered
+// in-memory state, and only applied writes reach the WAL.
+func (db *Durable) FencedUpsert(rec Record) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return false, durable.ErrCrashed
+	}
+	if old, ok := db.recs[rec.Key()]; ok && old.Attempts > rec.Attempts {
+		return false, nil
+	}
+	if err := db.logLocked(taskdbRec{Op: "up", Rec: &rec}); err != nil {
+		return false, err
+	}
+	db.recs[rec.Key()] = rec
+	return true, nil
+}
+
+// Heartbeat implements DB. Applied heartbeats are logged so recovered leases
+// carry their true freshness (a resumed master otherwise reclaims every
+// running subtask immediately, which is safe but wasteful).
+func (db *Durable) Heartbeat(taskID, kind string, subID, attempt int, at time.Time) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return false, durable.ErrCrashed
+	}
+	key := Record{TaskID: taskID, Kind: kind, SubID: subID}.Key()
+	rec, ok := db.recs[key]
+	if !ok || rec.Attempts != attempt || rec.Status != StatusRunning {
+		return false, nil
+	}
+	if err := db.logLocked(taskdbRec{Op: "hb", TaskID: taskID, Kind: kind, SubID: subID, Attempt: attempt, At: at}); err != nil {
+		return false, err
+	}
+	rec.HeartbeatAt = at
+	db.recs[key] = rec
+	return true, nil
+}
+
+// Get implements DB.
+func (db *Durable) Get(taskID, kind string, subID int) (Record, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.crashed {
+		return Record{}, false, durable.ErrCrashed
+	}
+	rec, ok := db.recs[Record{TaskID: taskID, Kind: kind, SubID: subID}.Key()]
+	return rec, ok, nil
+}
+
+// List implements DB.
+func (db *Durable) List(taskID string) ([]Record, error) {
+	db.mu.Lock()
+	if db.crashed {
+		db.mu.Unlock()
+		return nil, durable.ErrCrashed
+	}
+	var out []Record
+	for _, rec := range db.recs {
+		if rec.TaskID == taskID {
+			out = append(out, rec)
+		}
+	}
+	db.mu.Unlock()
+	slices.SortFunc(out, func(a, b Record) int {
+		if c := cmp.Compare(a.Kind, b.Kind); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.SubID, b.SubID)
+	})
+	return out, nil
+}
+
+// Tasks returns the distinct task IDs present in the DB, sorted — what a
+// restarted master enumerates to find work to resume.
+func (db *Durable) Tasks() []string {
+	db.mu.Lock()
+	seen := make(map[string]struct{})
+	for _, rec := range db.recs {
+		seen[rec.TaskID] = struct{}{}
+	}
+	db.mu.Unlock()
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Healthy reports nil while durable writes are landing.
+func (db *Durable) Healthy() error { return db.wal.Healthy() }
+
+// Close flushes the WAL and closes the DB.
+func (db *Durable) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.wal.Close()
+}
+
+// CrashClose simulates the DB process dying: every subsequent operation
+// fails with durable.ErrCrashed (transient) until a reopened DB takes over.
+func (db *Durable) CrashClose() {
+	db.mu.Lock()
+	db.crashed = true
+	db.mu.Unlock()
+	db.wal.CrashClose()
+}

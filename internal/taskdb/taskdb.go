@@ -13,9 +13,10 @@ package taskdb
 import (
 	"errors"
 	"fmt"
+	"cmp"
 	"net"
 	"net/rpc"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -150,11 +151,11 @@ func (db *Memory) List(taskID string) ([]Record, error) {
 		}
 	}
 	db.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Kind != out[j].Kind {
-			return out[i].Kind < out[j].Kind
+	slices.SortFunc(out, func(a, b Record) int {
+		if c := cmp.Compare(a.Kind, b.Kind); c != 0 {
+			return c
 		}
-		return out[i].SubID < out[j].SubID
+		return cmp.Compare(a.SubID, b.SubID)
 	})
 	return out, nil
 }
