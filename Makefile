@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench-core bench-wire bench-incr bench-durable chaos chaos-restart trace check
+.PHONY: all build test vet race bench-smoke bench-core bench-wire bench-incr bench-durable bench-shard chaos chaos-restart trace check
 
 all: check
 
@@ -51,6 +51,16 @@ bench-incr:
 	INCR_BENCH_JSON=BENCH_incremental.json $(GO) test -run '^TestIncrementalSpeedup$$' -v .
 	$(GO) test -run '^$$' -bench '^BenchmarkKFail' -benchtime 1x .
 
+# Sharded-verification measurement: intra-shard what-if scenarios through
+# the sharded fleet (touched shards only, boundary-sealed, warm contract
+# state) vs whole-network distributed re-simulation on the gen.WAN(2)
+# fixture. Asserts the >=2x scenario-sweep floor and writes the measured
+# numbers (plus contract-state footprint) to BENCH_shard.json; the one-shot
+# Benchmark{ShardWhatIf,WholeNetworkScenario} pass catches bench bit-rot.
+bench-shard:
+	SHARD_BENCH_JSON=BENCH_shard.json $(GO) test -run '^TestShardSpeedup$$' -v .
+	$(GO) test -run '^$$' -bench '^Benchmark(ShardWhatIf|WholeNetworkScenario)$$' -benchtime 1x .
+
 # Durable-substrate measurement: the distributed pipeline over WAL-backed
 # disk substrates vs in-memory ones. Asserts the <=1.25x fsync=interval
 # overhead floor and writes the measured wall times to BENCH_durable.json;
@@ -79,4 +89,4 @@ chaos-restart:
 trace:
 	$(GO) run ./cmd/hoyan-exp -scale 1 -trace trace.json report
 
-check: vet build race bench-smoke bench-core bench-wire bench-incr bench-durable chaos chaos-restart
+check: vet build race bench-smoke bench-core bench-wire bench-incr bench-durable bench-shard chaos chaos-restart

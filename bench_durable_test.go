@@ -38,9 +38,9 @@ type durableBenchReport struct {
 	TrafficSubtasks int    `json:"traffic_subtasks"`
 	Fsync           string `json:"fsync"`
 
-	MemoryNs       int64   `json:"memory_ns"`
-	DiskIntervalNs int64   `json:"disk_interval_ns"`
-	DiskAlwaysNs   int64   `json:"disk_always_ns"`
+	MemoryNs       int64 `json:"memory_ns"`
+	DiskIntervalNs int64 `json:"disk_interval_ns"`
+	DiskAlwaysNs   int64 `json:"disk_always_ns"`
 	// Overhead is disk-interval wall time over in-memory wall time; the
 	// acceptance floor is <= 1.25.
 	Overhead float64 `json:"overhead"`

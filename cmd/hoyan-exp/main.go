@@ -26,6 +26,7 @@ import (
 func main() {
 	scaleK := flag.Int("scale", 0, "WAN scale multiplier (0 = default experiment scale)")
 	traceOut := flag.String("trace", "", "write the report experiment's Chrome trace_event JSON here")
+	shardsN := flag.Int("shards", 0, "run the report experiment's route stage through this many region shards (<=1 = whole-network)")
 	flag.Parse()
 
 	s := experiments.DefaultScale()
@@ -90,7 +91,7 @@ func main() {
 	run("ecstats", func() { experiments.PrintECStats(out, experiments.ECStats(s)) })
 	run("incr", func() { experiments.PrintIncr(out, experiments.Incr(experiments.QuickScale())) })
 	run("report", func() {
-		rep, err := experiments.Report(s)
+		rep, err := experiments.Report(s, *shardsN)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "report:", err)
 			os.Exit(1)

@@ -8,6 +8,7 @@
 //
 //	hoyan-master                               # just host the substrates
 //	hoyan-master -run -scale 2 -subtasks 40    # host and drive a simulation
+//	hoyan-master -run -shards 4                # sharded route stage (boundary contracts)
 //	hoyan-master -run -http :7100              # + /metrics /healthz /debug/pprof
 //	hoyan-master -data-dir /var/hoyan          # WAL-backed substrates
 //	hoyan-master -data-dir /var/hoyan -resume cli-task -scale 2 -subtasks 40
@@ -45,6 +46,7 @@ func main() {
 	runSim := flag.Bool("run", false, "drive a distributed simulation after serving")
 	scale := flag.Int("scale", 2, "gen.WAN scale for -run")
 	subtasks := flag.Int("subtasks", 40, "route subtasks for -run")
+	shards := flag.Int("shards", 0, "partition the route stage into this many region shards with boundary-route contracts (<=1 = whole-network)")
 	timeout := flag.Duration("timeout", 10*time.Minute, "simulation timeout for -run")
 	lease := flag.Duration("lease", 30*time.Second, "lease timeout before a silent worker's subtask is reclaimed (0 disables)")
 	maxAttempts := flag.Int("max-attempts", 3, "attempts per subtask before the task fails permanently")
@@ -176,11 +178,30 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		task, err = master.StartRouteSimulation(taskID, snapKey, g.Inputs, *subtasks, core.Options{})
-		if err != nil {
-			fatal(err)
+		if *shards > 1 {
+			// Sharded route stage: workers run boundary-sealed fixpoints per
+			// shard while the master drives contract-exchange rounds; Base
+			// blocks until the seams are stable and the stitched result is
+			// written, so the route Wait below is satisfied immediately.
+			v := master.NewShardVerifier(snapKey, g.Net, g.Inputs, *shards, 0, core.Options{})
+			fmt.Printf("sharded route stage: %d shards; waiting for workers...\n", v.Partition().NumShards())
+			task, err = v.Base(taskID, *subtasks)
+			if err != nil {
+				fatal(err)
+			}
+			mode := "seams stable"
+			if v.BaseFellBack {
+				mode = "fell back to whole-network"
+			}
+			fmt.Printf("shard fixpoint: %d contract rounds, %d boundary routes (%s)\n",
+				v.LastRounds, v.ContractRoutes(), mode)
+		} else {
+			task, err = master.StartRouteSimulation(taskID, snapKey, g.Inputs, *subtasks, core.Options{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("enqueued %d route subtasks; waiting for workers...\n", task.Subtasks)
 		}
-		fmt.Printf("enqueued %d route subtasks; waiting for workers...\n", task.Subtasks)
 	}
 	if err := master.Wait(taskID, "route", task.Subtasks); err != nil {
 		fatal(err)

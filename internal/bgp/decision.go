@@ -589,6 +589,13 @@ func (s *sim) advertiseInto(out []msg, ti *tableInfo, p netip.Prefix, pid int32,
 			}
 			adv = append(adv, r)
 		}
+		// Sealed runs capture seam-crossing advertisements into the boundary
+		// contract instead of delivering them: the receiver lives in another
+		// shard and replays them from its own inbound contract.
+		if seal := s.opts.Seal; seal != nil && !seal.Inside[sess.remote] {
+			s.captureBoundary(ti.k.dev, sess, p, adv)
+			continue
+		}
 		out = append(out, msg{
 			to: sess.remote, vrf: sess.vrf, from: ti.k.dev,
 			prefix: p, routes: adv, ebgp: sess.ebgp, fromAddr: sess.localAddr,

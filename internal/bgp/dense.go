@@ -192,7 +192,6 @@ func (s *sim) tableRank() []int32 {
 	return rank
 }
 
-
 // takeRows carves an exact-capacity row slice for one decision out of the
 // grow-only row arena. Rows are adopted by the RIB (ReplaceOwned), so like
 // candArena the arena is never reset — it only amortizes allocation count.

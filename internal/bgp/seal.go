@@ -1,0 +1,108 @@
+package bgp
+
+import (
+	"net/netip"
+
+	"hoyan/internal/netmodel"
+)
+
+// Seal configures the boundary-sealed simulation mode behind the sharded
+// verifier (internal/shard): the fixpoint runs only over the devices inside
+// one shard, every advertisement crossing the seam to an outside device is
+// captured into the shard's boundary contract instead of being delivered,
+// and the inbound contract routes are replayed once at start as frozen
+// external inputs through the exact same delivery path (import policy,
+// AS-loop check, session-type defaults) a live message would take.
+//
+// Sealed runs always use the indexed fixpoint; Options.Legacy is ignored.
+// State capture (SimulateWithState) does not support sealing.
+type Seal struct {
+	// Inside holds the shard's member devices. Devices absent from the map
+	// neither originate nor decide; sessions toward them become capture
+	// points.
+	Inside map[string]bool
+	// Inbound is the frozen boundary contract delivered into the shard
+	// before the first round. Advs whose receiver is outside the shard or
+	// whose (from, to, vrf) session does not exist on the current topology
+	// are skipped — exactly the messages a whole-network run would not
+	// deliver either.
+	Inbound []netmodel.BoundaryAdv
+}
+
+// boundaryKey identifies one seam advertisement slot: the latest capture per
+// key is the seam's converged message, matching the receiver's adj-RIB-in
+// cell (from, prefix) in a whole-network run.
+type boundaryKey struct {
+	from   string
+	to     string
+	vrf    string
+	prefix netip.Prefix
+}
+
+// captureBoundary records (or, for a withdrawal, erases) the advertisement a
+// sealed table just sent across the seam. The routes are copied out of the
+// per-round advertisement arena, which is recycled on the next round.
+func (s *sim) captureBoundary(from string, sess *session, p netip.Prefix, adv []netmodel.Route) {
+	k := boundaryKey{from: from, to: sess.remote, vrf: sess.vrf, prefix: p}
+	if len(adv) == 0 {
+		delete(s.sealOut, k)
+		return
+	}
+	routes := make([]netmodel.Route, len(adv))
+	copy(routes, adv)
+	s.sealOut[k] = netmodel.BoundaryAdv{
+		From: from, To: sess.remote, VRF: sess.vrf, Prefix: p,
+		EBGP: sess.ebgp, FromAddr: sess.localAddr, Routes: routes,
+	}
+}
+
+// seedBoundary replays the inbound contract into the sealed shard before the
+// first round, through the standard delivery path. Delivery order is the
+// contract's canonical order, so runs are deterministic regardless of how
+// the caller assembled the slice.
+func (s *sim) seedBoundary() {
+	seal := s.opts.Seal
+	inbound := make([]netmodel.BoundaryAdv, len(seal.Inbound))
+	copy(inbound, seal.Inbound)
+	netmodel.CanonicalizeBoundary(inbound)
+	msgs := make([]msg, 0, len(inbound))
+	for i := range inbound {
+		adv := &inbound[i]
+		if !seal.Inside[adv.To] || len(adv.Routes) == 0 {
+			continue
+		}
+		sess := s.findSession(adv.From, adv.To, adv.VRF)
+		if sess == nil {
+			continue
+		}
+		msgs = append(msgs, msg{
+			to: adv.To, vrf: adv.VRF, from: adv.From,
+			prefix: adv.Prefix, routes: adv.Routes,
+			ebgp: sess.ebgp, fromAddr: sess.localAddr,
+		})
+	}
+	s.deliver(msgs)
+}
+
+// findSession looks up the directed session local→remote in the given VRF,
+// or nil when the current topology keeps it down.
+func (s *sim) findSession(local, remote, vrf string) *session {
+	for _, sess := range s.sessions[local] {
+		if sess.remote == remote && sess.vrf == vrf {
+			return sess
+		}
+	}
+	return nil
+}
+
+// boundaryOut assembles the canonicalized outbound contract of a sealed run.
+func (s *sim) boundaryOut() []netmodel.BoundaryAdv {
+	if len(s.sealOut) == 0 {
+		return nil
+	}
+	out := make([]netmodel.BoundaryAdv, 0, len(s.sealOut))
+	for _, adv := range s.sealOut {
+		out = append(out, adv)
+	}
+	return netmodel.CanonicalizeBoundary(out)
+}

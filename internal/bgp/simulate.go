@@ -35,6 +35,10 @@ type Options struct {
 	// the legacy path is the reference for speedup measurement and
 	// equivalence tests. Captured States carry it into warm restarts.
 	Legacy bool
+
+	// Seal, when non-nil, runs the fixpoint boundary-sealed inside one shard
+	// (see Seal). Forces the indexed path; unsupported by SimulateWithState.
+	Seal *Seal
 }
 
 func (o Options) withDefaults() Options {
@@ -55,6 +59,10 @@ type Result struct {
 	Converged bool
 	// Messages counts total route advertisements processed (workload metric).
 	Messages int
+	// BoundaryOut is the canonicalized outbound boundary contract of a
+	// sealed run (nil without Options.Seal): every advertisement the shard's
+	// converged state sends across its seams.
+	BoundaryOut []netmodel.BoundaryAdv
 }
 
 type tableKey struct {
@@ -214,15 +222,26 @@ type sim struct {
 	// (see takeRows).
 	rowsArena []netmodel.Route
 	rowsUsed  int
+
+	// sealOut collects the latest seam advertisement per boundary key in a
+	// sealed run (nil without Options.Seal).
+	sealOut map[boundaryKey]netmodel.BoundaryAdv
 }
 
 // Simulate runs the BGP fixpoint over the network with the given IGP result
 // and input routes, returning per-table RIBs.
 func Simulate(net *config.Network, igp *isis.Result, inputs []netmodel.Route, opts Options) *Result {
+	if opts.Seal != nil {
+		// Sealed runs exist only on the indexed path.
+		opts.Legacy = false
+	}
 	s := newSim(net, igp, opts)
 	s.originateLocals(inputs)
 	if s.opts.Legacy {
 		return s.run(s.allDirty())
+	}
+	if s.opts.Seal != nil {
+		s.seedBoundary()
 	}
 	// Indexed path: seed the dense dirty set straight from the originated
 	// state instead of materializing the nested legacy dirty maps.
@@ -259,6 +278,9 @@ func newSim(net *config.Network, igp *isis.Result, opts Options) *sim {
 	if !s.opts.Legacy {
 		s.topoIdx = net.Topo.Index()
 		s.igpIdxOK = igp != nil && igp.EdgeIndex() == s.topoIdx
+	}
+	if s.opts.Seal != nil {
+		s.sealOut = make(map[boundaryKey]netmodel.BoundaryAdv)
 	}
 	return s
 }
@@ -327,7 +349,11 @@ func (s *sim) runDense() *Result {
 		s.deliver(pending)
 		pending = s.decideAndAdvertise()
 	}
-	return &Result{ribs: s.ribs, Rounds: rounds, Converged: converged, Messages: s.messages}
+	res := &Result{ribs: s.ribs, Rounds: rounds, Converged: converged, Messages: s.messages}
+	if s.opts.Seal != nil {
+		res.BoundaryOut = s.boundaryOut()
+	}
+	return res
 }
 
 func (s *sim) profileOf(dev string) vsb.Profile {
@@ -368,6 +394,9 @@ func (s *sim) originateLocals(inputs []netmodel.Route) {
 		if node := s.net.Topo.Node(r.Device); node == nil || !node.Up {
 			continue
 		}
+		if s.opts.Seal != nil && !s.opts.Seal.Inside[r.Device] {
+			continue
+		}
 		vrf := r.VRF
 		if vrf == "" {
 			vrf = netmodel.DefaultVRF
@@ -391,6 +420,9 @@ func (s *sim) originateLocals(inputs []netmodel.Route) {
 	for _, name := range s.net.DeviceNames() {
 		d := s.net.Devices[name]
 		if node := s.net.Topo.Node(name); node == nil || !node.Up {
+			continue
+		}
+		if s.opts.Seal != nil && !s.opts.Seal.Inside[name] {
 			continue
 		}
 		prof := s.profileOf(name)

@@ -3,11 +3,11 @@ package config
 import (
 	"fmt"
 	"net/netip"
-	"sort"
 	"strings"
 
 	"hoyan/internal/netmodel"
 	"hoyan/internal/policy"
+	"slices"
 )
 
 // alphaParser parses the vendor-alpha dialect (IOS-flavoured): sections are
@@ -1145,6 +1145,6 @@ func sortedKeys[V any](m map[string]V) []string {
 	for k := range m {
 		out = append(out, k)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }

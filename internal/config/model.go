@@ -11,10 +11,10 @@ package config
 import (
 	"fmt"
 	"net/netip"
-	"sort"
 
 	"hoyan/internal/netmodel"
 	"hoyan/internal/policy"
+	"slices"
 )
 
 // Interface is a configured router interface.
@@ -258,7 +258,7 @@ func (n *Network) DeviceNames() []string {
 	for name := range n.Devices {
 		out = append(out, name)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -2,10 +2,10 @@ package config
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"hoyan/internal/par"
+	"slices"
 )
 
 // DetectVendor inspects a configuration text and returns the dialect it is
@@ -70,7 +70,7 @@ func BuildNetworkOpts(configs map[string]string, topoOf func(net *Network) error
 	for name := range configs {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 
 	devs := make([]*Device, len(names))
 	errs := make([]error, len(names))

@@ -112,6 +112,9 @@ func (e *Engine) Network() *config.Network { return e.net }
 // IGP returns the engine's SPF result.
 func (e *Engine) IGP() *isis.Result { return e.igp }
 
+// Profiles returns the engine's vendor profiles (defaults applied).
+func (e *Engine) Profiles() vsb.Profiles { return e.opts.Profiles }
+
 // RouteResult is the outcome of route simulation.
 type RouteResult struct {
 	BGP *bgp.Result
@@ -170,6 +173,29 @@ func (e *Engine) RouteSimulation(inputs []netmodel.Route) *RouteResult {
 		}
 	}
 	return &RouteResult{BGP: res, ECStats: ecs}
+}
+
+// RouteSimulationSealed runs the boundary-sealed BGP fixpoint of one shard
+// (bgp.Seal): only devices inside the seal originate and decide, the inbound
+// boundary contract is replayed as frozen external inputs, and the result
+// carries the shard's outbound contract in BGP.BoundaryOut. Route ECs are
+// never applied here — the sharded verifier splits representatives per shard
+// up front and expands members centrally at stitch time, so per-shard runs
+// always work on the rows they were given.
+func (e *Engine) RouteSimulationSealed(inputs []netmodel.Route, seal *bgp.Seal) *RouteResult {
+	bgpOpts := bgp.Options{
+		Profiles:          e.opts.Profiles,
+		MaxRounds:         e.opts.MaxRounds,
+		FlawedASPathRegex: e.opts.FlawedASPathRegex,
+		UseTEMetric:       e.opts.UseTEMetric,
+		Seal:              seal,
+	}
+	if e.interner != nil {
+		for i := range inputs {
+			e.interner.InternPrefix(inputs[i].Prefix)
+		}
+	}
+	return &RouteResult{BGP: bgp.Simulate(e.net, e.igp, inputs, bgpOpts)}
 }
 
 // TrafficResult is the outcome of traffic simulation.

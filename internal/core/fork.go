@@ -77,10 +77,10 @@ type baseCapture struct {
 	// of (device, vrf) tables holding it, so forks can decide whether their
 	// distinct-prefix set matches the base from per-table diffs alone.
 	basePrefixCount map[netip.Prefix]int
-	flowECs      *ec.FlowECs           // nil with flow ECs off
-	repFlows     []netmodel.Flow       // what the forwarder actually simulated
-	traffic      *traffic.Result
-	traces       []traffic.Trace
+	flowECs         *ec.FlowECs     // nil with flow ECs off
+	repFlows        []netmodel.Flow // what the forwarder actually simulated
+	traffic         *traffic.Result
+	traces          []traffic.Trace
 }
 
 // BaseRun executes the full pipeline like Run and captures the converged

@@ -1,13 +1,12 @@
 package diagnosis
 
 import (
-	"sort"
-
 	"hoyan/internal/config"
 	"hoyan/internal/core"
 	"hoyan/internal/netmodel"
 	"hoyan/internal/policy"
 	"hoyan/internal/vsb"
+	"slices"
 )
 
 // VSBResult is one row of the Table 5 differential-testing campaign.
@@ -249,7 +248,7 @@ func sortedRouteMaps(d *configDevice) []*policyRouteMap {
 	for n := range d.RouteMaps {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	out := make([]*policyRouteMap, 0, len(names))
 	for _, n := range names {
 		out = append(out, d.RouteMaps[n])

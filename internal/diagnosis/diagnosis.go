@@ -14,13 +14,13 @@ package diagnosis
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"hoyan/internal/config"
 	"hoyan/internal/core"
 	"hoyan/internal/monitor"
 	"hoyan/internal/netmodel"
+	"slices"
 )
 
 // Framework runs the daily validation of Figure 2's right-hand side.
@@ -164,7 +164,7 @@ func (f *Framework) Run() *Report {
 		for id := range ids {
 			ordered = append(ordered, id)
 		}
-		sort.Slice(ordered, func(i, j int) bool { return ordered[i].String() < ordered[j].String() })
+		slices.SortFunc(ordered, func(a, b netmodel.LinkID) int { return strings.Compare(a.String(), b.String()) })
 		for _, id := range ordered {
 			bw := 1e9
 			if l := f.Net.Topo.Link(id); l != nil && l.Bandwidth > 0 {

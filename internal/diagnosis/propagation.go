@@ -3,10 +3,10 @@ package diagnosis
 import (
 	"fmt"
 	"net/netip"
-	"sort"
 	"strings"
 
 	"hoyan/internal/netmodel"
+	"slices"
 )
 
 // PropEdge is one hop of a route's propagation: the route reached Device
@@ -31,14 +31,14 @@ func PropagationGraph(rib *netmodel.GlobalRIB, prefix netip.Prefix) []PropEdge {
 		}
 		edges = append(edges, PropEdge{Device: r.Device, VRF: r.VRF, Peer: r.Peer, Route: r})
 	}
-	sort.Slice(edges, func(i, j int) bool {
-		if edges[i].Device != edges[j].Device {
-			return edges[i].Device < edges[j].Device
+	slices.SortFunc(edges, func(a, b PropEdge) int {
+		if c := strings.Compare(a.Device, b.Device); c != 0 {
+			return c
 		}
-		if edges[i].VRF != edges[j].VRF {
-			return edges[i].VRF < edges[j].VRF
+		if c := strings.Compare(a.VRF, b.VRF); c != 0 {
+			return c
 		}
-		return edges[i].Peer < edges[j].Peer
+		return strings.Compare(a.Peer, b.Peer)
 	})
 	return edges
 }

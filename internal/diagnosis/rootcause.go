@@ -2,12 +2,13 @@ package diagnosis
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
+	"cmp"
 	"hoyan/internal/core"
 	"hoyan/internal/netmodel"
 	"hoyan/internal/traffic"
+	"slices"
 )
 
 // RootCauseAnalysis is the §5.2 workflow outcome for one inaccurate link:
@@ -62,11 +63,11 @@ func (r *Report) AnalyzeLink(link netmodel.LinkID) (*RootCauseAnalysis, error) {
 	if len(flows) == 0 {
 		return nil, fmt.Errorf("diagnosis: no flow traverses %s in either world", link)
 	}
-	sort.Slice(flows, func(i, j int) bool {
-		if flows[i].Volume != flows[j].Volume {
-			return flows[i].Volume > flows[j].Volume
+	slices.SortFunc(flows, func(a, b netmodel.Flow) int {
+		if a.Volume != b.Volume {
+			return cmp.Compare(b.Volume, a.Volume)
 		}
-		return netmodel.CompareFlows(flows[i], flows[j]) < 0
+		return netmodel.CompareFlows(a, b)
 	})
 	flow := flows[0]
 	return r.AnalyzeFlow(link, flow)

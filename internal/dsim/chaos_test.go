@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
-	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -19,6 +18,7 @@ import (
 	"hoyan/internal/objstore"
 	"hoyan/internal/taskdb"
 	"hoyan/internal/traffic"
+	"slices"
 )
 
 // chaosMaster returns a master tuned for fast lease reclaim in tests.
@@ -82,7 +82,7 @@ func pathKeys(t *testing.T, paths []traffic.FlowPath) []string {
 		}
 		out = append(out, string(b))
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

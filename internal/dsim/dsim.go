@@ -18,7 +18,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/netip"
-	"sort"
 
 	"hoyan/internal/core"
 	"hoyan/internal/mq"
@@ -26,6 +25,7 @@ import (
 	"hoyan/internal/objstore"
 	"hoyan/internal/taskdb"
 	"hoyan/internal/wire"
+	"slices"
 )
 
 // Topic is the message-queue topic subtask messages travel on.
@@ -84,6 +84,22 @@ type SubtaskMsg struct {
 	RouteTaskID   string   `json:"route_task_id,omitempty"`
 	RouteSubtasks int      `json:"route_subtasks,omitempty"`
 	Strategy      Strategy `json:"strategy,omitempty"`
+
+	// Shard subtasks only (Kind "shard"): the worker re-derives the device
+	// partition from the snapshot topology (NumShards shards), seals shard
+	// ShardID, and replays the inbound boundary contract carried in the
+	// input file. ShardRound distinguishes contract-exchange rounds in
+	// traces and logs; it never influences results.
+	NumShards  int `json:"num_shards,omitempty"`
+	ShardID    int `json:"shard_id,omitempty"`
+	ShardRound int `json:"shard_round,omitempty"`
+
+	// Scenario delta: links/nodes the worker takes down on a clone of the
+	// restored snapshot before simulating. Honored by route, traffic, and
+	// shard subtasks, so a what-if sweep rides one shared snapshot instead
+	// of uploading a snapshot per scenario.
+	DownLinks []netmodel.LinkID `json:"down_links,omitempty"`
+	DownNodes []string          `json:"down_nodes,omitempty"`
 }
 
 func (m SubtaskMsg) key() string {
@@ -127,12 +143,11 @@ func msgKey(taskID, kind string, sub int) string {
 // in the same subset. It returns the subsets with their covered ranges.
 func splitRoutes(inputs []netmodel.Route, n int) []routeSubset {
 	routes := append([]netmodel.Route(nil), inputs...)
-	sort.SliceStable(routes, func(i, j int) bool {
-		li, lj := netmodel.LastAddr(routes[i].Prefix), netmodel.LastAddr(routes[j].Prefix)
-		if c := li.Compare(lj); c != 0 {
-			return c < 0
+	slices.SortStableFunc(routes, func(a, b netmodel.Route) int {
+		if c := netmodel.LastAddr(a.Prefix).Compare(netmodel.LastAddr(b.Prefix)); c != 0 {
+			return c
 		}
-		return netmodel.CompareRoutes(routes[i], routes[j]) < 0
+		return netmodel.CompareRoutes(a, b)
 	})
 	if n < 1 {
 		n = 1
@@ -183,7 +198,7 @@ type routeSubset struct {
 func splitFlows(flows []netmodel.Flow, n int, strategy Strategy) []flowSubset {
 	fs := append([]netmodel.Flow(nil), flows...)
 	if strategy != StrategyRandom {
-		sort.SliceStable(fs, func(i, j int) bool { return netmodel.CompareFlows(fs[i], fs[j]) < 0 })
+		slices.SortStableFunc(fs, netmodel.CompareFlows)
 	}
 	if n < 1 {
 		n = 1

@@ -3,7 +3,6 @@ package dsim
 import (
 	"bytes"
 	"fmt"
-	"sort"
 	"time"
 
 	"hoyan/internal/config"
@@ -13,6 +12,7 @@ import (
 	"hoyan/internal/telemetry"
 	"hoyan/internal/traffic"
 	"hoyan/internal/wire"
+	"slices"
 )
 
 // Master coordinates a simulation task: it prepares subtasks, enqueues them,
@@ -53,6 +53,9 @@ type Master struct {
 	// metrics is the master's instrument bundle — detached counters until
 	// Instrument binds a registry; never nil.
 	metrics *MasterMetrics
+	// reg is the registry Instrument bound (nil before), so later-created
+	// components (the shard verifier) register their instruments alongside.
+	reg *telemetry.Registry
 
 	// runCtx is the span context enqueue spans parent under (set by
 	// BeginRun; zero makes each enqueue start its own trace).
@@ -88,6 +91,7 @@ func NewMaster(svc Services) *Master {
 // Call before starting tasks.
 func (m *Master) Instrument(reg *telemetry.Registry) {
 	m.metrics = NewMasterMetrics(reg)
+	m.reg = reg
 	instrumentRetries(m.svc, reg)
 }
 
@@ -137,10 +141,46 @@ func (m *Master) UploadSnapshot(taskID string, net *config.Network) (string, err
 	return key, nil
 }
 
+// enqueueSubtask is the shared tail of every Start* path: it persists the
+// message (before the record becomes visible, so every record a restarted
+// master finds in the task DB has a recoverable message for Resume), records
+// the pending row, stamps the trace, and pushes the message.
+func (m *Master) enqueueSubtask(msg SubtaskMsg, rec taskdb.Record, enqueued *telemetry.Counter) error {
+	if err := m.persistMsg(msg); err != nil {
+		return err
+	}
+	if err := m.svc.Tasks.Upsert(rec); err != nil {
+		return err
+	}
+	sp := m.stampTrace(&msg)
+	m.msgs[msg.key()] = msg
+	enc, err := msg.encode()
+	if err != nil {
+		sp.End()
+		return err
+	}
+	err = m.svc.Queue.Push(Topic, enc)
+	sp.End()
+	if err != nil {
+		return err
+	}
+	enqueued.Inc()
+	return nil
+}
+
 // StartRouteSimulation splits the input routes into n subtasks (ordering
 // heuristic), uploads their inputs, records pending status + ranges in the
 // task DB, and enqueues one message per subtask.
 func (m *Master) StartRouteSimulation(taskID, snapKey string, inputs []netmodel.Route, n int, opts core.Options) (*RouteTask, error) {
+	return m.StartRouteScenario(taskID, snapKey, inputs, n, opts, nil, nil)
+}
+
+// StartRouteScenario is StartRouteSimulation with a topology delta riding
+// the subtask messages: workers clone the shared snapshot, take the listed
+// links/nodes down, and simulate the scenario — a what-if sweep re-uses one
+// uploaded snapshot across all its scenarios.
+func (m *Master) StartRouteScenario(taskID, snapKey string, inputs []netmodel.Route, n int, opts core.Options,
+	downLinks []netmodel.LinkID, downNodes []string) (*RouteTask, error) {
 	subsets := splitRoutes(inputs, n)
 	for i, sub := range subsets {
 		var buf bytes.Buffer
@@ -151,40 +191,22 @@ func (m *Master) StartRouteSimulation(taskID, snapKey string, inputs []netmodel.
 		if err := m.svc.Store.Put(ik, buf.Bytes()); err != nil {
 			return nil, err
 		}
+		m.metrics.UploadBytes.Add(int64(buf.Len()))
 		msg := SubtaskMsg{
 			TaskID: taskID, Kind: "route", SubID: i,
 			SnapshotKey: snapKey, InputKey: ik,
 			ResultKey: resultKey(taskID, "route", i),
 			Options:   opts,
-		}
-		// Persist the message before the record becomes visible: every record
-		// a restarted master finds in the task DB then has a recoverable
-		// message for Resume (trace stamps are re-applied per enqueue).
-		if err := m.persistMsg(msg); err != nil {
-			return nil, err
+			DownLinks: downLinks, DownNodes: downNodes,
 		}
 		rec := taskdb.Record{
 			TaskID: taskID, Kind: "route", SubID: i, Status: taskdb.StatusPending,
 			RangeLo: sub.Lo.String(), RangeHi: sub.Hi.String(),
 			EnqueuedAt: time.Now(),
 		}
-		if err := m.svc.Tasks.Upsert(rec); err != nil {
+		if err := m.enqueueSubtask(msg, rec, m.metrics.EnqueuedRoute); err != nil {
 			return nil, err
 		}
-		m.metrics.UploadBytes.Add(int64(buf.Len()))
-		sp := m.stampTrace(&msg)
-		m.msgs[msg.key()] = msg
-		enc, err := msg.encode()
-		if err != nil {
-			sp.End()
-			return nil, err
-		}
-		err = m.svc.Queue.Push(Topic, enc)
-		sp.End()
-		if err != nil {
-			return nil, err
-		}
-		m.metrics.EnqueuedRoute.Inc()
 	}
 	return &RouteTask{ID: taskID, SnapshotKey: snapKey, Subtasks: len(subsets)}, nil
 }
@@ -209,6 +231,7 @@ func (m *Master) StartTrafficSimulation(taskID string, route *RouteTask, flows [
 		if err := m.svc.Store.Put(ik, buf.Bytes()); err != nil {
 			return nil, err
 		}
+		m.metrics.UploadBytes.Add(int64(buf.Len()))
 		msg := SubtaskMsg{
 			TaskID: taskID, Kind: "traffic", SubID: i,
 			SnapshotKey: route.SnapshotKey, InputKey: ik,
@@ -218,31 +241,14 @@ func (m *Master) StartTrafficSimulation(taskID string, route *RouteTask, flows [
 			RouteSubtasks: route.Subtasks,
 			Strategy:      strategy,
 		}
-		if err := m.persistMsg(msg); err != nil {
-			return nil, err
-		}
 		rec := taskdb.Record{
 			TaskID: taskID, Kind: "traffic", SubID: i, Status: taskdb.StatusPending,
 			RangeLo: sub.Lo.String(), RangeHi: sub.Hi.String(),
 			EnqueuedAt: time.Now(),
 		}
-		if err := m.svc.Tasks.Upsert(rec); err != nil {
+		if err := m.enqueueSubtask(msg, rec, m.metrics.EnqueuedTraffic); err != nil {
 			return nil, err
 		}
-		m.metrics.UploadBytes.Add(int64(buf.Len()))
-		sp := m.stampTrace(&msg)
-		m.msgs[msg.key()] = msg
-		enc, err := msg.encode()
-		if err != nil {
-			sp.End()
-			return nil, err
-		}
-		err = m.svc.Queue.Push(Topic, enc)
-		sp.End()
-		if err != nil {
-			return nil, err
-		}
-		m.metrics.EnqueuedTraffic.Inc()
 	}
 	return &TrafficTask{ID: taskID, Subtasks: len(subsets)}, nil
 }
@@ -393,8 +399,22 @@ func (m *Master) reenqueue(rec taskdb.Record, causeCount *telemetry.Counter, cau
 // global RIB, deduplicating rows that multiple subtasks derived (e.g. the
 // same aggregate generated by two contributor subsets).
 func (m *Master) CollectRouteResults(t *RouteTask) (*netmodel.GlobalRIB, error) {
+	if t.Subtasks == 1 {
+		// Single result file (a stitched sharded run): no overlapping subsets
+		// to dedupe, and the rows are already in CompareRoutes order.
+		data, err := m.svc.Store.Get(resultKey(t.ID, "route", 0))
+		if err != nil {
+			return nil, err
+		}
+		rows, err := core.DecodeRoutes(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return netmodel.NewGlobalRIBFromSorted(rows), nil
+	}
 	seen := make(map[string]bool)
 	var rows []netmodel.Route
+	var sig []byte
 	for i := 0; i < t.Subtasks; i++ {
 		data, err := m.svc.Store.Get(resultKey(t.ID, "route", i))
 		if err != nil {
@@ -405,9 +425,9 @@ func (m *Master) CollectRouteResults(t *RouteTask) (*netmodel.GlobalRIB, error) 
 			return nil, err
 		}
 		for _, r := range sub {
-			sig := rowSignature(r)
-			if !seen[sig] {
-				seen[sig] = true
+			sig = r.AppendSignature(sig[:0])
+			if !seen[string(sig)] {
+				seen[string(sig)] = true
 				rows = append(rows, r)
 			}
 		}
@@ -415,11 +435,10 @@ func (m *Master) CollectRouteResults(t *RouteTask) (*netmodel.GlobalRIB, error) 
 	return netmodel.NewGlobalRIB(rows), nil
 }
 
+// rowSignature is one route's injective dedupe key: overlapping subtasks
+// recompute boundary prefixes identically, so equal keys mean equal rows.
 func rowSignature(r netmodel.Route) string {
-	return fmt.Sprintf("%s|%s|%s|%d|%s|%s|%d|%d|%d|%d|%s|%s|%d|%s",
-		r.Device, r.VRF, r.Prefix, r.Protocol, r.NextHop, r.Communities,
-		r.LocalPref, r.MED, r.Weight, r.Preference, r.ASPath, r.Origin,
-		r.RouteType, r.Peer)
+	return string(r.AppendSignature(nil))
 }
 
 // TrafficSummary is the aggregated result of a distributed traffic
@@ -459,8 +478,8 @@ func (m *Master) CollectTrafficResults(t *TrafficTask) (*TrafficSummary, error) 
 			out.LoadedRIBFiles = append(out.LoadedRIBFiles, rec.LoadedRIBFiles)
 		}
 	}
-	sort.Slice(out.Paths, func(i, j int) bool {
-		return netmodel.CompareFlows(out.Paths[i].Flow, out.Paths[j].Flow) < 0
+	slices.SortFunc(out.Paths, func(a, b traffic.FlowPath) int {
+		return netmodel.CompareFlows(a.Flow, b.Flow)
 	})
 	return out, nil
 }

@@ -12,7 +12,8 @@ import (
 type WorkerMetrics struct {
 	// Subtask outcomes.
 	SubtasksRoute   *telemetry.Counter // hoyan_worker_subtasks_total{kind=route}
-	SubtasksTraffic *telemetry.Counter // hoyan_worker_subtasks_total{kind=traffic}
+	SubtasksTraffic *telemetry.Counter
+	SubtasksShard   *telemetry.Counter // hoyan_worker_subtasks_total{kind=traffic}
 	Failures        *telemetry.Counter
 	StaleSkipped    *telemetry.Counter
 	Heartbeats      *telemetry.Counter
@@ -60,6 +61,8 @@ func NewWorkerMetrics(reg *telemetry.Registry) *WorkerMetrics {
 			"subtasks executed", telemetry.L("kind", "route")),
 		SubtasksTraffic: reg.Counter("hoyan_worker_subtasks_total",
 			"subtasks executed", telemetry.L("kind", "traffic")),
+		SubtasksShard: reg.Counter("hoyan_worker_subtasks_total",
+			"subtasks executed", telemetry.L("kind", "shard")),
 		Failures:     reg.Counter("hoyan_worker_subtask_failures_total", "subtasks that reported failure"),
 		StaleSkipped: reg.Counter("hoyan_worker_stale_messages_total", "messages skipped because a newer attempt owns the subtask"),
 		Heartbeats:   reg.Counter("hoyan_worker_heartbeats_total", "lease heartbeats sent"),
@@ -94,6 +97,7 @@ func NewWorkerMetrics(reg *telemetry.Registry) *WorkerMetrics {
 type MasterMetrics struct {
 	EnqueuedRoute   *telemetry.Counter // hoyan_master_subtasks_enqueued_total{kind=route}
 	EnqueuedTraffic *telemetry.Counter
+	EnqueuedShard   *telemetry.Counter
 	Done            *telemetry.Counter
 	ReenqueueFailed *telemetry.Counter // hoyan_master_reenqueues_total{cause=...}
 	ReenqueueLease  *telemetry.Counter
@@ -116,6 +120,8 @@ func NewMasterMetrics(reg *telemetry.Registry) *MasterMetrics {
 			"subtasks enqueued", telemetry.L("kind", "route")),
 		EnqueuedTraffic: reg.Counter("hoyan_master_subtasks_enqueued_total",
 			"subtasks enqueued", telemetry.L("kind", "traffic")),
+		EnqueuedShard: reg.Counter("hoyan_master_subtasks_enqueued_total",
+			"subtasks enqueued", telemetry.L("kind", "shard")),
 		Done:            reg.Counter("hoyan_master_subtasks_done_total", "subtasks observed done"),
 		ReenqueueFailed: reenq("worker_failed"),
 		ReenqueueLease:  reenq("lease_expired"),

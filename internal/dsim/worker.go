@@ -7,19 +7,22 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"hoyan/internal/bgp"
 	"hoyan/internal/config"
 	"hoyan/internal/core"
 	"hoyan/internal/durable"
 	"hoyan/internal/mq"
 	"hoyan/internal/netmodel"
+	"hoyan/internal/shard"
 	"hoyan/internal/taskdb"
 	"hoyan/internal/telemetry"
 	"hoyan/internal/wire"
+	"slices"
+	"strings"
 )
 
 // Worker is one working server: it consumes subtask messages, runs the core
@@ -419,6 +422,8 @@ func (w *Worker) execute(ctx context.Context, msg SubtaskMsg) (crashed bool) {
 			var err error
 			loadedFiles, err = w.trafficSubtask(ctx, msg)
 			return err
+		case "shard":
+			return w.shardSubtask(ctx, msg)
 		}
 		return fmt.Errorf("unknown subtask kind %q", msg.Kind)
 	}()
@@ -440,9 +445,12 @@ func (w *Worker) execute(ctx context.Context, msg SubtaskMsg) (crashed bool) {
 			telemetry.F("error", runErr.Error()))
 	} else {
 		rec.Status = taskdb.StatusDone
-		if msg.Kind == "route" {
+		switch msg.Kind {
+		case "route":
 			w.metrics.SubtasksRoute.Inc()
-		} else {
+		case "shard":
+			w.metrics.SubtasksShard.Inc()
+		default:
 			w.metrics.SubtasksTraffic.Inc()
 		}
 	}
@@ -509,6 +517,57 @@ func (w *Worker) engineFor(ctx context.Context, snapKey string, opts core.Option
 		return nil, err
 	}
 	eng = core.NewEngine(net, opts)
+	w.cacheMu.Lock()
+	ev := w.engines.put(ekey, eng)
+	w.cacheMu.Unlock()
+	w.noteEvictions("engine", ev)
+	return eng, nil
+}
+
+// scenarioEngineFor returns an engine for the snapshot with the message's
+// scenario delta applied, memoized per (snapshot, options, delta). With no
+// delta it is exactly engineFor; with one, the cached base network is
+// cloned, the listed links/nodes taken down, and a fresh engine built (full
+// SPF) under a delta-keyed cache entry.
+func (w *Worker) scenarioEngineFor(ctx context.Context, msg SubtaskMsg) (*core.Engine, error) {
+	if len(msg.DownLinks) == 0 && len(msg.DownNodes) == 0 {
+		return w.engineFor(ctx, msg.SnapshotKey, msg.Options)
+	}
+	opts := msg.Options
+	if w.Parallelism > 0 {
+		opts.Parallelism = w.Parallelism
+	}
+	optsSig, _ := json.Marshal(opts)
+	ekey := msg.SnapshotKey + "|" + string(optsSig)
+	for _, id := range msg.DownLinks {
+		ekey += "|L" + id.String()
+	}
+	for _, n := range msg.DownNodes {
+		ekey += "|N" + n
+	}
+	w.cacheMu.Lock()
+	eng, ok := w.engines.get(ekey)
+	w.cacheMu.Unlock()
+	if ok {
+		w.metrics.SnapshotHits.Inc()
+		return eng, nil
+	}
+	base, err := w.networkFor(ctx, msg.SnapshotKey, opts.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	scen := base.Clone()
+	for _, id := range msg.DownLinks {
+		if !scen.Topo.SetLinkUp(id, false) {
+			return nil, fmt.Errorf("scenario link %v not in snapshot", id)
+		}
+	}
+	for _, n := range msg.DownNodes {
+		if !scen.Topo.SetNodeUp(n, false) {
+			return nil, fmt.Errorf("scenario node %s not in snapshot", n)
+		}
+	}
+	eng = core.NewEngine(scen, opts)
 	w.cacheMu.Lock()
 	ev := w.engines.put(ekey, eng)
 	w.cacheMu.Unlock()
@@ -607,7 +666,7 @@ func (w *Worker) ribCacheLocked() *lru[ribEntry] {
 // routeSubtask simulates a subset of input routes and stores the resulting
 // RIB rows.
 func (w *Worker) routeSubtask(ctx context.Context, msg SubtaskMsg) error {
-	eng, err := w.engineFor(ctx, msg.SnapshotKey, msg.Options)
+	eng, err := w.scenarioEngineFor(ctx, msg)
 	if err != nil {
 		return err
 	}
@@ -645,12 +704,60 @@ func (w *Worker) routeSubtask(ctx context.Context, msg SubtaskMsg) error {
 	return nil
 }
 
+// shardSubtask runs one boundary-sealed shard simulation: it derives the
+// device partition from the snapshot topology (identical on every node —
+// the partition is a pure function of the device names), seals the
+// message's shard, replays the inbound contract from the input file, and
+// stores the shard's outbound contract plus its pre-expansion RIB rows.
+// Both halves of the result are canonical, so re-executions are idempotent.
+func (w *Worker) shardSubtask(ctx context.Context, msg SubtaskMsg) error {
+	eng, err := w.scenarioEngineFor(ctx, msg)
+	if err != nil {
+		return err
+	}
+	data, err := w.svc.Store.Get(msg.InputKey)
+	if err != nil {
+		return fmt.Errorf("loading input: %w", err)
+	}
+	w.metrics.BytesFetched.Add(int64(len(data)))
+	in, err := wire.DecodeShardInput(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	part := shard.Compute(eng.Network().Topo, msg.NumShards)
+	if msg.ShardID < 0 || msg.ShardID >= part.NumShards() {
+		return fmt.Errorf("shard %d out of range (partition has %d)", msg.ShardID, part.NumShards())
+	}
+	res := &wire.ShardResult{}
+	w.stage(ctx, "engine.run", w.metrics.EngineSeconds, func() error {
+		sim := eng.RouteSimulationSealed(in.Routes, &bgp.Seal{
+			Inside:  part.Members(msg.ShardID),
+			Inbound: in.Inbound,
+		})
+		res.Exports = sim.BGP.BoundaryOut
+		res.Rows = sim.GlobalRIB().Rows()
+		return nil
+	})
+	w.metrics.RecordIntern(eng.InternStats())
+	var buf bytes.Buffer
+	if err := w.stage(ctx, "result.encode", w.metrics.EncodeSeconds, func() error {
+		return wire.EncodeShardResult(&buf, res)
+	}); err != nil {
+		return err
+	}
+	err = w.stage(ctx, "objstore.put", w.metrics.PutSeconds, func() error {
+		return w.svc.Store.Put(msg.ResultKey, buf.Bytes())
+	})
+	w.noteResultWrite(err)
+	return err
+}
+
 // trafficSubtask simulates a subset of flows. It loads only the route
 // subtask result files its destination range can depend on (ordering
 // heuristic) unless the baseline strategy forces loading everything. It
 // returns the number of RIB files loaded.
 func (w *Worker) trafficSubtask(ctx context.Context, msg SubtaskMsg) (int, error) {
-	eng, err := w.engineFor(ctx, msg.SnapshotKey, msg.Options)
+	eng, err := w.scenarioEngineFor(ctx, msg)
 	if err != nil {
 		return 0, err
 	}
@@ -693,7 +800,7 @@ func (w *Worker) trafficSubtask(ctx context.Context, msg SubtaskMsg) (int, error
 	for id := range res.Traffic.Load {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	slices.SortFunc(ids, func(a, b netmodel.LinkID) int { return strings.Compare(a.String(), b.String()) })
 	for _, id := range ids {
 		file.Load = append(file.Load, LoadEntry{Link: id, Volume: res.Traffic.Load[id]})
 	}

@@ -7,7 +7,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	"hoyan/internal/core"
@@ -17,6 +16,7 @@ import (
 	"hoyan/internal/objstore"
 	"hoyan/internal/rcl"
 	"hoyan/internal/taskdb"
+	"slices"
 )
 
 // Scale is the experiment scale knob: 1 = quick (CI-sized), larger values
@@ -370,7 +370,7 @@ func CDF(durations []time.Duration) []struct {
 	Frac  float64
 } {
 	ds := append([]time.Duration(nil), durations...)
-	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	slices.Sort(ds)
 	out := make([]struct {
 		Value time.Duration
 		Frac  float64
@@ -418,7 +418,7 @@ func PrintFig5d(w io.Writer, r *Fig5bResult) {
 			continue
 		}
 		cs := append([]int(nil), counts...)
-		sort.Ints(cs)
+		slices.Sort(cs)
 		total := 0
 		for _, c := range cs {
 			total += c
@@ -494,7 +494,7 @@ func Fig8(s Scale) *Fig8Result {
 // PrintFig8 renders both Figure 8 CDFs.
 func PrintFig8(w io.Writer, r *Fig8Result) {
 	sizes := append([]int(nil), r.Sizes...)
-	sort.Ints(sizes)
+	slices.Sort(sizes)
 	fmt.Fprintln(w, "Figure 8 (left): CDF of RCL specification sizes (internal nodes)")
 	under15 := 0
 	for _, s := range sizes {

@@ -24,8 +24,10 @@ type ReportResult struct {
 // Report runs one distributed route + traffic simulation with telemetry on
 // (the ops view of a production verification run) and returns the full
 // observability record. It uses the largest worker count of the scale's
-// Figure 5 sweep.
-func Report(s Scale) (*ReportResult, error) {
+// Figure 5 sweep. shards > 1 routes the run through the sharded verifier
+// (boundary-route contracts, per-shard sealed fixpoints); <= 1 keeps the
+// whole-network path.
+func Report(s Scale, shards int) (*ReportResult, error) {
 	workers := 4
 	for _, n := range s.Workers {
 		if n > workers {
@@ -37,6 +39,7 @@ func Report(s Scale) (*ReportResult, error) {
 	sys.Workers = workers
 	sys.RouteSubtasks = s.RouteSubtasks
 	sys.TrafficSubtasks = s.TrafficSubtasks
+	sys.Shards = shards
 	sys.Telemetry = true
 	snap, err := sys.Simulate("report")
 	if err != nil {
@@ -58,6 +61,14 @@ func PrintReport(w io.Writer, r *ReportResult) {
 	fmt.Fprintf(w, "%d devices, %d input routes, %d flows, %d workers -> %d RIB rows\n",
 		r.Devices, r.Routes, r.Flows, r.Workers, r.RIBRows)
 	r.Report.WriteBreakdown(w)
+	if r.Report.Shard != nil {
+		for _, m := range r.Report.Metrics {
+			switch m.Name {
+			case "shard_rounds_total", "shard_contract_routes", "shard_seam_mismatches_total", "shard_full_fallbacks_total":
+				fmt.Fprintf(w, "  %s: %g\n", m.Name, m.Value)
+			}
+		}
+	}
 	fmt.Fprintf(w, "  telemetry: %d metric series, %d trace spans across %s\n",
 		len(r.Report.Metrics), len(r.Report.Spans), traceSummary(r.Report.Spans))
 }

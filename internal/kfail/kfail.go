@@ -18,6 +18,7 @@ import (
 	"hoyan/internal/intent"
 	"hoyan/internal/netmodel"
 	"hoyan/internal/par"
+	"hoyan/internal/shard"
 	"hoyan/internal/telemetry"
 )
 
@@ -52,6 +53,12 @@ type Options struct {
 	// per-scenario engine parallelism is forced to 1 so the machine is not
 	// oversubscribed. Violation order is deterministic at any setting.
 	Parallelism int
+	// Shards, when > 1, routes contained scenarios through the sharded
+	// verifier (internal/shard): a delta whose effects provably stay inside
+	// its touched shards re-runs only those shards boundary-sealed,
+	// warm-started from the base contract state. Uncontained scenarios fall
+	// back to the incremental fork. Results are byte-identical either way.
+	Shards int
 	// Registry receives work-avoidance counters (kfail_scenarios_total,
 	// incr_spf_sources_reused, incr_bgp_tables_dirty, incr_warm_rounds,
 	// incr_flows_reused). Nil disables metrics at zero cost.
@@ -107,6 +114,19 @@ func Check(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, 
 	eng := core.NewEngine(net, innerOpts)
 	baseRes := eng.BaseRun(inputs, flows)
 
+	var sharded *shard.Engine
+	shardScenarios := o.Registry.Counter("kfail_shard_scenarios_total", "scenarios verified through the sharded path")
+	if o.Shards > 1 {
+		sharded = shard.New(net, inputs, shard.Options{
+			Shards:   o.Shards,
+			Sim:      innerOpts,
+			Registry: o.Registry,
+		})
+		if _, err := sharded.Base(); err != nil {
+			return nil, err
+		}
+	}
+
 	// Bandwidths never change under up/down toggles: share one map across
 	// every snapshot.
 	bw := make(map[netmodel.LinkID]float64, len(net.Topo.Links()))
@@ -150,14 +170,36 @@ func Check(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, 
 		}
 
 		span := o.Tracer.StartRoot("kfail.scenario")
-		res, stats := eng.Fork(scratch, delta)
 		span.SetTag("failed", elementNames(elements, combo))
-		if stats.Full {
-			fullFallbacks.Inc()
-			span.SetTag("mode", "full")
-		} else {
-			span.SetTag("mode", "incremental")
-			span.SetTag("bgp_tables_dirty", fmt.Sprintf("%d/%d", stats.BGPTablesDirty, stats.BGPTablesTotal))
+		var snap *intent.Snapshot
+		if sharded != nil {
+			if sres, err := sharded.WhatIf(scratch, delta); err == nil {
+				shardScenarios.Inc()
+				span.SetTag("mode", "shard")
+				span.SetTag("shard_rounds", fmt.Sprintf("%d", sres.Rounds))
+				rows := sres.RIB.Rows()
+				snap = &intent.Snapshot{RIB: sres.RIB, Bandwidth: bw}
+				if len(flows) > 0 {
+					tr := sres.Eng.TrafficSimulation(netmodel.NewRIBSet(rows), rows, flows)
+					snap.Paths = tr.Traffic.Paths
+					snap.Load = tr.Traffic.Load
+				}
+			}
+		}
+		if snap == nil {
+			res, stats := eng.Fork(scratch, delta)
+			if stats.Full {
+				fullFallbacks.Inc()
+				span.SetTag("mode", "full")
+			} else {
+				span.SetTag("mode", "incremental")
+				span.SetTag("bgp_tables_dirty", fmt.Sprintf("%d/%d", stats.BGPTablesDirty, stats.BGPTablesTotal))
+			}
+			spfReused.Add(int64(stats.SPFReused))
+			bgpDirty.Add(int64(stats.BGPTablesDirty))
+			warmRounds.Add(int64(stats.BGPRounds))
+			flowsReused.Add(int64(stats.FlowsReused))
+			snap = snapshotFrom(res, bw)
 		}
 		span.End()
 
@@ -169,12 +211,6 @@ func Check(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, 
 		}
 
 		scenarios.Inc()
-		spfReused.Add(int64(stats.SPFReused))
-		bgpDirty.Add(int64(stats.BGPTablesDirty))
-		warmRounds.Add(int64(stats.BGPRounds))
-		flowsReused.Add(int64(stats.FlowsReused))
-
-		snap := snapshotFrom(res, bw)
 		ctx := &intent.Context{Base: *base, Updated: *snap}
 		reports, ok := intent.Verify(ctx, intents)
 		outcomes[slot] = outcome{reports: reports, ok: ok}

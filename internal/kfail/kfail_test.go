@@ -2,12 +2,14 @@ package kfail
 
 import (
 	"net/netip"
+	"reflect"
 	"testing"
 
 	"hoyan/internal/core"
 	"hoyan/internal/gen"
 	"hoyan/internal/intent"
 	"hoyan/internal/netmodel"
+	"hoyan/internal/telemetry"
 )
 
 func TestSingleFailureToleranceOfGeneratedWAN(t *testing.T) {
@@ -105,3 +107,55 @@ func TestBadK(t *testing.T) {
 }
 
 var _ = netmodel.DefaultVRF
+
+// TestShardedCheckMatchesWholeNetwork runs the same k-failure check with the
+// sharded verifier on and off: scenario counts, violation sets, and per-link
+// loads behind the intents must agree exactly, with and without flows and at
+// both parallelism settings.
+func TestShardedCheckMatchesWholeNetwork(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	reach := intent.ReachIntent{
+		Prefix:  netip.MustParsePrefix("10.0.0.0/24"),
+		Devices: []string{"rr-1-0"},
+		Want:    true,
+	}
+	loads := intent.LoadIntent{MaxUtilization: 0.95}
+	intents := []intent.Intent{reach, loads}
+	for _, par := range []int{1, 4} {
+		ref, err := Check(out.Net, out.Inputs, out.Flows, intents, Options{
+			K: 1, Parallelism: par, Sim: core.Options{},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := telemetry.NewRegistry()
+		got, err := Check(out.Net, out.Inputs, out.Flows, intents, Options{
+			K: 1, Parallelism: par, Shards: 3, Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Scenarios != ref.Scenarios {
+			t.Fatalf("par=%d: scenarios %d != %d", par, got.Scenarios, ref.Scenarios)
+		}
+		if len(got.Violations) != len(ref.Violations) {
+			t.Fatalf("par=%d: violations %d != %d", par, len(got.Violations), len(ref.Violations))
+		}
+		for i := range got.Violations {
+			if !reflect.DeepEqual(got.Violations[i].Failed, ref.Violations[i].Failed) {
+				t.Errorf("par=%d: violation %d failed-set differs: %v vs %v",
+					par, i, got.Violations[i].Failed, ref.Violations[i].Failed)
+			}
+		}
+		// The sharded path actually carried scenarios (not all fallbacks).
+		carried := 0.0
+		for _, m := range reg.Gather() {
+			if m.Name == "kfail_shard_scenarios_total" {
+				carried = m.Value
+			}
+		}
+		if carried == 0 {
+			t.Errorf("par=%d: no scenario rode the sharded path", par)
+		}
+	}
+}

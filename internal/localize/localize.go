@@ -15,12 +15,12 @@ package localize
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"hoyan/internal/change"
 	"hoyan/internal/intent"
 	"hoyan/internal/pipeline"
+	"slices"
 )
 
 // Stanza is one atomic unit of a device's command block.
@@ -161,7 +161,7 @@ func SplitPlan(plan *change.Plan) []Stanza {
 	for d := range plan.Commands {
 		devices = append(devices, d)
 	}
-	sort.Strings(devices)
+	slices.Sort(devices)
 	for _, dev := range devices {
 		for i, text := range SplitStanzas(plan.Commands[dev]) {
 			out = append(out, Stanza{Device: dev, Text: text, Index: i})

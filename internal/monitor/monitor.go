@@ -13,9 +13,10 @@ package monitor
 
 import (
 	"math/rand"
-	"sort"
 
 	"hoyan/internal/netmodel"
+	"slices"
+	"strings"
 )
 
 // Faults configures monitoring-system defects to inject.
@@ -121,7 +122,7 @@ func (m *TrafficMonitor) CollectLoads(truth netmodel.LinkLoad) netmodel.LinkLoad
 	for id := range truth {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].String() < ids[j].String() })
+	slices.SortFunc(ids, func(a, b netmodel.LinkID) int { return strings.Compare(a.String(), b.String()) })
 	for _, id := range ids {
 		if hidden[id] {
 			continue
@@ -163,6 +164,6 @@ func (m *TrafficMonitor) TopologyView(links []*netmodel.Link) []netmodel.LinkID 
 			out = append(out, l.ID())
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	slices.SortFunc(out, func(a, b netmodel.LinkID) int { return strings.Compare(a.String(), b.String()) })
 	return out
 }

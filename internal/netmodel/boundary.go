@@ -1,0 +1,159 @@
+package netmodel
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net/netip"
+	"slices"
+)
+
+// BoundaryAdv is one seam advertisement of a sharded verification run: the
+// exact BGP message payload a device inside a shard sends over one session
+// to a device outside it, captured after export policy, AS prepending, and
+// next-hop rewriting. A sealed re-simulation of the receiving shard replays
+// it as a frozen external input, so the per-shard fixpoint composes into the
+// whole-network one. An adv with no routes is never stored: a withdrawn or
+// never-advertised (from, to, vrf, prefix) key is simply absent from the
+// contract.
+type BoundaryAdv struct {
+	From     string       // advertising device (inside the exporting shard)
+	To       string       // receiving device (outside it)
+	VRF      string       // session VRF
+	Prefix   netip.Prefix // advertised prefix
+	EBGP     bool         // session type, as seen by the sender
+	FromAddr netip.Addr   // sender-side session address (msg source)
+	Routes   []Route      // payload, in advertisement order
+}
+
+// AppendSignature appends an injective binary encoding of the adv to dst.
+// Two advs have equal signatures iff every field (including route order
+// within the adv) is equal, so sorting a contract by signature yields the
+// ACORN-style canonical form: equivalent orderings of the same advertisement
+// set compare equal byte-for-byte.
+func (a *BoundaryAdv) AppendSignature(dst []byte) []byte {
+	dst = sigStr(dst, a.From)
+	dst = sigStr(dst, a.To)
+	dst = sigStr(dst, a.VRF)
+	dst = sigPrefix(dst, a.Prefix)
+	dst = sigBool(dst, a.EBGP)
+	dst = sigAddr(dst, a.FromAddr)
+	dst = binary.AppendUvarint(dst, uint64(len(a.Routes)))
+	for i := range a.Routes {
+		dst = appendRouteSignature(dst, &a.Routes[i])
+	}
+	return dst
+}
+
+// AppendSignature appends an injective binary encoding of the route to dst:
+// equal signatures iff every field is equal. Besides ordering contracts, it
+// is the cheap dedupe key for rows recomputed by overlapping subtasks (the
+// fmt-based key it replaced dominated result collection).
+func (r *Route) AppendSignature(dst []byte) []byte {
+	return appendRouteSignature(dst, r)
+}
+
+func appendRouteSignature(dst []byte, r *Route) []byte {
+	dst = sigStr(dst, r.Device)
+	dst = sigStr(dst, r.VRF)
+	dst = sigPrefix(dst, r.Prefix)
+	dst = append(dst, byte(r.Protocol))
+	dst = sigAddr(dst, r.NextHop)
+	cs := r.Communities.All()
+	dst = binary.AppendUvarint(dst, uint64(len(cs)))
+	for _, c := range cs {
+		dst = binary.AppendUvarint(dst, uint64(c))
+	}
+	dst = binary.AppendUvarint(dst, uint64(r.LocalPref))
+	dst = binary.AppendUvarint(dst, uint64(r.MED))
+	dst = binary.AppendUvarint(dst, uint64(r.Weight))
+	dst = binary.AppendUvarint(dst, uint64(r.Preference))
+	dst = binary.AppendUvarint(dst, uint64(len(r.ASPath.Seq)))
+	for _, asn := range r.ASPath.Seq {
+		dst = binary.AppendUvarint(dst, uint64(asn))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.ASPath.Set)))
+	for _, asn := range r.ASPath.Set {
+		dst = binary.AppendUvarint(dst, uint64(asn))
+	}
+	dst = append(dst, byte(r.Origin))
+	dst = binary.AppendUvarint(dst, uint64(r.IGPCost))
+	dst = append(dst, byte(r.RouteType))
+	dst = sigBool(dst, r.ViaSR)
+	dst = sigStr(dst, r.Peer)
+	dst = sigStr(dst, r.Source)
+	return dst
+}
+
+func sigStr(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func sigBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func sigAddr(dst []byte, a netip.Addr) []byte {
+	if !a.IsValid() {
+		return append(dst, 0)
+	}
+	b16 := a.As16()
+	dst = append(dst, 1)
+	return append(dst, b16[:]...)
+}
+
+func sigPrefix(dst []byte, p netip.Prefix) []byte {
+	dst = sigAddr(dst, p.Addr())
+	return append(dst, byte(p.Bits()))
+}
+
+// CanonicalizeBoundary sorts the advs in place by binary signature and
+// returns the slice. The order is total (the signature is injective), so two
+// contracts holding the same advertisement set in any order canonicalize to
+// identical slices.
+func CanonicalizeBoundary(advs []BoundaryAdv) []BoundaryAdv {
+	if len(advs) < 2 {
+		return advs
+	}
+	sigs := make([][]byte, len(advs))
+	order := make([]int, len(advs))
+	for i := range advs {
+		sigs[i] = advs[i].AppendSignature(nil)
+		order[i] = i
+	}
+	slices.SortFunc(order, func(x, y int) int { return bytes.Compare(sigs[x], sigs[y]) })
+	out := make([]BoundaryAdv, len(advs))
+	for i, idx := range order {
+		out[i] = advs[idx]
+	}
+	copy(advs, out)
+	return advs
+}
+
+// BoundarySetsEqual reports whether two contracts hold the same advertisement
+// set, regardless of slice order.
+func BoundarySetsEqual(a, b []BoundaryAdv) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sa := boundarySigs(a)
+	sb := boundarySigs(b)
+	for i := range sa {
+		if !bytes.Equal(sa[i], sb[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func boundarySigs(advs []BoundaryAdv) [][]byte {
+	sigs := make([][]byte, len(advs))
+	for i := range advs {
+		sigs[i] = advs[i].AppendSignature(nil)
+	}
+	slices.SortFunc(sigs, bytes.Compare)
+	return sigs
+}

@@ -48,7 +48,7 @@ const NoPrefix PrefixID = -1
 // Up/down toggles do NOT invalidate it: the index stores live *Node / *Link
 // pointers, so traversals read the current Up state through them.
 type TopoIndex struct {
-	devNames []string        // DevID -> name, ascending
+	devNames []string // DevID -> name, ascending
 	devIDs   map[string]DevID
 	nodes    []*Node // DevID -> live node
 	links    []*Link // LinkIdx -> live link, in LinkID.String() order
@@ -228,9 +228,9 @@ func (t *Topology) buildIndex() *TopoIndex {
 	// that exists in the node table. Building per-device rows then sorting by
 	// (neighbor, link) reproduces Topology.Neighbors' ordering numerically.
 	type edge struct {
-		dev  DevID
-		nb   DevID
-		link LinkIdx
+		dev   DevID
+		nb    DevID
+		link  LinkIdx
 		fromA bool
 	}
 	var edges []edge

@@ -111,7 +111,7 @@ func internRandomTopo(rng *rand.Rand, n int) *Topology {
 			A: fmt.Sprintf("r%02d", a), B: fmt.Sprintf("r%02d", b),
 			AIface: fmt.Sprintf("eth%d", link), BIface: fmt.Sprintf("eth%d", link),
 			CostAB: uint32(1 + rng.Intn(9)), CostBA: uint32(1 + rng.Intn(9)),
-			Up:     rng.Intn(8) != 0,
+			Up: rng.Intn(8) != 0,
 		})
 		link++
 	}

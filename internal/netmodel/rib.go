@@ -332,6 +332,61 @@ func NewGlobalRIBFromSorted(rows []Route) *GlobalRIB {
 	return &GlobalRIB{rows: rows}
 }
 
+// MergeSortedRoutes merges route slices — each already in CompareRoutes
+// order — into one sorted slice. Sharded verification stitches per-shard
+// segments with it instead of re-sorting the concatenation: shards hold
+// disjoint device sets, so the merge reproduces exactly the order
+// NewGlobalRIB would produce, at a fraction of the comparisons.
+func MergeSortedRoutes(segs [][]Route) []Route {
+	n, live := 0, 0
+	for _, s := range segs {
+		n += len(s)
+		if len(s) > 0 {
+			live++
+		}
+	}
+	out := make([]Route, 0, n)
+	if live <= 1 {
+		for _, s := range segs {
+			out = append(out, s...)
+		}
+		return out
+	}
+	idx := make([]int, len(segs))
+	for len(out) < n {
+		// Pick the segment with the smallest head, remembering the runner-up
+		// head as the bound up to which the winner's run can be copied whole
+		// (runs are long: each shard holds contiguous device blocks).
+		best, second := -1, -1
+		for i, s := range segs {
+			if idx[i] >= len(s) {
+				continue
+			}
+			switch {
+			case best < 0:
+				best = i
+			case CompareRoutes(s[idx[i]], segs[best][idx[best]]) < 0:
+				best, second = i, best
+			case second < 0 || CompareRoutes(s[idx[i]], segs[second][idx[second]]) < 0:
+				second = i
+			}
+		}
+		s := segs[best]
+		j := idx[best] + 1
+		if second >= 0 {
+			bound := segs[second][idx[second]]
+			for j < len(s) && CompareRoutes(s[j], bound) < 0 {
+				j++
+			}
+		} else {
+			j = len(s)
+		}
+		out = append(out, s[idx[best]:j]...)
+		idx[best] = j
+	}
+	return out
+}
+
 // Merge combines per-device RIBs into one global RIB.
 func Merge(ribs ...*RIB) *GlobalRIB {
 	var rows []Route

@@ -81,3 +81,67 @@ func TestAudit(t *testing.T) {
 		t.Errorf("audit: ok=%v reports=%+v", ok, reports)
 	}
 }
+
+// TestSimulateShardedMatchesWholeNetwork pins that a sharded distributed run
+// produces the same RIB and traffic snapshot as the whole-network distributed
+// path, and that the run report carries the shard stage summary and metrics.
+func TestSimulateShardedMatchesWholeNetwork(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+
+	whole := New(out.Net, out.Inputs, out.Flows, core.Options{})
+	whole.Workers = 3
+	whole.RouteSubtasks = 6
+	whole.TrafficSubtasks = 6
+	wsnap, err := whole.Simulate("whole")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sharded := New(out.Net, out.Inputs, out.Flows, core.Options{})
+	sharded.Workers = 3
+	sharded.RouteSubtasks = 6
+	sharded.TrafficSubtasks = 6
+	sharded.Shards = 3
+	sharded.Telemetry = true
+	ssnap, err := sharded.Simulate("sharded")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !wsnap.RIB.Equal(ssnap.RIB) {
+		a, b := wsnap.RIB.Diff(ssnap.RIB)
+		t.Fatalf("sharded RIB != whole-network RIB (diff %d/%d)", len(a), len(b))
+	}
+	for id, want := range wsnap.Load {
+		if d := ssnap.Load[id] - want; d > 1e-3 || d < -1e-3 {
+			t.Errorf("load[%s]: sharded %v, whole-network %v", id, ssnap.Load[id], want)
+		}
+	}
+
+	rep := sharded.LastRunReport()
+	if rep.Shard == nil {
+		t.Fatal("sharded run report missing Shard summary")
+	}
+	if rep.Shard.Shards != 3 || rep.Shard.Rounds < 1 || rep.Shard.ContractRoutes == 0 {
+		t.Errorf("implausible shard report: %+v", rep.Shard)
+	}
+	if rep.Shard.FellBack {
+		t.Error("sharded base stage fell back to the whole-network path")
+	}
+	stages := map[string]bool{}
+	for _, st := range rep.Stages {
+		stages[st.Name] = true
+	}
+	if !stages["shard_route"] || stages["route_enqueue"] {
+		t.Errorf("stage list should use shard_route in place of route_enqueue: %+v", rep.Stages)
+	}
+	var rounds float64
+	for _, m := range rep.Metrics {
+		if m.Name == "shard_rounds_total" {
+			rounds = m.Value
+		}
+	}
+	if rounds < 1 {
+		t.Errorf("shard_rounds_total not in merged metrics snapshot: %v", rounds)
+	}
+}

@@ -2,10 +2,10 @@ package policy
 
 import (
 	"net/netip"
-	"sort"
 
 	"hoyan/internal/netmodel"
 	"hoyan/internal/vsb"
+	"slices"
 )
 
 // Action is the disposition of a route-map node.
@@ -85,7 +85,7 @@ type RouteMap struct {
 // SortNodes orders the nodes by sequence number (parsers may insert nodes
 // out of order; change plans may delete/insert nodes).
 func (rm *RouteMap) SortNodes() {
-	sort.Slice(rm.Nodes, func(i, j int) bool { return rm.Nodes[i].Seq < rm.Nodes[j].Seq })
+	slices.SortFunc(rm.Nodes, func(a, b *Node) int { return a.Seq - b.Seq })
 }
 
 // Node returns the node with the given sequence number, or nil.

@@ -3,11 +3,11 @@ package rcl
 import (
 	"fmt"
 	"regexp"
-	"sort"
 	"strconv"
 	"strings"
 
 	"hoyan/internal/netmodel"
+	"slices"
 )
 
 // Violation is one concrete counterexample for an unsatisfied intent: the
@@ -421,7 +421,7 @@ func (c *checker) eval(e Eval, M, N []netmodel.Route) (Value, error) {
 		return Value{Kind: StrValue, Str: e.Value}, nil
 	case *SetEval:
 		set := append([]string(nil), e.Values...)
-		sort.Strings(set)
+		slices.Sort(set)
 		return Value{Kind: SetValue, Set: dedupeSorted(set)}, nil
 	case *AggEval:
 		rows, err := c.transform(e.R, M, N)
@@ -488,7 +488,7 @@ func distVals(field string, rows []netmodel.Route, expr string) ([]string, error
 			out = append(out, s)
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out, nil
 }
 
@@ -575,7 +575,7 @@ func distinctFieldValues(field string, M, N []netmodel.Route) []string {
 			}
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

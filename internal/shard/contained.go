@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/isis"
+	"hoyan/internal/netmodel"
+)
+
+// TouchedShards maps a topology delta to the set of shards holding its
+// elements' endpoints. The second result is false when the delta changes
+// something no shard can own (unknown devices, or input-route changes, which
+// alter originations globally).
+func TouchedShards(p *Partition, d core.Delta) (map[int]bool, bool) {
+	if len(d.AddInputs) > 0 || len(d.DropInputs) > 0 {
+		return nil, false
+	}
+	touched := make(map[int]bool)
+	add := func(dev string) bool {
+		if !p.Known(dev) {
+			return false
+		}
+		touched[dev2shard(p, dev)] = true
+		return true
+	}
+	for _, id := range d.LinksDown {
+		if !add(id.A) || !add(id.B) {
+			return nil, false
+		}
+	}
+	for _, id := range d.LinksUp {
+		if !add(id.A) || !add(id.B) {
+			return nil, false
+		}
+	}
+	for _, n := range d.NodesDown {
+		if !add(n) {
+			return nil, false
+		}
+	}
+	for _, n := range d.NodesUp {
+		if !add(n) {
+			return nil, false
+		}
+	}
+	if len(touched) == 0 {
+		return nil, false
+	}
+	return touched, true
+}
+
+func dev2shard(p *Partition, dev string) int { return p.ShardOf(dev) }
+
+// Contained reports whether a topology delta provably leaves every device
+// outside the touched shards with a byte-identical routing outcome, so the
+// what-if can re-run only the touched shards (plus seam re-check) and reuse
+// the base rows everywhere else. The check mirrors the exact IGP facts the
+// BGP decision consumes:
+//
+//   - every delta endpoint lives in a touched shard, so outside devices keep
+//     their incident links (direct-subnet and FindLink fallbacks unchanged);
+//   - no outside device has a BGP session peer whose node went down or came
+//     up (buildSessions gates on the peer's node.Up);
+//   - for every outside device, IGP reachability to each session peer is
+//     unchanged (iBGP liveness), and the IGP distance to every next-hop
+//     owner referenced by its base rows is unchanged (next-hop resolution
+//     and the IGP-cost tie-break).
+//
+// Outside devices' inbound messages are the touched shards' exports (checked
+// separately by the contract fixpoint's seam re-check) plus other outside
+// devices' exports, which are unchanged by induction.
+func Contained(net *config.Network, p *Partition, touched map[int]bool,
+	baseIGP, scenIGP *isis.Result, delta core.Delta, ownersByDev map[string][]string) bool {
+	changedNode := make(map[string]bool, len(delta.NodesDown)+len(delta.NodesUp))
+	for _, n := range delta.NodesDown {
+		changedNode[n] = true
+	}
+	for _, n := range delta.NodesUp {
+		changedNode[n] = true
+	}
+	for _, name := range net.DeviceNames() {
+		if touched[p.ShardOf(name)] {
+			continue
+		}
+		d := net.Devices[name]
+		for _, nb := range d.Neighbors {
+			peer := net.Topo.AddrOwner(nb.Addr)
+			if peer == "" || peer == name {
+				continue
+			}
+			if changedNode[peer] {
+				return false
+			}
+			if baseIGP.Reachable(name, peer) != scenIGP.Reachable(name, peer) {
+				return false
+			}
+		}
+		for _, owner := range ownersByDev[name] {
+			bc, bok := baseIGP.Cost(name, owner)
+			sc, sok := scenIGP.Cost(name, owner)
+			if bok != sok || bc != sc {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NextHopOwners indexes, per device, the distinct next-hop-owner devices
+// referenced by the rows — the set of IGP distances each device's BGP
+// decision depends on. Address ownership never changes across up/down
+// deltas, so the index computed on the base rows serves every scenario.
+func NextHopOwners(topo *netmodel.Topology, rows []netmodel.Route) map[string][]string {
+	seen := make(map[[2]string]bool)
+	out := make(map[string][]string)
+	for i := range rows {
+		r := &rows[i]
+		if !r.NextHop.IsValid() {
+			continue
+		}
+		owner := topo.AddrOwner(r.NextHop)
+		if owner == "" || owner == r.Device {
+			continue
+		}
+		k := [2]string{r.Device, owner}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out[r.Device] = append(out[r.Device], owner)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/binary"
+
+	"hoyan/internal/netmodel"
+)
+
+// DefaultMaxRounds bounds the contract-exchange fixpoint when the caller does
+// not: contracts normally stabilize in two or three rounds (one propagation
+// per seam-crossing hop), so a generous multiple of the shard count leaves
+// room for long dependency chains while still catching oscillation.
+const DefaultMaxRounds = 16
+
+// RoundFn runs one contract-exchange round: it simulates the dirty shards
+// boundary-sealed against the given inbound contracts and returns, aligned
+// with dirty's order, each shard's outbound contract and final route rows.
+// inbound is indexed by shard (all shards present; only dirty entries are
+// consumed this round).
+type RoundFn func(round int, dirty []int, inbound [][]netmodel.BoundaryAdv) (exports [][]netmodel.BoundaryAdv, rows [][]netmodel.Route, err error)
+
+// State is the converged (or abandoned) outcome of a contract fixpoint. A
+// base run's State warm-starts what-if runs: shards whose inbound contract
+// never changes keep their Exports and Rows untouched, so the caller can
+// reuse derived artifacts (expanded rows) by slice identity.
+type State struct {
+	NumShards int
+	// Exports holds each shard's canonical outbound contract.
+	Exports [][]netmodel.BoundaryAdv
+	// Rows holds each shard's final (pre-EC-expansion) route rows.
+	Rows [][]netmodel.Route
+	// Rounds counts contract-exchange rounds executed by the Iterate call(s)
+	// that produced this state.
+	Rounds int
+	// SeamChanges counts shards re-dirtied because a seam contract they had
+	// already consumed changed — the "seam mismatch" signal of a what-if
+	// whose touched-shard-only hypothesis proved insufficient.
+	SeamChanges int
+	// Converged is false when MaxRounds ran out with seams still unstable;
+	// callers must fall back to the whole-network path.
+	Converged bool
+
+	// inSigs memoizes the signature of the inbound contract each shard last
+	// consumed (nil: the shard never ran).
+	inSigs [][]byte
+}
+
+func newState(n int) *State {
+	return &State{
+		NumShards: n,
+		Exports:   make([][]netmodel.BoundaryAdv, n),
+		Rows:      make([][]netmodel.Route, n),
+		inSigs:    make([][]byte, n),
+	}
+}
+
+// clone copies the per-shard slots (sharing the underlying slices, which are
+// treated as immutable once recorded) and resets the per-run counters.
+func (st *State) clone() *State {
+	out := newState(st.NumShards)
+	copy(out.Exports, st.Exports)
+	copy(out.Rows, st.Rows)
+	copy(out.inSigs, st.inSigs)
+	return out
+}
+
+// ContractRoutes returns the total advertisement count across all seams.
+func (st *State) ContractRoutes() int {
+	total := 0
+	for _, exp := range st.Exports {
+		total += len(exp)
+	}
+	return total
+}
+
+// inboundFor redistributes the shards' exports into per-receiving-shard
+// inbound contracts, canonicalized.
+func inboundFor(p *Partition, exports [][]netmodel.BoundaryAdv) [][]netmodel.BoundaryAdv {
+	in := make([][]netmodel.BoundaryAdv, p.NumShards())
+	for _, exp := range exports {
+		for _, adv := range exp {
+			to := p.ShardOf(adv.To)
+			in[to] = append(in[to], adv)
+		}
+	}
+	for i := range in {
+		netmodel.CanonicalizeBoundary(in[i])
+	}
+	return in
+}
+
+// contractSig returns an injective encoding of a canonical contract. Each
+// advertisement's signature is self-delimiting (length-prefixed strings,
+// explicit counts), so concatenation under a leading count stays injective.
+func contractSig(advs []netmodel.BoundaryAdv) []byte {
+	sig := binary.AppendUvarint(nil, uint64(len(advs)))
+	for i := range advs {
+		sig = advs[i].AppendSignature(sig)
+	}
+	return sig
+}
+
+// Iterate drives the contract-exchange fixpoint: starting from prev (nil for
+// a cold start) with the given initially dirty shards, it repeatedly runs the
+// dirty set sealed against the current contracts, then re-dirties every shard
+// whose inbound contract changed (or that has never run), until no shard is
+// dirty or maxRounds (<=0: DefaultMaxRounds) runs out. When the dirty set
+// empties, every shard's exports are consistent with every other's — the
+// composed state is a whole-network fixpoint.
+func Iterate(p *Partition, maxRounds int, dirty []int, prev *State, run RoundFn) (*State, error) {
+	n := p.NumShards()
+	var st *State
+	if prev == nil {
+		st = newState(n)
+	} else {
+		st = prev.clone()
+	}
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	pend := make([]bool, n)
+	for _, i := range dirty {
+		pend[i] = true
+	}
+	for {
+		var list []int
+		for i, d := range pend {
+			if d {
+				list = append(list, i)
+			}
+		}
+		if len(list) == 0 {
+			st.Converged = true
+			return st, nil
+		}
+		if st.Rounds >= maxRounds {
+			st.Converged = false
+			return st, nil
+		}
+		st.Rounds++
+		in := inboundFor(p, st.Exports)
+		exports, rows, err := run(st.Rounds-1, list, in)
+		if err != nil {
+			return nil, err
+		}
+		for k, i := range list {
+			st.Exports[i] = netmodel.CanonicalizeBoundary(exports[k])
+			st.Rows[i] = rows[k]
+			st.inSigs[i] = contractSig(in[i])
+		}
+		next := inboundFor(p, st.Exports)
+		for i := 0; i < n; i++ {
+			switch {
+			case st.inSigs[i] == nil:
+				pend[i] = true
+			case !bytes.Equal(st.inSigs[i], contractSig(next[i])):
+				if !pend[i] {
+					st.SeamChanges++
+				}
+				pend[i] = true
+			default:
+				pend[i] = false
+			}
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package shard
+
+import "hoyan/internal/telemetry"
+
+// Metrics bundles the sharded verifier's instruments. All fields are nil-safe
+// through the registry (a nil registry yields detached instruments).
+type Metrics struct {
+	// Rounds counts contract-exchange rounds executed (shard_rounds_total).
+	Rounds *telemetry.Counter
+	// ContractRoutes gauges the advertisement count across all seams after
+	// the latest converged run (shard_contract_routes).
+	ContractRoutes *telemetry.Gauge
+	// SeamMismatches counts shards re-dirtied after having converged — the
+	// what-if seam re-checks that found an unstable contract
+	// (shard_seam_mismatches_total).
+	SeamMismatches *telemetry.Counter
+	// FullFallbacks counts runs that abandoned the sharded path for the
+	// whole-network engine (shard_full_fallbacks_total).
+	FullFallbacks *telemetry.Counter
+}
+
+// NewMetrics registers the shard instruments on reg (nil: detached).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Rounds:         reg.Counter("shard_rounds_total", "contract-exchange rounds executed"),
+		ContractRoutes: reg.Gauge("shard_contract_routes", "boundary advertisements across all seams"),
+		SeamMismatches: reg.Counter("shard_seam_mismatches_total", "converged shards re-dirtied by a changed seam contract"),
+		FullFallbacks:  reg.Counter("shard_full_fallbacks_total", "runs that fell back to the whole-network path"),
+	}
+}

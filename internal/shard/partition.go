@@ -1,0 +1,128 @@
+// Package shard implements the sharded global-RIB verifier: the interned
+// topology is partitioned into region shards, each shard runs the BGP
+// fixpoint boundary-sealed (bgp.Seal) against explicit boundary-route
+// contracts, and the master iterates contract-exchange rounds until every
+// seam is stable. Per-shard RIBs then stitch byte-identically into the
+// whole-network netmodel.GlobalRIB, and intra-shard what-if deltas re-run
+// only the touched shard plus a seam re-check.
+package shard
+
+import (
+	"slices"
+	"strconv"
+	"strings"
+
+	"hoyan/internal/netmodel"
+)
+
+// Partition assigns every device of a topology to one of NumShards shards.
+// The assignment is region-aware: device names of the form
+// "<class>-<region>-<idx>" group by region, and sorted regions spread evenly
+// over the shards so seams follow the (expensive, contract-light) inter-region
+// links. Devices without a parseable region fall back to contiguous chunks of
+// the sorted name order. The partition is a pure function of the topology's
+// device set, so master and workers compute identical partitions
+// independently from the shared snapshot.
+type Partition struct {
+	n       int
+	shardOf map[string]int
+	members []map[string]bool
+}
+
+// Compute partitions topo into at most n shards (clamped to the region count
+// when regions parse, and to the device count otherwise, so no shard is
+// empty).
+func Compute(topo *netmodel.Topology, n int) *Partition {
+	ix := topo.Index()
+	names := make([]string, 0, ix.NumDevices())
+	for i := 0; i < ix.NumDevices(); i++ {
+		names = append(names, ix.DevName(netmodel.DevID(i)))
+	}
+	slices.Sort(names)
+
+	regionOf := make(map[string]int, len(names))
+	var regions []int
+	var loose []string
+	for _, name := range names {
+		if r, ok := parseRegion(name); ok {
+			regionOf[name] = r
+			if !slices.Contains(regions, r) {
+				regions = append(regions, r)
+			}
+		} else {
+			loose = append(loose, name)
+		}
+	}
+	slices.Sort(regions)
+
+	if n < 1 {
+		n = 1
+	}
+	if len(regions) > 0 {
+		if n > len(regions) {
+			n = len(regions)
+		}
+	} else if n > len(names) && len(names) > 0 {
+		n = len(names)
+	}
+
+	p := &Partition{n: n, shardOf: make(map[string]int, len(names)), members: make([]map[string]bool, n)}
+	for i := range p.members {
+		p.members[i] = make(map[string]bool)
+	}
+	regionShard := make(map[int]int, len(regions))
+	for i, r := range regions {
+		regionShard[r] = i * n / len(regions)
+	}
+	for _, name := range names {
+		if r, ok := regionOf[name]; ok {
+			p.assign(name, regionShard[r])
+		}
+	}
+	for i, name := range loose {
+		p.assign(name, i*n/max(1, len(loose)))
+	}
+	return p
+}
+
+func (p *Partition) assign(name string, shard int) {
+	p.shardOf[name] = shard
+	p.members[shard][name] = true
+}
+
+// parseRegion extracts the region number from "<class>-<region>-<idx>".
+func parseRegion(name string) (int, bool) {
+	parts := strings.Split(name, "-")
+	if len(parts) < 3 {
+		return 0, false
+	}
+	r, err := strconv.Atoi(parts[1])
+	if err != nil || r < 0 {
+		return 0, false
+	}
+	return r, true
+}
+
+// NumShards returns the effective shard count after clamping.
+func (p *Partition) NumShards() int { return p.n }
+
+// ShardOf returns the shard holding dev; unknown devices map to shard 0.
+func (p *Partition) ShardOf(dev string) int { return p.shardOf[dev] }
+
+// Known reports whether dev was part of the partitioned topology.
+func (p *Partition) Known(dev string) bool {
+	_, ok := p.shardOf[dev]
+	return ok
+}
+
+// Members returns shard i's device set. Callers must not modify it.
+func (p *Partition) Members(i int) map[string]bool { return p.members[i] }
+
+// Sizes returns the device count per shard.
+func (p *Partition) Sizes() []int {
+	out := make([]int, p.n)
+	for _, s := range p.shardOf {
+		out[s]++
+	}
+	return out
+}

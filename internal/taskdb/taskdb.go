@@ -11,9 +11,9 @@
 package taskdb
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
-	"cmp"
 	"net"
 	"net/rpc"
 	"slices"

@@ -15,7 +15,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -89,7 +89,7 @@ type Histogram struct {
 // (sorted ascending; an empty slice leaves only the +Inf bucket).
 func NewHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
-	sort.Float64s(b)
+	slices.Sort(b)
 	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
@@ -211,7 +211,7 @@ func labelSig(labels []Label) string {
 
 func (r *Registry) child(name, help string, kind Kind, bounds []float64, labels []Label) *child {
 	ls := append([]Label(nil), labels...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	slices.SortFunc(ls, func(a, b Label) int { return strings.Compare(a.Key, b.Key) })
 	sig := labelSig(ls)
 
 	r.mu.Lock()
@@ -221,7 +221,7 @@ func (r *Registry) child(name, help string, kind Kind, bounds []float64, labels 
 		f = &family{name: name, help: help, kind: kind, children: make(map[string]*child)}
 		if kind == KindHistogram {
 			b := append([]float64(nil), bounds...)
-			sort.Float64s(b)
+			slices.Sort(b)
 			f.bounds = b
 		}
 		r.fams[name] = f
@@ -307,7 +307,7 @@ func (r *Registry) Gather() Snapshot {
 			out = append(out, s)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	slices.SortFunc(out, func(a, b Series) int { return strings.Compare(a.key(), b.key()) })
 	return out
 }
 
@@ -340,7 +340,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 		out = append(out, ser)
 		byKey[ser.key()] = len(out) - 1
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	slices.SortFunc(out, func(a, b Series) int { return strings.Compare(a.key(), b.key()) })
 	return out
 }
 
@@ -348,7 +348,7 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 // insensitive), or a zero Series and false.
 func (s Snapshot) Find(name string, labels ...Label) (Series, bool) {
 	ls := append([]Label(nil), labels...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	slices.SortFunc(ls, func(a, b Label) int { return strings.Compare(a.Key, b.Key) })
 	key := name + "\x00" + labelSig(ls)
 	for _, ser := range s {
 		if ser.key() == key {

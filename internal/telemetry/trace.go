@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -291,7 +291,7 @@ func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
 			order = append(order, s.Actor)
 		}
 	}
-	sort.Strings(order)
+	slices.Sort(order)
 	for i, a := range order {
 		actors[a] = i + 1
 	}

@@ -6,9 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
-	"sort"
 
 	"hoyan/internal/netmodel"
+	"slices"
 )
 
 // ---------------------------------------------------------------- routes
@@ -237,7 +237,7 @@ func EncodeSnapshotOpts(w io.Writer, s *Snapshot, opts Options) error {
 		for name := range s.Configs {
 			names = append(names, name)
 		}
-		sort.Strings(names)
+		slices.Sort(names)
 		e.uvarint(uint64(len(names)))
 		for _, name := range names {
 			e.str(name)

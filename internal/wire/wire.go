@@ -64,6 +64,8 @@ const (
 	KindFlows
 	KindSnapshot
 	KindTrafficResult
+	KindShardInput
+	KindShardResult
 )
 
 func (k Kind) String() string {
@@ -76,6 +78,10 @@ func (k Kind) String() string {
 		return "snapshot"
 	case KindTrafficResult:
 		return "traffic-result"
+	case KindShardInput:
+		return "shard-input"
+	case KindShardResult:
+		return "shard-result"
 	}
 	return fmt.Sprintf("kind(%d)", byte(k))
 }
