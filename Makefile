@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench-smoke bench-core bench-wire bench-incr bench-durable bench-shard chaos chaos-restart trace check
+.PHONY: all build test vet race bench-smoke bench-core bench-wire bench-incr bench-durable bench-shard bench-serve chaos chaos-restart trace check
 
 all: check
 
@@ -69,6 +69,16 @@ bench-durable:
 	DURABLE_BENCH_JSON=BENCH_durable.json $(GO) test -run '^TestDurableOverhead$$' -v .
 	$(GO) test -run '^$$' -bench '^BenchmarkDurable' -benchtime 1x .
 
+# Verification-as-a-service measurement: a warm synchronous what-if query
+# against a running hoyand (HTTP submit with ?wait=1, engine fork, digest,
+# delta) vs the cold CLI path (re-parse configs, rebuild the engine,
+# simulate from scratch) on the gen.WAN(1) fixture. Asserts the >=3x
+# warm-query latency floor and writes the measured numbers to
+# BENCH_serve.json; the one-shot BenchmarkServe* pass catches bench bit-rot.
+bench-serve:
+	SERVE_BENCH_JSON=BENCH_serve.json $(GO) test -run '^TestServeWarmSpeedup$$' -v .
+	$(GO) test -run '^$$' -bench '^BenchmarkServe' -benchtime 1x .
+
 # Fault-tolerance pass: the chaos harness (crashed workers, >=10% injected
 # substrate error rates) plus the resilience tests, under the race detector.
 chaos:
@@ -89,4 +99,4 @@ chaos-restart:
 trace:
 	$(GO) run ./cmd/hoyan-exp -scale 1 -trace trace.json report
 
-check: vet build race bench-smoke bench-core bench-wire bench-incr bench-durable bench-shard chaos chaos-restart
+check: vet build race bench-smoke bench-core bench-wire bench-incr bench-durable bench-shard bench-serve chaos chaos-restart

@@ -15,11 +15,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"time"
 
@@ -30,6 +30,7 @@ import (
 	"hoyan/internal/mq"
 	"hoyan/internal/objstore"
 	"hoyan/internal/rpcx"
+	"hoyan/internal/serve"
 	"hoyan/internal/taskdb"
 	"hoyan/internal/telemetry"
 )
@@ -66,6 +67,16 @@ func main() {
 	reg := telemetry.NewRegistry()
 	events := telemetry.NewEventLogger(os.Stderr, telemetry.F("role", "master"))
 
+	// Ordered shutdown: everything registers here in startup order and closes
+	// LIFO — listeners and the ops server stop before the substrates flush
+	// their WALs.
+	var closers serve.Closers
+	defer func() {
+		if err := closers.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hoyan-master:", err)
+		}
+	}()
+
 	// The hosted substrates: in-memory by default, WAL-backed under -data-dir.
 	// Durable substrates report write health on /healthz — persistent append
 	// failures degrade the process to 503 instead of crashing it.
@@ -92,9 +103,9 @@ func main() {
 		disk.Instrument(reg)
 		db.Instrument(reg)
 		dq.Instrument(reg)
-		defer disk.Close()
-		defer db.Close()
-		defer dq.Close()
+		closers.Add("objstore", disk.Close)
+		closers.Add("taskdb", db.Close)
+		closers.Add("mq", func() error { dq.Close(); return nil })
 		checks := []func() error{disk.Healthy, db.Healthy, dq.Healthy}
 		health = func() error {
 			for _, c := range checks {
@@ -114,18 +125,25 @@ func main() {
 	mq.ServeRegistry(lq, qsrv, reg)
 	objstore.ServeRegistry(ls, ssrv, reg)
 	taskdb.ServeRegistry(lt, tsrv, reg)
+	closers.Add("mq listener", lq.Close)
+	closers.Add("store listener", ls.Close)
+	closers.Add("tasks listener", lt.Close)
 	fmt.Printf("substrates: mq=%s store=%s tasks=%s\n", lq.Addr(), ls.Addr(), lt.Addr())
 
 	if srv, addr, err := telemetry.ServeOps(*httpAddr, reg, health, nil); err != nil {
 		fatal(err)
 	} else if srv != nil {
-		defer srv.Close()
+		closers.Add("ops server", srv.Close)
 		fmt.Printf("ops: http://%s/metrics /healthz /debug/pprof\n", addr)
 	}
 
 	if !*runSim && *resumeID == "" {
-		fmt.Println("serving; start hoyan-worker processes and press Ctrl-C to stop")
-		wait()
+		// Serve until SIGINT or SIGTERM; the deferred closers then stop the
+		// listeners before flushing the substrate WALs.
+		ctx, stop := serve.SignalContext(context.Background())
+		defer stop()
+		fmt.Println("serving; start hoyan-worker processes, SIGINT/SIGTERM stops")
+		<-ctx.Done()
 		return
 	}
 
@@ -249,12 +267,6 @@ func listen(addr string) net.Listener {
 		fatal(err)
 	}
 	return l
-}
-
-func wait() {
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
-	<-ch
 }
 
 func fatal(err error) {

@@ -19,13 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"time"
 
 	"hoyan/internal/dsim"
 	"hoyan/internal/mq"
 	"hoyan/internal/objstore"
 	"hoyan/internal/rpcx"
+	"hoyan/internal/serve"
 	"hoyan/internal/taskdb"
 	"hoyan/internal/telemetry"
 )
@@ -45,21 +45,30 @@ func main() {
 	reg := telemetry.NewRegistry()
 	events := telemetry.NewEventLogger(os.Stderr)
 
+	// Ordered shutdown: close the substrate clients in reverse dial order
+	// once the consume loop has drained.
+	var closers serve.Closers
+	defer func() {
+		if err := closers.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "hoyan-worker:", err)
+		}
+	}()
+
 	queue, err := mq.DialOptions(*mqAddr, rpcx.Options{Metrics: rpcx.NewMetrics(reg, "mq")})
 	if err != nil {
 		fatal(err)
 	}
-	defer queue.Close()
+	closers.Add("mq client", queue.Close)
 	store, err := objstore.DialOptions(*storeAddr, rpcx.Options{Metrics: rpcx.NewMetrics(reg, "objstore")})
 	if err != nil {
 		fatal(err)
 	}
-	defer store.Close()
+	closers.Add("objstore client", store.Close)
 	tasks, err := taskdb.DialOptions(*tasksAddr, rpcx.Options{Metrics: rpcx.NewMetrics(reg, "taskdb")})
 	if err != nil {
 		fatal(err)
 	}
-	defer tasks.Close()
+	closers.Add("taskdb client", tasks.Close)
 
 	w := dsim.NewWorker(*name, dsim.Services{Queue: queue, Store: store, Tasks: tasks})
 	w.Parallelism = *parallelism
@@ -91,11 +100,13 @@ func main() {
 	if srv, addr, err := telemetry.ServeOps(*httpAddr, reg, health, nil); err != nil {
 		fatal(err)
 	} else if srv != nil {
-		defer srv.Close()
+		closers.Add("ops server", srv.Close)
 		fmt.Printf("ops: http://%s/metrics /healthz /debug/pprof\n", addr)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGINT or SIGTERM cancels the consume loop; Run returns after the
+	// in-flight subtask finishes, then the closers run LIFO.
+	ctx, stop := serve.SignalContext(context.Background())
 	defer stop()
 	fmt.Printf("worker %s consuming from %s\n", *name, *mqAddr)
 	w.Run(ctx)

@@ -42,7 +42,10 @@ func (s *sim) decideAndAdvertise() []msg {
 	tids := s.dirtyTids
 	slices.SortFunc(tids, func(a, b int32) int { return int(trank[a]) - int(trank[b]) })
 
-	for _, tid := range tids {
+	for ti64, tid := range tids {
+		if ti64&63 == 63 && s.ctxDone() {
+			break
+		}
 		ti := s.tinfo[tid]
 		k := ti.k
 		if s.dirtyDevs != nil {

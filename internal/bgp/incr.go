@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"context"
 	"net/netip"
 
 	"hoyan/internal/config"
@@ -65,8 +66,13 @@ func SimulateWithState(net *config.Network, igp *isis.Result, inputs []netmodel.
 	s := newSim(net, igp, opts)
 	s.originateLocals(inputs)
 	res := s.run(s.allDirty())
+	// A captured State never retains the originating run's context: a later
+	// warm restart must not observe a long-cancelled deadline. ResimulateCtx
+	// installs the restart's own context instead.
+	capturedOpts := s.opts
+	capturedOpts.Ctx = nil
 	st := &State{
-		opts:     s.opts,
+		opts:     capturedOpts,
 		sessions: s.sessions,
 		adjIn:    s.adjIn,
 		locals:   s.locals,
@@ -91,7 +97,17 @@ func SimulateWithState(net *config.Network, igp *isis.Result, inputs []netmodel.
 // here, and changed decisions always re-advertise (advSignature covers all
 // exported fields), so changes cascade exactly as they would from scratch.
 func (st *State) Resimulate(net *config.Network, igp *isis.Result, inputs []netmodel.Route, d Delta) (*Result, *ResimStats) {
-	s := newSim(net, igp, st.opts)
+	return st.ResimulateCtx(nil, net, igp, inputs, d)
+}
+
+// ResimulateCtx is Resimulate with a cancellation context: the warm-started
+// fixpoint polls ctx between rounds and bails out early once it is done. The
+// caller must discard the (incomplete) result whenever ctx.Err() != nil. A nil
+// ctx disables polling.
+func (st *State) ResimulateCtx(ctx context.Context, net *config.Network, igp *isis.Result, inputs []netmodel.Route, d Delta) (*Result, *ResimStats) {
+	opts := st.opts
+	opts.Ctx = ctx
+	s := newSim(net, igp, opts)
 	// Copy-on-write: only the outer maps are copied here; each table's inner
 	// maps stay shared with the captured state until the first write to that
 	// table privatizes them (sim.own). Warm restarts typically write a small

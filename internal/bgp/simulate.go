@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"context"
 	"net/netip"
 	"slices"
 	"strings"
@@ -39,6 +40,12 @@ type Options struct {
 	// Seal, when non-nil, runs the fixpoint boundary-sealed inside one shard
 	// (see Seal). Forces the indexed path; unsupported by SimulateWithState.
 	Seal *Seal
+
+	// Ctx, when non-nil, is polled between fixpoint rounds and periodically
+	// inside the decision loop; once it is done the simulation bails out
+	// early and the (incomplete) result must be discarded by the caller.
+	// Captured States never retain it.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -285,6 +292,13 @@ func newSim(net *config.Network, igp *isis.Result, opts Options) *sim {
 	return s
 }
 
+// ctxDone reports whether the caller's context (if any) has been cancelled;
+// the fixpoint loops poll it between rounds and the decision loop polls it
+// periodically so deadline-exceeded queries stop burning CPU promptly.
+func (s *sim) ctxDone() bool {
+	return s.opts.Ctx != nil && s.opts.Ctx.Err() != nil
+}
+
 // allDirty marks every table/prefix with candidates dirty (cold start).
 func (s *sim) allDirty() map[tableKey]map[netip.Prefix]bool {
 	dirty := make(map[tableKey]map[netip.Prefix]bool)
@@ -319,6 +333,9 @@ func (s *sim) run(dirty map[tableKey]map[netip.Prefix]bool) *Result {
 				converged = true
 				break
 			}
+			if s.ctxDone() {
+				break
+			}
 			dirty = s.legacyDeliver(pending)
 			pending = s.legacyDecideAndAdvertise(dirty)
 		}
@@ -344,6 +361,9 @@ func (s *sim) runDense() *Result {
 	for rounds = 0; rounds < s.opts.MaxRounds; rounds++ {
 		if len(pending) == 0 {
 			converged = true
+			break
+		}
+		if s.ctxDone() {
 			break
 		}
 		s.deliver(pending)

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"hoyan/internal/gen"
+	"hoyan/internal/netmodel"
+)
+
+// resultDigest reduces a simulation result to a collision-resistant digest
+// over the global RIB rows, the representative flow paths, and the exact
+// float bits of every link load — equality of digests is byte-identity of
+// everything the verification layer reads.
+func resultDigest(res *Result) string {
+	h := sha256.New()
+	var buf []byte
+	for _, r := range res.Routes.GlobalRIB().Rows() {
+		buf = r.AppendSignature(buf[:0])
+		h.Write(buf)
+	}
+	if res.Traffic != nil {
+		for _, fp := range res.Traffic.Traffic.Paths {
+			fmt.Fprintf(h, "%v|%v\n", fp.Flow, fp.Path)
+		}
+		type kv struct {
+			k netmodel.LinkID
+			v float64
+		}
+		loads := make([]kv, 0, len(res.Traffic.Traffic.Load))
+		for id, v := range res.Traffic.Traffic.Load {
+			loads = append(loads, kv{id, v})
+		}
+		slices.SortFunc(loads, func(a, b kv) int {
+			return stringsCompare(a.k.String(), b.k.String())
+		})
+		var fb [8]byte
+		for _, l := range loads {
+			fmt.Fprintf(h, "%s=", l.k.String())
+			binary.LittleEndian.PutUint64(fb[:], math.Float64bits(l.v))
+			h.Write(fb[:])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func stringsCompare(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// scenarioDeltas builds a deterministic mix of single-link, double-link, and
+// node failures from the generated topology.
+func scenarioDeltas(out *gen.Output, rng *rand.Rand) []Delta {
+	links := out.Net.Topo.Links()
+	var deltas []Delta
+	step := len(links)/16 + 1
+	for i := 0; i < len(links); i += step {
+		deltas = append(deltas, Delta{LinksDown: []netmodel.LinkID{links[i].ID()}})
+	}
+	for i := 0; i < 8; i++ {
+		a, b := rng.Intn(len(links)), rng.Intn(len(links))
+		if a == b {
+			continue
+		}
+		deltas = append(deltas, Delta{LinksDown: []netmodel.LinkID{links[a].ID(), links[b].ID()}})
+	}
+	nodes := out.Net.Topo.Nodes()
+	for i := 0; i < 4; i++ {
+		deltas = append(deltas, Delta{NodesDown: []string{nodes[rng.Intn(len(nodes))].Name}})
+	}
+	return deltas
+}
+
+// TestConcurrentForksByteIdentical is the service's steady state: many
+// goroutines forking off one shared BaseRun at once, in a randomized
+// interleaving, must each produce exactly the bytes a sequential fork of the
+// same delta produces. Run under -race this also proves the base capture is
+// read-only across forks.
+func TestConcurrentForksByteIdentical(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	eng := NewEngine(out.Net, Options{})
+	eng.BaseRun(out.Inputs, out.Flows)
+
+	rng := rand.New(rand.NewSource(42))
+	deltas := scenarioDeltas(out, rng)
+
+	want := make([]string, len(deltas))
+	for i, d := range deltas {
+		scratch := out.Net.Clone()
+		applyDelta(scratch, d)
+		res, _ := eng.Fork(scratch, d)
+		want[i] = resultDigest(res)
+	}
+
+	order := rng.Perm(len(deltas))
+	got := make([]string, len(deltas))
+	var wg sync.WaitGroup
+	for _, idx := range order {
+		jitter := time.Duration(rng.Intn(200)) * time.Microsecond
+		wg.Add(1)
+		go func(idx int, jitter time.Duration) {
+			defer wg.Done()
+			time.Sleep(jitter)
+			scratch := out.Net.Clone()
+			applyDelta(scratch, deltas[idx])
+			res, _ := eng.Fork(scratch, deltas[idx])
+			got[idx] = resultDigest(res)
+		}(idx, jitter)
+	}
+	wg.Wait()
+
+	for i := range deltas {
+		if got[i] != want[i] {
+			t.Errorf("delta %d (%+v): concurrent fork digest %s != sequential %s",
+				i, deltas[i], got[i], want[i])
+		}
+	}
+}
+
+// TestConcurrentForksMixedCancellation interleaves live and pre-cancelled
+// forks off one engine: cancelled ones must error without perturbing the
+// byte-identity of their live neighbors.
+func TestConcurrentForksMixedCancellation(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	eng := NewEngine(out.Net, Options{})
+	eng.BaseRun(out.Inputs, out.Flows)
+
+	rng := rand.New(rand.NewSource(7))
+	deltas := scenarioDeltas(out, rng)
+
+	want := make([]string, len(deltas))
+	for i, d := range deltas {
+		scratch := out.Net.Clone()
+		applyDelta(scratch, d)
+		res, _ := eng.Fork(scratch, d)
+		want[i] = resultDigest(res)
+	}
+
+	cancelled := make([]bool, len(deltas))
+	for i := range cancelled {
+		cancelled[i] = rng.Intn(2) == 0
+	}
+	deadCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	errsCh := make(chan string, len(deltas))
+	var wg sync.WaitGroup
+	for i := range deltas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			scratch := out.Net.Clone()
+			applyDelta(scratch, deltas[i])
+			ctx := context.Background()
+			if cancelled[i] {
+				ctx = deadCtx
+			}
+			res, _, err := eng.ForkCtx(ctx, scratch, deltas[i])
+			if cancelled[i] {
+				if !errors.Is(err, context.Canceled) || res != nil {
+					errsCh <- fmt.Sprintf("delta %d: cancelled fork res=%v err=%v", i, res, err)
+				}
+				return
+			}
+			if err != nil {
+				errsCh <- fmt.Sprintf("delta %d: live fork err=%v", i, err)
+				return
+			}
+			if got := resultDigest(res); got != want[i] {
+				errsCh <- fmt.Sprintf("delta %d: live fork digest %s != sequential %s", i, got, want[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errsCh)
+	for msg := range errsCh {
+		t.Error(msg)
+	}
+}

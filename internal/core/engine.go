@@ -7,6 +7,8 @@
 package core
 
 import (
+	"context"
+
 	"hoyan/internal/bgp"
 	"hoyan/internal/config"
 	"hoyan/internal/ec"
@@ -77,6 +79,13 @@ type Engine struct {
 // NewEngine prepares an engine: it computes the IGP SPF once (the paper's
 // pre-processing phase does the same for the base model).
 func NewEngine(net *config.Network, opts Options) *Engine {
+	return newEngineCtx(nil, net, opts)
+}
+
+// newEngineCtx is NewEngine with a cancellation context threaded into the
+// initial SPF; a cancelled construction leaves an engine whose results must
+// be discarded.
+func newEngineCtx(ctx context.Context, net *config.Network, opts Options) *Engine {
 	if opts.Profiles == nil {
 		opts.Profiles = vsb.Defaults()
 	}
@@ -86,6 +95,7 @@ func NewEngine(net *config.Network, opts Options) *Engine {
 			UseTEMetric: opts.UseTEMetric,
 			Parallelism: opts.Parallelism,
 			Legacy:      opts.DisableIndex,
+			Ctx:         ctx,
 		}),
 		opts: opts,
 	}
@@ -94,6 +104,15 @@ func NewEngine(net *config.Network, opts Options) *Engine {
 		e.interner.InternTopology(net.Topo)
 	}
 	return e
+}
+
+// ctxErr returns the context's error, tolerating a nil context (the
+// no-cancellation convention every non-Ctx entry point uses).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // InternStats reports the interning tables' sizes (devices, links, prefixes,
@@ -148,12 +167,25 @@ func (r *RouteResult) GlobalRIB() *netmodel.GlobalRIB {
 // the RIBs of all routers. With route ECs enabled, one representative per EC
 // is simulated and results are expanded to the members.
 func (e *Engine) RouteSimulation(inputs []netmodel.Route) *RouteResult {
+	res, _ := e.routeSimulation(nil, inputs)
+	return res
+}
+
+// RouteSimulationCtx is RouteSimulation with cancellation: the BGP fixpoint
+// polls ctx between rounds and the call returns ctx's error (with a nil
+// result) once it is done. A nil ctx behaves exactly like RouteSimulation.
+func (e *Engine) RouteSimulationCtx(ctx context.Context, inputs []netmodel.Route) (*RouteResult, error) {
+	return e.routeSimulation(ctx, inputs)
+}
+
+func (e *Engine) routeSimulation(ctx context.Context, inputs []netmodel.Route) (*RouteResult, error) {
 	bgpOpts := bgp.Options{
 		Profiles:          e.opts.Profiles,
 		MaxRounds:         e.opts.MaxRounds,
 		FlawedASPathRegex: e.opts.FlawedASPathRegex,
 		UseTEMetric:       e.opts.UseTEMetric,
 		Legacy:            e.opts.DisableIndex,
+		Ctx:               ctx,
 	}
 	if e.interner != nil {
 		for i := range inputs {
@@ -161,10 +193,17 @@ func (e *Engine) RouteSimulation(inputs []netmodel.Route) *RouteResult {
 		}
 	}
 	if e.opts.DisableRouteECs {
-		return &RouteResult{BGP: bgp.Simulate(e.net, e.igp, inputs, bgpOpts)}
+		res := bgp.Simulate(e.net, e.igp, inputs, bgpOpts)
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return &RouteResult{BGP: res}, nil
 	}
 	ecs := ec.ComputeRouteECs(e.net, e.opts.Profiles, inputs, e.opts.Parallelism)
 	res := bgp.Simulate(e.net, e.igp, ecs.Representatives(), bgpOpts)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	for _, t := range res.Tables() {
 		if e.opts.DisableIndex {
 			ecs.ExpandRIBLegacy(res.RIB(t.Device, t.VRF))
@@ -172,7 +211,7 @@ func (e *Engine) RouteSimulation(inputs []netmodel.Route) *RouteResult {
 			ecs.ExpandRIB(res.RIB(t.Device, t.VRF))
 		}
 	}
-	return &RouteResult{BGP: res, ECStats: ecs}
+	return &RouteResult{BGP: res, ECStats: ecs}, nil
 }
 
 // RouteSimulationSealed runs the boundary-sealed BGP fixpoint of one shard
@@ -209,18 +248,31 @@ type TrafficResult struct {
 // computes link loads. With flow ECs enabled, one representative per class
 // carries the class's total volume.
 func (e *Engine) TrafficSimulation(ribs traffic.RIBSource, routeRows []netmodel.Route, flows []netmodel.Flow) *TrafficResult {
-	fw := traffic.NewForwarder(e.net, e.igp, ribs, traffic.Options{
-		Profiles:    e.opts.Profiles,
-		IgnoreACLs:  e.opts.IgnoreACLs,
-		IgnorePBR:   e.opts.IgnorePBR,
-		Parallelism: e.opts.Parallelism,
-		Legacy:      e.opts.DisableIndex,
-	})
+	res, _ := e.trafficSimulation(nil, ribs, routeRows, flows)
+	return res
+}
+
+// TrafficSimulationCtx is TrafficSimulation with cancellation (per-flow
+// polling; nil result and ctx's error once it is done).
+func (e *Engine) TrafficSimulationCtx(ctx context.Context, ribs traffic.RIBSource, routeRows []netmodel.Route, flows []netmodel.Flow) (*TrafficResult, error) {
+	return e.trafficSimulation(ctx, ribs, routeRows, flows)
+}
+
+func (e *Engine) trafficSimulation(ctx context.Context, ribs traffic.RIBSource, routeRows []netmodel.Route, flows []netmodel.Flow) (*TrafficResult, error) {
+	fw := e.forwarderCtx(ctx, e.net, e.igp, ribs)
 	if e.opts.DisableFlowECs {
-		return &TrafficResult{Traffic: fw.Simulate(flows)}
+		res := fw.Simulate(flows)
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		return &TrafficResult{Traffic: res}, nil
 	}
 	ecs := ec.ComputeFlowECs(e.net, ec.RIBPrefixes(routeRows), flows, e.opts.Parallelism)
-	return &TrafficResult{Traffic: fw.Simulate(ecs.Representatives()), ECStats: ecs}
+	res := fw.Simulate(ecs.Representatives())
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return &TrafficResult{Traffic: res, ECStats: ecs}, nil
 }
 
 // Result is the outcome of a full simulation run.
@@ -232,10 +284,28 @@ type Result struct {
 // Run executes route simulation followed by traffic simulation — the
 // centralized pipeline of Figure 2.
 func (e *Engine) Run(inputs []netmodel.Route, flows []netmodel.Flow) *Result {
-	routes := e.RouteSimulation(inputs)
+	res, _ := e.runCtx(nil, inputs, flows)
+	return res
+}
+
+// RunCtx is Run with cancellation: it returns ctx's error (with a nil
+// result) as soon as a stage observes the cancelled context, without
+// finishing the remaining stages.
+func (e *Engine) RunCtx(ctx context.Context, inputs []netmodel.Route, flows []netmodel.Flow) (*Result, error) {
+	return e.runCtx(ctx, inputs, flows)
+}
+
+func (e *Engine) runCtx(ctx context.Context, inputs []netmodel.Route, flows []netmodel.Flow) (*Result, error) {
+	routes, err := e.routeSimulation(ctx, inputs)
+	if err != nil {
+		return nil, err
+	}
 	var tr *TrafficResult
 	if len(flows) > 0 {
-		tr = e.TrafficSimulation(routes, routes.GlobalRIB().Rows(), flows)
+		tr, err = e.trafficSimulation(ctx, routes, routes.GlobalRIB().Rows(), flows)
+		if err != nil {
+			return nil, err
+		}
 	}
-	return &Result{Routes: routes, Traffic: tr}
+	return &Result{Routes: routes, Traffic: tr}, nil
 }

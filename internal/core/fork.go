@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"net/netip"
 	"slices"
 
@@ -87,10 +88,32 @@ type baseCapture struct {
 // state so subsequent Fork calls can re-simulate incrementally. The returned
 // result is byte-identical to Run's.
 func (e *Engine) BaseRun(inputs []netmodel.Route, flows []netmodel.Flow) *Result {
+	res, _ := e.baseRun(nil, inputs, flows)
+	return res
+}
+
+// BaseRunCtx is BaseRun with cancellation. On a cancelled context it returns
+// ctx's error and leaves the engine without a base capture (Fork still
+// panics), so a partial run can never seed warm restarts.
+func (e *Engine) BaseRunCtx(ctx context.Context, inputs []netmodel.Route, flows []netmodel.Flow) (*Result, error) {
+	return e.baseRun(ctx, inputs, flows)
+}
+
+func (e *Engine) baseRun(ctx context.Context, inputs []netmodel.Route, flows []netmodel.Flow) (*Result, error) {
 	bc := &baseCapture{inputs: inputs, flows: flows}
 	e.base = bc
 	if e.opts.DisableIncremental {
-		return e.Run(inputs, flows)
+		res, err := e.runCtx(ctx, inputs, flows)
+		if err != nil {
+			e.base = nil
+			return nil, err
+		}
+		bc.routes = res.Routes
+		if res.Traffic != nil {
+			bc.traffic = res.Traffic.Traffic
+			bc.flowECs = res.Traffic.ECStats
+		}
+		return res, nil
 	}
 
 	bgpOpts := bgp.Options{
@@ -99,6 +122,7 @@ func (e *Engine) BaseRun(inputs []netmodel.Route, flows []netmodel.Flow) *Result
 		FlawedASPathRegex: e.opts.FlawedASPathRegex,
 		UseTEMetric:       e.opts.UseTEMetric,
 		Legacy:            e.opts.DisableIndex,
+		Ctx:               ctx,
 	}
 	reps := inputs
 	if !e.opts.DisableRouteECs {
@@ -107,6 +131,10 @@ func (e *Engine) BaseRun(inputs []netmodel.Route, flows []netmodel.Flow) *Result
 	}
 	bc.reps = reps
 	bres, st := bgp.SimulateWithState(e.net, e.igp, reps, bgpOpts)
+	if err := ctxErr(ctx); err != nil {
+		e.base = nil
+		return nil, err
+	}
 	bc.bgpState = st
 	if bc.routeECs != nil {
 		for _, t := range bres.Tables() {
@@ -133,12 +161,49 @@ func (e *Engine) BaseRun(inputs []netmodel.Route, flows []netmodel.Flow) *Result
 			repFlows = bc.flowECs.Representatives()
 		}
 		bc.repFlows = repFlows
-		fw := e.forwarder(e.net, e.igp, routes)
+		fw := e.forwarderCtx(ctx, e.net, e.igp, routes)
 		trr, traces := fw.SimulateTraced(repFlows)
+		if err := ctxErr(ctx); err != nil {
+			e.base = nil
+			return nil, err
+		}
 		bc.traffic, bc.traces = trr, traces
 		tr = &TrafficResult{Traffic: trr, ECStats: bc.flowECs}
 	}
-	return &Result{Routes: routes, Traffic: tr}
+	return &Result{Routes: routes, Traffic: tr}, nil
+}
+
+// HasBase reports whether a completed BaseRun capture is available.
+func (e *Engine) HasBase() bool { return e.base != nil }
+
+// BaseResult reassembles the result of the last completed BaseRun from the
+// capture (nil before any BaseRun). Long-lived services hold the engine and
+// re-read the base through this instead of re-running it.
+func (e *Engine) BaseResult() *Result {
+	if e.base == nil || e.base.routes == nil {
+		return nil
+	}
+	res := &Result{Routes: e.base.routes}
+	if e.base.traffic != nil {
+		res.Traffic = &TrafficResult{Traffic: e.base.traffic, ECStats: e.base.flowECs}
+	}
+	return res
+}
+
+// BaseInputs returns the input routes the last BaseRun captured.
+func (e *Engine) BaseInputs() []netmodel.Route {
+	if e.base == nil {
+		return nil
+	}
+	return e.base.inputs
+}
+
+// BaseFlows returns the flows the last BaseRun captured.
+func (e *Engine) BaseFlows() []netmodel.Flow {
+	if e.base == nil {
+		return nil
+	}
+	return e.base.flows
 }
 
 // Fork simulates a what-if scenario derived from the base run. net must be
@@ -152,6 +217,20 @@ func (e *Engine) BaseRun(inputs []netmodel.Route, flows []netmodel.Flow) *Result
 // running it on the delta-adjusted inputs — Options.DisableIncremental takes
 // exactly that reference path.
 func (e *Engine) Fork(net *config.Network, d Delta) (*Result, ForkStats) {
+	res, stats, _ := e.forkCtx(nil, net, d)
+	return res, stats
+}
+
+// ForkCtx is Fork with cancellation: every stage (SPF recompute, warm BGP
+// fixpoint, flow re-forwarding) polls ctx and the call returns ctx's error
+// (with a nil result) as soon as cancellation is observed, so a
+// deadline-exceeded what-if query stops burning CPU promptly. The base
+// capture is never mutated by an abandoned fork.
+func (e *Engine) ForkCtx(ctx context.Context, net *config.Network, d Delta) (*Result, ForkStats, error) {
+	return e.forkCtx(ctx, net, d)
+}
+
+func (e *Engine) forkCtx(ctx context.Context, net *config.Network, d Delta) (*Result, ForkStats, error) {
 	if e.base == nil {
 		panic("core: Engine.Fork requires a prior BaseRun")
 	}
@@ -163,16 +242,23 @@ func (e *Engine) Fork(net *config.Network, d Delta) (*Result, ForkStats) {
 	// most BGP state; it is not a hot path, so take the reference route.
 	if e.opts.DisableIncremental || e.base.bgpState == nil || len(d.NodesUp) > 0 {
 		stats.Full = true
-		return NewEngine(net, e.opts).Run(inputs, flows), stats
+		res, err := newEngineCtx(ctx, net, e.opts).runCtx(ctx, inputs, flows)
+		if err != nil {
+			return nil, stats, err
+		}
+		return res, stats, nil
 	}
 
 	igp, touched, spfStats := isis.Recompute(net.Topo, e.igp, isis.Delta{
 		Links:     d.links(),
 		NodesDown: d.NodesDown,
 		NodesUp:   d.NodesUp,
-	}, isis.Options{UseTEMetric: e.opts.UseTEMetric, Parallelism: e.opts.Parallelism, Legacy: e.opts.DisableIndex})
+	}, isis.Options{UseTEMetric: e.opts.UseTEMetric, Parallelism: e.opts.Parallelism, Legacy: e.opts.DisableIndex, Ctx: ctx})
 	stats.SPFSources = spfStats.Sources
 	stats.SPFReused = spfStats.Reused
+	if err := ctxErr(ctx); err != nil {
+		return nil, stats, err
+	}
 
 	// Per-destination IGP diffs for each recomputed source: distance changes
 	// drive BGP re-decisions, first-hop changes drive flow invalidation. Most
@@ -206,7 +292,7 @@ func (e *Engine) Fork(net *config.Network, d Delta) (*Result, ForkStats) {
 		}
 	}
 
-	bres, rstats := e.base.bgpState.Resimulate(net, igp, reps, bgp.Delta{
+	bres, rstats := e.base.bgpState.ResimulateCtx(ctx, net, igp, reps, bgp.Delta{
 		DistChanged:  distChanged,
 		ChangedLinks: d.links(),
 		NodesDown:    d.NodesDown,
@@ -214,6 +300,9 @@ func (e *Engine) Fork(net *config.Network, d Delta) (*Result, ForkStats) {
 	stats.BGPTablesTotal = rstats.TablesTotal
 	stats.BGPTablesDirty = rstats.TablesDirty
 	stats.BGPRounds = rstats.Rounds
+	if err := ctxErr(ctx); err != nil {
+		return nil, stats, err
+	}
 	// With an unchanged input set the EC partition — and therefore the
 	// expansion of an unchanged table — matches the base run exactly, so
 	// unchanged devices share the base's already-expanded tables and only
@@ -304,7 +393,7 @@ func (e *Engine) Fork(net *config.Network, d Delta) (*Result, ForkStats) {
 			flowECs = ec.ComputeFlowECs(net, ec.RIBPrefixes(rows), flows, e.opts.Parallelism)
 			repFlows = flowECs.Representatives()
 		}
-		fw := e.forwarder(net, igp, routes)
+		fw := e.forwarderCtx(ctx, net, igp, routes)
 		var trr *traffic.Result
 		if samePartition && e.base.traffic != nil {
 			// With a per-prefix RIB diff available, a changed BGP table alone
@@ -325,7 +414,10 @@ func (e *Engine) Fork(net *config.Network, d Delta) (*Result, ForkStats) {
 		stats.FlowsTotal = len(repFlows)
 		tr = &TrafficResult{Traffic: trr, ECStats: flowECs}
 	}
-	return &Result{Routes: routes, Traffic: tr}, stats
+	if err := ctxErr(ctx); err != nil {
+		return nil, stats, err
+	}
+	return &Result{Routes: routes, Traffic: tr}, stats, nil
 }
 
 // mergedGlobalRIB builds a fork's global RIB by merging the changed tables'
@@ -382,14 +474,16 @@ func (e *Engine) mergedGlobalRIB(bres *bgp.Result, changed map[string]bool) *net
 	return netmodel.NewGlobalRIBFromSorted(out)
 }
 
-// forwarder builds a traffic forwarder over an arbitrary snapshot/IGP pair.
-func (e *Engine) forwarder(net *config.Network, igp *isis.Result, ribs traffic.RIBSource) *traffic.Forwarder {
+// forwarderCtx builds a traffic forwarder over an arbitrary snapshot/IGP
+// pair, threading the cancellation context into its per-flow loops.
+func (e *Engine) forwarderCtx(ctx context.Context, net *config.Network, igp *isis.Result, ribs traffic.RIBSource) *traffic.Forwarder {
 	return traffic.NewForwarder(net, igp, ribs, traffic.Options{
 		Profiles:    e.opts.Profiles,
 		IgnoreACLs:  e.opts.IgnoreACLs,
 		IgnorePBR:   e.opts.IgnorePBR,
 		Parallelism: e.opts.Parallelism,
 		Legacy:      e.opts.DisableIndex,
+		Ctx:         ctx,
 	})
 }
 

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"hoyan/internal/core"
+	"hoyan/internal/gen"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/serve"
+	"hoyan/internal/telemetry"
+)
+
+// ---------------------------------------------------------- serve (hoyand)
+
+// ServeResult summarizes a verification-as-a-service load run: one warm
+// hoyand instance answering a burst of what-if queries from two tenants.
+type ServeResult struct {
+	Scale    int
+	Devices  int
+	Queries  int
+	Rejected int // 429s retried by the clients
+	Elapsed  time.Duration
+	QPS      float64
+
+	// Latency percentiles from the serve_query_latency_seconds histogram.
+	LatP50, LatP99 time.Duration
+	// Queue-wait breakdown from serve_queue_wait_seconds: time spent queued
+	// versus executing.
+	WaitP50, WaitP99 time.Duration
+	AvgWait, AvgRun  time.Duration
+	BaseConvergeTime time.Duration
+}
+
+// ServeLoad runs the experiment: load gen.WAN once, then fire queries
+// concurrent what-if requests through the REST API and read the latency and
+// queue-wait distributions back out of the telemetry snapshot.
+func ServeLoad(s Scale, queries int) (*ServeResult, error) {
+	g := gen.Generate(gen.WAN(s.WANK))
+	reg := telemetry.NewRegistry()
+	srv, err := serve.NewServer(serve.Config{
+		Tenants: []serve.TenantConfig{
+			{Name: "noc", APIKey: "key-noc", Weight: 2},
+			{Name: "batch", APIKey: "key-batch", RatePerSec: 200, Burst: 20},
+		},
+		Workers:  4,
+		Registry: reg,
+		Sim:      core.Options{Parallelism: 1},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	convergeStart := time.Now()
+	if _, err := srv.LoadNetwork("exp", g.Net, g.Inputs, g.Flows, true); err != nil {
+		return nil, err
+	}
+	converge := time.Since(convergeStart)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	links := g.Net.Topo.Links()
+	step := len(links)/12 + 1
+	var scenarios []*netmodel.Link
+	for i := 0; i < len(links); i += step {
+		scenarios = append(scenarios, links[i])
+	}
+
+	res := &ServeResult{Scale: s.WANK, Devices: len(g.Net.Devices), Queries: queries}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := "key-noc"
+			if i%2 == 1 {
+				key = "key-batch"
+			}
+			l := scenarios[i%len(scenarios)]
+			body, _ := json.Marshal(serve.QueryRequest{
+				Kind:      "whatif",
+				FailLinks: []serve.LinkRef{{A: l.A, B: l.B}},
+			})
+			var id string
+			for {
+				req, _ := http.NewRequest("POST", ts.URL+"/v1/queries", bytes.NewReader(body))
+				req.Header.Set("X-API-Key", key)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					return
+				}
+				if resp.StatusCode == http.StatusTooManyRequests {
+					resp.Body.Close()
+					mu.Lock()
+					res.Rejected++
+					mu.Unlock()
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				var st struct {
+					ID string `json:"id"`
+				}
+				json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				id = st.ID
+				break
+			}
+			for {
+				req, _ := http.NewRequest("GET", ts.URL+"/v1/queries/"+id, nil)
+				req.Header.Set("X-API-Key", key)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					return
+				}
+				var st struct {
+					State string `json:"state"`
+				}
+				json.NewDecoder(resp.Body).Decode(&st)
+				resp.Body.Close()
+				if st.State == "done" || st.State == "failed" || st.State == "canceled" {
+					return
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	res.QPS = float64(queries) / res.Elapsed.Seconds()
+	res.BaseConvergeTime = converge
+
+	snap := reg.Gather()
+	if lat, ok := snap.Find("serve_query_latency_seconds", telemetry.L("kind", "whatif")); ok {
+		res.LatP50 = histQuantile(lat, 0.50)
+		res.LatP99 = histQuantile(lat, 0.99)
+		if lat.Count > 0 {
+			res.AvgRun = time.Duration(lat.Sum / float64(lat.Count) * float64(time.Second))
+		}
+	}
+	if wait, ok := snap.Find("serve_queue_wait_seconds"); ok {
+		res.WaitP50 = histQuantile(wait, 0.50)
+		res.WaitP99 = histQuantile(wait, 0.99)
+		if wait.Count > 0 {
+			res.AvgWait = time.Duration(wait.Sum / float64(wait.Count) * float64(time.Second))
+		}
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// histQuantile reads the q-quantile out of a cumulative-bucket series: the
+// smallest bucket upper bound covering q of the observations.
+func histQuantile(ser telemetry.Series, q float64) time.Duration {
+	if ser.Count == 0 {
+		return 0
+	}
+	target := int64(q * float64(ser.Count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for _, b := range ser.Buckets {
+		cum += b.Count
+		if cum >= target && !math.IsInf(b.UpperBound, 1) {
+			return time.Duration(b.UpperBound * float64(time.Second))
+		}
+	}
+	// Landed in the +Inf bucket: report the mean as the best available guess.
+	return time.Duration(ser.Sum / float64(ser.Count) * float64(time.Second))
+}
+
+// PrintServe renders the experiment.
+func PrintServe(w io.Writer, r *ServeResult) {
+	fmt.Fprintln(w, "Verification as a service (hoyand, warm what-if queries)")
+	fmt.Fprintf(w, "  WAN(%d): %d devices; base converged once in %s\n",
+		r.Scale, r.Devices, r.BaseConvergeTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "  %d queries in %s: %.1f queries/s (%d rate-limit 429s retried)\n",
+		r.Queries, r.Elapsed.Round(time.Millisecond), r.QPS, r.Rejected)
+	fmt.Fprintf(w, "  query latency: p50 %s, p99 %s, mean run %s\n",
+		r.LatP50.Round(time.Millisecond), r.LatP99.Round(time.Millisecond), r.AvgRun.Round(time.Millisecond))
+	fmt.Fprintf(w, "  queue wait:    p50 %s, p99 %s, mean %s\n",
+		r.WaitP50.Round(time.Millisecond), r.WaitP99.Round(time.Millisecond), r.AvgWait.Round(time.Millisecond))
+}

@@ -30,6 +30,9 @@ func computeIdx(topo *netmodel.Topology, opts Options) *Result {
 		hops [][]int32
 	}
 	slots := par.Map(opts.Parallelism, len(srcs), func(i int) perSrc {
+		if opts.ctxDone() {
+			return perSrc{}
+		}
 		dist, hops := ssspIdx(ix, srcs[i], opts)
 		return perSrc{dist: dist, hops: hops}
 	})
@@ -447,6 +450,9 @@ func recomputeIdx(topo *netmodel.Topology, base *Result, d Delta, opts Options) 
 		hops [][]int32
 	}
 	slots := par.Map(opts.Parallelism, len(redo), func(i int) perSrc {
+		if opts.ctxDone() {
+			return perSrc{}
+		}
 		dist, hops := ssspIdx(ix, redo[i], opts)
 		return perSrc{dist: dist, hops: hops}
 	})

@@ -185,6 +185,9 @@ func Recompute(topo *netmodel.Topology, base *Result, d Delta, opts Options) (*R
 		hops map[string][]FirstHop
 	}
 	slots := par.Map(opts.Parallelism, len(redo), func(i int) perSrc {
+		if opts.ctxDone() {
+			return perSrc{}
+		}
 		dist, hops := sssp(topo, redo[i], opts)
 		return perSrc{dist: dist, hops: hops}
 	})

@@ -9,6 +9,7 @@ package isis
 
 import (
 	"container/heap"
+	"context"
 	"net/netip"
 	"slices"
 	"strings"
@@ -32,6 +33,16 @@ type Options struct {
 	// CSR-indexed one. The two produce identical results; the legacy path is
 	// kept as the reference for speedup measurement and equivalence tests.
 	Legacy bool
+
+	// Ctx, when non-nil, is polled before each per-source Dijkstra; once it
+	// is done the remaining sources return empty rows and the (incomplete)
+	// result must be discarded by the caller.
+	Ctx context.Context
+}
+
+// ctxDone reports whether opts carries a cancelled context.
+func (o Options) ctxDone() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // FirstHop is one equal-cost first hop from a source toward a destination.
@@ -76,6 +87,9 @@ func Compute(topo *netmodel.Topology, opts Options) *Result {
 		hops map[string][]FirstHop
 	}
 	slots := par.Map(opts.Parallelism, len(srcs), func(i int) perSrc {
+		if opts.ctxDone() {
+			return perSrc{}
+		}
 		dist, hops := sssp(topo, srcs[i], opts)
 		return perSrc{dist: dist, hops: hops}
 	})

@@ -9,9 +9,11 @@
 package kfail
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hoyan/internal/config"
 	"hoyan/internal/core"
@@ -65,6 +67,22 @@ type Options struct {
 	Registry *telemetry.Registry
 	// Tracer records one span per scenario. Nil disables tracing.
 	Tracer *telemetry.Tracer
+
+	// Ctx, when non-nil, cancels the check: pending scenarios are skipped,
+	// in-flight ones bail out of the engine hot loops, and Check returns
+	// ctx's error instead of a (partial, misleading) result.
+	Ctx context.Context
+	// Progress, when non-nil, is called after each completed scenario with
+	// the running completion count and the total. It may be called from any
+	// worker goroutine, so it must be safe for concurrent use.
+	Progress func(done, total int)
+	// Engine, when non-nil, supplies an engine whose BaseRun over exactly
+	// these net/inputs/flows already completed; Check forks scenarios off it
+	// instead of building and converging its own (the warm path a
+	// long-running service takes). The sequential path toggles net in place,
+	// so callers sharing the base network across queries must pass a private
+	// clone.
+	Engine *core.Engine
 }
 
 // Violation is one failure scenario under which an intent fails.
@@ -111,8 +129,19 @@ func Check(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, 
 	flowsReused := o.Registry.Counter("incr_flows_reused", "flows whose base path and load were reused across incremental forks")
 	fullFallbacks := o.Registry.Counter("incr_full_fallbacks_total", "scenario forks that fell back to from-scratch simulation")
 
-	eng := core.NewEngine(net, innerOpts)
-	baseRes := eng.BaseRun(inputs, flows)
+	eng := o.Engine
+	var baseRes *core.Result
+	if eng != nil {
+		if baseRes = eng.BaseResult(); baseRes == nil {
+			return nil, fmt.Errorf("kfail: Options.Engine has no completed BaseRun")
+		}
+	} else {
+		eng = core.NewEngine(net, innerOpts)
+		var err error
+		if baseRes, err = eng.BaseRunCtx(o.Ctx, inputs, flows); err != nil {
+			return nil, err
+		}
+	}
 
 	var sharded *shard.Engine
 	shardScenarios := o.Registry.Counter("kfail_shard_scenarios_total", "scenarios verified through the sharded path")
@@ -147,8 +176,12 @@ func Check(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, 
 		ok      bool
 	}
 	outcomes := make([]outcome, len(combos))
+	var done atomic.Int64
 
 	evalScenario := func(scratch *config.Network, combo []int, slot int) {
+		if o.Ctx != nil && o.Ctx.Err() != nil {
+			return
+		}
 		var delta core.Delta
 		var revertLinks []netmodel.LinkID
 		var revertNodes []string
@@ -187,7 +220,20 @@ func Check(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, 
 			}
 		}
 		if snap == nil {
-			res, stats := eng.Fork(scratch, delta)
+			res, stats, err := eng.ForkCtx(o.Ctx, scratch, delta)
+			if err != nil {
+				// Cancelled mid-fork: revert the toggles so the scratch network
+				// stays reusable, and leave the slot's zero outcome — Check
+				// returns ctx's error below, never the partial result.
+				span.End()
+				for _, id := range revertLinks {
+					scratch.Topo.SetLinkUp(id, true)
+				}
+				for _, n := range revertNodes {
+					scratch.Topo.SetNodeUp(n, true)
+				}
+				return
+			}
 			if stats.Full {
 				fullFallbacks.Inc()
 				span.SetTag("mode", "full")
@@ -214,6 +260,9 @@ func Check(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, 
 		ctx := &intent.Context{Base: *base, Updated: *snap}
 		reports, ok := intent.Verify(ctx, intents)
 		outcomes[slot] = outcome{reports: reports, ok: ok}
+		if o.Progress != nil {
+			o.Progress(int(done.Add(1)), len(combos))
+		}
 	}
 
 	if workers <= 1 {
@@ -226,6 +275,12 @@ func Check(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, 
 			evalScenario(scratch, combos[i], i)
 			pool.Put(scratch)
 		})
+	}
+
+	if o.Ctx != nil && o.Ctx.Err() != nil {
+		// A zero-valued outcome reads as a violation; never surface the
+		// partial sweep.
+		return nil, o.Ctx.Err()
 	}
 
 	res := &Result{Scenarios: len(combos)}

@@ -1,6 +1,7 @@
 package netmodel
 
 import (
+	"encoding/binary"
 	"net/netip"
 	"slices"
 	"strings"
@@ -431,42 +432,76 @@ func (g *GlobalRIB) Equal(o *GlobalRIB) bool {
 }
 
 // Diff returns rows present in g but not o, and rows present in o but not g,
-// comparing full attributes. Used for counterexamples and diagnosis.
+// comparing full attributes. Used for counterexamples and diagnosis. The
+// comparison deliberately excludes provenance fields (Peer, Source, IGPCost,
+// ViaSR): a simulated route and a monitored route that agree on the
+// key and BGP attributes must not diff.
 func (g *GlobalRIB) Diff(o *GlobalRIB) (onlyG, onlyO []Route) {
-	type attrKey struct {
-		k RouteKey
-		s string
+	// One binary signature per row, computed once; the multiset subtraction
+	// below is then pure map traffic. This sits on the what-if serving hot
+	// path, where every query diffs the forked RIB against the base.
+	sigsOf := func(rows []Route) []string {
+		out := make([]string, len(rows))
+		var buf []byte
+		for i := range rows {
+			buf = appendAttrDiffSig(buf[:0], &rows[i])
+			out[i] = string(buf)
+		}
+		return out
 	}
-	sig := func(r Route) attrKey {
-		return attrKey{k: r.Key(), s: r.Communities.String() + "|" + r.ASPath.String() + "|" +
-			r.Origin.String() + "|" + r.RouteType.String() + "|" +
-			uitoa(r.LocalPref) + "|" + uitoa(r.MED) + "|" + uitoa(r.Weight) + "|" + uitoa(r.Preference)}
+	gSigs, oSigs := sigsOf(g.rows), sigsOf(o.rows)
+	inO := make(map[string]int, len(o.rows))
+	for _, s := range oSigs {
+		inO[s]++
 	}
-	inO := make(map[attrKey]int, len(o.rows))
-	for _, r := range o.rows {
-		inO[sig(r)]++
-	}
-	for _, r := range g.rows {
-		k := sig(r)
-		if inO[k] > 0 {
-			inO[k]--
+	for i, s := range gSigs {
+		if inO[s] > 0 {
+			inO[s]--
 		} else {
-			onlyG = append(onlyG, r)
+			onlyG = append(onlyG, g.rows[i])
 		}
 	}
-	inG := make(map[attrKey]int, len(g.rows))
-	for _, r := range g.rows {
-		inG[sig(r)]++
+	inG := make(map[string]int, len(g.rows))
+	for _, s := range gSigs {
+		inG[s]++
 	}
-	for _, r := range o.rows {
-		k := sig(r)
-		if inG[k] > 0 {
-			inG[k]--
+	for i, s := range oSigs {
+		if inG[s] > 0 {
+			inG[s]--
 		} else {
-			onlyO = append(onlyO, r)
+			onlyO = append(onlyO, o.rows[i])
 		}
 	}
 	return onlyG, onlyO
+}
+
+// appendAttrDiffSig encodes the fields Diff compares — the route key plus the
+// full attribute set — into a compact binary signature.
+func appendAttrDiffSig(dst []byte, r *Route) []byte {
+	dst = sigStr(dst, r.Device)
+	dst = sigStr(dst, r.VRF)
+	dst = sigPrefix(dst, r.Prefix)
+	dst = append(dst, byte(r.Protocol))
+	dst = sigAddr(dst, r.NextHop)
+	cs := r.Communities.All()
+	dst = binary.AppendUvarint(dst, uint64(len(cs)))
+	for _, c := range cs {
+		dst = binary.AppendUvarint(dst, uint64(c))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.ASPath.Seq)))
+	for _, asn := range r.ASPath.Seq {
+		dst = binary.AppendUvarint(dst, uint64(asn))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(r.ASPath.Set)))
+	for _, asn := range r.ASPath.Set {
+		dst = binary.AppendUvarint(dst, uint64(asn))
+	}
+	dst = append(dst, byte(r.Origin), byte(r.RouteType))
+	dst = binary.AppendUvarint(dst, uint64(r.LocalPref))
+	dst = binary.AppendUvarint(dst, uint64(r.MED))
+	dst = binary.AppendUvarint(dst, uint64(r.Weight))
+	dst = binary.AppendUvarint(dst, uint64(r.Preference))
+	return dst
 }
 
 // RIBSet groups route rows into per-(device, vrf) RIBs; the form traffic
@@ -520,19 +555,4 @@ func (s *RIBSet) Rows() []Route {
 		out = append(out, s.m[k].All()...)
 	}
 	return out
-}
-
-func uitoa(v uint32) string {
-	// Minimal allocation-friendly formatting for Diff signatures.
-	if v == 0 {
-		return "0"
-	}
-	var buf [10]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
 }

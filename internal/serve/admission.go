@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TenantConfig declares one tenant of the query service: its API key, its
+// token-bucket rate limit, its in-flight quota, and its scheduling weight.
+type TenantConfig struct {
+	// Name identifies the tenant in metrics, history, and query listings.
+	Name string `json:"name"`
+	// APIKey authenticates the tenant (Authorization: Bearer <key> or
+	// X-API-Key: <key>).
+	APIKey string `json:"api_key"`
+	// RatePerSec refills the admission token bucket (queries per second).
+	// 0 disables rate limiting for the tenant.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// Burst is the bucket capacity (max queries admitted back-to-back).
+	// Defaults to max(1, RatePerSec).
+	Burst float64 `json:"burst"`
+	// MaxInFlight bounds the tenant's queries that are queued or running at
+	// once; 0 means unlimited.
+	MaxInFlight int `json:"max_in_flight"`
+	// Weight is the tenant's share of worker time in the weighted queue
+	// (stride scheduling); 0 means 1.
+	Weight int `json:"weight"`
+}
+
+// tenant is the runtime admission state behind one TenantConfig.
+type tenant struct {
+	cfg TenantConfig
+
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	inFlight int
+
+	// pass is the tenant's stride-scheduling virtual time; owned by the
+	// queue's lock, not the tenant's.
+	pass uint64
+}
+
+func (t *tenant) weight() uint64 {
+	if t.cfg.Weight <= 0 {
+		return 1
+	}
+	return uint64(t.cfg.Weight)
+}
+
+// admit takes one token from the bucket. When the bucket is dry it returns
+// false and how long until a token is available (the Retry-After hint).
+func (t *tenant) admit(now time.Time) (bool, time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.RatePerSec <= 0 {
+		return true, 0
+	}
+	burst := t.cfg.Burst
+	if burst <= 0 {
+		burst = max(1, t.cfg.RatePerSec)
+	}
+	if t.last.IsZero() {
+		t.tokens = burst
+	} else {
+		t.tokens = min(burst, t.tokens+now.Sub(t.last).Seconds()*t.cfg.RatePerSec)
+	}
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - t.tokens) / t.cfg.RatePerSec * float64(time.Second))
+	return false, wait
+}
+
+// acquire reserves one in-flight slot; release returns it.
+func (t *tenant) acquire() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cfg.MaxInFlight > 0 && t.inFlight >= t.cfg.MaxInFlight {
+		return false
+	}
+	t.inFlight++
+	return true
+}
+
+func (t *tenant) release() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.inFlight > 0 {
+		t.inFlight--
+	}
+}
+
+// admission maps API keys to tenants.
+type admission struct {
+	byKey  map[string]*tenant
+	byName map[string]*tenant
+}
+
+func newAdmission(cfgs []TenantConfig) *admission {
+	a := &admission{byKey: make(map[string]*tenant), byName: make(map[string]*tenant)}
+	for _, cfg := range cfgs {
+		t := &tenant{cfg: cfg}
+		a.byKey[cfg.APIKey] = t
+		a.byName[cfg.Name] = t
+	}
+	return a
+}
+
+// authenticate resolves the request's API key (Authorization: Bearer or
+// X-API-Key) to a tenant, or nil.
+func (a *admission) authenticate(r *http.Request) *tenant {
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+			key = strings.TrimPrefix(auth, "Bearer ")
+		}
+	}
+	if key == "" {
+		return nil
+	}
+	return a.byKey[key]
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM — the
+// shutdown trigger shared by hoyand, hoyan-master, and hoyan-worker. The
+// returned stop function releases the signal registration (a second signal
+// then kills the process with the default disposition, so a hung drain can
+// still be interrupted).
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// Closers is an ordered shutdown list: components register in startup order
+// and Close runs them in reverse (LIFO), so consumers stop before the
+// substrates they write to. All errors are collected; every closer runs even
+// when earlier ones fail.
+type Closers struct {
+	mu    sync.Mutex
+	names []string
+	fns   []func() error
+}
+
+// Add registers a named close function. Nil functions are ignored.
+func (c *Closers) Add(name string, fn func() error) {
+	if fn == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.names = append(c.names, name)
+	c.fns = append(c.fns, fn)
+}
+
+// Close runs every registered function in reverse registration order and
+// returns the collected errors (nil when all succeeded). It is idempotent:
+// a second call finds an empty list.
+func (c *Closers) Close() error {
+	c.mu.Lock()
+	names, fns := c.names, c.fns
+	c.names, c.fns = nil, nil
+	c.mu.Unlock()
+
+	var errs []string
+	for i := len(fns) - 1; i >= 0; i-- {
+		if err := fns[i](); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", names[i], err))
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("serve: shutdown: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"hoyan/internal/config"
+	"hoyan/internal/core"
+	"hoyan/internal/netmodel"
+)
+
+// Network is one loaded snapshot: the parsed model, a warm engine with a
+// completed BaseRun, the base state's digest, and a pool of scratch network
+// clones so concurrent what-if queries never pay the full clone cost twice.
+type Network struct {
+	ID       string
+	net      *config.Network
+	inputs   []netmodel.Route
+	flows    []netmodel.Flow
+	eng      *core.Engine
+	base     *core.Result
+	baseDig  string
+	bw       map[netmodel.LinkID]float64
+	loadedAt time.Time
+
+	clones sync.Pool
+}
+
+// loadNetwork builds the engine and runs the base simulation once — the
+// expensive cold start every subsequent query amortizes.
+func loadNetwork(id string, net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, opts core.Options) (*Network, error) {
+	eng := core.NewEngine(net, opts)
+	base, err := eng.BaseRunCtx(nil, inputs, flows)
+	if err != nil {
+		return nil, fmt.Errorf("serve: base run: %w", err)
+	}
+	n := &Network{
+		ID:       id,
+		net:      net,
+		inputs:   inputs,
+		flows:    flows,
+		eng:      eng,
+		base:     base,
+		baseDig:  ribDigest(base.Routes.GlobalRIB()),
+		bw:       make(map[netmodel.LinkID]float64),
+		loadedAt: time.Now(),
+	}
+	for _, l := range net.Topo.Links() {
+		if l.Bandwidth > 0 {
+			n.bw[l.ID()] = l.Bandwidth
+		}
+	}
+	n.clones.New = func() any { return n.net.Clone() }
+	return n, nil
+}
+
+// scratch hands out a private clone of the network model; putScratch returns
+// it. Callers must revert every topology toggle before returning the clone.
+func (n *Network) scratch() *config.Network {
+	return n.clones.Get().(*config.Network)
+}
+
+func (n *Network) putScratch(c *config.Network) {
+	n.clones.Put(c)
+}
+
+// resolveLinks maps LinkRefs to link IDs on this network's topology.
+func (n *Network) resolveLinks(refs []LinkRef) ([]netmodel.LinkID, error) {
+	ids := make([]netmodel.LinkID, 0, len(refs))
+	for _, ref := range refs {
+		l := n.net.Topo.FindLink(ref.A, ref.B)
+		if l == nil {
+			return nil, fmt.Errorf("serve: no link between %q and %q", ref.A, ref.B)
+		}
+		ids = append(ids, l.ID())
+	}
+	return ids, nil
+}
+
+// ribDigest reduces a global RIB to an order-independent digest: each row's
+// signature is sha256-hashed and the per-row hashes are summed lane-wise
+// (sums, unlike XOR, don't cancel duplicate rows). Two states with equal
+// digests carry byte-identical RIB row sets regardless of row order — this
+// is the equivalence the e2e test checks against the batch CLI path. The
+// digest runs on every query response, so it avoids the sort and the
+// per-row allocations a canonical-order hash would need.
+func ribDigest(g *netmodel.GlobalRIB) string {
+	rows := g.Rows()
+	var acc [4]uint64
+	var buf []byte
+	for i := range rows {
+		buf = rows[i].AppendSignature(buf[:0])
+		sum := sha256.Sum256(buf)
+		for lane := 0; lane < 4; lane++ {
+			acc[lane] += binary.BigEndian.Uint64(sum[lane*8:])
+		}
+	}
+	var out [32]byte
+	for lane := 0; lane < 4; lane++ {
+		binary.BigEndian.PutUint64(out[lane*8:], acc[lane])
+	}
+	return hex.EncodeToString(out[:])
+}
+
+// RIBRow is one route row of GET /v1/networks/{id}/rib.
+type RIBRow struct {
+	Device   string `json:"device"`
+	VRF      string `json:"vrf,omitempty"`
+	Prefix   string `json:"prefix"`
+	Protocol string `json:"protocol"`
+	NextHop  string `json:"next_hop"`
+	Peer     string `json:"peer,omitempty"`
+}
+
+// ribQuery filters the base global RIB by device and/or prefix, capped at
+// limit rows (0 = 1000).
+func (n *Network) ribQuery(device, prefix string, limit int) []RIBRow {
+	if limit <= 0 {
+		limit = 1000
+	}
+	var out []RIBRow
+	for _, r := range n.base.Routes.GlobalRIB().Rows() {
+		if device != "" && r.Device != device {
+			continue
+		}
+		if prefix != "" && r.Prefix.String() != prefix {
+			continue
+		}
+		out = append(out, RIBRow{
+			Device:   r.Device,
+			VRF:      r.VRF,
+			Prefix:   r.Prefix.String(),
+			Protocol: r.Protocol.String(),
+			NextHop:  r.NextHop.String(),
+			Peer:     r.Peer,
+		})
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// ---- wire-format upload bundle ----
+//
+// The wire package's frames are decoded through a bufio reader, so decoding
+// several frames sequentially off one stream is unsafe (the reader buffers
+// past the frame end). The upload bundle therefore length-prefixes each
+// section — snapshot, input routes, flows — with an 8-byte big-endian length,
+// and each section is decoded from its own in-memory reader.
+
+// EncodeBundle writes a network model, its input routes, and its flows as an
+// upload bundle for POST /v1/networks with Content-Type
+// application/x-hoyan-wire.
+func EncodeBundle(w io.Writer, net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow) error {
+	sections := make([][]byte, 3)
+	var buf bytes.Buffer
+	if err := core.TakeSnapshot(net).Encode(&buf); err != nil {
+		return err
+	}
+	sections[0] = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := core.EncodeRoutes(&buf, inputs); err != nil {
+		return err
+	}
+	sections[1] = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := core.EncodeFlows(&buf, flows); err != nil {
+		return err
+	}
+	sections[2] = buf.Bytes()
+
+	var hdr [8]byte
+	for _, sec := range sections {
+		binary.BigEndian.PutUint64(hdr[:], uint64(len(sec)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(sec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxBundleSection bounds one bundle section (1 GiB) so a corrupt length
+// prefix cannot drive an allocation of arbitrary size.
+const maxBundleSection = 1 << 30
+
+// DecodeBundle reads an upload bundle back into its parts.
+func DecodeBundle(r io.Reader) (*config.Network, []netmodel.Route, []netmodel.Flow, error) {
+	readSection := func() ([]byte, error) {
+		var hdr [8]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		n := binary.BigEndian.Uint64(hdr[:])
+		if n > maxBundleSection {
+			return nil, fmt.Errorf("serve: bundle section of %d bytes exceeds limit", n)
+		}
+		sec := make([]byte, n)
+		if _, err := io.ReadFull(r, sec); err != nil {
+			return nil, err
+		}
+		return sec, nil
+	}
+
+	snapBytes, err := readSection()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: bundle snapshot section: %w", err)
+	}
+	routeBytes, err := readSection()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: bundle routes section: %w", err)
+	}
+	flowBytes, err := readSection()
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("serve: bundle flows section: %w", err)
+	}
+
+	snap, err := core.DecodeSnapshot(bytes.NewReader(snapBytes))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	net, err := snap.RestoreParallel(0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	inputs, err := core.DecodeRoutes(bytes.NewReader(routeBytes))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	flows, err := core.DecodeFlows(bytes.NewReader(flowBytes))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return net, inputs, flows, nil
+}

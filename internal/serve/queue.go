@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Push when the queue's total depth bound is hit;
+// the HTTP layer maps it to 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("serve: query queue full")
+
+// ErrQueueClosed is returned once the queue has been drained and closed.
+var ErrQueueClosed = errors.New("serve: query queue closed")
+
+// queue is a weighted fair queue of pending queries: one FIFO per tenant,
+// scheduled by stride scheduling (each pop picks the non-empty tenant with
+// the smallest pass value and advances it by strideUnit/weight), so a
+// tenant's share of worker time is proportional to its configured weight
+// regardless of how fast it submits.
+type queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	fifos   map[*tenant][]*Query
+	depth   int
+	maxSize int
+	closed  bool
+	drained bool
+}
+
+// strideUnit is the stride numerator; large enough that integer division by
+// any sane weight keeps precision.
+const strideUnit = 1 << 20
+
+func newQueue(maxSize int) *queue {
+	q := &queue{fifos: make(map[*tenant][]*Query), maxSize: maxSize}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a query on its tenant's FIFO.
+func (q *queue) Push(t *tenant, qu *Query) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.drained {
+		return ErrQueueClosed
+	}
+	if q.maxSize > 0 && q.depth >= q.maxSize {
+		return ErrQueueFull
+	}
+	q.fifos[t] = append(q.fifos[t], qu)
+	q.depth++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks until a query is available (returning the stride-scheduling
+// winner) or the queue is closed. Returns nil, ErrQueueClosed when closed
+// and empty.
+func (q *queue) Pop() (*Query, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.depth > 0 {
+			var best *tenant
+			for t, fifo := range q.fifos {
+				if len(fifo) == 0 {
+					continue
+				}
+				if best == nil || t.pass < best.pass {
+					best = t
+				}
+			}
+			fifo := q.fifos[best]
+			qu := fifo[0]
+			q.fifos[best] = fifo[1:]
+			q.depth--
+			best.pass += strideUnit / best.weight()
+			if q.depth == 0 && q.drained {
+				q.cond.Broadcast()
+			}
+			return qu, nil
+		}
+		if q.closed {
+			return nil, ErrQueueClosed
+		}
+		q.cond.Wait()
+	}
+}
+
+// Depth returns the number of queued queries.
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// Drain stops accepting new queries; already-queued ones still pop.
+func (q *queue) Drain() {
+	q.mu.Lock()
+	q.drained = true
+	q.mu.Unlock()
+}
+
+// Close stops accepting and wakes every blocked Pop. Queries still queued at
+// close time are returned to the caller so they can be failed cleanly.
+func (q *queue) Close() []*Query {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	var orphans []*Query
+	for t, fifo := range q.fifos {
+		orphans = append(orphans, fifo...)
+		q.fifos[t] = nil
+	}
+	q.depth = 0
+	q.cond.Broadcast()
+	return orphans
+}

@@ -1,0 +1,665 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hoyan/internal/core"
+	"hoyan/internal/gen"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/telemetry"
+)
+
+// testHarness spins up a server over gen.WAN(1) with two tenants: alice is
+// unthrottled, bob is tightly rate-limited so backpressure is observable.
+type testHarness struct {
+	t    *testing.T
+	out  *gen.Output
+	srv  *Server
+	ts   *httptest.Server
+	reg  *telemetry.Registry
+	keys map[string]string
+}
+
+func newHarness(t *testing.T, cfg Config) *testHarness {
+	t.Helper()
+	out := gen.Generate(gen.WAN(1))
+	if cfg.Tenants == nil {
+		cfg.Tenants = []TenantConfig{
+			{Name: "alice", APIKey: "key-alice", Weight: 2, MaxInFlight: 64},
+			{Name: "bob", APIKey: "key-bob", RatePerSec: 25, Burst: 5, MaxInFlight: 64},
+		}
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if _, err := srv.LoadNetwork("wan1", out.Net, out.Inputs, out.Flows, true); err != nil {
+		t.Fatalf("LoadNetwork: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	h := &testHarness{
+		t: t, out: out, srv: srv, ts: ts, reg: cfg.Registry,
+		keys: map[string]string{"alice": "key-alice", "bob": "key-bob"},
+	}
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return h
+}
+
+func (h *testHarness) do(tenant, method, path string, body any) (*http.Response, []byte) {
+	h.t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			h.t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, h.ts.URL+path, rd)
+	if err != nil {
+		h.t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("X-API-Key", h.keys[tenant])
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		h.t.Fatalf("%s %s: %v", method, path, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// submitRetrying retries 429s until the query is accepted; returns the query
+// ID and how many 429s were seen on the way in.
+func (h *testHarness) submitRetrying(tenant string, req QueryRequest) (string, int) {
+	h.t.Helper()
+	rejected := 0
+	for {
+		resp, body := h.do(tenant, "POST", "/v1/queries", req)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var st Status
+			if err := json.Unmarshal(body, &st); err != nil {
+				h.t.Fatalf("decode submit response: %v", err)
+			}
+			return st.ID, rejected
+		case http.StatusTooManyRequests:
+			rejected++
+			if resp.Header.Get("Retry-After") == "" {
+				h.t.Fatalf("429 without Retry-After")
+			}
+			time.Sleep(20 * time.Millisecond)
+		default:
+			h.t.Fatalf("submit: unexpected status %d: %s", resp.StatusCode, body)
+		}
+	}
+}
+
+// await polls a query until it reaches a terminal state.
+func (h *testHarness) await(tenant, id string) Status {
+	h.t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, body := h.do(tenant, "GET", "/v1/queries/"+id, nil)
+		if resp.StatusCode != http.StatusOK {
+			h.t.Fatalf("get query %s: status %d: %s", id, resp.StatusCode, body)
+		}
+		var st Status
+		if err := json.Unmarshal(body, &st); err != nil {
+			h.t.Fatalf("decode status: %v", err)
+		}
+		switch st.State {
+		case StateDone, StateFailed, StateCanceled:
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	h.t.Fatalf("query %s never finished", id)
+	return Status{}
+}
+
+// coldDigest runs the scenario the way the batch CLI does: clone, toggle,
+// fresh engine, full run — the reference the warm service must match
+// byte-for-byte.
+func coldDigest(out *gen.Output, fail netmodel.LinkID) string {
+	scratch := out.Net.Clone()
+	scratch.Topo.SetLinkUp(fail, false)
+	eng := core.NewEngine(scratch, core.Options{})
+	res := eng.Run(out.Inputs, out.Flows)
+	return ribDigest(res.Routes.GlobalRIB())
+}
+
+// TestServeE2E is the acceptance test: one snapshot loaded once, >=100
+// concurrent what-if queries from two tenants, rate-limit 429s observed,
+// every result byte-identical to the batch CLI path, and a clean drain.
+func TestServeE2E(t *testing.T) {
+	h := newHarness(t, Config{Workers: 4, QueueDepth: 512})
+
+	links := h.out.Net.Topo.Links()
+	step := len(links)/10 + 1
+	var scenarios []netmodel.LinkID
+	for i := 0; i < len(links); i += step {
+		scenarios = append(scenarios, links[i].ID())
+	}
+	want := make(map[netmodel.LinkID]string, len(scenarios))
+	for _, id := range scenarios {
+		want[id] = coldDigest(h.out, id)
+	}
+
+	const total = 120
+	type outcome struct {
+		link     netmodel.LinkID
+		st       Status
+		rejected int
+	}
+	results := make([]outcome, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := "alice"
+			if i%2 == 1 {
+				tenant = "bob"
+			}
+			linkID := scenarios[i%len(scenarios)]
+			l := h.out.Net.Topo.Link(linkID)
+			id, rejected := h.submitRetrying(tenant, QueryRequest{
+				Kind:      "whatif",
+				FailLinks: []LinkRef{{A: l.A, B: l.B}},
+			})
+			results[i] = outcome{link: linkID, st: h.await(tenant, id), rejected: rejected}
+		}(i)
+	}
+	wg.Wait()
+
+	totalRejected := 0
+	for i, r := range results {
+		totalRejected += r.rejected
+		if r.st.State != StateDone {
+			t.Fatalf("query %d: state %s error %q", i, r.st.State, r.st.Error)
+		}
+		if r.st.Result == nil || r.st.Result.RIBDigest != want[r.link] {
+			got := "<nil>"
+			if r.st.Result != nil {
+				got = r.st.Result.RIBDigest
+			}
+			t.Fatalf("query %d (link %s): warm digest %s != cold %s", i, r.link, got, want[r.link])
+		}
+	}
+	if totalRejected == 0 {
+		t.Fatalf("no 429s observed: bob's rate limit never engaged")
+	}
+	t.Logf("completed %d queries across 2 tenants, %d rate-limit rejections retried", total, totalRejected)
+
+	// Telemetry recorded both tenants' admissions.
+	snap := h.reg.Gather()
+	for _, tenant := range []string{"alice", "bob"} {
+		se, ok := snap.Find("serve_queries_total", telemetry.L("tenant", tenant))
+		if !ok || se.Value < 1 {
+			t.Fatalf("serve_queries_total{tenant=%s} missing or zero", tenant)
+		}
+	}
+	if se, ok := snap.Find("serve_rejected_total", telemetry.L("reason", "rate"), telemetry.L("tenant", "bob")); !ok || se.Value < 1 {
+		t.Fatalf("serve_rejected_total{tenant=bob,reason=rate} missing or zero")
+	}
+
+	// Clean drain: shutdown completes, then new submissions are refused.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := h.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	resp, _ := h.do("alice", "POST", "/v1/queries", QueryRequest{Kind: "whatif"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain: status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestServeSSEStream covers the streaming path: subscribe to a query and see
+// its lifecycle events end in a result frame.
+func TestServeSSEStream(t *testing.T) {
+	h := newHarness(t, Config{Workers: 2})
+	l := h.out.Net.Topo.Links()[0]
+	id, _ := h.submitRetrying("alice", QueryRequest{
+		Kind:      "whatif",
+		FailLinks: []LinkRef{{A: l.A, B: l.B}},
+	})
+
+	req, _ := http.NewRequest("GET", h.ts.URL+"/v1/queries/"+id, nil)
+	req.Header.Set("X-API-Key", "key-alice")
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("SSE GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	var types []string
+	var resultData string
+	sc := bufio.NewScanner(resp.Body)
+	cur := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			cur = strings.TrimPrefix(line, "event: ")
+			types = append(types, cur)
+		}
+		if strings.HasPrefix(line, "data: ") && cur == "result" {
+			resultData = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if len(types) < 3 {
+		t.Fatalf("saw %d events (%v), want at least pending/running/done states", len(types), types)
+	}
+	if types[len(types)-1] != "result" {
+		t.Fatalf("last event %q, want result (events: %v)", types[len(types)-1], types)
+	}
+	var res QueryResult
+	if err := json.Unmarshal([]byte(resultData), &res); err != nil {
+		t.Fatalf("decode result frame: %v", err)
+	}
+	if res.RIBDigest == "" {
+		t.Fatalf("result frame carries no rib_digest")
+	}
+}
+
+// TestServeVerifyAndRIB covers the verify kind and the RIB endpoint.
+func TestServeVerifyAndRIB(t *testing.T) {
+	h := newHarness(t, Config{Workers: 2})
+
+	// A tautological spec over the base state must hold.
+	id, _ := h.submitRetrying("alice", QueryRequest{
+		Kind:  "verify",
+		Specs: []string{"prefix = 255.255.255.255/32 => PRE = POST"},
+	})
+	st := h.await("alice", id)
+	if st.State != StateDone {
+		t.Fatalf("verify query: state %s error %q", st.State, st.Error)
+	}
+	if st.Result == nil || !st.Result.SpecsOK {
+		t.Fatalf("tautological spec did not hold: %+v", st.Result)
+	}
+
+	dev := h.out.Net.Topo.Nodes()[0].Name
+	resp, body := h.do("alice", "GET", "/v1/networks/wan1/rib?device="+dev+"&limit=10", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rib: status %d: %s", resp.StatusCode, body)
+	}
+	var rib struct {
+		Rows  []RIBRow `json:"rows"`
+		Count int      `json:"count"`
+	}
+	if err := json.Unmarshal(body, &rib); err != nil {
+		t.Fatalf("decode rib: %v", err)
+	}
+	if rib.Count == 0 {
+		t.Fatalf("rib query for %s returned no rows", dev)
+	}
+	for _, row := range rib.Rows {
+		if row.Device != dev {
+			t.Fatalf("rib row for device %q, filtered for %q", row.Device, dev)
+		}
+	}
+}
+
+// TestServeSyncSubmit exercises ?wait=1: one round trip returns the
+// terminal status with the result attached.
+func TestServeSyncSubmit(t *testing.T) {
+	h := newHarness(t, Config{Workers: 2})
+	l := h.out.Net.Topo.Links()[0]
+	resp, body := h.do("alice", "POST", "/v1/queries?wait=1", QueryRequest{
+		Kind:      "whatif",
+		FailLinks: []LinkRef{{A: l.A, B: l.B}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync submit: status %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st.State != StateDone {
+		t.Fatalf("sync submit returned non-terminal state %s (error %q)", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.RIBDigest == "" {
+		t.Fatalf("sync submit returned no result: %+v", st)
+	}
+}
+
+// TestServeKfailProgress runs a small sweep and checks progress frames and
+// the summary.
+func TestServeKfailProgress(t *testing.T) {
+	h := newHarness(t, Config{Workers: 2})
+	id, _ := h.submitRetrying("alice", QueryRequest{
+		Kind:         "kfail",
+		K:            1,
+		MaxScenarios: 24,
+		Specs:        []string{"prefix = 255.255.255.255/32 => PRE = POST"},
+	})
+	st := h.await("alice", id)
+	if st.State != StateDone {
+		t.Fatalf("kfail query: state %s error %q", st.State, st.Error)
+	}
+	if st.Result == nil || st.Result.Kfail == nil {
+		t.Fatalf("kfail query returned no summary")
+	}
+	if st.Result.Kfail.Scenarios == 0 || st.Result.Kfail.Scenarios > 24 {
+		t.Fatalf("kfail scenarios = %d, want 1..24", st.Result.Kfail.Scenarios)
+	}
+	if !st.Result.SpecsOK {
+		t.Fatalf("tautological spec violated under failures: %+v", st.Result.Kfail)
+	}
+}
+
+// TestServeDeadlineAndCancel covers per-query deadlines and client
+// cancellation.
+func TestServeDeadlineAndCancel(t *testing.T) {
+	h := newHarness(t, Config{Workers: 1})
+
+	// An absurdly short deadline on a kfail sweep must fail, not hang.
+	id, _ := h.submitRetrying("alice", QueryRequest{
+		Kind:       "kfail",
+		K:          2,
+		DeadlineMS: 1,
+		Specs:      []string{"prefix = 255.255.255.255/32 => PRE = POST"},
+	})
+	st := h.await("alice", id)
+	if st.State != StateFailed && st.State != StateCanceled {
+		t.Fatalf("deadline query: state %s, want failed/canceled", st.State)
+	}
+
+	// Cancel a pending query (single worker busy behind a sweep).
+	busy, _ := h.submitRetrying("alice", QueryRequest{
+		Kind: "kfail", K: 1, MaxScenarios: 200,
+		Specs: []string{"prefix = 255.255.255.255/32 => PRE = POST"},
+	})
+	l := h.out.Net.Topo.Links()[0]
+	victim, _ := h.submitRetrying("alice", QueryRequest{
+		Kind:      "whatif",
+		FailLinks: []LinkRef{{A: l.A, B: l.B}},
+	})
+	resp, _ := h.do("alice", "DELETE", "/v1/queries/"+victim, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+	if st := h.await("alice", victim); st.State != StateCanceled {
+		t.Fatalf("cancelled query state %s", st.State)
+	}
+	h.await("alice", busy)
+}
+
+// TestServeTenantIsolation: one tenant cannot see another's queries.
+func TestServeTenantIsolation(t *testing.T) {
+	h := newHarness(t, Config{Workers: 2})
+	l := h.out.Net.Topo.Links()[0]
+	id, _ := h.submitRetrying("alice", QueryRequest{
+		Kind:      "whatif",
+		FailLinks: []LinkRef{{A: l.A, B: l.B}},
+	})
+	h.await("alice", id)
+	resp, _ := h.do("bob", "GET", "/v1/queries/"+id, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-tenant query read: status %d, want 404", resp.StatusCode)
+	}
+	// And no key at all is a 401.
+	req, _ := http.NewRequest("GET", h.ts.URL+"/v1/queries/"+id, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("unauthenticated GET: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated read: status %d, want 401", resp2.StatusCode)
+	}
+}
+
+// TestServeHistoryPersists: finished queries land in the WAL-backed history
+// and survive a server restart on the same directory.
+func TestServeHistoryPersists(t *testing.T) {
+	dir := t.TempDir()
+	h := newHarness(t, Config{Workers: 2, HistoryDir: dir, HistorySize: 64})
+	l := h.out.Net.Topo.Links()[0]
+	id, _ := h.submitRetrying("alice", QueryRequest{
+		Kind:      "whatif",
+		FailLinks: []LinkRef{{A: l.A, B: l.B}},
+	})
+	done := h.await("alice", id)
+
+	resp, body := h.do("alice", "GET", "/v1/history", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("history: status %d", resp.StatusCode)
+	}
+	var entries []HistoryEntry
+	if err := json.Unmarshal(body, &entries); err != nil {
+		t.Fatalf("decode history: %v", err)
+	}
+	if len(entries) == 0 || entries[0].ID != id {
+		t.Fatalf("history entries = %+v, want newest-first starting with %s", entries, id)
+	}
+	resp, body = h.do("alice", "GET", "/v1/history/"+id+"/result", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("history result: status %d: %s", resp.StatusCode, body)
+	}
+	var res QueryResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("decode history result: %v", err)
+	}
+	if res.RIBDigest != done.Result.RIBDigest {
+		t.Fatalf("stored result digest %s != live %s", res.RIBDigest, done.Result.RIBDigest)
+	}
+
+	// Restart: a fresh server on the same directory replays the entry.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := h.srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	h2, err := openHistory(dir, 64, h.srv.cfg.Durable, nil)
+	if err != nil {
+		t.Fatalf("reopen history: %v", err)
+	}
+	defer h2.Close()
+	if got := h2.List("alice", 0); len(got) == 0 || got[0].ID != id {
+		t.Fatalf("replayed history = %+v, want entry %s", got, id)
+	}
+	if res2, err := h2.Result(id); err != nil || res2.RIBDigest != done.Result.RIBDigest {
+		t.Fatalf("replayed result: %+v err=%v", res2, err)
+	}
+}
+
+// TestServeWireUpload round-trips a snapshot through the wire bundle upload.
+func TestServeWireUpload(t *testing.T) {
+	h := newHarness(t, Config{Workers: 2})
+	var buf bytes.Buffer
+	if err := EncodeBundle(&buf, h.out.Net, h.out.Inputs, h.out.Flows); err != nil {
+		t.Fatalf("EncodeBundle: %v", err)
+	}
+	req, _ := http.NewRequest("POST", h.ts.URL+"/v1/networks?id=uploaded&activate=false", bytes.NewReader(buf.Bytes()))
+	req.Header.Set("X-API-Key", "key-alice")
+	req.Header.Set("Content-Type", "application/x-hoyan-wire")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("upload: %v", err)
+	}
+	defer resp.Body.Close()
+	var info networkInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decode upload response: %v", err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	if info.ID != "uploaded" || info.Active {
+		t.Fatalf("upload info = %+v, want id=uploaded inactive", info)
+	}
+	// The uploaded copy converges to the same base state as the original.
+	orig, _ := h.srv.network("wan1")
+	if info.BaseDigest != orig.baseDig {
+		t.Fatalf("uploaded base digest %s != original %s", info.BaseDigest, orig.baseDig)
+	}
+	// Active network unchanged.
+	if h.srv.Active() != "wan1" {
+		t.Fatalf("active network = %s after inactive upload", h.srv.Active())
+	}
+	// Queries can target the uploaded snapshot explicitly.
+	l := h.out.Net.Topo.Links()[0]
+	id, _ := h.submitRetrying("alice", QueryRequest{
+		Kind:      "whatif",
+		NetworkID: "uploaded",
+		FailLinks: []LinkRef{{A: l.A, B: l.B}},
+	})
+	if st := h.await("alice", id); st.State != StateDone {
+		t.Fatalf("query on uploaded network: state %s error %q", st.State, st.Error)
+	}
+}
+
+// ---- unit tests ----
+
+func TestTokenBucket(t *testing.T) {
+	tn := &tenant{cfg: TenantConfig{RatePerSec: 10, Burst: 2}}
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := tn.admit(now); !ok {
+			t.Fatalf("burst admit %d refused", i)
+		}
+	}
+	ok, retry := tn.admit(now)
+	if ok {
+		t.Fatalf("admit past burst succeeded")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retry hint %v out of range", retry)
+	}
+	// After the refill interval one more token is available.
+	if ok, _ := tn.admit(now.Add(150 * time.Millisecond)); !ok {
+		t.Fatalf("admit after refill refused")
+	}
+}
+
+func TestQueueStrideFairness(t *testing.T) {
+	q := newQueue(0)
+	heavy := &tenant{cfg: TenantConfig{Name: "heavy", Weight: 3}}
+	light := &tenant{cfg: TenantConfig{Name: "light", Weight: 1}}
+	for i := 0; i < 40; i++ {
+		q.Push(heavy, newQuery(fmt.Sprintf("h%d", i), heavy, QueryRequest{}))
+		q.Push(light, newQuery(fmt.Sprintf("l%d", i), light, QueryRequest{}))
+	}
+	counts := map[string]int{}
+	for i := 0; i < 20; i++ {
+		qu, err := q.Pop()
+		if err != nil {
+			t.Fatalf("Pop: %v", err)
+		}
+		counts[qu.Tenant.cfg.Name]++
+	}
+	// With weights 3:1, the first 20 pops split ~15:5.
+	if counts["heavy"] < 12 || counts["light"] < 3 {
+		t.Fatalf("stride split %v, want roughly 3:1", counts)
+	}
+}
+
+func TestQueueBoundsAndClose(t *testing.T) {
+	q := newQueue(2)
+	tn := &tenant{cfg: TenantConfig{Name: "x"}}
+	q.Push(tn, newQuery("a", tn, QueryRequest{}))
+	q.Push(tn, newQuery("b", tn, QueryRequest{}))
+	if err := q.Push(tn, newQuery("c", tn, QueryRequest{})); err != ErrQueueFull {
+		t.Fatalf("push past bound: %v, want ErrQueueFull", err)
+	}
+	orphans := q.Close()
+	if len(orphans) != 2 {
+		t.Fatalf("Close returned %d orphans, want 2", len(orphans))
+	}
+	if _, err := q.Pop(); err != ErrQueueClosed {
+		t.Fatalf("Pop after close: %v, want ErrQueueClosed", err)
+	}
+	if err := q.Push(tn, newQuery("d", tn, QueryRequest{})); err != ErrQueueClosed {
+		t.Fatalf("Push after close: %v, want ErrQueueClosed", err)
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	var buf bytes.Buffer
+	if err := EncodeBundle(&buf, out.Net, out.Inputs, out.Flows); err != nil {
+		t.Fatalf("EncodeBundle: %v", err)
+	}
+	net, inputs, flows, err := DecodeBundle(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+	if len(net.Devices) != len(out.Net.Devices) {
+		t.Fatalf("devices %d != %d", len(net.Devices), len(out.Net.Devices))
+	}
+	if len(inputs) != len(out.Inputs) || len(flows) != len(out.Flows) {
+		t.Fatalf("inputs/flows %d/%d != %d/%d", len(inputs), len(flows), len(out.Inputs), len(out.Flows))
+	}
+	// The restored model simulates to the same base state.
+	a := core.NewEngine(out.Net.Clone(), core.Options{}).Run(out.Inputs, out.Flows)
+	b := core.NewEngine(net, core.Options{}).Run(inputs, flows)
+	if ribDigest(a.Routes.GlobalRIB()) != ribDigest(b.Routes.GlobalRIB()) {
+		t.Fatalf("bundle round trip changed the simulated base state")
+	}
+}
+
+func TestClosersLIFO(t *testing.T) {
+	var c Closers
+	var order []string
+	c.Add("first", func() error { order = append(order, "first"); return nil })
+	c.Add("second", func() error { order = append(order, "second"); return fmt.Errorf("boom") })
+	c.Add("third", func() error { order = append(order, "third"); return nil })
+	err := c.Close()
+	if want := []string{"third", "second", "first"}; strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("close order %v, want %v", order, want)
+	}
+	if err == nil || !strings.Contains(err.Error(), "second: boom") {
+		t.Fatalf("Close error = %v, want to carry second: boom", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestRetryAfterParsable(t *testing.T) {
+	// The Retry-After header must be an integer per RFC 7231.
+	for _, d := range []time.Duration{time.Millisecond, time.Second, 2500 * time.Millisecond} {
+		v := strconv.Itoa(int(mathCeilSeconds(d)))
+		if _, err := strconv.Atoi(v); err != nil {
+			t.Fatalf("Retry-After %q not an integer", v)
+		}
+	}
+}
+
+func mathCeilSeconds(d time.Duration) int64 {
+	s := d / time.Second
+	if d%time.Second != 0 {
+		s++
+	}
+	return int64(s)
+}

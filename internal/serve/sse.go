@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// sseWriter streams query events as text/event-stream frames:
+//
+//	event: <type>
+//	data: <json>
+//
+// Each frame flushes immediately so clients see progress in real time.
+type sseWriter struct {
+	w http.ResponseWriter
+	f http.Flusher
+}
+
+// newSSEWriter prepares the response for streaming; returns nil when the
+// underlying writer cannot flush (the handler then falls back to JSON).
+func newSSEWriter(w http.ResponseWriter) *sseWriter {
+	f, ok := w.(http.Flusher)
+	if !ok {
+		return nil
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	f.Flush()
+	return &sseWriter{w: w, f: f}
+}
+
+// Send writes one event frame. Data must be a single-line JSON payload
+// (Event.Data always is: json.Marshal never emits raw newlines).
+func (s *sseWriter) Send(ev Event) error {
+	if _, err := fmt.Fprintf(s.w, "event: %s\ndata: %s\n\n", ev.Type, ev.Data); err != nil {
+		return err
+	}
+	s.f.Flush()
+	return nil
+}

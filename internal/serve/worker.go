@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"hoyan/internal/change"
+	"hoyan/internal/core"
+	"hoyan/internal/intent"
+	"hoyan/internal/kfail"
+	"hoyan/internal/netmodel"
+	"hoyan/internal/telemetry"
+)
+
+// workerLoop is one worker goroutine: pop, execute, record, repeat until the
+// queue closes.
+func (s *Server) workerLoop() {
+	defer s.wg.Done()
+	for {
+		qu, err := s.queue.Pop()
+		if err != nil {
+			return
+		}
+		s.execute(qu)
+	}
+}
+
+// execute runs one query to a terminal state and records it in history.
+func (s *Server) execute(qu *Query) {
+	defer s.queriesWG.Done()
+	defer qu.Tenant.release()
+	s.mQueueDepth.Set(float64(s.queue.Depth()))
+
+	if qu.State() == StateCanceled {
+		s.record(qu)
+		return
+	}
+
+	qu.setRunning()
+	s.mInflight.Add(1)
+	defer s.mInflight.Add(-1)
+	wait := time.Since(qu.enqueuedAt)
+	s.mQueueWait.Observe(wait.Seconds())
+
+	deadline := s.cfg.DefaultDeadline
+	if qu.Req.DeadlineMS > 0 {
+		deadline = time.Duration(qu.Req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, deadline)
+	qu.setCancel(cancel)
+	defer cancel()
+
+	start := time.Now()
+	res, err := s.run(ctx, qu)
+	kind := kindOf(qu.Req)
+	s.reg.Histogram("serve_query_latency_seconds",
+		"what-if query execution latency by kind",
+		telemetry.DurationBuckets, telemetry.L("kind", kind)).Observe(time.Since(start).Seconds())
+
+	switch {
+	case err == nil:
+		qu.finish(StateDone, res, "")
+	case errors.Is(err, context.Canceled):
+		qu.finish(StateCanceled, nil, "canceled")
+	case errors.Is(err, context.DeadlineExceeded):
+		qu.finish(StateFailed, nil, "deadline exceeded")
+	default:
+		qu.finish(StateFailed, nil, err.Error())
+	}
+	s.record(qu)
+}
+
+// record persists the finished query to the run-history store.
+func (s *Server) record(qu *Query) {
+	if s.hist == nil {
+		return
+	}
+	st := qu.Snapshot()
+	e := HistoryEntry{
+		ID:          st.ID,
+		Tenant:      st.Tenant,
+		Kind:        kindOf(qu.Req),
+		NetworkID:   qu.Req.NetworkID,
+		State:       st.State,
+		Error:       st.Error,
+		EnqueuedAt:  st.EnqueuedAt,
+		QueueWaitMS: st.QueueWaitMS,
+		RunMS:       st.RunMS,
+	}
+	if st.FinishedAt != nil {
+		e.FinishedAt = *st.FinishedAt
+	}
+	if err := s.hist.Record(e, st.Result); err != nil {
+		s.reg.Counter("serve_history_errors_total", "run-history writes that failed").Inc()
+	}
+}
+
+func kindOf(req QueryRequest) string {
+	if req.Kind == "" {
+		return "whatif"
+	}
+	return req.Kind
+}
+
+// run dispatches to the per-kind executor.
+func (s *Server) run(ctx context.Context, qu *Query) (*QueryResult, error) {
+	n, err := s.network(qu.Req.NetworkID)
+	if err != nil {
+		return nil, err
+	}
+	switch kindOf(qu.Req) {
+	case "whatif":
+		return s.runWhatIf(ctx, n, qu)
+	case "verify":
+		return s.runVerify(n, qu)
+	case "kfail":
+		return s.runKfail(ctx, n, qu)
+	case "plan":
+		return s.runPlan(ctx, n, qu)
+	default:
+		return nil, fmt.Errorf("serve: unknown query kind %q", qu.Req.Kind)
+	}
+}
+
+// buildDelta resolves a what-if request's failures into an engine delta.
+func buildDelta(n *Network, req QueryRequest) (core.Delta, error) {
+	var d core.Delta
+	ids, err := n.resolveLinks(req.FailLinks)
+	if err != nil {
+		return d, err
+	}
+	d.LinksDown = ids
+	for _, dev := range req.FailDevices {
+		if n.net.Topo.Node(dev) == nil {
+			return d, fmt.Errorf("serve: unknown device %q", dev)
+		}
+		d.NodesDown = append(d.NodesDown, dev)
+	}
+	if len(d.LinksDown) == 0 && len(d.NodesDown) == 0 {
+		return d, fmt.Errorf("serve: what-if query fails nothing (set fail_links or fail_devices)")
+	}
+	return d, nil
+}
+
+// runWhatIf forks the warm engine under the requested failures and verifies
+// any attached specs against (base, updated).
+func (s *Server) runWhatIf(ctx context.Context, n *Network, qu *Query) (*QueryResult, error) {
+	d, err := buildDelta(n, qu.Req)
+	if err != nil {
+		return nil, err
+	}
+
+	scratch := n.scratch()
+	defer n.putScratch(scratch)
+	var revertLinks []netmodel.LinkID
+	var revertNodes []string
+	for _, id := range d.LinksDown {
+		if l := scratch.Topo.Link(id); l != nil && l.Up {
+			scratch.Topo.SetLinkUp(id, false)
+			revertLinks = append(revertLinks, id)
+		}
+	}
+	for _, name := range d.NodesDown {
+		if node := scratch.Topo.Node(name); node != nil && node.Up {
+			scratch.Topo.SetNodeUp(name, false)
+			revertNodes = append(revertNodes, name)
+		}
+	}
+	defer func() {
+		for _, id := range revertLinks {
+			scratch.Topo.SetLinkUp(id, true)
+		}
+		for _, name := range revertNodes {
+			scratch.Topo.SetNodeUp(name, true)
+		}
+	}()
+
+	res, _, err := n.eng.ForkCtx(ctx, scratch, d)
+	if err != nil {
+		return nil, err
+	}
+	return s.assemble(n, res, qu.Req.Specs)
+}
+
+// runVerify checks specs against the unchanged base state (updated == base).
+func (s *Server) runVerify(n *Network, qu *Query) (*QueryResult, error) {
+	if len(qu.Req.Specs) == 0 {
+		return nil, fmt.Errorf("serve: verify query carries no specs")
+	}
+	return s.assemble(n, n.base, qu.Req.Specs)
+}
+
+// runKfail sweeps failure combinations off the warm engine, streaming
+// progress events. The sequential kfail path toggles the passed network in
+// place, so it gets a private clone, never the shared base model.
+func (s *Server) runKfail(ctx context.Context, n *Network, qu *Query) (*QueryResult, error) {
+	k := qu.Req.K
+	if k < 1 {
+		k = 1
+	}
+	maxScen := qu.Req.MaxScenarios
+	if maxScen <= 0 {
+		maxScen = 512
+	}
+	intents := make([]intent.Intent, 0, len(qu.Req.Specs))
+	for _, spec := range qu.Req.Specs {
+		intents = append(intents, intent.RouteIntent{Spec: spec})
+	}
+
+	scratch := n.scratch()
+	defer n.putScratch(scratch)
+	res, err := kfail.Check(scratch, n.inputs, n.flows, intents, kfail.Options{
+		K:            k,
+		MaxScenarios: maxScen,
+		Sim:          s.cfg.Sim,
+		Parallelism:  1, // query-level parallelism owns the worker pool
+		Engine:       n.eng,
+		Ctx:          ctx,
+		Progress: func(done, total int) {
+			if done%16 == 0 || done == total {
+				qu.emit("progress", map[string]int{"done": done, "total": total})
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &QueryResult{
+		BaseDigest: n.baseDig,
+		SpecsOK:    res.OK(),
+		Kfail:      &KfailSummary{Scenarios: res.Scenarios, Violations: len(res.Violations)},
+	}
+	for i, v := range res.Violations {
+		if i >= 8 {
+			break
+		}
+		var parts []string
+		for _, el := range v.Failed {
+			parts = append(parts, el.String())
+		}
+		line := fmt.Sprintf("failed={%s}", joinComma(parts))
+		for _, rep := range v.Reports {
+			if !rep.Satisfied {
+				line += " intent=" + rep.Intent
+			}
+		}
+		out.Kfail.Worst = append(out.Kfail.Worst, line)
+	}
+	return out, nil
+}
+
+// runPlan applies a configuration-change plan and simulates the updated
+// model. Pure topology-toggle plans ride the warm fork; config changes
+// rebuild and run cold.
+func (s *Server) runPlan(ctx context.Context, n *Network, qu *Query) (*QueryResult, error) {
+	if len(qu.Req.Commands) == 0 {
+		return nil, fmt.Errorf("serve: plan query carries no commands")
+	}
+	plan := &change.Plan{
+		ID:       qu.ID,
+		Type:     change.RouteAttrModify,
+		Commands: qu.Req.Commands,
+	}
+	updated, err := plan.Apply(n.net)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.NewEngine(updated, s.cfg.Sim)
+	res, err := eng.RunCtx(ctx, plan.ApplyInputs(n.inputs), n.flows)
+	if err != nil {
+		return nil, err
+	}
+	return s.assemble(n, res, qu.Req.Specs)
+}
+
+// assemble digests the updated state, diffs it against base, and checks the
+// attached specs.
+func (s *Server) assemble(n *Network, res *core.Result, specs []string) (*QueryResult, error) {
+	updated := res.Routes.GlobalRIB()
+	baseRIB := n.base.Routes.GlobalRIB()
+	out := &QueryResult{
+		RIBDigest:  ribDigest(updated),
+		BaseDigest: n.baseDig,
+		SpecsOK:    true,
+	}
+	// Equal digests mean identical row sets — skip the Diff. Failures that
+	// leave routing untouched are common enough to fast-path.
+	if out.RIBDigest != out.BaseDigest {
+		onlyBase, onlyUpdated := baseRIB.Diff(updated)
+		out.RouteDelta = len(onlyBase) + len(onlyUpdated)
+	}
+	if len(specs) > 0 {
+		intents := make([]intent.Intent, 0, len(specs))
+		for _, spec := range specs {
+			intents = append(intents, intent.RouteIntent{Spec: spec})
+		}
+		ictx := &intent.Context{
+			Base:    intent.Snapshot{RIB: baseRIB, Bandwidth: n.bw},
+			Updated: intent.Snapshot{RIB: updated, Bandwidth: n.bw},
+		}
+		if res.Traffic != nil {
+			ictx.Updated.Paths = res.Traffic.Traffic.Paths
+			ictx.Updated.Load = res.Traffic.Traffic.Load
+		}
+		if n.base.Traffic != nil {
+			ictx.Base.Paths = n.base.Traffic.Traffic.Paths
+			ictx.Base.Load = n.base.Traffic.Traffic.Load
+		}
+		reports, ok := intent.Verify(ictx, intents)
+		out.SpecsOK = ok
+		for _, rep := range reports {
+			out.Specs = append(out.Specs, SpecReport{
+				Spec:       rep.Intent,
+				Satisfied:  rep.Satisfied,
+				Violations: rep.Violations,
+			})
+		}
+	}
+	return out, nil
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ","
+		}
+		out += p
+	}
+	return out
+}

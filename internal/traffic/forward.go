@@ -10,6 +10,7 @@
 package traffic
 
 import (
+	"context"
 	"net/netip"
 	"slices"
 	"strings"
@@ -49,6 +50,16 @@ type Options struct {
 	// results; the legacy path is the reference for speedup measurement and
 	// equivalence tests.
 	Legacy bool
+
+	// Ctx, when non-nil, is polled before each per-flow walk; once it is done
+	// the remaining flows are skipped and the (incomplete) result must be
+	// discarded by the caller.
+	Ctx context.Context
+}
+
+// ctxDone reports whether opts carries a cancelled context.
+func (o Options) ctxDone() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 func (o Options) withDefaults() Options {
@@ -133,6 +144,9 @@ func (f *Forwarder) Simulate(flows []netmodel.Flow) *Result {
 	paths := make([]FlowPath, len(flows))
 	contribs := make([][]linkShare, len(flows))
 	par.ForEach(f.opts.Parallelism, len(flows), func(i int) {
+		if f.opts.ctxDone() {
+			return
+		}
 		fl := flows[i]
 		paths[i] = FlowPath{Flow: fl, Path: f.Path(fl)}
 		contribs[i] = f.loadContribs(fl)

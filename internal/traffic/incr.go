@@ -105,6 +105,9 @@ func (f *Forwarder) SimulateTraced(flows []netmodel.Flow) (*Result, []Trace) {
 	paths := make([]FlowPath, len(flows))
 	traces := make([]Trace, len(flows))
 	par.ForEach(f.opts.Parallelism, len(flows), func(i int) {
+		if f.opts.ctxDone() {
+			return
+		}
 		fl := flows[i]
 		paths[i] = FlowPath{Flow: fl, Path: f.path(fl, &traces[i])}
 		traces[i].contribs = f.loadContribsTraced(fl, &traces[i])
@@ -146,6 +149,9 @@ func (f *Forwarder) Resimulate(flows []netmodel.Flow, base *Result, baseTraces [
 		reused++
 	}
 	par.ForEach(f.opts.Parallelism, len(redo), func(j int) {
+		if f.opts.ctxDone() {
+			return
+		}
 		i := redo[j]
 		fl := flows[i]
 		paths[i] = FlowPath{Flow: fl, Path: f.path(fl, &traces[i])}
