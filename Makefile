@@ -31,8 +31,8 @@ bench-smoke:
 # BENCH_core.json; the one-shot Benchmark{Core,RouteSim}* pass catches
 # bench bit-rot.
 bench-core:
-	CORE_BENCH_JSON=BENCH_core.json $(GO) test -run '^TestCoreSpeedup$$' -v .
-	$(GO) test -run '^$$' -bench '^Benchmark(Core|RouteSim)' -benchtime 1x .
+	CORE_BENCH_JSON=BENCH_core.json $(GO) test -run '^Test(CoreSpeedup|ParallelFixpointSpeedup)$$' -v .
+	$(GO) test -run '^$$' -bench '^Benchmark(Core|RouteSim)' -benchtime 1x -cpu 1,4 .
 
 # Wire-codec size/speed measurement: binary format vs the legacy JSON
 # encoding on the gen.WAN(2) fixture. Asserts the >=3x size / >=2x decode

@@ -51,7 +51,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persist the run history under this directory (empty = no history)")
 	fsyncMode := flag.String("fsync", "interval", "history WAL durability with -data-dir: always, interval, or never")
 	historySize := flag.Int("history", 1024, "retained run-history entries")
-	parallelism := flag.Int("parallelism", 0, "intra-engine parallelism (0 = all cores)")
+	parallelism := flag.Int("parallelism", 0, "intra-engine parallelism for the base simulation, including the striped BGP fixpoint (0 = all cores)")
+	queryParallelism := flag.Int("query-parallelism", 0, "max simulation cores per query, so one tenant's sweep cannot starve others (0 = NumCPU/workers)")
 	flag.Parse()
 
 	fsync, err := durable.ParsePolicy(*fsyncMode)
@@ -88,15 +89,16 @@ func main() {
 
 	reg := telemetry.NewRegistry()
 	srv, err := serve.NewServer(serve.Config{
-		Tenants:         tenants,
-		QueueDepth:      *queueDepth,
-		Workers:         *workers,
-		DefaultDeadline: *deadline,
-		HistoryDir:      historyDir(*dataDir),
-		HistorySize:     *historySize,
-		Durable:         durable.Options{Fsync: fsync},
-		Registry:        reg,
-		Sim:             core.Options{Parallelism: *parallelism},
+		Tenants:          tenants,
+		QueueDepth:       *queueDepth,
+		Workers:          *workers,
+		QueryParallelism: *queryParallelism,
+		DefaultDeadline:  *deadline,
+		HistoryDir:       historyDir(*dataDir),
+		HistorySize:      *historySize,
+		Durable:          durable.Options{Fsync: fsync},
+		Registry:         reg,
+		Sim:              core.Options{Parallelism: *parallelism},
 	})
 	if err != nil {
 		fatal(err)

@@ -30,8 +30,14 @@ func (s *sim) decideAndAdvertise() []msg {
 		// growing there doubles through several copies of a large msg slice.
 		s.msgScratch = make([]msg, 0, 1024)
 	}
+	if s.parWorkers > 1 {
+		if out, ok := s.decideAndAdvertiseParallel(); ok {
+			return out
+		}
+	}
 	out := s.msgScratch[:0]
-	s.advUsed = 0 // last round's messages were consumed; recycle the arena
+	sc := s.stripe(0)
+	sc.advUsed = 0 // last round's messages were consumed; recycle the arena
 
 	// Deterministic iteration order: tables in (device, vrf) lexical order
 	// via the interned rank array, prefixes in LastAddr order via the
@@ -87,15 +93,16 @@ func (s *sim) decideAndAdvertise() []msg {
 		}
 		for _, pid := range pids {
 			p := s.pfxs[pid]
-			best, sorted := s.decide(ti, lk, ai, rib, p)
-			sig := appendAdvSignature(s.sigScratch[:0], sorted)
-			s.sigScratch = sig
+			best, sorted, rows := s.decide(sc, ti, lk, ai, p)
+			rib.ReplaceOwned(p, rows)
+			sig := appendAdvSignature(sc.sigScratch[:0], sorted)
+			sc.sigScratch = sig
 			if la[p] == string(sig) { // alloc-free comparison
 				continue // steady state for this prefix
 			}
 			la[p] = string(sig)
-			out = s.advertiseInto(out, ti, p, pid, best, sorted)
-			out = s.leakInto(out, ti, p, pid, best)
+			out = s.advertiseInto(sc, out, ti, p, pid, best, sorted)
+			out = s.leakInto(sc, out, ti, p, pid, best)
 			out = s.updateAggregatesInto(out, ti, tid, p)
 		}
 		// Clear this table's dirty marks for the next round.
@@ -110,20 +117,23 @@ func (s *sim) decideAndAdvertise() []msg {
 	return out
 }
 
-// decide runs best-path selection for one (table, prefix) and installs the
-// result into the RIB. It returns the best (possibly ECMP) candidates and
-// the full resolved candidate list in preference order (for add-path); both
-// point into sim scratch buffers that the next decide call overwrites.
-func (s *sim) decide(ti *tableInfo, lk map[netip.Prefix][]cand, ai map[netip.Prefix]map[string][]cand, rib *netmodel.RIB, p netip.Prefix) (best, sorted []cand) {
-	cands := s.candScratch[:0]
+// decide runs best-path selection for one (table, prefix). It returns the
+// best (possibly ECMP) candidates, the full resolved candidate list in
+// preference order (for add-path), and the finished RIB rows; best and
+// sorted point into sc's scratch buffers that the next decide call
+// overwrites, while rows are carved from sc's grow-only row arena and belong
+// to the caller (the RIB adopts them via ReplaceOwned — the sequential loop
+// installs immediately, the striped loop at merge time).
+func (s *sim) decide(sc *stripeCtx, ti *tableInfo, lk map[netip.Prefix][]cand, ai map[netip.Prefix]map[string][]cand, p netip.Prefix) (best, sorted []cand, rows []netmodel.Route) {
+	cands := sc.candScratch[:0]
 	cands = append(cands, lk[p]...)
 	byFrom := ai[p]
-	froms := s.fromScratch[:0]
+	froms := sc.fromScratch[:0]
 	for from := range byFrom {
 		froms = append(froms, from)
 	}
 	slices.Sort(froms)
-	s.fromScratch = froms
+	sc.fromScratch = froms
 	for _, from := range froms {
 		cands = append(cands, byFrom[from]...)
 	}
@@ -132,7 +142,7 @@ func (s *sim) decide(ti *tableInfo, lk map[netip.Prefix][]cand, ai map[netip.Pre
 	// place (a cand embeds a full Route, so by-value resolve cost three big
 	// copies per candidate). The stable compaction keeps the resolved
 	// candidates in arrival order, matching the legacy partition.
-	unresolved := s.unresScratch[:0]
+	unresolved := sc.unresScratch[:0]
 	w := 0
 	for i := range cands {
 		s.resolve(ti, &cands[i])
@@ -146,21 +156,21 @@ func (s *sim) decide(ti *tableInfo, lk map[netip.Prefix][]cand, ai map[netip.Pre
 		}
 	}
 	cands = cands[:w]
-	s.unresScratch = unresolved
-	s.candScratch = cands[:0]
+	sc.unresScratch = unresolved
+	sc.candScratch = cands[:0]
 
 	// Sort an index permutation instead of the candidates themselves: the
 	// comparator then shuffles int32s rather than copying a ~200-byte struct
 	// pair per comparison. A stable sort of indices initialized in slice order
 	// is equivalent to a stable sort of the elements.
-	ord := s.ordScratch[:0]
+	ord := sc.ordScratch[:0]
 	for i := range cands {
 		ord = append(ord, int32(i))
 	}
 	if len(cands) > 1 {
 		slices.SortStableFunc(ord, func(x, y int32) int { return s.cmpCand(&cands[x], &cands[y]) })
 	}
-	s.ordScratch = ord
+	sc.ordScratch = ord
 	identity := true
 	for i, ix := range ord {
 		if ix != int32(i) {
@@ -173,23 +183,22 @@ func (s *sim) decide(ti *tableInfo, lk map[netip.Prefix][]cand, ai map[netip.Pre
 		// state): skip materializing the permutation.
 		sorted = cands
 	} else {
-		sorted = s.sortScratch[:0]
+		sorted = sc.sortScratch[:0]
 		for _, ix := range ord {
 			sorted = append(sorted, cands[ix])
 		}
-		s.sortScratch = sorted
+		sc.sortScratch = sorted
 	}
 
 	// Mark best + ECMP. Non-BGP protocols win on Preference alone: the
 	// comparator sorts by preference first, so the top candidate's protocol
 	// group takes the table.
 	maxPaths := ti.maxPaths
-	best = s.bestScratch[:0]
+	best = sc.bestScratch[:0]
 	// Exact-size carve from the grow-only row arena; the RIB adopts it in
 	// place of Replace's copy (ReplaceOwned).
-	var rows []netmodel.Route
 	if n := len(sorted) + len(unresolved); n > 0 {
-		rows = s.takeRows(n)
+		rows = sc.takeRows(n)
 	}
 	for i := range sorted {
 		c := &sorted[i]
@@ -207,15 +216,14 @@ func (s *sim) decide(ti *tableInfo, lk map[netip.Prefix][]cand, ai map[netip.Pre
 		}
 		rows = append(rows, r)
 	}
-	s.bestScratch = best
+	sc.bestScratch = best
 	// Unresolved candidates stay visible as candidates for diagnosis.
 	for i := range unresolved {
 		r := unresolved[i].route
 		r.RouteType = netmodel.RouteCandidate
 		rows = append(rows, r)
 	}
-	rib.ReplaceOwned(p, rows)
-	return best, sorted
+	return best, sorted, rows
 }
 
 // resolve fills in next-hop reachability, IGP cost, and SR tunnel state.
@@ -517,9 +525,9 @@ func appendAdvSignature(dst []byte, best []cand) []byte {
 // the full sorted candidate list; plain sessions advertise only the best
 // route. The table's sessions (pre-filtered to its VRF, with export policies
 // resolved once per run) come from the cached tableInfo; per-session
-// advertisement slices are carved from the per-round route arena, and a
+// advertisement slices are carved from sc's per-round route arena, and a
 // withdrawal (empty adv) allocates nothing. The original is legacyAdvertise.
-func (s *sim) advertiseInto(out []msg, ti *tableInfo, p netip.Prefix, pid int32, best, sorted []cand) []msg {
+func (s *sim) advertiseInto(sc *stripeCtx, out []msg, ti *tableInfo, p netip.Prefix, pid int32, best, sorted []cand) []msg {
 	d := ti.dev
 	// VSB: policy-isolated devices keep learning but stop advertising.
 	if d == nil || !ti.advertise {
@@ -588,15 +596,22 @@ func (s *sim) advertiseInto(out []msg, ti *tableInfo, p netip.Prefix, pid int32,
 			r.ViaSR = false
 			r.RouteType = netmodel.RouteCandidate
 			if adv == nil {
-				adv = s.takeAdv(min(limit, len(pool)))
+				adv = sc.takeAdv(min(limit, len(pool)))
 			}
 			adv = append(adv, r)
 		}
 		// Sealed runs capture seam-crossing advertisements into the boundary
 		// contract instead of delivering them: the receiver lives in another
-		// shard and replays them from its own inbound contract.
+		// shard and replays them from its own inbound contract. Striped
+		// workers defer the capture — sealOut is shared — and the merge pass
+		// applies it; the adv slice stays valid until the stripe's arena is
+		// recycled next round, after the merge.
 		if seal := s.opts.Seal; seal != nil && !seal.Inside[sess.remote] {
-			s.captureBoundary(ti.k.dev, sess, p, adv)
+			if sc.deferCaps {
+				sc.caps = append(sc.caps, capRec{from: ti.k.dev, sess: sess, p: p, adv: adv})
+			} else {
+				s.captureBoundary(ti.k.dev, sess, p, adv)
+			}
 			continue
 		}
 		out = append(out, msg{

@@ -193,67 +193,68 @@ func (s *sim) tableRank() []int32 {
 }
 
 // takeRows carves an exact-capacity row slice for one decision out of the
-// grow-only row arena. Rows are adopted by the RIB (ReplaceOwned), so like
-// candArena the arena is never reset — it only amortizes allocation count.
-func (s *sim) takeRows(n int) []netmodel.Route {
+// stripe's grow-only row arena. Rows are adopted by the RIB (ReplaceOwned),
+// so like the candidate arena this one is never reset — it only amortizes
+// allocation count.
+func (sc *stripeCtx) takeRows(n int) []netmodel.Route {
 	const chunk = 1024
 	if n > chunk/4 {
 		return make([]netmodel.Route, 0, n)
 	}
-	if s.rowsUsed+n > len(s.rowsArena) {
-		s.rowsArena = make([]netmodel.Route, chunk)
-		s.rowsUsed = 0
+	if sc.rowsUsed+n > len(sc.rowsArena) {
+		sc.rowsArena = make([]netmodel.Route, chunk)
+		sc.rowsUsed = 0
 	}
-	out := s.rowsArena[s.rowsUsed : s.rowsUsed : s.rowsUsed+n]
-	s.rowsUsed += n
+	out := sc.rowsArena[sc.rowsUsed : sc.rowsUsed : sc.rowsUsed+n]
+	sc.rowsUsed += n
 	return out
 }
 
-// takeAdv carves a zero-length, capacity-n route slice out of the per-round
-// advertisement arena. Messages built in one round are fully consumed by
-// deliver before the next decideAndAdvertise call resets the arena, so the
-// backing array is reused round over round instead of being reallocated per
-// session.
-func (s *sim) takeAdv(n int) []netmodel.Route {
-	if s.advUsed+n > len(s.advArena) {
-		size := 2 * (s.advUsed + n)
+// takeAdv carves a zero-length, capacity-n route slice out of the stripe's
+// per-round advertisement arena. Messages built in one round are fully
+// consumed by deliver before the next decideAndAdvertise call resets the
+// arena, so the backing array is reused round over round instead of being
+// reallocated per session.
+func (sc *stripeCtx) takeAdv(n int) []netmodel.Route {
+	if sc.advUsed+n > len(sc.advArena) {
+		size := 2 * (sc.advUsed + n)
 		if size < 256 {
 			size = 256
 		}
 		// The old block stays referenced by this round's earlier messages and
 		// is collected once they are delivered.
-		s.advArena = make([]netmodel.Route, size)
-		s.advUsed = 0
+		sc.advArena = make([]netmodel.Route, size)
+		sc.advUsed = 0
 	}
-	out := s.advArena[s.advUsed : s.advUsed : s.advUsed+n]
-	s.advUsed += n
+	out := sc.advArena[sc.advUsed : sc.advUsed : sc.advUsed+n]
+	sc.advUsed += n
 	return out
 }
 
 // takeCands carves a zero-length, capacity-n candidate slice out of the
-// grow-only arena backing adj-RIB-in entries. Unlike the advertisement
-// arena, this one is never reset: installed slices stay live in adjIn (and
-// in captured States), so the arena exists purely to turn thousands of
-// small per-message allocations into a few chunk allocations.
-func (s *sim) takeCands(n int) []cand {
+// stripe's grow-only arena backing adj-RIB-in entries. Unlike the
+// advertisement arena, this one is never reset: installed slices stay live
+// in adjIn (and in captured States), so the arena exists purely to turn
+// thousands of small per-message allocations into a few chunk allocations.
+func (sc *stripeCtx) takeCands(n int) []cand {
 	const chunk = 1024
 	if n > chunk/4 {
 		return make([]cand, 0, n)
 	}
-	if s.candUsed+n > len(s.candArena) {
-		s.candArena = make([]cand, chunk)
-		s.candUsed = 0
+	if sc.candUsed+n > len(sc.candArena) {
+		sc.candArena = make([]cand, chunk)
+		sc.candUsed = 0
 	}
-	out := s.candArena[s.candUsed : s.candUsed : s.candUsed+n]
-	s.candUsed += n
+	out := sc.candArena[sc.candUsed : sc.candUsed : sc.candUsed+n]
+	sc.candUsed += n
 	return out
 }
 
 // giveBackCands returns the tail of the most recent takeCands carve when the
 // caller ended up installing nothing (all routes rejected).
-func (s *sim) giveBackCands(n int) {
-	if n <= chunkGiveBackMax && s.candUsed >= n {
-		s.candUsed -= n
+func (sc *stripeCtx) giveBackCands(n int) {
+	if n <= chunkGiveBackMax && sc.candUsed >= n {
+		sc.candUsed -= n
 	}
 }
 
@@ -263,9 +264,9 @@ const chunkGiveBackMax = 1024 / 4
 
 // leakInto is leak() on the cached tableInfo: the export RT set, targets and
 // source policy name were resolved at intern time, and advertisement slices
-// come from the round arena. pid is p's interned ID, stamped on the outgoing
+// come from sc's arena. pid is p's interned ID, stamped on the outgoing
 // messages so delivery skips the prefix hash.
-func (s *sim) leakInto(out []msg, ti *tableInfo, p netip.Prefix, pid int32, best []cand) []msg {
+func (s *sim) leakInto(sc *stripeCtx, out []msg, ti *tableInfo, p netip.Prefix, pid int32, best []cand) []msg {
 	if len(ti.leakTargets) == 0 {
 		return out
 	}
@@ -314,7 +315,7 @@ func (s *sim) leakInto(out []msg, ti *tableInfo, p netip.Prefix, pid int32, best
 			}
 			r.RouteType = netmodel.RouteCandidate
 			if adv == nil {
-				adv = s.takeAdv(len(best))
+				adv = sc.takeAdv(len(best))
 			}
 			adv = append(adv, r)
 		}

@@ -97,16 +97,24 @@ func SimulateWithState(net *config.Network, igp *isis.Result, inputs []netmodel.
 // here, and changed decisions always re-advertise (advSignature covers all
 // exported fields), so changes cascade exactly as they would from scratch.
 func (st *State) Resimulate(net *config.Network, igp *isis.Result, inputs []netmodel.Route, d Delta) (*Result, *ResimStats) {
-	return st.ResimulateCtx(nil, net, igp, inputs, d)
+	return st.ResimulateCtx(nil, net, igp, inputs, d, 0)
 }
 
 // ResimulateCtx is Resimulate with a cancellation context: the warm-started
 // fixpoint polls ctx between rounds and bails out early once it is done. The
 // caller must discard the (incomplete) result whenever ctx.Err() != nil. A nil
 // ctx disables polling.
-func (st *State) ResimulateCtx(ctx context.Context, net *config.Network, igp *isis.Result, inputs []netmodel.Route, d Delta) (*Result, *ResimStats) {
+//
+// parallelism overrides the captured Options.Parallelism for this restart
+// when non-zero: serve's query workers cap warm forks below the engine-wide
+// setting so one tenant's queries cannot occupy every core. Zero keeps the
+// captured setting. The result is byte-identical at every value.
+func (st *State) ResimulateCtx(ctx context.Context, net *config.Network, igp *isis.Result, inputs []netmodel.Route, d Delta, parallelism int) (*Result, *ResimStats) {
 	opts := st.opts
 	opts.Ctx = ctx
+	if parallelism != 0 {
+		opts.Parallelism = parallelism
+	}
 	s := newSim(net, igp, opts)
 	// Copy-on-write: only the outer maps are copied here; each table's inner
 	// maps stay shared with the captured state until the first write to that

@@ -1,0 +1,452 @@
+package bgp
+
+import (
+	"net/netip"
+	"slices"
+
+	"hoyan/internal/netmodel"
+	"hoyan/internal/par"
+)
+
+// This file holds the striped parallel fixpoint. Each round, the dense dirty
+// (table, prefix) set is partitioned into contiguous prefix-ID-range stripes
+// in the exact order the sequential loop would visit them, the stripes run
+// concurrently on the par pool with fully private scratch (stripeCtx), and a
+// sequential merge applies RIB installs, lastAdv updates, and the outgoing
+// message batch in stripe order — so every observable outcome of a round
+// (RIB rows, advertisement order, suppression signatures, next-round dirty
+// cascades, boundary contracts) is byte-identical to the sequential engine.
+//
+// Why the per-pair work is independent: a decision for (table, prefix) reads
+// the table's locals and adj-RIB-in for that prefix only — both written
+// exclusively by the previous round's deliver — plus immutable per-run state
+// (configuration, topology index, IGP costs, session graph, interned
+// tableInfo). Its writes (one RIB row set, one lastAdv entry, appended
+// messages) touch only its own pair, and the parallel path defers them to
+// the merge. The one in-round coupling is aggregation: refreshAggregate
+// mutates the table's local candidates in place and summary-only aggregates
+// delete lastAdv entries of *other prefixes of the same table* mid-round, so
+// a table that configures aggregates forms a dependency group — it is never
+// split and runs as one atomic unit inside a single stripe with full
+// sequential semantics (immediate installs, in-place mutations).
+//
+// The sequential pre-pass performs every write to shared structures the
+// round would otherwise do lazily — table/prefix interning (session target
+// tables, leak targets, aggregate prefixes and covered RIB prefixes),
+// outer-map entries (lastAdv, ribs, locals/aggOn for aggregate tables),
+// copy-on-write privatization (sim.own), dirty-device marking — so the
+// parallel phase performs zero writes to anything shared. Interning extra
+// IDs the sequential path would have interned later (or not at all) is
+// result-neutral: iteration order derives from the lexical rank and
+// last-address sorts, never from raw ID assignment order.
+
+// minPairsPerStripe bounds fan-out for tiny rounds: a stripe below this many
+// dirty pairs costs more in coordination than it saves.
+const minPairsPerStripe = 4
+
+// minMsgsPerDeliverChunk is the analogous floor for parallel delivery.
+const minMsgsPerDeliverChunk = 8
+
+// stripeCtx is the scratch world of one fixpoint worker: the decision
+// scratch buffers, the advertisement/candidate/row arenas, and the stripe's
+// deferred outputs. The sequential path runs on stripe 0; parallel stripes
+// never share one.
+type stripeCtx struct {
+	// Decision scratch reused across decide calls. Each is fully consumed
+	// before its next reuse: decide's outputs feed advertise within the same
+	// prefix iteration.
+	candScratch  []cand
+	unresScratch []cand
+	bestScratch  []cand
+	sortScratch  []cand
+	ordScratch   []int32
+	fromScratch  []string
+	sigScratch   []byte
+
+	// advArena backs msg route slices for one round (see takeAdv).
+	advArena []netmodel.Route
+	advUsed  int
+
+	// candArena backs the adj-RIB-in candidate slices deliver installs
+	// (see takeCands; grow-only, never reset).
+	candArena []cand
+	candUsed  int
+
+	// rowsArena likewise backs the RIB row slices decide carves
+	// (see takeRows; grow-only, never reset).
+	rowsArena []netmodel.Route
+	rowsUsed  int
+
+	// Stripe-local outputs of one parallel round, applied by the merge pass.
+	out  []msg
+	recs []stripeRec
+	caps []capRec
+
+	// deferCaps redirects boundary captures into caps while a stripe runs
+	// (sealOut is shared across stripes).
+	deferCaps bool
+}
+
+// stripeRec is one deferred (table, prefix) outcome: the rows to install,
+// the new advertisement signature when it changed, and the span of stripe
+// messages the pair produced. Aggregate-table units apply their state
+// in-stripe and record only their message span.
+type stripeRec struct {
+	tid, pid         int32
+	msgStart, msgEnd int32
+	changed          bool
+	agg              bool
+	sig              string
+	rows             []netmodel.Route
+}
+
+// capRec is one deferred boundary capture of a sealed striped round.
+type capRec struct {
+	from string
+	sess *session
+	p    netip.Prefix
+	adv  []netmodel.Route
+}
+
+// stripeUnit is a contiguous run of one table's sorted dirty prefixes
+// assigned to a stripe. agg marks an aggregation dependency group (the whole
+// table, atomic).
+type stripeUnit struct {
+	tid  int32
+	pids []int32
+	agg  bool
+}
+
+// stripe returns worker i's scratch context, growing the pool on demand.
+func (s *sim) stripe(i int) *stripeCtx {
+	for len(s.stripes) <= i {
+		s.stripes = append(s.stripes, &stripeCtx{})
+	}
+	return s.stripes[i]
+}
+
+// decideAndAdvertiseParallel runs one fixpoint round striped across the par
+// pool. It reports ok=false — without having changed any round outcome —
+// when the round is too small to be worth fanning out, leaving the caller to
+// run the sequential loop. (The pre-pass may already have run by the time a
+// single-stripe collapse is detected; all of its effects are writes the
+// sequential round performs or tolerates identically.)
+func (s *sim) decideAndAdvertiseParallel() ([]msg, bool) {
+	total := 0
+	for _, tid := range s.dirtyTids {
+		total += len(s.dirtyPids[tid])
+	}
+	nstripes := s.parWorkers
+	if lim := total / minPairsPerStripe; nstripes > lim {
+		nstripes = lim
+	}
+	if nstripes < 2 {
+		return nil, false
+	}
+
+	// ---- sequential pre-pass: every shared-structure write of the round ----
+	for _, tid := range s.dirtyTids {
+		ti := s.tinfo[tid]
+		k := ti.k
+		if s.dirtyDevs != nil {
+			s.dirtyDevs[k.dev] = true
+		}
+		s.own(k)
+		hint := 0
+		if k.vrf == netmodel.DefaultVRF {
+			hint = len(s.pfxs)
+		}
+		if s.lastAdv[k] == nil {
+			s.lastAdv[k] = make(map[netip.Prefix]string, hint)
+		}
+		rib := s.ribs[k]
+		if rib == nil {
+			rib = netmodel.NewRIBSized(k.dev, k.vrf, hint)
+			s.ribs[k] = rib
+		}
+		// Resolve the lazily-interned advertisement and leak targets now so
+		// the stripes never write the intern tables.
+		if ti.dev != nil && ti.advertise {
+			for i := range ti.sessions {
+				si := &ti.sessions[i]
+				if si.ok && si.toTID1 == 0 {
+					si.toTID1 = s.tidOf(tableKey{si.sess.remote, si.sess.vrf}) + 1
+				}
+			}
+		}
+		if len(ti.leakTargets) > 0 {
+			if ti.leakTIDs == nil {
+				ti.leakTIDs = make([]int32, len(ti.leakTargets))
+			}
+			for idx, target := range ti.leakTargets {
+				if ti.leakTIDs[idx] == 0 {
+					ti.leakTIDs[idx] = s.tidOf(tableKey{k.dev, target}) + 1
+				}
+			}
+		}
+		if len(ti.aggs) > 0 {
+			// Aggregate units run with full sequential semantics in-stripe:
+			// pre-create the outer-map entries they write through (locals,
+			// aggOn) and intern every prefix updateAggregatesInto can touch —
+			// the aggregate prefixes themselves plus all current RIB prefixes
+			// (a warm-restart RIB can hold prefixes this sim never interned).
+			s.localsOf(k)
+			if s.aggOn[k] == nil {
+				s.aggOn[k] = make(map[netip.Prefix]bool)
+			}
+			for _, a := range ti.aggs {
+				s.pidOf(a.Prefix)
+			}
+			for _, cp := range rib.Prefixes() {
+				s.pidOf(cp)
+			}
+		}
+		// Sort this table's dirty prefixes exactly like the sequential loop.
+		pids := s.dirtyPids[tid]
+		slices.SortFunc(pids, func(a, b int32) int {
+			if c := s.lastAddrs[a].Compare(s.lastAddrs[b]); c != 0 {
+				return c
+			}
+			pa, pb := s.pfxs[a], s.pfxs[b]
+			if ba, bb := pa.Bits(), pb.Bits(); ba != bb {
+				return ba - bb
+			}
+			return pa.Addr().Compare(pb.Addr())
+		})
+	}
+
+	// Table order after the pre-pass (interning may have added tables, which
+	// rebuilds the rank array; ranks still sort dirty tables lexically).
+	trank := s.tableRank()
+	tids := s.dirtyTids
+	slices.SortFunc(tids, func(a, b int32) int { return int(trank[a]) - int(trank[b]) })
+
+	// ---- striping: contiguous balanced partition of the visit order ----
+	target := (total + nstripes - 1) / nstripes
+	var stripes [][]stripeUnit
+	var cur []stripeUnit
+	curLoad := 0
+	var pairs []int
+	flush := func() {
+		if len(cur) > 0 {
+			stripes = append(stripes, cur)
+			pairs = append(pairs, curLoad)
+			cur, curLoad = nil, 0
+		}
+	}
+	for _, tid := range tids {
+		ti := s.tinfo[tid]
+		pids := s.dirtyPids[tid]
+		if len(pids) == 0 {
+			continue
+		}
+		if len(ti.aggs) > 0 {
+			// Aggregation dependency group: never split the table.
+			if curLoad > 0 && curLoad+len(pids) > target {
+				flush()
+			}
+			cur = append(cur, stripeUnit{tid: tid, pids: pids, agg: true})
+			curLoad += len(pids)
+			if curLoad >= target {
+				flush()
+			}
+			continue
+		}
+		for off := 0; off < len(pids); {
+			take := len(pids) - off
+			if room := target - curLoad; take > room {
+				take = room
+			}
+			cur = append(cur, stripeUnit{tid: tid, pids: pids[off : off+take]})
+			curLoad += take
+			off += take
+			if curLoad >= target {
+				flush()
+			}
+		}
+	}
+	flush()
+	if len(stripes) < 2 {
+		// Everything collapsed into one stripe (e.g. one big aggregation
+		// group): no parallelism to gain.
+		return nil, false
+	}
+
+	// ---- parallel phase: stripes run with private scratch ----
+	for i := range stripes {
+		s.stripe(i) // pre-grow: ForEach workers must not race the append
+	}
+	par.ForEach(s.opts.Parallelism, len(stripes), func(i int) {
+		s.runStripe(s.stripes[i], stripes[i])
+	})
+
+	// ---- sequential merge in stripe (= sequential visit) order ----
+	out := s.msgScratch[:0]
+	for i := range stripes {
+		sc := s.stripes[i]
+		for ri := range sc.recs {
+			rec := &sc.recs[ri]
+			if rec.agg {
+				out = append(out, sc.out[rec.msgStart:rec.msgEnd]...)
+				continue
+			}
+			k := s.tinfo[rec.tid].k
+			p := s.pfxs[rec.pid]
+			s.ribs[k].ReplaceOwned(p, rec.rows)
+			if rec.changed {
+				s.lastAdv[k][p] = rec.sig
+				out = append(out, sc.out[rec.msgStart:rec.msgEnd]...)
+			}
+			rec.rows = nil // the RIB owns them now
+		}
+		for ci := range sc.caps {
+			c := &sc.caps[ci]
+			s.captureBoundary(c.from, c.sess, c.p, c.adv)
+			c.adv, c.sess = nil, nil
+		}
+	}
+
+	// Clear the round's dirty marks, exactly as the sequential loop does.
+	for _, tid := range tids {
+		mark := s.dirtyMark[tid]
+		for _, pid := range s.dirtyPids[tid] {
+			mark[pid] = false
+		}
+		s.dirtyPids[tid] = s.dirtyPids[tid][:0]
+	}
+	s.dirtyTids = tids[:0]
+	s.par.add(pairs)
+	s.msgScratch = out
+	return out, true
+}
+
+// runStripe executes one stripe's units. Non-aggregate pairs defer their RIB
+// install, lastAdv write, and messages into stripe records; aggregate-table
+// units run the full sequential per-table loop against their (stripe-
+// exclusive) table state and defer only their messages.
+func (s *sim) runStripe(sc *stripeCtx, units []stripeUnit) {
+	sc.out = sc.out[:0]
+	sc.recs = sc.recs[:0]
+	sc.caps = sc.caps[:0]
+	sc.advUsed = 0 // last round's messages were consumed; recycle the arena
+	sc.deferCaps = true
+	defer func() { sc.deferCaps = false }()
+	for _, u := range units {
+		if s.ctxDone() {
+			return // caller discards the result per the Options.Ctx contract
+		}
+		ti := s.tinfo[u.tid]
+		k := ti.k
+		la := s.lastAdv[k]
+		lk := s.locals[k]
+		ai := s.adjIn[k]
+		if u.agg {
+			s.runAggUnit(sc, ti, u, la, lk, ai)
+			continue
+		}
+		for _, pid := range u.pids {
+			p := s.pfxs[pid]
+			best, sorted, rows := s.decide(sc, ti, lk, ai, p)
+			sig := appendAdvSignature(sc.sigScratch[:0], sorted)
+			sc.sigScratch = sig
+			rec := stripeRec{tid: u.tid, pid: pid, rows: rows}
+			if la[p] != string(sig) { // alloc-free comparison
+				rec.changed = true
+				rec.sig = string(sig)
+				m0 := int32(len(sc.out))
+				sc.out = s.advertiseInto(sc, sc.out, ti, p, pid, best, sorted)
+				sc.out = s.leakInto(sc, sc.out, ti, p, pid, best)
+				rec.msgStart, rec.msgEnd = m0, int32(len(sc.out))
+			}
+			sc.recs = append(sc.recs, rec)
+		}
+	}
+}
+
+// runAggUnit is the sequential per-table loop for one aggregation dependency
+// group: installs, lastAdv writes, and in-place aggregate refreshes happen
+// immediately (the table belongs to this stripe alone), messages and
+// boundary captures are still deferred.
+func (s *sim) runAggUnit(sc *stripeCtx, ti *tableInfo, u stripeUnit, la map[netip.Prefix]string, lk map[netip.Prefix][]cand, ai map[netip.Prefix]map[string][]cand) {
+	k := ti.k
+	rib := s.ribs[k]
+	m0 := int32(len(sc.out))
+	for _, pid := range u.pids {
+		p := s.pfxs[pid]
+		best, sorted, rows := s.decide(sc, ti, lk, ai, p)
+		rib.ReplaceOwned(p, rows)
+		sig := appendAdvSignature(sc.sigScratch[:0], sorted)
+		sc.sigScratch = sig
+		if la[p] == string(sig) { // alloc-free comparison
+			continue // steady state for this prefix
+		}
+		la[p] = string(sig)
+		sc.out = s.advertiseInto(sc, sc.out, ti, p, pid, best, sorted)
+		sc.out = s.leakInto(sc, sc.out, ti, p, pid, best)
+		sc.out = s.updateAggregatesInto(sc.out, ti, u.tid, p)
+	}
+	sc.recs = append(sc.recs, stripeRec{tid: u.tid, agg: true, msgStart: m0, msgEnd: int32(len(sc.out))})
+}
+
+// deliverParallel fans the per-message compute of one delivery batch (import
+// policy, AS-loop check, candidate construction — the bulk of delivery cost)
+// out over contiguous chunks, then commits the results sequentially in
+// message order so adj-RIB-in updates and dirty marking are byte-identical
+// to sequential delivery. Safe because an adj-RIB-in cell (table, prefix,
+// sender) is written by at most one message per round: the compute phase's
+// reads of pre-round state equal what the sequential interleaving would
+// read. Reports false — leaving the batch untouched — when the batch carries
+// unresolved table IDs (boundary seeding) or is too small to chunk.
+func (s *sim) deliverParallel(msgs []msg) bool {
+	for i := range msgs {
+		if msgs[i].tid1 == 0 {
+			return false
+		}
+	}
+	nchunks := s.parWorkers
+	if lim := len(msgs) / minMsgsPerDeliverChunk; nchunks > lim {
+		nchunks = lim
+	}
+	if nchunks < 2 {
+		return false
+	}
+	if cap(s.deliverScratch) < len(msgs) {
+		s.deliverScratch = make([][]cand, len(msgs))
+	}
+	res := s.deliverScratch[:len(msgs)]
+	chunk := (len(msgs) + nchunks - 1) / nchunks
+	for i := 0; i < nchunks; i++ {
+		s.stripe(i) // pre-grow before the fan-out
+	}
+	par.ForEach(s.opts.Parallelism, nchunks, func(ci int) {
+		sc := s.stripes[ci]
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > len(msgs) {
+			hi = len(msgs)
+		}
+		for i := lo; i < hi; i++ {
+			m := &msgs[i]
+			ti := s.tinfo[m.tid1-1]
+			if ti.dev == nil {
+				res[i] = nil
+				continue
+			}
+			res[i] = s.acceptedFor(sc, m, ti)
+		}
+	})
+	for i := range msgs {
+		m := &msgs[i]
+		s.messages++
+		tid := m.tid1 - 1
+		ti := s.tinfo[tid]
+		if ti.dev == nil {
+			continue
+		}
+		// nil stripe: the accepted slice lives in another stripe's arena, so
+		// there is no tail to give back.
+		s.commitDelivery(nil, m, tid, ti, res[i])
+		res[i] = nil // drop the reference; adjIn owns installed slices
+	}
+	return true
+}

@@ -1,0 +1,290 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"hoyan/internal/config"
+	"hoyan/internal/gen"
+	"hoyan/internal/isis"
+	"hoyan/internal/netmodel"
+)
+
+// parallelFixture builds a network exercising every in-round dependency the
+// striping rule must respect — two aggregates on one table (one summary-only,
+// which suppresses other prefixes of that table), VRF leaking, route
+// reflection — plus enough distinct prefixes that rounds actually split into
+// several stripes.
+func parallelFixture() (*netBuilder, []netmodel.Route) {
+	b := newBuilder()
+	b.device("E", "alpha", 64999, "1.0.0.1")
+	b.device("A", "alpha", 65001, "1.0.0.2")
+	b.device("RR", "alpha", 65001, "1.0.0.3")
+	b.device("C1", "alpha", 65001, "1.0.0.4")
+	b.device("C2", "alpha", 65001, "1.0.0.5")
+	b.link("E", "A", 10)
+	b.link("A", "RR", 10)
+	b.link("RR", "C1", 10)
+	b.link("RR", "C2", 10)
+	b.ebgp("E", "A")
+	b.ibgp("A", "RR")
+	b.ibgp("RR", "C1")
+	b.ibgp("RR", "C2")
+	for _, nb := range b.net.Devices["RR"].Neighbors {
+		if nb.Addr == b.net.Devices["C1"].Loopback || nb.Addr == b.net.Devices["C2"].Loopback {
+			nb.RRClient = true
+		}
+	}
+	b.net.Devices["E"].Interfaces["ext"] = &config.Interface{Name: "ext", Addr: netip.MustParsePrefix("203.0.113.2/24")}
+	nextHopSelfAll(b, "A")
+
+	a := b.net.Devices["A"]
+	a.Aggregates = append(a.Aggregates,
+		config.Aggregate{VRF: netmodel.DefaultVRF, Prefix: netip.MustParsePrefix("10.0.0.0/8"), ASSet: true},
+		config.Aggregate{VRF: netmodel.DefaultVRF, Prefix: netip.MustParsePrefix("10.64.0.0/10"), SummaryOnly: true},
+	)
+
+	c1 := b.net.Devices["C1"]
+	c1.VRFs["v1"] = &config.VRF{Name: "v1", ExportRTs: []string{"rt1"}}
+	c1.VRFs["v2"] = &config.VRF{Name: "v2", ImportRTs: []string{"rt1"}}
+
+	var inputs []netmodel.Route
+	for i := 0; i < 12; i++ {
+		inputs = append(inputs, inputRoute("E", fmt.Sprintf("10.0.%d.0/24", i), 65100, netmodel.ASN(65200+i)))
+	}
+	for i := 0; i < 12; i++ {
+		inputs = append(inputs, inputRoute("E", fmt.Sprintf("10.64.%d.0/24", i), 65100))
+	}
+	for i := 0; i < 12; i++ {
+		inputs = append(inputs, inputRoute("E", fmt.Sprintf("172.20.%d.0/24", i), 65300))
+	}
+	for i := 0; i < 4; i++ {
+		in := inputRoute("C1", fmt.Sprintf("192.168.%d.0/24", i), 65400)
+		in.VRF = "v1"
+		in.NextHop = c1.Loopback
+		inputs = append(inputs, in)
+	}
+	return b, inputs
+}
+
+// TestParallelFixpointEquivalence pins the tentpole invariant on the
+// dependency-rich fixture: the striped fixpoint is byte-identical to the
+// sequential indexed path and the legacy reference at every parallelism, with
+// the same round and message counts, and parallelism >= 2 actually stripes.
+func TestParallelFixpointEquivalence(t *testing.T) {
+	b, inputs := parallelFixture()
+	igp := isis.Compute(b.net.Topo, isis.Options{})
+
+	seq := Simulate(b.net, igp, inputs, Options{Parallelism: 1})
+	if !seq.Converged {
+		t.Fatalf("fixture did not converge in %d rounds", seq.Rounds)
+	}
+	if seq.Par.ParallelRounds != 0 {
+		t.Errorf("sequential run reported %d parallel rounds", seq.Par.ParallelRounds)
+	}
+	seqRIB := seq.GlobalRIB()
+
+	leg := Simulate(b.net, igp, inputs, Options{Legacy: true})
+	if !seqRIB.Equal(leg.GlobalRIB()) {
+		t.Fatal("sequential indexed RIB differs from legacy reference")
+	}
+
+	for _, p := range []int{2, 8} {
+		res := Simulate(b.net, igp, inputs, Options{Parallelism: p})
+		if res.Rounds != seq.Rounds || res.Messages != seq.Messages {
+			t.Errorf("parallelism %d: rounds/messages %d/%d, want %d/%d",
+				p, res.Rounds, res.Messages, seq.Rounds, seq.Messages)
+		}
+		if !res.GlobalRIB().Equal(seqRIB) {
+			t.Errorf("parallelism %d: RIB differs from sequential", p)
+		}
+		if res.Par.ParallelRounds == 0 {
+			t.Errorf("parallelism %d: no round striped; fixture too small to exercise the parallel path", p)
+		}
+		if res.Par.MaxStripePairs > res.Par.SumStripePairs {
+			t.Errorf("parallelism %d: inconsistent stripe stats %+v", p, res.Par)
+		}
+	}
+}
+
+// TestParallelFixpointEquivalenceWAN re-checks byte-identity at gen.WAN(1)
+// scale, including the Parallelism 0 (= GOMAXPROCS) convention.
+func TestParallelFixpointEquivalenceWAN(t *testing.T) {
+	out := gen.Generate(gen.WAN(1))
+	igp := isis.Compute(out.Net.Topo, isis.Options{})
+
+	seq := Simulate(out.Net, igp, out.Inputs, Options{Parallelism: 1})
+	seqRIB := seq.GlobalRIB()
+	leg := Simulate(out.Net, igp, out.Inputs, Options{Legacy: true})
+	if !seqRIB.Equal(leg.GlobalRIB()) {
+		t.Fatal("sequential indexed RIB differs from legacy reference")
+	}
+
+	for _, p := range []int{0, 2, 8} {
+		res := Simulate(out.Net, igp, out.Inputs, Options{Parallelism: p})
+		if res.Rounds != seq.Rounds || res.Messages != seq.Messages {
+			t.Errorf("parallelism %d: rounds/messages %d/%d, want %d/%d",
+				p, res.Rounds, res.Messages, seq.Rounds, seq.Messages)
+		}
+		if !res.GlobalRIB().Equal(seqRIB) {
+			t.Errorf("parallelism %d: RIB differs from sequential", p)
+		}
+		if p >= 2 && res.Par.ParallelRounds == 0 {
+			t.Errorf("parallelism %d: no round striped on the WAN fixture", p)
+		}
+	}
+}
+
+// TestParallelSealedEquivalence covers the sealed (sharded) fixpoint: seam
+// captures are deferred per stripe and merged in stripe order, so the
+// boundary contract and inside RIBs must match the sequential sealed run.
+func TestParallelSealedEquivalence(t *testing.T) {
+	b, inputs := parallelFixture()
+	igp := isis.Compute(b.net.Topo, isis.Options{})
+	inside := map[string]bool{"E": true, "A": true}
+	run := func(p int) *Result {
+		return Simulate(b.net, igp, inputs, Options{
+			Parallelism: p,
+			Seal:        &Seal{Inside: inside},
+		})
+	}
+	seq := run(1)
+	for _, p := range []int{2, 8} {
+		res := run(p)
+		if !netmodel.BoundarySetsEqual(seq.BoundaryOut, res.BoundaryOut) {
+			t.Errorf("parallelism %d: sealed boundary contract differs", p)
+		}
+		if !res.GlobalRIB().Equal(seq.GlobalRIB()) {
+			t.Errorf("parallelism %d: sealed RIB differs", p)
+		}
+	}
+}
+
+// allDistChanged marks every device's distance to every destination as
+// changed — a deliberately conservative warm-restart delta that is always
+// correct, so the test isolates the striped fixpoint rather than delta
+// computation.
+func allDistChanged(net *config.Network) map[string]map[string]bool {
+	names := net.Topo.NodeNames()
+	out := make(map[string]map[string]bool, len(names))
+	for _, d := range names {
+		m := make(map[string]bool, len(names))
+		for _, o := range names {
+			m[o] = true
+		}
+		out[d] = m
+	}
+	return out
+}
+
+// TestParallelResimulateEquivalence pins the warm-restart path: a captured
+// state re-simulated at any parallelism (including ResimulateCtx's per-fork
+// override) matches a from-scratch sequential run of the changed scenario.
+func TestParallelResimulateEquivalence(t *testing.T) {
+	b, inputs := parallelFixture()
+	igp := isis.Compute(b.net.Topo, isis.Options{})
+
+	// Input delta: drop some routes, add a fresh one.
+	inputs2 := append([]netmodel.Route(nil), inputs[:len(inputs)-6]...)
+	inputs2 = append(inputs2, inputRoute("E", "10.0.200.0/24", 65100, 65999))
+	refInputs := Simulate(b.net, igp, inputs2, Options{Parallelism: 1}).GlobalRIB()
+
+	// Topology delta: RR-C1 link down (kills the iBGP session to C1).
+	net2 := b.net.Clone()
+	link := net2.Topo.FindLink("RR", "C1")
+	if !net2.Topo.SetLinkUp(link.ID(), false) {
+		t.Fatal("link RR-C1 not found")
+	}
+	igp2 := isis.Compute(net2.Topo, isis.Options{})
+	delta := Delta{
+		ChangedLinks: []netmodel.LinkID{link.ID()},
+		DistChanged:  allDistChanged(net2),
+	}
+	refTopo := Simulate(net2, igp2, inputs, Options{Parallelism: 1}).GlobalRIB()
+
+	for _, p := range []int{1, 2, 8} {
+		_, st := SimulateWithState(b.net, igp, inputs, Options{Parallelism: p})
+
+		res, _ := st.Resimulate(b.net, igp, inputs2, Delta{})
+		if !res.GlobalRIB().Equal(refInputs) {
+			t.Errorf("parallelism %d: warm input-delta RIB differs from scratch", p)
+		}
+
+		res2, _ := st.Resimulate(net2, igp2, inputs, delta)
+		if !res2.GlobalRIB().Equal(refTopo) {
+			t.Errorf("parallelism %d: warm topology-delta RIB differs from scratch", p)
+		}
+	}
+
+	// Per-restart override: a state captured sequential, restarted striped.
+	_, st := SimulateWithState(b.net, igp, inputs, Options{Parallelism: 1})
+	res, _ := st.ResimulateCtx(nil, net2, igp2, inputs, delta, 8)
+	if !res.GlobalRIB().Equal(refTopo) {
+		t.Error("ResimulateCtx parallelism override differs from scratch")
+	}
+}
+
+// TestParallelSimulateRace exercises the striped fixpoint under the race
+// detector: several goroutines simulate the same shared network (lazy
+// topology indexes, interner, policy caches) with Parallelism 8 each, and
+// every result must still match the sequential reference.
+func TestParallelSimulateRace(t *testing.T) {
+	b, inputs := parallelFixture()
+	igp := isis.Compute(b.net.Topo, isis.Options{})
+	ref := Simulate(b.net, igp, inputs, Options{Parallelism: 1}).GlobalRIB()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				res := Simulate(b.net, igp, inputs, Options{Parallelism: 8})
+				if !res.GlobalRIB().Equal(ref) {
+					t.Error("concurrent striped run differs from sequential")
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FuzzParallelFixpointEquivalence drives randomized scenarios — seeded input
+// subsets and link failures — through parallelism 1, 2, and 8 plus the legacy
+// reference, asserting byte-identical global RIBs throughout.
+func FuzzParallelFixpointEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(2), uint8(1))
+	f.Add(int64(3), uint8(2))
+	f.Add(int64(4), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, downs uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		b, inputs := parallelFixture()
+		keep := inputs[:0:0]
+		for _, r := range inputs {
+			if rng.Intn(4) > 0 {
+				keep = append(keep, r)
+			}
+		}
+		links := b.net.Topo.Links()
+		for i := 0; i < int(downs)%3; i++ {
+			b.net.Topo.SetLinkUp(links[rng.Intn(len(links))].ID(), false)
+		}
+		igp := isis.Compute(b.net.Topo, isis.Options{})
+
+		ref := Simulate(b.net, igp, keep, Options{Parallelism: 1}).GlobalRIB()
+		leg := Simulate(b.net, igp, keep, Options{Legacy: true}).GlobalRIB()
+		if !ref.Equal(leg) {
+			t.Fatal("sequential indexed RIB differs from legacy reference")
+		}
+		for _, p := range []int{2, 8} {
+			got := Simulate(b.net, igp, keep, Options{Parallelism: p}).GlobalRIB()
+			if !got.Equal(ref) {
+				t.Fatalf("parallelism %d: RIB differs from sequential (seed %d, downs %d)", p, seed, downs)
+			}
+		}
+	})
+}

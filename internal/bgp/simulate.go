@@ -9,6 +9,7 @@ import (
 	"hoyan/internal/config"
 	"hoyan/internal/isis"
 	"hoyan/internal/netmodel"
+	"hoyan/internal/par"
 	"hoyan/internal/policy"
 	"hoyan/internal/vsb"
 )
@@ -41,6 +42,15 @@ type Options struct {
 	// (see Seal). Forces the indexed path; unsupported by SimulateWithState.
 	Seal *Seal
 
+	// Parallelism fans the indexed fixpoint out over prefix-range stripes
+	// (parallel.go), following the engine-wide par convention: 0 means
+	// runtime.GOMAXPROCS(0) workers, 1 runs the sequential reference path,
+	// n > 1 uses n workers. Results are byte-identical at every setting —
+	// stripes merge in deterministic prefix order — so the knob trades only
+	// wall-clock for cores. The legacy path ignores it. Captured States carry
+	// it into warm restarts (ResimulateCtx can override per fork).
+	Parallelism int
+
 	// Ctx, when non-nil, is polled between fixpoint rounds and periodically
 	// inside the decision loop; once it is done the simulation bails out
 	// early and the (incomplete) result must be discarded by the caller.
@@ -70,6 +80,32 @@ type Result struct {
 	// sealed run (nil without Options.Seal): every advertisement the shard's
 	// converged state sends across its seams.
 	BoundaryOut []netmodel.BoundaryAdv
+	// Par reports how much of the run executed on the striped parallel path
+	// (all zero for sequential and legacy runs).
+	Par ParStats
+}
+
+// ParStats counts the striped-fixpoint work of one run: rounds that actually
+// fanned out, total stripes executed, and the dirty-pair balance across them
+// (MaxStripePairs/SumStripePairs expose worst-stripe skew; a perfectly
+// balanced round has Max ≈ Sum/Stripes).
+type ParStats struct {
+	ParallelRounds int
+	Stripes        int
+	MaxStripePairs int
+	SumStripePairs int
+}
+
+// add accumulates one parallel round's stripe accounting.
+func (p *ParStats) add(stripePairs []int) {
+	p.ParallelRounds++
+	p.Stripes += len(stripePairs)
+	for _, n := range stripePairs {
+		p.SumStripePairs += n
+		if n > p.MaxStripePairs {
+			p.MaxStripePairs = n
+		}
+	}
 }
 
 type tableKey struct {
@@ -186,18 +222,28 @@ type sim struct {
 	topoIdx  *netmodel.TopoIndex
 	igpIdxOK bool
 
-	// Scratch buffers reused across rounds by the optimized path. Each is
-	// fully consumed before its next reuse: decide's outputs feed advertise
-	// within the same prefix iteration, and a round's message batch is
-	// drained by deliver before the next decideAndAdvertise call.
-	candScratch  []cand
-	unresScratch []cand
-	bestScratch  []cand
-	sortScratch  []cand
-	ordScratch   []int32
-	fromScratch  []string
-	sigScratch   []byte
-	msgScratch   []msg
+	// msgScratch is the round-global message buffer reused across rounds; a
+	// returned batch is fully drained by deliver before the next
+	// decideAndAdvertise call refills it.
+	msgScratch []msg
+
+	// stripes holds the per-worker scratch contexts (decision scratch,
+	// advertisement/candidate/row arenas, stripe-local outputs). The
+	// sequential path runs entirely on stripe 0; the parallel path hands
+	// stripe i to worker i so workers never share mutable scratch. Grown
+	// lazily by stripe().
+	stripes []*stripeCtx
+
+	// parWorkers caches par.Workers(opts.Parallelism) for the indexed path
+	// (1 disables the striped path entirely).
+	parWorkers int
+
+	// deliverScratch holds the per-message acceptance results of one parallel
+	// delivery batch, reused across rounds.
+	deliverScratch [][]cand
+
+	// par accumulates the striped-path accounting reported on Result.
+	par ParStats
 
 	// Dense table/prefix interning for the indexed fixpoint (dense.go): every
 	// (device, vrf) table and every prefix the run touches gets a small
@@ -213,22 +259,6 @@ type sim struct {
 	dirtyMark [][]bool
 	dirtyPids [][]int32
 	dirtyTids []int32
-
-	// advArena backs msg route slices for one round (see takeAdv).
-	advArena []netmodel.Route
-	advUsed  int
-
-	// candArena backs the adj-RIB-in candidate slices deliver installs. It
-	// grows monotonically and is never reset during a run: installed slices
-	// stay referenced by adjIn (and by captured States), so the arena only
-	// amortizes allocation count, it never reuses memory (see takeCands).
-	candArena []cand
-	candUsed  int
-
-	// rowsArena likewise backs the RIB row slices decide installs
-	// (see takeRows).
-	rowsArena []netmodel.Route
-	rowsUsed  int
 
 	// sealOut collects the latest seam advertisement per boundary key in a
 	// sealed run (nil without Options.Seal).
@@ -285,6 +315,7 @@ func newSim(net *config.Network, igp *isis.Result, opts Options) *sim {
 	if !s.opts.Legacy {
 		s.topoIdx = net.Topo.Index()
 		s.igpIdxOK = igp != nil && igp.EdgeIndex() == s.topoIdx
+		s.parWorkers = par.Workers(s.opts.Parallelism)
 	}
 	if s.opts.Seal != nil {
 		s.sealOut = make(map[boundaryKey]netmodel.BoundaryAdv)
@@ -369,7 +400,7 @@ func (s *sim) runDense() *Result {
 		s.deliver(pending)
 		pending = s.decideAndAdvertise()
 	}
-	res := &Result{ribs: s.ribs, Rounds: rounds, Converged: converged, Messages: s.messages}
+	res := &Result{ribs: s.ribs, Rounds: rounds, Converged: converged, Messages: s.messages, Par: s.par}
 	if s.opts.Seal != nil {
 		res.BoundaryOut = s.boundaryOut()
 	}
@@ -594,14 +625,27 @@ func (s *sim) directRoutes(d *config.Device, prof vsb.Profile, forRedist bool) [
 }
 
 // deliver processes a batch of messages: ingress policy, loop prevention,
-// adj-RIB-in update. Dirty (table, prefix) pairs are recorded in the dense
-// round-local set (dense.go). Allocation-lean variant: the accepted slice is
-// sized exactly once per message, withdrawals allocate nothing (not even the
-// inner adj-RIB-in map the legacy path creates eagerly), the per-device
-// profile/env/session lookups come from the interned tableInfo, and the
-// import policy is resolved once per message instead of once per route. The
-// original is legacyDeliver.
+// adj-RIB-in update. Large batches fan the per-message compute (policy,
+// AS-loop check, candidate construction) out over the stripe workers
+// (parallel.go); small batches, sequential runs, and batches carrying
+// unresolved table IDs (boundary seeding) take the sequential path.
 func (s *sim) deliver(msgs []msg) {
+	if s.parWorkers > 1 && len(msgs) >= 2*minMsgsPerDeliverChunk {
+		if s.deliverParallel(msgs) {
+			return
+		}
+	}
+	s.deliverSeq(msgs)
+}
+
+// deliverSeq is the sequential delivery loop. Allocation-lean variant: the
+// accepted slice is sized exactly once per message, withdrawals allocate
+// nothing (not even the inner adj-RIB-in map the legacy path creates
+// eagerly), the per-device profile/env/session lookups come from the
+// interned tableInfo, and the import policy is resolved once per message
+// instead of once per route. The original is legacyDeliver.
+func (s *sim) deliverSeq(msgs []msg) {
+	sc := s.stripe(0)
 	for i := range msgs {
 		m := &msgs[i]
 		s.messages++
@@ -610,103 +654,120 @@ func (s *sim) deliver(msgs []msg) {
 			tid = s.tidOf(tableKey{m.to, m.vrf})
 		}
 		ti := s.tinfo[tid]
-		d := ti.dev
-		if d == nil {
+		if ti.dev == nil {
 			continue
 		}
-		k := ti.k
-		prof := ti.prof
+		s.commitDelivery(sc, m, tid, ti, s.acceptedFor(sc, m, ti))
+	}
+}
 
-		var accepted []cand
-		if len(m.routes) > 0 {
-			// The import policy depends only on the session, not the route.
-			var pol *policy.RouteMap
-			ok := true
-			if !strings.HasPrefix(m.from, "leak:") {
-				nb := s.neighborConfigFor(d, m.from, m.vrf)
-				pol, ok = s.importPolicy(d, nb, m.from, prof, m.ebgp)
-			}
-			if ok {
-				accepted = s.takeCands(len(m.routes))
-				for _, r := range m.routes {
-					r.Device, r.VRF = m.to, m.vrf
-					r.Peer = m.from
-					// eBGP AS-loop prevention.
-					if m.ebgp && r.ASPath.Contains(d.ASN) {
-						continue
-					}
-					// Session-type defaults, applied before the import policy
-					// so the policy can override them.
-					if m.ebgp {
-						r.LocalPref = 100
-						r.Preference = prof.EBGPPreference
-					} else if r.Preference == 0 {
-						r.Preference = prof.IBGPPreference
-					}
-					r.Weight = 0
-					r.IGPCost = 0
-					r.RouteType = netmodel.RouteCandidate
+// acceptedFor computes the candidate set one message installs into its
+// table's adj-RIB-in cell: import policy, AS-loop prevention, session-type
+// defaults. It reads only pre-round state (the message, the interned
+// tableInfo, the session graph, configuration) and writes only into sc's
+// candidate arena, so the parallel delivery path runs it concurrently across
+// messages before the sequential commit.
+func (s *sim) acceptedFor(sc *stripeCtx, m *msg, ti *tableInfo) []cand {
+	if len(m.routes) == 0 {
+		return nil
+	}
+	d, prof := ti.dev, ti.prof
+	// The import policy depends only on the session, not the route.
+	var pol *policy.RouteMap
+	ok := true
+	if !strings.HasPrefix(m.from, "leak:") {
+		nb := s.neighborConfigFor(d, m.from, m.vrf)
+		pol, ok = s.importPolicy(d, nb, m.from, prof, m.ebgp)
+	}
+	if !ok {
+		return nil
+	}
+	accepted := sc.takeCands(len(m.routes))
+	for _, r := range m.routes {
+		r.Device, r.VRF = m.to, m.vrf
+		r.Peer = m.from
+		// eBGP AS-loop prevention.
+		if m.ebgp && r.ASPath.Contains(d.ASN) {
+			continue
+		}
+		// Session-type defaults, applied before the import policy
+		// so the policy can override them.
+		if m.ebgp {
+			r.LocalPref = 100
+			r.Preference = prof.EBGPPreference
+		} else if r.Preference == 0 {
+			r.Preference = prof.IBGPPreference
+		}
+		r.Weight = 0
+		r.IGPCost = 0
+		r.RouteType = netmodel.RouteCandidate
 
-					if pol != nil {
-						var disp policy.Disposition
-						r, disp = ti.env.Apply(pol, r, m.fromAddr, d.ASN)
-						if disp == policy.Reject {
-							continue
-						}
-					}
-					accepted = append(accepted, cand{route: r, ebgp: m.ebgp})
-				}
+		if pol != nil {
+			var disp policy.Disposition
+			r, disp = ti.env.Apply(pol, r, m.fromAddr, d.ASN)
+			if disp == policy.Reject {
+				continue
 			}
 		}
+		accepted = append(accepted, cand{route: r, ebgp: m.ebgp})
+	}
+	return accepted
+}
 
-		s.own(k)
-		ai := s.adjIn[k]
-		// A message that does not change the adj-RIB-in cell leaves the
-		// decision inputs untouched: re-deciding would reproduce the same
-		// rows and signature, so the (table, prefix) is not marked dirty.
-		// The one exception is the synthetic "agg:refresh" signal, whose
-		// whole purpose is to force a re-decision after the local candidate
-		// set was mutated in place.
-		changed := m.from == "agg:refresh"
-		if len(accepted) == 0 {
-			if cap(accepted) > 0 {
-				s.giveBackCands(cap(accepted))
-			}
-			// Withdrawal: only touch maps that already exist.
-			if byFrom := ai[m.prefix]; byFrom != nil {
-				if _, had := byFrom[m.from]; had {
-					delete(byFrom, m.from)
-					changed = true
-				}
-			}
-		} else {
-			if ai == nil {
-				hint := 0
-				if k.vrf == netmodel.DefaultVRF {
-					hint = len(s.pfxs)
-				}
-				ai = make(map[netip.Prefix]map[string][]cand, hint)
-				s.adjIn[k] = ai
-			}
-			byFrom := ai[m.prefix]
-			if byFrom == nil {
-				byFrom = make(map[string][]cand, 1)
-				ai[m.prefix] = byFrom
-			}
-			if old, had := byFrom[m.from]; !had || !candsSame(old, accepted) {
-				byFrom[m.from] = accepted
+// commitDelivery installs one message's precomputed acceptance result into
+// the adj-RIB-in and marks the (table, prefix) dirty when the cell changed.
+// Always sequential (it writes shared maps); sc, when non-nil, receives
+// unused candidate-arena tails back — the parallel path passes nil because
+// the accepted slice came from another stripe's arena.
+func (s *sim) commitDelivery(sc *stripeCtx, m *msg, tid int32, ti *tableInfo, accepted []cand) {
+	k := ti.k
+	s.own(k)
+	ai := s.adjIn[k]
+	// A message that does not change the adj-RIB-in cell leaves the
+	// decision inputs untouched: re-deciding would reproduce the same
+	// rows and signature, so the (table, prefix) is not marked dirty.
+	// The one exception is the synthetic "agg:refresh" signal, whose
+	// whole purpose is to force a re-decision after the local candidate
+	// set was mutated in place.
+	changed := m.from == "agg:refresh"
+	if len(accepted) == 0 {
+		if sc != nil && cap(accepted) > 0 {
+			sc.giveBackCands(cap(accepted))
+		}
+		// Withdrawal: only touch maps that already exist.
+		if byFrom := ai[m.prefix]; byFrom != nil {
+			if _, had := byFrom[m.from]; had {
+				delete(byFrom, m.from)
 				changed = true
-			} else {
-				s.giveBackCands(cap(accepted))
 			}
 		}
-		if changed {
-			pid := m.pid1 - 1
-			if pid < 0 {
-				pid = s.pidOf(m.prefix)
+	} else {
+		if ai == nil {
+			hint := 0
+			if k.vrf == netmodel.DefaultVRF {
+				hint = len(s.pfxs)
 			}
-			s.markDirty(tid, pid)
+			ai = make(map[netip.Prefix]map[string][]cand, hint)
+			s.adjIn[k] = ai
 		}
+		byFrom := ai[m.prefix]
+		if byFrom == nil {
+			byFrom = make(map[string][]cand, 1)
+			ai[m.prefix] = byFrom
+		}
+		if old, had := byFrom[m.from]; !had || !candsSame(old, accepted) {
+			byFrom[m.from] = accepted
+			changed = true
+		} else if sc != nil {
+			sc.giveBackCands(cap(accepted))
+		}
+	}
+	if changed {
+		pid := m.pid1 - 1
+		if pid < 0 {
+			pid = s.pidOf(m.prefix)
+		}
+		s.markDirty(tid, pid)
 	}
 }
 

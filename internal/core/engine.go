@@ -46,10 +46,11 @@ type Options struct {
 	DisableIncremental bool
 
 	// Parallelism bounds the worker pools behind the engine's data-parallel
-	// hot paths — per-source SPF, per-flow forwarding, EC classification, and
-	// config parsing when restoring snapshots. 0 (the default) uses
-	// runtime.GOMAXPROCS(0) workers; 1 forces the sequential reference path;
-	// results are byte-identical at every setting.
+	// hot paths — per-source SPF, the striped BGP fixpoint (cold, warm, and
+	// sealed), per-flow forwarding, EC classification, and config parsing
+	// when restoring snapshots. 0 (the default) uses runtime.GOMAXPROCS(0)
+	// workers; 1 forces the sequential reference path; results are
+	// byte-identical at every setting.
 	Parallelism int
 
 	// DisableIndex switches every subsystem to its original string-keyed
@@ -185,6 +186,7 @@ func (e *Engine) routeSimulation(ctx context.Context, inputs []netmodel.Route) (
 		FlawedASPathRegex: e.opts.FlawedASPathRegex,
 		UseTEMetric:       e.opts.UseTEMetric,
 		Legacy:            e.opts.DisableIndex,
+		Parallelism:       e.opts.Parallelism,
 		Ctx:               ctx,
 	}
 	if e.interner != nil {
@@ -227,6 +229,7 @@ func (e *Engine) RouteSimulationSealed(inputs []netmodel.Route, seal *bgp.Seal) 
 		MaxRounds:         e.opts.MaxRounds,
 		FlawedASPathRegex: e.opts.FlawedASPathRegex,
 		UseTEMetric:       e.opts.UseTEMetric,
+		Parallelism:       e.opts.Parallelism,
 		Seal:              seal,
 	}
 	if e.interner != nil {

@@ -122,6 +122,7 @@ func (e *Engine) baseRun(ctx context.Context, inputs []netmodel.Route, flows []n
 		FlawedASPathRegex: e.opts.FlawedASPathRegex,
 		UseTEMetric:       e.opts.UseTEMetric,
 		Legacy:            e.opts.DisableIndex,
+		Parallelism:       e.opts.Parallelism,
 		Ctx:               ctx,
 	}
 	reps := inputs
@@ -217,7 +218,7 @@ func (e *Engine) BaseFlows() []netmodel.Flow {
 // running it on the delta-adjusted inputs — Options.DisableIncremental takes
 // exactly that reference path.
 func (e *Engine) Fork(net *config.Network, d Delta) (*Result, ForkStats) {
-	res, stats, _ := e.forkCtx(nil, net, d)
+	res, stats, _ := e.forkCtx(nil, net, d, 0)
 	return res, stats
 }
 
@@ -227,12 +228,26 @@ func (e *Engine) Fork(net *config.Network, d Delta) (*Result, ForkStats) {
 // deadline-exceeded what-if query stops burning CPU promptly. The base
 // capture is never mutated by an abandoned fork.
 func (e *Engine) ForkCtx(ctx context.Context, net *config.Network, d Delta) (*Result, ForkStats, error) {
-	return e.forkCtx(ctx, net, d)
+	return e.forkCtx(ctx, net, d, 0)
 }
 
-func (e *Engine) forkCtx(ctx context.Context, net *config.Network, d Delta) (*Result, ForkStats, error) {
+// ForkCtxN is ForkCtx with a per-fork parallelism cap: every stage of this
+// fork (SPF recompute, warm BGP fixpoint, EC recomputation, flow
+// re-forwarding, and the from-scratch fallback) runs with at most
+// parallelism workers instead of the engine-wide setting. Zero or negative
+// keeps the engine's own Options.Parallelism. serve uses this to cap each
+// tenant query at a fraction of the machine while the base engine keeps its
+// full fan-out. Results are byte-identical at every setting.
+func (e *Engine) ForkCtxN(ctx context.Context, net *config.Network, d Delta, parallelism int) (*Result, ForkStats, error) {
+	return e.forkCtx(ctx, net, d, parallelism)
+}
+
+func (e *Engine) forkCtx(ctx context.Context, net *config.Network, d Delta, parallelism int) (*Result, ForkStats, error) {
 	if e.base == nil {
 		panic("core: Engine.Fork requires a prior BaseRun")
+	}
+	if parallelism <= 0 {
+		parallelism = e.opts.Parallelism
 	}
 	var stats ForkStats
 	inputs := applyInputDelta(e.base.inputs, d)
@@ -242,7 +257,9 @@ func (e *Engine) forkCtx(ctx context.Context, net *config.Network, d Delta) (*Re
 	// most BGP state; it is not a hot path, so take the reference route.
 	if e.opts.DisableIncremental || e.base.bgpState == nil || len(d.NodesUp) > 0 {
 		stats.Full = true
-		res, err := newEngineCtx(ctx, net, e.opts).runCtx(ctx, inputs, flows)
+		opts := e.opts
+		opts.Parallelism = parallelism
+		res, err := newEngineCtx(ctx, net, opts).runCtx(ctx, inputs, flows)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -253,7 +270,7 @@ func (e *Engine) forkCtx(ctx context.Context, net *config.Network, d Delta) (*Re
 		Links:     d.links(),
 		NodesDown: d.NodesDown,
 		NodesUp:   d.NodesUp,
-	}, isis.Options{UseTEMetric: e.opts.UseTEMetric, Parallelism: e.opts.Parallelism, Legacy: e.opts.DisableIndex, Ctx: ctx})
+	}, isis.Options{UseTEMetric: e.opts.UseTEMetric, Parallelism: parallelism, Legacy: e.opts.DisableIndex, Ctx: ctx})
 	stats.SPFSources = spfStats.Sources
 	stats.SPFReused = spfStats.Reused
 	if err := ctxErr(ctx); err != nil {
@@ -287,7 +304,7 @@ func (e *Engine) forkCtx(ctx context.Context, net *config.Network, d Delta) (*Re
 		if e.opts.DisableRouteECs {
 			reps = inputs
 		} else {
-			routeECs = ec.ComputeRouteECs(net, e.opts.Profiles, inputs, e.opts.Parallelism)
+			routeECs = ec.ComputeRouteECs(net, e.opts.Profiles, inputs, parallelism)
 			reps = routeECs.Representatives()
 		}
 	}
@@ -296,7 +313,7 @@ func (e *Engine) forkCtx(ctx context.Context, net *config.Network, d Delta) (*Re
 		DistChanged:  distChanged,
 		ChangedLinks: d.links(),
 		NodesDown:    d.NodesDown,
-	})
+	}, parallelism)
 	stats.BGPTablesTotal = rstats.TablesTotal
 	stats.BGPTablesDirty = rstats.TablesDirty
 	stats.BGPRounds = rstats.Rounds
@@ -390,10 +407,10 @@ func (e *Engine) forkCtx(ctx context.Context, net *config.Network, d Delta) (*Re
 		repFlows := e.base.repFlows
 		if !samePartition && !e.opts.DisableFlowECs {
 			rows := routes.GlobalRIB().Rows()
-			flowECs = ec.ComputeFlowECs(net, ec.RIBPrefixes(rows), flows, e.opts.Parallelism)
+			flowECs = ec.ComputeFlowECs(net, ec.RIBPrefixes(rows), flows, parallelism)
 			repFlows = flowECs.Representatives()
 		}
-		fw := e.forwarderCtx(ctx, net, igp, routes)
+		fw := e.forwarderCtxN(ctx, net, igp, routes, parallelism)
 		var trr *traffic.Result
 		if samePartition && e.base.traffic != nil {
 			// With a per-prefix RIB diff available, a changed BGP table alone
@@ -477,11 +494,17 @@ func (e *Engine) mergedGlobalRIB(bres *bgp.Result, changed map[string]bool) *net
 // forwarderCtx builds a traffic forwarder over an arbitrary snapshot/IGP
 // pair, threading the cancellation context into its per-flow loops.
 func (e *Engine) forwarderCtx(ctx context.Context, net *config.Network, igp *isis.Result, ribs traffic.RIBSource) *traffic.Forwarder {
+	return e.forwarderCtxN(ctx, net, igp, ribs, e.opts.Parallelism)
+}
+
+// forwarderCtxN is forwarderCtx with an explicit parallelism bound (forks
+// capped below the engine-wide setting).
+func (e *Engine) forwarderCtxN(ctx context.Context, net *config.Network, igp *isis.Result, ribs traffic.RIBSource, parallelism int) *traffic.Forwarder {
 	return traffic.NewForwarder(net, igp, ribs, traffic.Options{
 		Profiles:    e.opts.Profiles,
 		IgnoreACLs:  e.opts.IgnoreACLs,
 		IgnorePBR:   e.opts.IgnorePBR,
-		Parallelism: e.opts.Parallelism,
+		Parallelism: parallelism,
 		Legacy:      e.opts.DisableIndex,
 		Ctx:         ctx,
 	})

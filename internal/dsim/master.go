@@ -414,7 +414,10 @@ func (m *Master) CollectRouteResults(t *RouteTask) (*netmodel.GlobalRIB, error) 
 	}
 	seen := make(map[string]bool)
 	var rows []netmodel.Route
-	var sig []byte
+	sigBuf := netmodel.GetSigBuf()
+	defer netmodel.PutSigBuf(sigBuf)
+	sig := *sigBuf
+	defer func() { *sigBuf = sig }()
 	for i := 0; i < t.Subtasks; i++ {
 		data, err := m.svc.Store.Get(resultKey(t.ID, "route", i))
 		if err != nil {

@@ -1,10 +1,16 @@
 package dsim
 
 import (
+	"hoyan/internal/bgp"
 	"hoyan/internal/netmodel"
 	"hoyan/internal/retry"
 	"hoyan/internal/telemetry"
 )
+
+// stripeImbalanceBuckets grade the max/mean dirty-pair ratio across a BGP
+// run's stripes: 1.0 is perfectly balanced, anything past ~2 means one
+// stripe (usually a big aggregation dependency group) dominated wall time.
+var stripeImbalanceBuckets = []float64{1, 1.1, 1.25, 1.5, 2, 3, 5}
 
 // WorkerMetrics are one worker's pre-registered telemetry instruments. Every
 // field is non-nil (NewWorkerMetrics with a nil registry yields detached
@@ -36,6 +42,13 @@ type WorkerMetrics struct {
 	InternLinks      *telemetry.Gauge
 	InternPrefixes   *telemetry.Gauge
 	InternTableBytes *telemetry.Gauge
+
+	// Striped-fixpoint activity of the worker's BGP runs (see bgp.ParStats):
+	// rounds that actually fanned out, stripes they used, and the per-run
+	// max/mean dirty-pair imbalance ratio.
+	BGPParallelRounds  *telemetry.Counter   // bgp_parallel_rounds_total
+	BGPStripes         *telemetry.Counter   // bgp_stripes_total
+	BGPStripeImbalance *telemetry.Histogram // bgp_stripe_imbalance_ratio
 
 	// Per-stage wall time (the §5-style measurement seam: where does a
 	// subtask spend its time).
@@ -81,6 +94,11 @@ func NewWorkerMetrics(reg *telemetry.Registry) *WorkerMetrics {
 		InternLinks:      reg.Gauge("hoyan_intern_links", "links interned into dense IDs"),
 		InternPrefixes:   reg.Gauge("hoyan_intern_prefixes", "prefixes interned into dense IDs"),
 		InternTableBytes: reg.Gauge("hoyan_intern_table_bytes", "approximate bytes held by the interner's two-way ID tables"),
+
+		BGPParallelRounds: reg.Counter("bgp_parallel_rounds_total", "BGP fixpoint rounds run striped across the par pool"),
+		BGPStripes:        reg.Counter("bgp_stripes_total", "stripes executed across all parallel fixpoint rounds"),
+		BGPStripeImbalance: reg.Histogram("bgp_stripe_imbalance_ratio",
+			"max/mean dirty (table, prefix) pairs per stripe, one sample per run", stripeImbalanceBuckets),
 
 		QueueWaitSeconds: stage("mq_wait"),
 		DecodeSeconds:    stage("decode"),
@@ -144,6 +162,21 @@ func (m *WorkerMetrics) RecordIntern(st *netmodel.InternStats) {
 	m.InternLinks.Set(float64(st.Links))
 	m.InternPrefixes.Set(float64(st.Prefixes))
 	m.InternTableBytes.Set(float64(st.TableBytes))
+}
+
+// RecordBGPPar folds one BGP run's striped-fixpoint stats into the worker
+// counters. Runs whose rounds all stayed sequential (too small, Parallelism
+// 1) contribute nothing.
+func (m *WorkerMetrics) RecordBGPPar(p bgp.ParStats) {
+	if p.ParallelRounds == 0 {
+		return
+	}
+	m.BGPParallelRounds.Add(int64(p.ParallelRounds))
+	m.BGPStripes.Add(int64(p.Stripes))
+	if p.Stripes > 0 && p.SumStripePairs > 0 {
+		mean := float64(p.SumStripePairs) / float64(p.Stripes)
+		m.BGPStripeImbalance.Observe(float64(p.MaxStripePairs) / mean)
+	}
 }
 
 // instrumentRetries re-binds the retry policies inside the already-wrapped

@@ -681,7 +681,9 @@ func (w *Worker) routeSubtask(ctx context.Context, msg SubtaskMsg) error {
 	}
 	var rows []netmodel.Route
 	w.stage(ctx, "engine.run", w.metrics.EngineSeconds, func() error {
-		rows = eng.RouteSimulation(inputs).GlobalRIB().Rows()
+		res := eng.RouteSimulation(inputs)
+		w.metrics.RecordBGPPar(res.BGP.Par)
+		rows = res.GlobalRIB().Rows()
 		return nil
 	})
 	w.metrics.RecordIntern(eng.InternStats())
@@ -734,6 +736,7 @@ func (w *Worker) shardSubtask(ctx context.Context, msg SubtaskMsg) error {
 			Inside:  part.Members(msg.ShardID),
 			Inbound: in.Inbound,
 		})
+		w.metrics.RecordBGPPar(sim.BGP.Par)
 		res.Exports = sim.BGP.BoundaryOut
 		res.Rows = sim.GlobalRIB().Rows()
 		return nil

@@ -69,6 +69,19 @@ func PrintReport(w io.Writer, r *ReportResult) {
 			}
 		}
 	}
+	// Striped BGP fixpoint activity. Zero counters mean every round stayed
+	// sequential (single-core host, Parallelism 1, or tiny dirty sets); the
+	// imbalance histogram only prints once at least one run striped.
+	for _, m := range r.Report.Metrics {
+		switch m.Name {
+		case "bgp_parallel_rounds_total", "bgp_stripes_total":
+			fmt.Fprintf(w, "  %s: %g\n", m.Name, m.Value)
+		case "bgp_stripe_imbalance_ratio":
+			if m.Count > 0 {
+				fmt.Fprintf(w, "  %s: mean %.2f over %d run(s)\n", m.Name, m.Sum/float64(m.Count), m.Count)
+			}
+		}
+	}
 	fmt.Fprintf(w, "  telemetry: %d metric series, %d trace spans across %s\n",
 		len(r.Report.Metrics), len(r.Report.Spans), traceSummary(r.Report.Spans))
 }

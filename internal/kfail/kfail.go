@@ -55,6 +55,13 @@ type Options struct {
 	// per-scenario engine parallelism is forced to 1 so the machine is not
 	// oversubscribed. Violation order is deterministic at any setting.
 	Parallelism int
+	// EngineParallelism caps the cores each scenario simulation may use when
+	// the sweep itself is sequential (Parallelism 1): serve sets it to the
+	// tenant's query budget so one kfail sweep cannot occupy the machine. 0
+	// keeps the engine's own setting; with scenario workers > 1 it is
+	// ignored — per-scenario simulation is always sequential then, including
+	// warm forks off Options.Engine. Results are byte-identical regardless.
+	EngineParallelism int
 	// Shards, when > 1, routes contained scenarios through the sharded
 	// verifier (internal/shard): a delta whose effects provably stay inside
 	// its touched shards re-runs only those shards boundary-sealed,
@@ -116,10 +123,16 @@ func Check(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, 
 
 	workers := par.Workers(o.Parallelism)
 	innerOpts := o.Sim
+	forkPar := o.EngineParallelism
 	if workers > 1 {
 		// One engine per scenario worker: keep the inner simulation
-		// sequential so scenario-level parallelism owns the cores.
+		// sequential so scenario-level parallelism owns the cores. forkPar
+		// caps warm forks off a caller-supplied Engine the same way — its
+		// BaseRun ran at full parallelism, but this sweep's forks must not.
 		innerOpts.Parallelism = 1
+		forkPar = 1
+	} else if forkPar != 0 {
+		innerOpts.Parallelism = forkPar
 	}
 
 	scenarios := o.Registry.Counter("kfail_scenarios_total", "k-failure scenarios simulated")
@@ -220,7 +233,7 @@ func Check(net *config.Network, inputs []netmodel.Route, flows []netmodel.Flow, 
 			}
 		}
 		if snap == nil {
-			res, stats, err := eng.ForkCtx(o.Ctx, scratch, delta)
+			res, stats, err := eng.ForkCtxN(o.Ctx, scratch, delta, forkPar)
 			if err != nil {
 				// Cancelled mid-fork: revert the toggles so the scratch network
 				// stays reusable, and leave the slot's zero outcome — Check

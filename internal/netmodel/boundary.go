@@ -118,13 +118,17 @@ func CanonicalizeBoundary(advs []BoundaryAdv) []BoundaryAdv {
 	if len(advs) < 2 {
 		return advs
 	}
-	sigs := make([][]byte, len(advs))
+	buf := GetSigBuf()
+	defer PutSigBuf(buf)
+	sigs, ends := appendBoundarySigs(*buf, advs)
+	*buf = sigs
 	order := make([]int, len(advs))
-	for i := range advs {
-		sigs[i] = advs[i].AppendSignature(nil)
+	for i := range order {
 		order[i] = i
 	}
-	slices.SortFunc(order, func(x, y int) int { return bytes.Compare(sigs[x], sigs[y]) })
+	slices.SortFunc(order, func(x, y int) int {
+		return bytes.Compare(sigSpan(sigs, ends, x), sigSpan(sigs, ends, y))
+	})
 	out := make([]BoundaryAdv, len(advs))
 	for i, idx := range order {
 		out[i] = advs[idx]
@@ -139,21 +143,51 @@ func BoundarySetsEqual(a, b []BoundaryAdv) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	sa := boundarySigs(a)
-	sb := boundarySigs(b)
-	for i := range sa {
-		if !bytes.Equal(sa[i], sb[i]) {
+	bufA, bufB := GetSigBuf(), GetSigBuf()
+	defer PutSigBuf(bufA)
+	defer PutSigBuf(bufB)
+	sa, endsA := appendBoundarySigs(*bufA, a)
+	sb, endsB := appendBoundarySigs(*bufB, b)
+	*bufA, *bufB = sa, sb
+	oa, ob := sortedSigOrder(sa, endsA), sortedSigOrder(sb, endsB)
+	for i := range oa {
+		if !bytes.Equal(sigSpan(sa, endsA, oa[i]), sigSpan(sb, endsB, ob[i])) {
 			return false
 		}
 	}
 	return true
 }
 
-func boundarySigs(advs []BoundaryAdv) [][]byte {
-	sigs := make([][]byte, len(advs))
+// appendBoundarySigs encodes every adv's signature into one flat buffer
+// (appended to dst) and returns it along with each signature's end offset —
+// one buffer for the whole contract instead of one allocation per adv.
+func appendBoundarySigs(dst []byte, advs []BoundaryAdv) (sigs []byte, ends []int) {
+	ends = make([]int, len(advs))
 	for i := range advs {
-		sigs[i] = advs[i].AppendSignature(nil)
+		dst = advs[i].AppendSignature(dst)
+		ends[i] = len(dst)
 	}
-	slices.SortFunc(sigs, bytes.Compare)
-	return sigs
+	return dst, ends
+}
+
+// sigSpan slices signature i out of a flat signature buffer.
+func sigSpan(sigs []byte, ends []int, i int) []byte {
+	start := 0
+	if i > 0 {
+		start = ends[i-1]
+	}
+	return sigs[start:ends[i]]
+}
+
+// sortedSigOrder returns the indices of the flat signatures in ascending
+// signature order.
+func sortedSigOrder(sigs []byte, ends []int) []int {
+	order := make([]int, len(ends))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortFunc(order, func(x, y int) int {
+		return bytes.Compare(sigSpan(sigs, ends, x), sigSpan(sigs, ends, y))
+	})
+	return order
 }

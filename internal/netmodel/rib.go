@@ -442,10 +442,11 @@ func (g *GlobalRIB) Diff(o *GlobalRIB) (onlyG, onlyO []Route) {
 	// path, where every query diffs the forked RIB against the base.
 	sigsOf := func(rows []Route) []string {
 		out := make([]string, len(rows))
-		var buf []byte
+		buf := GetSigBuf()
+		defer PutSigBuf(buf)
 		for i := range rows {
-			buf = appendAttrDiffSig(buf[:0], &rows[i])
-			out[i] = string(buf)
+			*buf = appendAttrDiffSig((*buf)[:0], &rows[i])
+			out[i] = string(*buf)
 		}
 		return out
 	}

@@ -93,10 +93,11 @@ func (n *Network) resolveLinks(refs []LinkRef) ([]netmodel.LinkID, error) {
 func ribDigest(g *netmodel.GlobalRIB) string {
 	rows := g.Rows()
 	var acc [4]uint64
-	var buf []byte
+	buf := netmodel.GetSigBuf()
+	defer netmodel.PutSigBuf(buf)
 	for i := range rows {
-		buf = rows[i].AppendSignature(buf[:0])
-		sum := sha256.Sum256(buf)
+		*buf = rows[i].AppendSignature((*buf)[:0])
+		sum := sha256.Sum256(*buf)
 		for lane := 0; lane < 4; lane++ {
 			acc[lane] += binary.BigEndian.Uint64(sum[lane*8:])
 		}

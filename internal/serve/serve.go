@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,13 @@ type Config struct {
 	QueueDepth int
 	// Workers sizes the execution pool (default 4).
 	Workers int
+	// QueryParallelism caps the simulation cores any single query may use.
+	// Without a cap, every query forks with the engine's full parallelism,
+	// so one tenant's kfail sweep can occupy the whole machine while other
+	// tenants' queries — admitted and nominally running — crawl. Default
+	// NumCPU/Workers (min 1): the pool saturates the machine, each query
+	// gets its fair slice. Results are byte-identical at every setting.
+	QueryParallelism int
 	// DefaultDeadline caps a query's run time unless it sets deadline_ms
 	// (default 60s).
 	DefaultDeadline time.Duration
@@ -90,6 +98,12 @@ func NewServer(cfg Config) (*Server, error) {
 	}
 	if cfg.DefaultDeadline <= 0 {
 		cfg.DefaultDeadline = 60 * time.Second
+	}
+	if cfg.QueryParallelism <= 0 {
+		cfg.QueryParallelism = runtime.NumCPU() / cfg.Workers
+		if cfg.QueryParallelism < 1 {
+			cfg.QueryParallelism = 1
+		}
 	}
 	s := &Server{
 		cfg:      cfg,

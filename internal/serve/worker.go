@@ -177,7 +177,7 @@ func (s *Server) runWhatIf(ctx context.Context, n *Network, qu *Query) (*QueryRe
 		}
 	}()
 
-	res, _, err := n.eng.ForkCtx(ctx, scratch, d)
+	res, _, err := n.eng.ForkCtxN(ctx, scratch, d, s.cfg.QueryParallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -216,8 +216,12 @@ func (s *Server) runKfail(ctx context.Context, n *Network, qu *Query) (*QueryRes
 		MaxScenarios: maxScen,
 		Sim:          s.cfg.Sim,
 		Parallelism:  1, // query-level parallelism owns the worker pool
-		Engine:       n.eng,
-		Ctx:          ctx,
+		// ...but each scenario fork may still use this query's core slice;
+		// without the cap, warm forks off n.eng ran at full engine
+		// parallelism and one sweep starved every other tenant's queries.
+		EngineParallelism: s.cfg.QueryParallelism,
+		Engine:            n.eng,
+		Ctx:               ctx,
 		Progress: func(done, total int) {
 			if done%16 == 0 || done == total {
 				qu.emit("progress", map[string]int{"done": done, "total": total})
@@ -267,7 +271,9 @@ func (s *Server) runPlan(ctx context.Context, n *Network, qu *Query) (*QueryResu
 	if err != nil {
 		return nil, err
 	}
-	eng := core.NewEngine(updated, s.cfg.Sim)
+	simOpts := s.cfg.Sim
+	simOpts.Parallelism = s.cfg.QueryParallelism
+	eng := core.NewEngine(updated, simOpts)
 	res, err := eng.RunCtx(ctx, plan.ApplyInputs(n.inputs), n.flows)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"hoyan/internal/core"
 	"hoyan/internal/ec"
 	"hoyan/internal/netmodel"
+	"hoyan/internal/par"
 	"hoyan/internal/telemetry"
 )
 
@@ -93,21 +94,27 @@ func (e *Engine) splitReps(reps []netmodel.Route) [][]netmodel.Route {
 	return out
 }
 
-// runner builds a RoundFn running sealed simulations on eng. Dirty shards run
-// sequentially: the per-shard fleet parallelism belongs to dsim, while the
-// in-process engine is itself invoked from parallel what-if sweeps.
+// runner builds a RoundFn running sealed simulations on eng. Dirty shards of
+// one contract round are mutually independent (each reads only its frozen
+// inbound contract and writes its own indexed slot), so they fan out on the
+// par pool under Options.Sim.Parallelism; within a shard, the sealed BGP
+// fixpoint stripes on the same setting. Slot-indexed results keep the round
+// outcome byte-identical however the shards interleave. Parallelism 1 is
+// the sequential reference; the per-shard fleet parallelism of dsim is
+// unaffected.
 func (e *Engine) runner(eng *core.Engine) RoundFn {
 	return func(round int, dirty []int, inbound [][]netmodel.BoundaryAdv) ([][]netmodel.BoundaryAdv, [][]netmodel.Route, error) {
 		exports := make([][]netmodel.BoundaryAdv, len(dirty))
 		rows := make([][]netmodel.Route, len(dirty))
-		for k, i := range dirty {
+		par.ForEach(e.opts.Parallelism, len(dirty), func(k int) {
+			i := dirty[k]
 			res := eng.RouteSimulationSealed(e.repsByShard[i], &bgp.Seal{
 				Inside:  e.part.Members(i),
 				Inbound: inbound[i],
 			})
 			exports[k] = res.BGP.BoundaryOut
 			rows[k] = res.GlobalRIB().Rows()
-		}
+		})
 		return exports, rows, nil
 	}
 }

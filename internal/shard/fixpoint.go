@@ -94,11 +94,17 @@ func inboundFor(p *Partition, exports [][]netmodel.BoundaryAdv) [][]netmodel.Bou
 // advertisement's signature is self-delimiting (length-prefixed strings,
 // explicit counts), so concatenation under a leading count stays injective.
 func contractSig(advs []netmodel.BoundaryAdv) []byte {
-	sig := binary.AppendUvarint(nil, uint64(len(advs)))
+	return appendContractSig(nil, advs)
+}
+
+// appendContractSig is contractSig appending into a caller-owned buffer, for
+// transient comparisons that draw scratch from the netmodel signature pool.
+func appendContractSig(dst []byte, advs []netmodel.BoundaryAdv) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(advs)))
 	for i := range advs {
-		sig = advs[i].AppendSignature(sig)
+		dst = advs[i].AppendSignature(dst)
 	}
-	return sig
+	return dst
 }
 
 // Iterate drives the contract-exchange fixpoint: starting from prev (nil for
@@ -150,18 +156,25 @@ func Iterate(p *Partition, maxRounds int, dirty []int, prev *State, run RoundFn)
 			st.inSigs[i] = contractSig(in[i])
 		}
 		next := inboundFor(p, st.Exports)
+		// The next-round signatures are compared and dropped (only inSigs
+		// persists), so they share one pooled scratch buffer.
+		buf := netmodel.GetSigBuf()
 		for i := 0; i < n; i++ {
 			switch {
 			case st.inSigs[i] == nil:
 				pend[i] = true
-			case !bytes.Equal(st.inSigs[i], contractSig(next[i])):
-				if !pend[i] {
-					st.SeamChanges++
-				}
-				pend[i] = true
 			default:
-				pend[i] = false
+				*buf = appendContractSig((*buf)[:0], next[i])
+				if !bytes.Equal(st.inSigs[i], *buf) {
+					if !pend[i] {
+						st.SeamChanges++
+					}
+					pend[i] = true
+				} else {
+					pend[i] = false
+				}
 			}
 		}
+		netmodel.PutSigBuf(buf)
 	}
 }
